@@ -1,0 +1,83 @@
+//! Criterion benchmarks of the hpcsim layer itself: evaluating the
+//! closed-form model is effectively free while the discrete-event
+//! simulation scales with ρ·steps — confirming the model is cheap enough
+//! for the paper's intended use (predicting target systems interactively),
+//! and benchmarking the parallel chunk pipeline that feeds it.
+
+// Config tweaks read more clearly as sequential assignments here.
+#![allow(clippy::field_reassign_with_default)]
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use primacy_core::{PrimacyCompressor, PrimacyConfig};
+use primacy_datagen::DatasetId;
+use primacy_hpcsim::model::{base_write, primacy_write, ClusterParams, ModelInputs};
+use primacy_hpcsim::sim::{simulate, SimConfig};
+use std::hint::black_box;
+
+fn model_inputs() -> ModelInputs {
+    ModelInputs {
+        cluster: ClusterParams::default(),
+        chunk_bytes: 3.0 * 1024.0 * 1024.0,
+        metadata_bytes: 2048.0,
+        alpha1: 0.25,
+        alpha2: 0.2,
+        sigma_ho: 0.3,
+        sigma_lo: 0.85,
+        t_prec: 400e6,
+        t_comp: 60e6,
+        t_decomp: 200e6,
+        t_prec_inv: 500e6,
+    }
+}
+
+fn bench_model_and_sim(c: &mut Criterion) {
+    let inputs = model_inputs();
+    c.bench_function("analytical_model_eval", |b| {
+        b.iter(|| {
+            let i = black_box(&inputs);
+            black_box((base_write(i).tau, primacy_write(i).tau))
+        });
+    });
+
+    let mut group = c.benchmark_group("discrete_event_sim");
+    for steps in [16usize, 64, 256] {
+        group.bench_with_input(BenchmarkId::from_parameter(steps), &steps, |b, &steps| {
+            let cfg = SimConfig {
+                steps,
+                compute_secs: 0.05,
+                compressed_bytes: 2.4e6,
+                ..Default::default()
+            };
+            b.iter(|| black_box(simulate(black_box(&cfg))));
+        });
+    }
+    group.finish();
+
+    // Parallel chunk pipeline scaling (compute-node-side work).
+    let bytes = DatasetId::ObsInfo.generate_bytes(1 << 20);
+    let mut cfg = PrimacyConfig::default();
+    cfg.chunk_bytes = 256 * 1024;
+    let compressor = PrimacyCompressor::new(cfg);
+    let mut group = c.benchmark_group("parallel_pipeline");
+    group.sample_size(10);
+    group.throughput(Throughput::Bytes(bytes.len() as u64));
+    for threads in [1usize, 2, 4, 8] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(threads),
+            &threads,
+            |b, &threads| {
+                b.iter(|| {
+                    black_box(
+                        compressor
+                            .compress_bytes_parallel(black_box(&bytes), threads)
+                            .unwrap(),
+                    )
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_model_and_sim);
+criterion_main!(benches);

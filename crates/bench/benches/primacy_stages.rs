@@ -1,0 +1,77 @@
+//! Criterion micro-benchmarks for the individual PRIMACY pipeline stages
+//! (Fig. 2 workflow): split, frequency analysis, ID mapping, linearization,
+//! ISOBAR analysis. Backs the Tprec input of the performance model and
+//! shows that the preconditioner itself is far faster than any codec.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use primacy_core::config::IsobarConfig;
+use primacy_core::freq::FreqTable;
+use primacy_core::idmap::IdMap;
+use primacy_core::isobar;
+use primacy_core::linearize::{to_columns, to_rows};
+use primacy_core::split::{join_hi_lo, split_hi_lo};
+use primacy_datagen::DatasetId;
+use std::hint::black_box;
+
+const CHUNK_ELEMS: usize = 3 * 1024 * 1024 / 8;
+
+fn bench_stages(c: &mut Criterion) {
+    let bytes = DatasetId::GtsPhiL.generate_bytes(CHUNK_ELEMS);
+    let n = CHUNK_ELEMS;
+    let (hi, lo) = split_hi_lo(&bytes, 8, 2).unwrap();
+    let freq = FreqTable::from_hi_matrix(&hi, 2);
+    let map = IdMap::from_freq(&freq, 2).unwrap();
+    let mut encoded = hi.clone();
+    map.encode_hi(&mut encoded).unwrap();
+    let columns = to_columns(&encoded, n, 2);
+
+    let mut group = c.benchmark_group("primacy_stages");
+    group.sample_size(20);
+    group.throughput(Throughput::Bytes(bytes.len() as u64));
+
+    group.bench_function("split_hi_lo", |b| {
+        b.iter(|| black_box(split_hi_lo(black_box(&bytes), 8, 2).unwrap()));
+    });
+    group.bench_function("join_hi_lo", |b| {
+        b.iter(|| black_box(join_hi_lo(black_box(&hi), black_box(&lo), 8, 2).unwrap()));
+    });
+    group.bench_function("frequency_analysis", |b| {
+        b.iter(|| black_box(FreqTable::from_hi_matrix(black_box(&hi), 2)));
+    });
+    group.bench_function("index_generation", |b| {
+        b.iter(|| black_box(IdMap::from_freq(black_box(&freq), 2).unwrap()));
+    });
+    group.bench_function("id_encode", |b| {
+        b.iter(|| {
+            let mut data = hi.clone();
+            map.encode_hi(&mut data).unwrap();
+            black_box(data)
+        });
+    });
+    group.bench_function("id_decode", |b| {
+        b.iter(|| {
+            let mut data = encoded.clone();
+            map.decode_hi(&mut data).unwrap();
+            black_box(data)
+        });
+    });
+    group.bench_function("column_linearize", |b| {
+        b.iter(|| black_box(to_columns(black_box(&encoded), n, 2)));
+    });
+    group.bench_function("row_delinearize", |b| {
+        b.iter(|| black_box(to_rows(black_box(&columns), n, 2)));
+    });
+    group.bench_function("isobar_analyze", |b| {
+        let cfg = IsobarConfig::default();
+        b.iter(|| black_box(isobar::analyze(black_box(&lo), n, 6, &cfg)));
+    });
+    group.bench_function("isobar_partition", |b| {
+        let cfg = IsobarConfig::default();
+        let report = isobar::analyze(&lo, n, 6, &cfg);
+        b.iter(|| black_box(isobar::partition(black_box(&lo), n, 6, report.mask)));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_stages);
+criterion_main!(benches);

@@ -1,0 +1,64 @@
+//! §V claim: "PRIMACY shows substantial improvements on both compression
+//! ratio and throughput using bzlib2 and lzo" — the preconditioner is
+//! solver-agnostic, not a zlib trick.
+//!
+//! For each backend codec (zlib-, lzo- and bzip2-class) this bench compares
+//! vanilla whole-buffer compression against the same codec behind PRIMACY,
+//! on a hard and a quantized dataset.
+
+use primacy_bench::{dataset_bytes, dataset_elements};
+use primacy_codecs::CodecKind;
+use primacy_core::{PrimacyCompressor, PrimacyConfig};
+use primacy_datagen::DatasetId;
+use std::time::Instant;
+
+fn main() {
+    println!(
+        "SV backend sweep: vanilla codec vs PRIMACY+codec ({} doubles/dataset)\n",
+        dataset_elements()
+    );
+    println!(
+        "{:<14} {:<6} | {:>9} {:>10} | {:>9} {:>10} | {:>7} {:>7}",
+        "dataset", "codec", "vanCR", "vanMB/s", "priCR", "priMB/s", "CRx", "TPx"
+    );
+    for id in [DatasetId::GtsPhiL, DatasetId::NumPlasma, DatasetId::FlashVely] {
+        let bytes = dataset_bytes(id);
+        for kind in [CodecKind::Zlib, CodecKind::Lzr, CodecKind::Bwt] {
+            let codec = kind.build();
+            let t0 = Instant::now();
+            let vanilla = codec.compress(&bytes).expect("compress");
+            let van_secs = t0.elapsed().as_secs_f64();
+            assert_eq!(codec.decompress(&vanilla).expect("roundtrip"), bytes);
+
+            let cfg = PrimacyConfig {
+                codec: kind,
+                ..Default::default()
+            };
+            let c = PrimacyCompressor::new(cfg);
+            let t0 = Instant::now();
+            let pri = c.compress_bytes(&bytes).expect("compress");
+            let pri_secs = t0.elapsed().as_secs_f64();
+            assert_eq!(c.decompress_bytes(&pri).expect("roundtrip"), bytes);
+
+            let van_cr = bytes.len() as f64 / vanilla.len() as f64;
+            let pri_cr = bytes.len() as f64 / pri.len() as f64;
+            let van_tp = bytes.len() as f64 / 1e6 / van_secs;
+            let pri_tp = bytes.len() as f64 / 1e6 / pri_secs;
+            println!(
+                "{:<14} {:<6} | {:>9.3} {:>10.1} | {:>9.3} {:>10.1} | {:>6.2}x {:>6.2}x",
+                id.name(),
+                kind.to_string(),
+                van_cr,
+                van_tp,
+                pri_cr,
+                pri_tp,
+                pri_cr / van_cr,
+                pri_tp / van_tp
+            );
+        }
+        println!();
+    }
+    println!("reading (paper SV): the preconditioner improves every backend's ratio AND");
+    println!("throughput; bzip2-class throughput improves but stays \"too low for in-situ");
+    println!("processing\" — which is why the paper ships zlib as the solver.");
+}

@@ -1,0 +1,68 @@
+//! Figure 3: normalized frequency of 2-byte sequences in (a) the exponent
+//! bytes and (b) the mantissa bytes, for four representative datasets
+//! (phi, info, temp, zeon in the paper).
+//!
+//! Expected shape (paper): exponent histograms are concentrated on a few
+//! hundred sequences with visible peaks (3a); mantissa histograms spread
+//! thinly over tens of thousands of sequences with peaks around 1e-5 (3b).
+
+use primacy_bench::dataset_values;
+use primacy_core::analysis::{exponent_histogram, mantissa_histogram, unique_exponent_sequences};
+use primacy_datagen::DatasetId;
+
+fn summarize(name: &str, hist: &[f64]) {
+    let nonzero = hist.iter().filter(|&&x| x > 0.0).count();
+    let peak = hist.iter().cloned().fold(0.0, f64::max);
+    // Mass concentration: smallest number of sequences covering 90 %.
+    let mut sorted: Vec<f64> = hist.iter().copied().filter(|&x| x > 0.0).collect();
+    sorted.sort_by(|a, b| b.partial_cmp(a).unwrap());
+    let mut acc = 0.0;
+    let mut k90 = 0;
+    for v in &sorted {
+        acc += v;
+        k90 += 1;
+        if acc >= 0.9 {
+            break;
+        }
+    }
+    println!(
+        "  {name:<22} distinct={nonzero:>6}  peak={peak:.2e}  sequences for 90% of mass={k90}"
+    );
+}
+
+fn main() {
+    let datasets = [
+        DatasetId::GtsPhiL,
+        DatasetId::ObsInfo,
+        DatasetId::ObsTemp,
+        DatasetId::GtsChkpZeon,
+    ];
+
+    println!("Figure 3a — exponent byte-sequence frequency (domain 0-65535)");
+    for id in datasets {
+        let values = dataset_values(id);
+        let h = exponent_histogram(&values);
+        summarize(id.name(), &h);
+    }
+    println!("  (paper: a handful of dominant sequences; most datasets < 2,000 distinct)");
+
+    println!("\nFigure 3b — mantissa byte-sequence frequency (domain 0-65535)");
+    for id in datasets {
+        let values = dataset_values(id);
+        let h = mantissa_histogram(&values);
+        summarize(id.name(), &h);
+    }
+    println!("  (paper: tens of thousands of distinct sequences, peaks near 1e-5 — no skew for the ID mapper to exploit)");
+
+    println!("\nper-dataset distinct exponent sequences (§II-C claim: majority < 2,000 of 65,536):");
+    let mut under_2000 = 0;
+    for id in DatasetId::ALL {
+        let values = dataset_values(id);
+        let u = unique_exponent_sequences(&values);
+        if u < 2000 {
+            under_2000 += 1;
+        }
+        println!("  {:<16} {u:>6}", id.name());
+    }
+    println!("  -> {under_2000}/20 datasets under 2,000 (paper: \"the majority\")");
+}

@@ -1,0 +1,74 @@
+//! §V deep-dive: predictive coders live and die by dimensional correlation.
+//!
+//! The paper: "These algorithms rely heavily on dimensional correlation of
+//! data and predict poorly in turbulent data … varying data organization can
+//! have a significantly negative impact." This bench makes that concrete
+//! with our fpzip-class codec: a genuinely 2-D field is compressed with the
+//! Lorenzo predictor at the right dimensionality, the wrong dimensionality,
+//! and after a layout permutation — against PRIMACY and FPC, whose behaviour
+//! barely moves.
+
+use primacy_codecs::fpc::Fpc;
+use primacy_codecs::fpz::{Fpz, Grid};
+use primacy_core::{PrimacyCompressor, PrimacyConfig};
+use primacy_datagen::permute;
+
+/// A smooth 2-D field with a small additive noise floor.
+fn field_2d(nx: usize, ny: usize, noise_amp: f64) -> Vec<f64> {
+    let mut x = 0xFEED_5EEDu64;
+    (0..nx * ny)
+        .map(|i| {
+            let (u, v) = ((i % nx) as f64, (i / nx) as f64);
+            x = x.wrapping_mul(6_364_136_223_846_793_005).wrapping_add(1);
+            let noise = ((x >> 11) as f64 / (1u64 << 53) as f64 - 0.5) * noise_amp;
+            100.0 * (u * 0.02).sin() * (v * 0.015).cos() + noise
+        })
+        .collect()
+}
+
+fn cr(compressed_len: usize, values: &[f64]) -> f64 {
+    values.len() as f64 * 8.0 / compressed_len as f64
+}
+
+fn main() {
+    let (nx, ny) = (1024, 512);
+    println!("SV deep-dive: Lorenzo predictor vs data organization ({nx}x{ny} field)\n");
+    println!(
+        "{:<28} | {:>9} {:>9} {:>9} {:>9}",
+        "treatment", "fpz-2D", "fpz-1D", "fpc", "primacy"
+    );
+
+    let primacy = PrimacyCompressor::new(PrimacyConfig::default());
+    let fpc = Fpc::default();
+
+    for (label, noise) in [("smooth (noise 1e-9)", 1e-9), ("turbulent (noise 1e-1)", 1e-1)] {
+        let values = field_2d(nx, ny, noise);
+        let rows: [(&str, Vec<f64>); 2] = [
+            ("original layout", values.clone()),
+            ("permuted layout", permute(&values)),
+        ];
+        for (layout, data) in rows {
+            let fpz2 = Fpz::with_grid(Grid::D2(nx, ny))
+                .compress_f64(&data)
+                .expect("compress");
+            let fpz1 = Fpz::with_grid(Grid::D1).compress_f64(&data).expect("compress");
+            let f = fpc.compress_f64(&data).expect("compress");
+            let bytes: Vec<u8> = data.iter().flat_map(|v| v.to_le_bytes()).collect();
+            let p = primacy.compress_bytes(&bytes).expect("compress");
+            println!(
+                "{:<28} | {:>9.3} {:>9.3} {:>9.3} {:>9.3}",
+                format!("{label}, {layout}"),
+                cr(fpz2.len(), &data),
+                cr(fpz1.len(), &data),
+                cr(f.len(), &data),
+                bytes.len() as f64 / p.len() as f64,
+            );
+        }
+    }
+
+    println!("\nreading (paper's claims): the 2-D Lorenzo predictor dominates on the smooth");
+    println!("field in its native layout, degrades at the wrong dimensionality, and");
+    println!("collapses under permutation and turbulence — while PRIMACY, which only uses");
+    println!("byte frequencies, is nearly layout-invariant (SIV-G) and wins the permuted");
+    println!("cases (paper: beats fpzip on 95% and fpc on 100% of permuted datasets).");
+}

@@ -1,0 +1,72 @@
+//! §II-F ablation: per-chunk index vs correlation-gated index reuse.
+//!
+//! The paper builds an index for every chunk and sketches, as future work,
+//! reusing the previous chunk's index when the frequency vectors correlate.
+//! Both policies are implemented here; this bench measures what the reuse
+//! policy buys (fewer indexes, less frequency-analysis work) and what it
+//! costs (compression ratio when the stale index fits the new chunk less
+//! well), across a sweep of correlation thresholds.
+//!
+//! Expected shape (paper's hypothesis): stationary datasets keep most of
+//! their ratio with far fewer indexes; drifting datasets need low
+//! thresholds to reuse at all, and aggressive reuse costs ratio.
+
+// Config tweaks read more clearly as sequential assignments here.
+#![allow(clippy::field_reassign_with_default)]
+
+use primacy_bench::dataset_bytes;
+use primacy_core::{IndexPolicy, PrimacyCompressor, PrimacyConfig};
+use primacy_datagen::DatasetId;
+
+fn main() {
+    // Small chunks make index counts visible at bench sizes.
+    let chunk_bytes = 256 * 1024;
+    println!("SII-F ablation: index policy (chunk = {} KiB)", chunk_bytes / 1024);
+    println!(
+        "{:<16} {:>12} | {:>8} {:>8} {:>10} {:>10}",
+        "dataset", "policy", "CR", "MB/s", "indexes", "chunks"
+    );
+
+    for id in [
+        DatasetId::GtsPhiL,     // stationary smooth field
+        DatasetId::GtsChkpZeon, // drifting random walk
+        DatasetId::NumComet,    // wide-exponent log-uniform
+        DatasetId::ObsTemp,     // stationary with seasonal modes
+    ] {
+        let bytes = dataset_bytes(id);
+        let mut policies: Vec<(String, IndexPolicy)> =
+            vec![("per-chunk".into(), IndexPolicy::PerChunk)];
+        for threshold in [0.99, 0.9, 0.5] {
+            policies.push((
+                format!("reuse@{threshold}"),
+                IndexPolicy::Reuse {
+                    correlation_threshold: threshold,
+                },
+            ));
+        }
+        for (label, policy) in policies {
+            let mut cfg = PrimacyConfig::default();
+            cfg.chunk_bytes = chunk_bytes;
+            cfg.index_policy = policy;
+            let c = PrimacyCompressor::new(cfg);
+            let (out, stats) = c.compress_bytes_with_stats(&bytes).expect("compress");
+            assert_eq!(
+                c.decompress_bytes(&out).expect("roundtrip"),
+                bytes,
+                "{} {label}",
+                id.name()
+            );
+            println!(
+                "{:<16} {:>12} | {:>8.3} {:>8.1} {:>10} {:>10}",
+                id.name(),
+                label,
+                stats.ratio(),
+                stats.throughput_mbps(),
+                stats.own_index_chunks,
+                stats.chunks
+            );
+        }
+        println!();
+    }
+    println!("reading: fewer indexes at equal CR = reuse pays off; CR drop = stale index misfit (the data-dependence SII-F warns about).");
+}

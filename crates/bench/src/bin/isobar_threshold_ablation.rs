@@ -1,0 +1,59 @@
+//! §II-G ablation: the ISOBAR compressibility threshold.
+//!
+//! ISOBAR only sends mantissa byte-columns to the codec when their sampled
+//! entropy is below a threshold. Sweeping the threshold exposes the paper's
+//! trade-off: at 8 bits everything is compressed (vanilla behaviour — best
+//! possible ratio, worst throughput); as the threshold drops, the codec
+//! skips random columns for large speedups at almost no ratio cost; too low
+//! and genuinely compressible columns are stored raw, losing ratio.
+
+// Config tweaks read more clearly as sequential assignments here.
+#![allow(clippy::field_reassign_with_default)]
+
+use primacy_bench::dataset_bytes;
+use primacy_core::{PrimacyCompressor, PrimacyConfig};
+use primacy_datagen::DatasetId;
+
+fn main() {
+    println!("SII-G ablation: ISOBAR entropy threshold sweep");
+    println!(
+        "{:<16} {:>9} | {:>8} {:>9} {:>9} {:>7}",
+        "dataset", "threshold", "CR", "compMB/s", "decMB/s", "alpha2"
+    );
+
+    for id in [
+        DatasetId::NumPlasma,  // heavily truncated: several compressible columns
+        DatasetId::FlashGamc,  // moderately truncated
+        DatasetId::GtsPhiL,    // fully random mantissa
+        DatasetId::MsgSppm,    // exact repetition everywhere
+    ] {
+        let bytes = dataset_bytes(id);
+        for threshold in [2.0, 6.0, 7.0, 7.9, 8.0] {
+            let mut cfg = PrimacyConfig::default();
+            cfg.isobar.entropy_threshold_bits = threshold;
+            if threshold >= 8.0 {
+                // 8 bits can never be exceeded: force-everything mode.
+                cfg.isobar.enabled = false;
+            }
+            let c = PrimacyCompressor::new(cfg);
+            let (out, stats) = c.compress_bytes_with_stats(&bytes).expect("compress");
+            let t0 = std::time::Instant::now();
+            let back = c.decompress_bytes(&out).expect("roundtrip");
+            let dsecs = t0.elapsed().as_secs_f64();
+            assert_eq!(back, bytes);
+            println!(
+                "{:<16} {:>9.1} | {:>8.3} {:>9.1} {:>9.1} {:>7.2}",
+                id.name(),
+                threshold,
+                stats.ratio(),
+                stats.throughput_mbps(),
+                bytes.len() as f64 / 1e6 / dsecs,
+                stats.isobar_compressible_fraction
+            );
+        }
+        println!();
+    }
+    println!("reading: threshold 8.0 = compress everything (vanilla); the paper's design point");
+    println!("keeps ratio within a hair of vanilla while compressing several times faster on");
+    println!("random-mantissa datasets (alpha2 ~ 0).");
+}

@@ -1,0 +1,65 @@
+//! Extension experiment: aggregate scaling across I/O groups.
+//!
+//! The paper reports per-I/O-node throughputs on a machine with thousands of
+//! nodes. This bench uses the multi-group simulator to show what happens
+//! when the whole application barriers across many I/O groups with realistic
+//! per-group speed variation — and that compression's per-group gain
+//! survives (and its shorter steps slightly dampen absolute straggler
+//! losses).
+
+use primacy_bench::dataset_bytes;
+use primacy_core::PrimacyConfig;
+use primacy_datagen::DatasetId;
+use primacy_hpcsim::measure_primacy;
+use primacy_hpcsim::sim::{simulate_multi_group, Direction, SimConfig};
+
+fn main() {
+    let data = dataset_bytes(DatasetId::FlashVelx);
+    let rates = measure_primacy(&PrimacyConfig::default(), &data);
+    let chunk = 3.0 * 1024.0 * 1024.0;
+
+    let base = SimConfig {
+        rho: 8,
+        steps: 16,
+        chunk_bytes: chunk,
+        compressed_bytes: chunk,
+        compute_secs: 0.0,
+        theta: 1.2e9,
+        mu: 8e6,
+        direction: Direction::Write,
+        jitter: 0.04,
+    };
+    let primacy = SimConfig {
+        compressed_bytes: chunk / rates.ratio,
+        compute_secs: chunk / rates.compress_bps,
+        ..base
+    };
+
+    println!("aggregate write scaling across I/O groups (flash_velx rates, CR {:.2})\n", rates.ratio);
+    println!(
+        "{:>7} {:>8} | {:>12} {:>10} {:>10} | {:>12} {:>10} {:>10}",
+        "groups", "jitter", "null GB/s", "scale-eff", "spread", "prim GB/s", "scale-eff", "spread"
+    );
+    for &groups in &[1usize, 16, 64, 256, 1024] {
+        for &gj in &[0.0, 0.05, 0.15] {
+            let n = simulate_multi_group(&base, groups, gj);
+            let p = simulate_multi_group(&primacy, groups, gj);
+            println!(
+                "{:>7} {:>8.2} | {:>12.3} {:>9.1}% {:>10.3} | {:>12.3} {:>9.1}% {:>10.3}",
+                groups,
+                gj,
+                n.aggregate_tau_bps / 1e9,
+                n.scaling_efficiency * 100.0,
+                n.straggler_spread,
+                p.aggregate_tau_bps / 1e9,
+                p.scaling_efficiency * 100.0,
+                p.straggler_spread,
+            );
+        }
+        println!();
+    }
+    println!("reading: per-group gains carry straight through to aggregate throughput;");
+    println!("straggler spread grows with group count and jitter, costing both strategies");
+    println!("the same relative scaling efficiency — compression neither fixes nor worsens");
+    println!("the barrier penalty, it just moves more science through the same machine.");
+}

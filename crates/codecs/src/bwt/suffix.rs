@@ -1,0 +1,294 @@
+//! Linear-time suffix array construction (SA-IS).
+//!
+//! Nong, Zhang & Chan's induced-sorting algorithm. The public entry point
+//! appends a virtual sentinel (smaller than every byte) so the Burrows–
+//! Wheeler layer gets well-defined suffix order for arbitrary binary data.
+
+const EMPTY: u32 = u32::MAX;
+
+/// Suffix array of `s`: the starting positions of all suffixes of `s`, in
+/// lexicographic order (with an implicit terminal sentinel smaller than any
+/// byte, which is dropped from the result).
+pub fn suffix_array(s: &[u8]) -> Vec<u32> {
+    if s.is_empty() {
+        return Vec::new();
+    }
+    // Shift bytes by +1 so value 0 is free for the sentinel.
+    let mut t: Vec<u32> = Vec::with_capacity(s.len() + 1);
+    t.extend(s.iter().map(|&b| u32::from(b) + 1));
+    t.push(0);
+    let sa = sais(&t, 257);
+    // sa[0] is the sentinel suffix; the rest is the answer.
+    sa[1..].to_vec()
+}
+
+/// SA-IS over a u32 string whose alphabet is `0..k` and whose last character
+/// is a unique minimal sentinel.
+fn sais(s: &[u32], k: usize) -> Vec<u32> {
+    let n = s.len();
+    debug_assert!(n >= 1);
+    if n == 1 {
+        return vec![0];
+    }
+    if n == 2 {
+        // Sentinel suffix sorts first.
+        return vec![1, 0];
+    }
+
+    // Type classification: true = S-type. The sentinel is S.
+    let mut is_s = vec![false; n];
+    is_s[n - 1] = true;
+    for i in (0..n - 1).rev() {
+        is_s[i] = s[i] < s[i + 1] || (s[i] == s[i + 1] && is_s[i + 1]);
+    }
+
+    let mut bucket = vec![0u32; k];
+    for &c in s {
+        bucket[c as usize] += 1;
+    }
+
+    // Left-most S positions, in text order.
+    let lms_positions: Vec<u32> = (1..n)
+        .filter(|&i| is_s[i] && !is_s[i - 1])
+        .map(|i| i as u32)
+        .collect();
+
+    // First pass: induce with LMS positions in arbitrary (text) order; this
+    // sorts the LMS *substrings*.
+    let sa = induce(s, &is_s, &bucket, &lms_positions);
+
+    // Collect LMS suffixes in their induced order and name their substrings.
+    let sorted_lms: Vec<u32> = sa
+        .iter()
+        .copied()
+        .filter(|&j| {
+            let j = j as usize;
+            j > 0 && is_s[j] && !is_s[j - 1]
+        })
+        .collect();
+    debug_assert_eq!(sorted_lms.len(), lms_positions.len());
+
+    let mut name_of = vec![EMPTY; n];
+    let mut cur_name = 0u32;
+    name_of[sorted_lms[0] as usize] = 0;
+    for w in sorted_lms.windows(2) {
+        let (a, b) = (w[0] as usize, w[1] as usize);
+        if !lms_substrings_equal(s, &is_s, a, b) {
+            cur_name += 1;
+        }
+        name_of[b] = cur_name;
+    }
+    let num_names = cur_name as usize + 1;
+
+    let final_lms: Vec<u32> = if num_names == lms_positions.len() {
+        // Every LMS substring is distinct: the induced order is already the
+        // order of the LMS suffixes.
+        sorted_lms
+    } else {
+        // Recurse on the reduced string of names (in text order).
+        let reduced: Vec<u32> = lms_positions
+            .iter()
+            .map(|&p| name_of[p as usize])
+            .collect();
+        let reduced_sa = sais(&reduced, num_names);
+        reduced_sa
+            .iter()
+            .map(|&r| lms_positions[r as usize])
+            .collect()
+    };
+
+    induce(s, &is_s, &bucket, &final_lms)
+}
+
+/// One induced-sorting pass: seed LMS suffixes at bucket tails (in the order
+/// given), induce L-type suffixes left-to-right from bucket heads, then
+/// S-type right-to-left from bucket tails.
+fn induce(s: &[u32], is_s: &[bool], bucket: &[u32], lms: &[u32]) -> Vec<u32> {
+    let n = s.len();
+    let k = bucket.len();
+    let mut sa = vec![EMPTY; n];
+
+    let heads = |out: &mut Vec<u32>| {
+        out.clear();
+        let mut sum = 0u32;
+        for &b in bucket {
+            out.push(sum);
+            sum += b;
+        }
+    };
+    let tails = |out: &mut Vec<u32>| {
+        out.clear();
+        let mut sum = 0u32;
+        for &b in bucket {
+            sum += b;
+            out.push(sum);
+        }
+    };
+
+    let mut ptr = Vec::with_capacity(k);
+
+    // Seed LMS suffixes at the tails of their buckets, reading the provided
+    // order backwards so the first LMS lands closest to its bucket tail.
+    tails(&mut ptr);
+    for &j in lms.iter().rev() {
+        let c = s[j as usize] as usize;
+        ptr[c] -= 1;
+        sa[ptr[c] as usize] = j;
+    }
+
+    // Induce L-type suffixes.
+    heads(&mut ptr);
+    for i in 0..n {
+        let j = sa[i];
+        if j != EMPTY && j > 0 {
+            let p = (j - 1) as usize;
+            if !is_s[p] {
+                let c = s[p] as usize;
+                sa[ptr[c] as usize] = p as u32;
+                ptr[c] += 1;
+            }
+        }
+    }
+
+    // Induce S-type suffixes (overwrites the seeded LMS entries with the
+    // correct final order).
+    tails(&mut ptr);
+    for i in (0..n).rev() {
+        let j = sa[i];
+        if j != EMPTY && j > 0 {
+            let p = (j - 1) as usize;
+            if is_s[p] {
+                let c = s[p] as usize;
+                ptr[c] -= 1;
+                sa[ptr[c] as usize] = p as u32;
+            }
+        }
+    }
+    sa
+}
+
+/// Compare the LMS substrings starting at `a` and `b` (positions of LMS
+/// characters). An LMS substring runs to the next LMS position inclusive.
+fn lms_substrings_equal(s: &[u32], is_s: &[bool], a: usize, b: usize) -> bool {
+    if a == b {
+        return true;
+    }
+    let n = s.len();
+    // The substring containing the sentinel (which starts at n-1) is unique.
+    if a == n - 1 || b == n - 1 {
+        return false;
+    }
+    let mut i = 0usize;
+    loop {
+        let (pa, pb) = (a + i, b + i);
+        let a_end = i > 0 && pa < n && is_s[pa] && !is_s[pa - 1];
+        let b_end = i > 0 && pb < n && is_s[pb] && !is_s[pb - 1];
+        if a_end && b_end {
+            return s[pa] == s[pb];
+        }
+        if a_end != b_end {
+            return false;
+        }
+        if pa >= n || pb >= n || s[pa] != s[pb] {
+            return false;
+        }
+        i += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Reference implementation: sort suffix indices by the (sentinel-
+    /// extended) suffixes themselves.
+    fn naive_suffix_array(s: &[u8]) -> Vec<u32> {
+        let mut idx: Vec<u32> = (0..s.len() as u32).collect();
+        idx.sort_by(|&a, &b| s[a as usize..].cmp(&s[b as usize..]));
+        idx
+    }
+
+    fn check(s: &[u8]) {
+        assert_eq!(suffix_array(s), naive_suffix_array(s), "input {s:?}");
+    }
+
+    #[test]
+    fn classic_banana() {
+        check(b"banana");
+        // For the record: suffixes of "banana" sorted are
+        // a(5), ana(3), anana(1), banana(0), na(4), nana(2).
+        assert_eq!(suffix_array(b"banana"), vec![5, 3, 1, 0, 4, 2]);
+    }
+
+    #[test]
+    fn mississippi_and_friends() {
+        check(b"mississippi");
+        check(b"abracadabra");
+        check(b"yabbadabbado");
+    }
+
+    #[test]
+    fn degenerate_inputs() {
+        check(b"");
+        check(b"a");
+        check(b"aa");
+        check(b"ab");
+        check(b"ba");
+        check(b"aaaaaaaaaa");
+        check(&[0u8, 0, 0]);
+        check(&[255u8, 0, 255, 0]);
+    }
+
+    #[test]
+    fn all_256_byte_values() {
+        let s: Vec<u8> = (0..=255u8).rev().collect();
+        check(&s);
+    }
+
+    #[test]
+    fn random_strings_match_naive() {
+        let mut x = 0x2545F491_4F6CDD1Du64;
+        for trial in 0..40 {
+            let len = 1 + (trial * 37) % 400;
+            let alpha = [2usize, 4, 16, 256][trial % 4];
+            let s: Vec<u8> = (0..len)
+                .map(|_| {
+                    x ^= x << 13;
+                    x ^= x >> 7;
+                    x ^= x << 17;
+                    ((x >> 32) as usize % alpha) as u8
+                })
+                .collect();
+            check(&s);
+        }
+    }
+
+    #[test]
+    fn periodic_strings_force_recursion() {
+        check(&b"ab".repeat(100));
+        check(&b"abc".repeat(64));
+        check(&b"aab".repeat(50));
+    }
+
+    #[test]
+    fn large_input_is_a_permutation() {
+        let mut x = 99u64;
+        let s: Vec<u8> = (0..200_000)
+            .map(|_| {
+                x = x.wrapping_mul(6_364_136_223_846_793_005).wrapping_add(1);
+                (x >> 56) as u8
+            })
+            .collect();
+        let sa = suffix_array(&s);
+        assert_eq!(sa.len(), s.len());
+        let mut seen = vec![false; s.len()];
+        for &p in &sa {
+            assert!(!seen[p as usize]);
+            seen[p as usize] = true;
+        }
+        // Spot-check sortedness on adjacent pairs.
+        for w in sa.windows(2).step_by(997) {
+            assert!(s[w[0] as usize..] < s[w[1] as usize..]);
+        }
+    }
+}

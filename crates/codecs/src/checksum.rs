@@ -1,0 +1,195 @@
+//! Adler-32 (RFC 1950) and CRC-32 (IEEE 802.3) checksums.
+//!
+//! Adler-32 terminates every zlib stream; CRC-32 guards the framed containers
+//! of the non-DEFLATE codecs in this crate.
+
+/// Largest prime smaller than 2^16, per RFC 1950.
+const ADLER_MOD: u32 = 65_521;
+/// Largest n such that 255·n·(n+1)/2 + (n+1)·(MOD−1) ≤ 2^32−1; allows
+/// deferring the modulo reduction (same constant zlib uses).
+const ADLER_NMAX: usize = 5552;
+
+/// Streaming Adler-32 state.
+#[derive(Debug, Clone)]
+pub struct Adler32 {
+    a: u32,
+    b: u32,
+}
+
+impl Default for Adler32 {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Adler32 {
+    /// Initial state (checksum of the empty string is 1).
+    pub fn new() -> Self {
+        Self { a: 1, b: 0 }
+    }
+
+    /// Fold `data` into the checksum.
+    pub fn update(&mut self, data: &[u8]) {
+        for chunk in data.chunks(ADLER_NMAX) {
+            for &byte in chunk {
+                self.a += u32::from(byte);
+                self.b += self.a;
+            }
+            self.a %= ADLER_MOD;
+            self.b %= ADLER_MOD;
+        }
+    }
+
+    /// Current checksum value.
+    pub fn finish(&self) -> u32 {
+        (self.b << 16) | self.a
+    }
+}
+
+/// Adler-32 of a whole buffer.
+pub fn adler32(data: &[u8]) -> u32 {
+    let mut state = Adler32::new();
+    state.update(data);
+    state.finish()
+}
+
+/// Slice-by-8 CRC-32 tables for the reflected IEEE polynomial 0xEDB88320.
+/// Table 0 is the classic byte-at-a-time table; tables 1..7 fold 8 input
+/// bytes per iteration, which is ~4-8× faster than the scalar loop.
+const fn crc32_tables() -> [[u32; 256]; 8] {
+    let mut tables = [[0u32; 256]; 8];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            crc = if crc & 1 != 0 {
+                (crc >> 1) ^ 0xEDB8_8320
+            } else {
+                crc >> 1
+            };
+            bit += 1;
+        }
+        tables[0][i] = crc;
+        i += 1;
+    }
+    let mut t = 1;
+    while t < 8 {
+        let mut i = 0;
+        while i < 256 {
+            let prev = tables[t - 1][i];
+            tables[t][i] = (prev >> 8) ^ tables[0][(prev & 0xff) as usize];
+            i += 1;
+        }
+        t += 1;
+    }
+    tables
+}
+
+static CRC_TABLES: [[u32; 256]; 8] = crc32_tables();
+
+/// Streaming CRC-32 state.
+#[derive(Debug, Clone)]
+pub struct Crc32 {
+    state: u32,
+}
+
+impl Default for Crc32 {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Crc32 {
+    /// Initial state.
+    pub fn new() -> Self {
+        Self { state: 0xffff_ffff }
+    }
+
+    /// Fold `data` into the checksum.
+    pub fn update(&mut self, data: &[u8]) {
+        let mut crc = self.state;
+        let mut chunks = data.chunks_exact(8);
+        for chunk in &mut chunks {
+            let lo = u32::from_le_bytes(chunk[0..4].try_into().unwrap()) ^ crc;
+            let hi = u32::from_le_bytes(chunk[4..8].try_into().unwrap());
+            crc = CRC_TABLES[7][(lo & 0xff) as usize]
+                ^ CRC_TABLES[6][((lo >> 8) & 0xff) as usize]
+                ^ CRC_TABLES[5][((lo >> 16) & 0xff) as usize]
+                ^ CRC_TABLES[4][(lo >> 24) as usize]
+                ^ CRC_TABLES[3][(hi & 0xff) as usize]
+                ^ CRC_TABLES[2][((hi >> 8) & 0xff) as usize]
+                ^ CRC_TABLES[1][((hi >> 16) & 0xff) as usize]
+                ^ CRC_TABLES[0][(hi >> 24) as usize];
+        }
+        for &byte in chunks.remainder() {
+            let idx = ((crc ^ u32::from(byte)) & 0xff) as usize;
+            crc = (crc >> 8) ^ CRC_TABLES[0][idx];
+        }
+        self.state = crc;
+    }
+
+    /// Current checksum value.
+    pub fn finish(&self) -> u32 {
+        self.state ^ 0xffff_ffff
+    }
+}
+
+/// CRC-32 of a whole buffer.
+pub fn crc32(data: &[u8]) -> u32 {
+    let mut state = Crc32::new();
+    state.update(data);
+    state.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn adler32_known_vectors() {
+        // Reference values from the zlib implementation.
+        assert_eq!(adler32(b""), 1);
+        assert_eq!(adler32(b"a"), 0x0062_0062);
+        assert_eq!(adler32(b"abc"), 0x024d_0127);
+        assert_eq!(adler32(b"Wikipedia"), 0x11E6_0398);
+    }
+
+    #[test]
+    fn adler32_streaming_matches_oneshot() {
+        let data: Vec<u8> = (0..100_000u32).map(|i| (i * 31 % 251) as u8).collect();
+        let mut s = Adler32::new();
+        for chunk in data.chunks(977) {
+            s.update(chunk);
+        }
+        assert_eq!(s.finish(), adler32(&data));
+    }
+
+    #[test]
+    fn crc32_known_vectors() {
+        assert_eq!(crc32(b""), 0);
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b"The quick brown fox jumps over the lazy dog"), 0x414F_A339);
+    }
+
+    #[test]
+    fn crc32_streaming_matches_oneshot() {
+        let data: Vec<u8> = (0..50_000u32).map(|i| (i * 17 % 256) as u8).collect();
+        let mut s = Crc32::new();
+        for chunk in data.chunks(313) {
+            s.update(chunk);
+        }
+        assert_eq!(s.finish(), crc32(&data));
+    }
+
+    #[test]
+    fn checksums_detect_single_bit_flip() {
+        let mut data = vec![0u8; 4096];
+        data[17] = 0x40;
+        let a0 = adler32(&data);
+        let c0 = crc32(&data);
+        data[17] ^= 1;
+        assert_ne!(adler32(&data), a0);
+        assert_ne!(crc32(&data), c0);
+    }
+}

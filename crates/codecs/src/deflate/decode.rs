@@ -1,0 +1,252 @@
+//! INFLATE: a complete decoder for raw DEFLATE streams.
+
+use super::{
+    CODELEN_ORDER, DIST_BASE, DIST_EXTRA, END_OF_BLOCK, LENGTH_BASE, LENGTH_EXTRA, NUM_CODELEN,
+};
+use crate::bitio::BitReader;
+use crate::error::{CodecError, Result};
+use crate::huffman::Decoder;
+
+/// Decompress a raw DEFLATE stream into a fresh buffer.
+pub fn inflate(input: &[u8]) -> Result<Vec<u8>> {
+    let mut out = Vec::with_capacity(input.len().saturating_mul(3));
+    inflate_into(input, &mut out)?;
+    Ok(out)
+}
+
+/// Decompress a raw DEFLATE stream, appending to `out`.
+pub fn inflate_into(input: &[u8], out: &mut Vec<u8>) -> Result<()> {
+    let mut r = BitReader::new(input);
+    loop {
+        let bfinal = r.read_bits(1)?;
+        let btype = r.read_bits(2)?;
+        match btype {
+            0b00 => inflate_stored(&mut r, out)?,
+            0b01 => {
+                let (lit, dist) = fixed_decoders()?;
+                inflate_block(&mut r, lit, dist, out)?;
+            }
+            0b10 => {
+                let (lit, dist) = read_dynamic_tables(&mut r)?;
+                inflate_block(&mut r, &lit, &dist, out)?;
+            }
+            _ => return Err(CodecError::Corrupt("reserved block type 11")),
+        }
+        if bfinal == 1 {
+            return Ok(());
+        }
+    }
+}
+
+fn inflate_stored(r: &mut BitReader<'_>, out: &mut Vec<u8>) -> Result<()> {
+    r.align_byte();
+    let len = r.read_bits(16)? as u16;
+    let nlen = r.read_bits(16)? as u16;
+    if len != !nlen {
+        return Err(CodecError::Corrupt("stored block LEN/NLEN mismatch"));
+    }
+    r.read_bytes(len as usize, out)
+}
+
+fn fixed_decoders() -> Result<(&'static Decoder, &'static Decoder)> {
+    use std::sync::OnceLock;
+    static TABLES: OnceLock<(Decoder, Decoder)> = OnceLock::new();
+    let (lit, dist) = TABLES.get_or_init(|| {
+        (
+            Decoder::from_lengths(&super::encode::fixed_litlen_lengths())
+                .expect("fixed literal table is a valid prefix code"),
+            Decoder::from_lengths(&super::encode::fixed_dist_lengths())
+                .expect("fixed distance table is a valid prefix code"),
+        )
+    });
+    Ok((lit, dist))
+}
+
+fn read_dynamic_tables(r: &mut BitReader<'_>) -> Result<(Decoder, Decoder)> {
+    let hlit = r.read_bits(5)? as usize + 257;
+    let hdist = r.read_bits(5)? as usize + 1;
+    let hclen = r.read_bits(4)? as usize + 4;
+    if hlit > 286 {
+        return Err(CodecError::Corrupt("HLIT exceeds 286"));
+    }
+    if hdist > 30 {
+        return Err(CodecError::Corrupt("HDIST exceeds 30"));
+    }
+    let mut cl_lengths = [0u8; NUM_CODELEN];
+    for &idx in CODELEN_ORDER.iter().take(hclen) {
+        cl_lengths[idx] = r.read_bits(3)? as u8;
+    }
+    let cl_dec = Decoder::from_lengths(&cl_lengths)?;
+
+    let total = hlit + hdist;
+    let mut lengths = Vec::with_capacity(total);
+    while lengths.len() < total {
+        let sym = cl_dec.decode(r)?;
+        match sym {
+            0..=15 => lengths.push(sym as u8),
+            16 => {
+                let prev = *lengths
+                    .last()
+                    .ok_or(CodecError::Corrupt("repeat with no previous length"))?;
+                let n = r.read_bits(2)? as usize + 3;
+                if lengths.len() + n > total {
+                    return Err(CodecError::Corrupt("length repeat overflows table"));
+                }
+                lengths.extend(std::iter::repeat_n(prev, n));
+            }
+            17 => {
+                let n = r.read_bits(3)? as usize + 3;
+                if lengths.len() + n > total {
+                    return Err(CodecError::Corrupt("zero run overflows table"));
+                }
+                lengths.extend(std::iter::repeat_n(0u8, n));
+            }
+            18 => {
+                let n = r.read_bits(7)? as usize + 11;
+                if lengths.len() + n > total {
+                    return Err(CodecError::Corrupt("zero run overflows table"));
+                }
+                lengths.extend(std::iter::repeat_n(0u8, n));
+            }
+            _ => return Err(CodecError::Corrupt("invalid code-length symbol")),
+        }
+    }
+    let lit = Decoder::from_lengths(&lengths[..hlit])?;
+    let dist = Decoder::from_lengths(&lengths[hlit..])?;
+    Ok((lit, dist))
+}
+
+fn inflate_block(
+    r: &mut BitReader<'_>,
+    lit: &Decoder,
+    dist: &Decoder,
+    out: &mut Vec<u8>,
+) -> Result<()> {
+    loop {
+        let sym = lit.decode(r)?;
+        match sym {
+            0..=255 => out.push(sym as u8),
+            END_OF_BLOCK => return Ok(()),
+            257..=285 => {
+                let li = (sym - 257) as usize;
+                let len = LENGTH_BASE[li] as usize
+                    + r.read_bits(u32::from(LENGTH_EXTRA[li]))? as usize;
+                let dsym = dist.decode(r)? as usize;
+                if dsym >= 30 {
+                    return Err(CodecError::Corrupt("invalid distance code"));
+                }
+                let d = DIST_BASE[dsym] as usize
+                    + r.read_bits(u32::from(DIST_EXTRA[dsym]))? as usize;
+                if d > out.len() {
+                    return Err(CodecError::Corrupt("distance reaches before output start"));
+                }
+                copy_match(out, d, len);
+            }
+            _ => return Err(CodecError::Corrupt("invalid literal/length code")),
+        }
+    }
+}
+
+/// Copy `len` bytes from `dist` back, handling the self-overlapping case
+/// (dist < len) that RLE-style references rely on.
+#[inline]
+fn copy_match(out: &mut Vec<u8>, dist: usize, len: usize) {
+    let start = out.len() - dist;
+    if dist >= len {
+        out.extend_from_within(start..start + len);
+    } else {
+        out.reserve(len);
+        for k in 0..len {
+            let b = out[start + k];
+            out.push(b);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::{deflate, Level};
+    use super::*;
+
+    #[test]
+    fn rejects_reserved_block_type() {
+        // BFINAL=1, BTYPE=11.
+        let data = [0b0000_0111u8];
+        assert!(matches!(
+            inflate(&data),
+            Err(CodecError::Corrupt("reserved block type 11"))
+        ));
+    }
+
+    #[test]
+    fn rejects_bad_stored_nlen() {
+        // BFINAL=1, BTYPE=00, then LEN=1, NLEN=1 (should be !1).
+        let mut bytes = vec![0b0000_0001u8];
+        bytes.extend_from_slice(&1u16.to_le_bytes());
+        bytes.extend_from_slice(&1u16.to_le_bytes());
+        bytes.push(0xAA);
+        assert!(inflate(&bytes).is_err());
+    }
+
+    #[test]
+    fn rejects_truncated_stream() {
+        let comp = deflate(b"some reasonably long input to compress", Level::Default);
+        for cut in 1..comp.len().min(12) {
+            let r = inflate(&comp[..comp.len() - cut]);
+            assert!(r.is_err(), "cut {cut} should fail");
+        }
+    }
+
+    #[test]
+    fn rejects_distance_before_start() {
+        // Hand-build a fixed-Huffman block: literal 'A', then a match with
+        // distance 4 (> 1 byte of history).
+        use crate::bitio::{reverse_bits, BitWriter};
+        let mut w = BitWriter::new();
+        w.write_bits(1, 1); // BFINAL
+        w.write_bits(0b01, 2); // fixed
+        // literal 'A' (65): code = 0x30 + 65 = 113, 8 bits MSB-first.
+        w.write_bits(u64::from(reverse_bits(0x30 + 65, 8)), 8);
+        // length code 257 (len 3): 7-bit code value 1.
+        w.write_bits(u64::from(reverse_bits(1, 7)), 7);
+        // distance code 3 (dist 4): 5-bit code.
+        w.write_bits(u64::from(reverse_bits(3, 5)), 5);
+        // EOB (256): 7-bit code 0.
+        w.write_bits(u64::from(reverse_bits(0, 7)), 7);
+        let bytes = w.finish();
+        let err = inflate(&bytes).unwrap_err();
+        assert!(matches!(err, CodecError::Corrupt(_)), "{err}");
+    }
+
+    #[test]
+    fn overlapping_copy_expands_runs() {
+        let data = vec![b'z'; 10_000];
+        let comp = deflate(&data, Level::Default);
+        assert_eq!(inflate(&comp).unwrap(), data);
+    }
+
+    #[test]
+    fn copy_match_overlap_semantics() {
+        let mut out = vec![1, 2, 3];
+        copy_match(&mut out, 2, 5);
+        assert_eq!(out, vec![1, 2, 3, 2, 3, 2, 3, 2]);
+    }
+
+    #[test]
+    fn random_garbage_never_panics() {
+        let mut x = 0xdeadbeefu32;
+        for trial in 0..200 {
+            let len = (trial % 97) + 1;
+            let garbage: Vec<u8> = (0..len)
+                .map(|_| {
+                    x ^= x << 13;
+                    x ^= x >> 17;
+                    x ^= x << 5;
+                    (x >> 16) as u8
+                })
+                .collect();
+            // Must return (Ok or Err) without panicking.
+            let _ = inflate(&garbage);
+        }
+    }
+}

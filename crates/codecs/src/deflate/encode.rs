@@ -1,0 +1,416 @@
+//! DEFLATE block emission: stored / fixed-Huffman / dynamic-Huffman, chosen
+//! per block by exact bit-cost comparison.
+
+use super::lz77::Token;
+use super::{
+    dist_code, length_code, CODELEN_ORDER, END_OF_BLOCK, NUM_CODELEN, NUM_DIST, NUM_LITLEN,
+};
+use crate::bitio::BitWriter;
+use crate::huffman::{package_merge_lengths, Encoder};
+
+/// Number of tokens grouped into one DEFLATE block. Blocks re-derive their
+/// Huffman tables, so shorter blocks adapt better at a small header cost.
+const TOKENS_PER_BLOCK: usize = 100_000;
+/// Stored blocks carry a 16-bit length, so at most 65535 bytes each.
+const MAX_STORED: usize = 65_535;
+
+/// Fixed literal/length code lengths (RFC 1951 §3.2.6).
+pub(crate) fn fixed_litlen_lengths() -> Vec<u8> {
+    let mut l = vec![8u8; NUM_LITLEN];
+    for item in l.iter_mut().take(256).skip(144) {
+        *item = 9;
+    }
+    for item in l.iter_mut().take(280).skip(256) {
+        *item = 7;
+    }
+    l
+}
+
+/// Fixed distance code lengths: 32 five-bit codes.
+pub(crate) fn fixed_dist_lengths() -> Vec<u8> {
+    vec![5u8; 32]
+}
+
+/// Histograms and precomputed code/extra info for one block of tokens.
+struct BlockStats {
+    lit_freq: [u64; NUM_LITLEN],
+    dist_freq: [u64; NUM_DIST],
+    /// Total extra bits (length + distance) the tokens will carry regardless
+    /// of the Huffman tables chosen.
+    extra_bits: u64,
+}
+
+fn gather_stats(tokens: &[Token]) -> BlockStats {
+    let mut stats = BlockStats {
+        lit_freq: [0; NUM_LITLEN],
+        dist_freq: [0; NUM_DIST],
+        extra_bits: 0,
+    };
+    for &t in tokens {
+        match t {
+            Token::Literal(b) => stats.lit_freq[b as usize] += 1,
+            Token::Match { len, dist } => {
+                let (lc, le, _) = length_code(len as usize);
+                let (dc, de, _) = dist_code(dist as usize);
+                stats.lit_freq[257 + lc as usize] += 1;
+                stats.dist_freq[dc as usize] += 1;
+                stats.extra_bits += u64::from(le) + u64::from(de);
+            }
+        }
+    }
+    stats.lit_freq[END_OF_BLOCK as usize] += 1;
+    stats
+}
+
+/// Run-length encode the concatenated code lengths with symbols 16/17/18 as
+/// RFC 1951 prescribes. Returns `(symbol, extra_value)` pairs.
+fn rle_code_lengths(lengths: &[u8]) -> Vec<(u8, u8)> {
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < lengths.len() {
+        let cur = lengths[i];
+        let mut run = 1;
+        while i + run < lengths.len() && lengths[i + run] == cur {
+            run += 1;
+        }
+        if cur == 0 {
+            let mut left = run;
+            while left >= 11 {
+                let take = left.min(138);
+                out.push((18, (take - 11) as u8));
+                left -= take;
+            }
+            if left >= 3 {
+                out.push((17, (left - 3) as u8));
+                left = 0;
+            }
+            for _ in 0..left {
+                out.push((0, 0));
+            }
+        } else {
+            out.push((cur, 0));
+            let mut left = run - 1;
+            while left >= 3 {
+                let take = left.min(6);
+                out.push((16, (take - 3) as u8));
+                left -= take;
+            }
+            for _ in 0..left {
+                out.push((cur, 0));
+            }
+        }
+        i += run;
+    }
+    out
+}
+
+/// A fully prepared dynamic header: the RLE'd lengths, the code-length code,
+/// and the exact header size in bits.
+struct DynamicHeader {
+    rle: Vec<(u8, u8)>,
+    cl_encoder: Encoder,
+    cl_lengths: Vec<u8>,
+    hclen: usize,
+    header_bits: u64,
+}
+
+fn build_dynamic_header(lit_lengths: &[u8], dist_lengths: &[u8], hlit: usize, hdist: usize) -> DynamicHeader {
+    let mut all = Vec::with_capacity(hlit + hdist);
+    all.extend_from_slice(&lit_lengths[..hlit]);
+    all.extend_from_slice(&dist_lengths[..hdist]);
+    let rle = rle_code_lengths(&all);
+    let mut cl_freq = [0u64; NUM_CODELEN];
+    for &(sym, _) in &rle {
+        cl_freq[sym as usize] += 1;
+    }
+    let cl_lengths = package_merge_lengths(&cl_freq, 7);
+    let cl_encoder = Encoder::from_lengths(&cl_lengths);
+    let hclen = (4..=NUM_CODELEN)
+        .rev()
+        .find(|&k| cl_lengths[CODELEN_ORDER[k - 1]] != 0)
+        .unwrap_or(4);
+    let mut header_bits = 5 + 5 + 4 + 3 * hclen as u64;
+    for &(sym, _) in &rle {
+        header_bits += u64::from(cl_encoder.lengths[sym as usize]);
+        header_bits += match sym {
+            16 => 2,
+            17 => 3,
+            18 => 7,
+            _ => 0,
+        };
+    }
+    DynamicHeader {
+        rle,
+        cl_encoder,
+        cl_lengths,
+        hclen,
+        header_bits,
+    }
+}
+
+/// Emit the token body (symbols + extra bits) with the given encoders.
+fn write_body(w: &mut BitWriter, tokens: &[Token], lit: &Encoder, dist: &Encoder) {
+    for &t in tokens {
+        match t {
+            Token::Literal(b) => {
+                let s = b as usize;
+                w.write_bits(u64::from(lit.codes[s]), u32::from(lit.lengths[s]));
+            }
+            Token::Match { len, dist: d } => {
+                let (lc, le, lv) = length_code(len as usize);
+                let s = 257 + lc as usize;
+                w.write_bits(u64::from(lit.codes[s]), u32::from(lit.lengths[s]));
+                if le > 0 {
+                    w.write_bits(u64::from(lv), u32::from(le));
+                }
+                let (dc, de, dv) = dist_code(d as usize);
+                let s = dc as usize;
+                w.write_bits(u64::from(dist.codes[s]), u32::from(dist.lengths[s]));
+                if de > 0 {
+                    w.write_bits(u64::from(dv), u32::from(de));
+                }
+            }
+        }
+    }
+    let eob = END_OF_BLOCK as usize;
+    w.write_bits(u64::from(lit.codes[eob]), u32::from(lit.lengths[eob]));
+}
+
+/// Emit one block in whichever of the three encodings is cheapest.
+///
+/// `bytes` is the slice of original input this block covers (needed for the
+/// stored fallback); `is_final` sets BFINAL.
+fn emit_one_block(w: &mut BitWriter, tokens: &[Token], bytes: &[u8], is_final: bool) {
+    let stats = gather_stats(tokens);
+
+    // Dynamic tables.
+    let lit_lengths = package_merge_lengths(&stats.lit_freq, 15);
+    // Ensure at least the EOB symbol exists (gather_stats guarantees it).
+    debug_assert!(lit_lengths[END_OF_BLOCK as usize] > 0);
+    let mut dist_lengths = package_merge_lengths(&stats.dist_freq, 15);
+    if dist_lengths.iter().all(|&l| l == 0) {
+        // RFC 1951 permits an empty distance alphabet, but assigning one
+        // dummy 1-bit code keeps every decoder happy at the cost of ≤3
+        // header bits.
+        dist_lengths[0] = 1;
+    }
+    let hlit = (257..=NUM_LITLEN)
+        .rev()
+        .find(|&k| lit_lengths[k - 1] != 0)
+        .unwrap_or(257);
+    let hdist = (1..=NUM_DIST).rev().find(|&k| dist_lengths[k - 1] != 0).unwrap_or(1);
+
+    let lit_enc = Encoder::from_lengths(&lit_lengths);
+    let dist_enc = Encoder::from_lengths(&dist_lengths);
+    let header = build_dynamic_header(&lit_lengths, &dist_lengths, hlit, hdist);
+    let dynamic_bits = 3
+        + header.header_bits
+        + lit_enc.cost_bits(&stats.lit_freq)
+        + dist_enc.cost_bits(&stats.dist_freq)
+        + stats.extra_bits;
+
+    // Fixed tables (built once per process).
+    use std::sync::OnceLock;
+    static FIXED: OnceLock<(Encoder, Encoder)> = OnceLock::new();
+    let (fixed_lit, fixed_dist) = FIXED.get_or_init(|| {
+        (
+            Encoder::from_lengths(&fixed_litlen_lengths()),
+            Encoder::from_lengths(&fixed_dist_lengths()),
+        )
+    });
+    let fixed_bits = 3
+        + fixed_lit.cost_bits(&stats.lit_freq)
+        + {
+            // Pad dist_freq to the 32-entry fixed alphabet.
+            let mut padded = [0u64; 32];
+            padded[..NUM_DIST].copy_from_slice(&stats.dist_freq);
+            fixed_dist.cost_bits(&padded)
+        }
+        + stats.extra_bits;
+
+    // Stored: 3 header bits, alignment (≤7), then 4 bytes + payload per
+    // 65535-byte piece.
+    let pieces = bytes.len().div_ceil(MAX_STORED).max(1);
+    let stored_bits = (3 + 7) * pieces as u64 + (4 * pieces + bytes.len()) as u64 * 8;
+
+    if stored_bits < dynamic_bits && stored_bits < fixed_bits {
+        emit_stored(w, bytes, is_final);
+        return;
+    }
+
+    let final_bit = u64::from(is_final);
+    if fixed_bits <= dynamic_bits {
+        w.write_bits(final_bit, 1);
+        w.write_bits(0b01, 2);
+        write_body(w, tokens, fixed_lit, fixed_dist);
+    } else {
+        w.write_bits(final_bit, 1);
+        w.write_bits(0b10, 2);
+        w.write_bits(hlit as u64 - 257, 5);
+        w.write_bits(hdist as u64 - 1, 5);
+        w.write_bits(header.hclen as u64 - 4, 4);
+        for &idx in CODELEN_ORDER.iter().take(header.hclen) {
+            w.write_bits(u64::from(header.cl_lengths[idx]), 3);
+        }
+        for &(sym, extra) in &header.rle {
+            let s = sym as usize;
+            w.write_bits(
+                u64::from(header.cl_encoder.codes[s]),
+                u32::from(header.cl_encoder.lengths[s]),
+            );
+            match sym {
+                16 => w.write_bits(u64::from(extra), 2),
+                17 => w.write_bits(u64::from(extra), 3),
+                18 => w.write_bits(u64::from(extra), 7),
+                _ => {}
+            }
+        }
+        write_body(w, tokens, &lit_enc, &dist_enc);
+    }
+}
+
+fn emit_stored(w: &mut BitWriter, bytes: &[u8], is_final: bool) {
+    let mut pieces: Vec<&[u8]> = bytes.chunks(MAX_STORED).collect();
+    if pieces.is_empty() {
+        pieces.push(&[]);
+    }
+    let last = pieces.len() - 1;
+    for (k, piece) in pieces.iter().enumerate() {
+        let final_bit = u64::from(is_final && k == last);
+        w.write_bits(final_bit, 1);
+        w.write_bits(0b00, 2);
+        w.align_byte();
+        let len = piece.len() as u16;
+        w.write_bytes(&len.to_le_bytes());
+        w.write_bytes(&(!len).to_le_bytes());
+        w.write_bytes(piece);
+    }
+}
+
+/// Number of input bytes a token span covers.
+fn span_bytes(tokens: &[Token]) -> usize {
+    tokens
+        .iter()
+        .map(|t| match t {
+            Token::Literal(_) => 1,
+            Token::Match { len, .. } => *len as usize,
+        })
+        .sum()
+}
+
+/// Encode the full token stream as a sequence of DEFLATE blocks.
+pub fn emit_blocks(input: &[u8], tokens: &[Token]) -> Vec<u8> {
+    let mut w = BitWriter::new();
+    if tokens.is_empty() {
+        // An empty stream still needs one (final, empty) block.
+        emit_stored(&mut w, &[], true);
+        return w.finish();
+    }
+    let mut offset = 0usize;
+    let mut start = 0usize;
+    while start < tokens.len() {
+        let end = (start + TOKENS_PER_BLOCK).min(tokens.len());
+        let block = &tokens[start..end];
+        let nbytes = span_bytes(block);
+        let is_final = end == tokens.len();
+        emit_one_block(&mut w, block, &input[offset..offset + nbytes], is_final);
+        offset += nbytes;
+        start = end;
+    }
+    debug_assert_eq!(offset, input.len());
+    w.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::{decode::inflate, deflate, Level};
+    use super::*;
+
+    #[test]
+    fn rle_examples() {
+        // A run of 20 zeros: one 18-symbol (11-138) covers it.
+        let rle = rle_code_lengths(&[0; 20]);
+        assert_eq!(rle, vec![(18, 9)]);
+        // A run of 5 sevens: literal then 16 with repeat 4.
+        let rle = rle_code_lengths(&[7; 5]);
+        assert_eq!(rle, vec![(7, 0), (16, 1)]);
+        // Short zero runs fall back to literal zeros.
+        let rle = rle_code_lengths(&[0, 0, 5]);
+        assert_eq!(rle, vec![(0, 0), (0, 0), (5, 0)]);
+    }
+
+    #[test]
+    fn rle_roundtrip_reconstructs_lengths() {
+        let lengths: Vec<u8> = (0..300)
+            .map(|i| match i % 11 {
+                0..=4 => 0,
+                5..=7 => 8,
+                8 => 9,
+                _ => 7,
+            })
+            .collect();
+        let rle = rle_code_lengths(&lengths);
+        // Reconstruct.
+        let mut back: Vec<u8> = Vec::new();
+        for &(sym, extra) in &rle {
+            match sym {
+                16 => {
+                    let prev = *back.last().unwrap();
+                    for _ in 0..(extra + 3) {
+                        back.push(prev);
+                    }
+                }
+                17 => back.extend(std::iter::repeat_n(0, extra as usize + 3)),
+                18 => back.extend(std::iter::repeat_n(0, extra as usize + 11)),
+                l => back.push(l),
+            }
+        }
+        assert_eq!(back, lengths);
+    }
+
+    #[test]
+    fn stored_block_roundtrip() {
+        let mut w = BitWriter::new();
+        emit_stored(&mut w, b"hello stored world", true);
+        let out = w.finish();
+        assert_eq!(inflate(&out).unwrap(), b"hello stored world");
+    }
+
+    #[test]
+    fn stored_block_splits_at_65535() {
+        let data = vec![0xAB; 70_000];
+        let mut w = BitWriter::new();
+        emit_stored(&mut w, &data, true);
+        let out = w.finish();
+        assert_eq!(inflate(&out).unwrap(), data);
+    }
+
+    #[test]
+    fn multi_block_stream_roundtrip() {
+        // More than TOKENS_PER_BLOCK literals of incompressible-ish data to
+        // force several blocks.
+        let mut x = 1u32;
+        let data: Vec<u8> = (0..250_000)
+            .map(|_| {
+                x = x.wrapping_mul(1_664_525).wrapping_add(1_013_904_223);
+                (x >> 24) as u8
+            })
+            .collect();
+        let comp = deflate(&data, Level::Fast);
+        assert_eq!(inflate(&comp).unwrap(), data);
+    }
+
+    #[test]
+    fn fixed_tables_have_rfc_shape() {
+        let l = fixed_litlen_lengths();
+        assert_eq!(l[0], 8);
+        assert_eq!(l[143], 8);
+        assert_eq!(l[144], 9);
+        assert_eq!(l[255], 9);
+        assert_eq!(l[256], 7);
+        assert_eq!(l[279], 7);
+        assert_eq!(l[280], 8);
+        assert_eq!(l[287], 8);
+        assert!(fixed_dist_lengths().iter().all(|&d| d == 5));
+    }
+}

@@ -1,0 +1,356 @@
+//! LZ77 match finding with hash chains and lazy evaluation.
+//!
+//! This mirrors zlib's deflate strategy: a 15-bit hash over the next three
+//! bytes indexes chains of previous positions; the searcher walks at most
+//! `max_chain` links, stops early once a match of `nice_length` is found, and
+//! (at higher levels) defers emitting a match by one position if the next
+//! position starts a longer one ("lazy matching").
+
+use super::{Level, MAX_MATCH, MIN_MATCH, WINDOW_SIZE};
+
+/// One LZ77 token.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Token {
+    /// A single literal byte.
+    Literal(u8),
+    /// A back-reference: copy `len` bytes from `dist` bytes behind.
+    Match {
+        /// Match length in `MIN_MATCH..=MAX_MATCH`.
+        len: u16,
+        /// Distance in `1..=WINDOW_SIZE`.
+        dist: u16,
+    },
+}
+
+const HASH_BITS: u32 = 15;
+const HASH_SIZE: usize = 1 << HASH_BITS;
+const NO_POS: u32 = u32::MAX;
+
+#[inline]
+fn hash3(data: &[u8], i: usize) -> usize {
+    let v = u32::from(data[i]) << 16 | u32::from(data[i + 1]) << 8 | u32::from(data[i + 2]);
+    (v.wrapping_mul(0x9E37_79B1) >> (32 - HASH_BITS)) as usize
+}
+
+/// Hash-chain dictionary over the input.
+struct Chains {
+    head: Vec<u32>,
+    prev: Vec<u32>,
+}
+
+impl Chains {
+    fn new(len: usize) -> Self {
+        Self {
+            head: vec![NO_POS; HASH_SIZE],
+            prev: vec![NO_POS; len],
+        }
+    }
+
+    /// Record position `i` in the chain for its 3-byte hash.
+    #[inline]
+    fn insert(&mut self, data: &[u8], i: usize) {
+        if i + MIN_MATCH > data.len() {
+            return;
+        }
+        let h = hash3(data, i);
+        self.prev[i] = self.head[h];
+        self.head[h] = i as u32;
+    }
+
+    /// Find the longest match for position `i`, walking at most `max_chain`
+    /// candidates. Returns `(len, dist)` with `len == 0` when nothing of at
+    /// least `MIN_MATCH` was found.
+    fn longest_match(
+        &self,
+        data: &[u8],
+        i: usize,
+        max_chain: usize,
+        nice_length: usize,
+    ) -> (usize, usize) {
+        let remaining = data.len() - i;
+        if remaining < MIN_MATCH {
+            return (0, 0);
+        }
+        let max_len = remaining.min(MAX_MATCH);
+        let nice = nice_length.min(max_len);
+        let h = hash3(data, i);
+        let mut cand = self.head[h];
+        // The position itself may already be inserted; skip self-references.
+        let mut best_len = MIN_MATCH - 1;
+        let mut best_dist = 0usize;
+        let mut chain_left = max_chain;
+        let window_floor = i.saturating_sub(WINDOW_SIZE);
+        while cand != NO_POS && chain_left > 0 {
+            let c = cand as usize;
+            if c >= i {
+                cand = self.prev[c];
+                continue;
+            }
+            if c < window_floor {
+                break;
+            }
+            // Quick reject: the byte that would extend the best match must
+            // agree before we pay for a full comparison.
+            if data[c + best_len] == data[i + best_len] {
+                let mut l = 0;
+                while l < max_len && data[c + l] == data[i + l] {
+                    l += 1;
+                }
+                if l > best_len {
+                    best_len = l;
+                    best_dist = i - c;
+                    if l >= nice {
+                        break;
+                    }
+                }
+            }
+            cand = self.prev[c];
+            chain_left -= 1;
+        }
+        if best_len >= MIN_MATCH {
+            (best_len, best_dist)
+        } else {
+            (0, 0)
+        }
+    }
+}
+
+/// Run LZ77 over `input`, returning the token stream.
+pub fn tokenize(input: &[u8], level: Level) -> Vec<Token> {
+    let (max_chain, nice_length, lazy) = level.params();
+    let n = input.len();
+    let mut tokens = Vec::with_capacity(n / 3 + 16);
+    if n == 0 {
+        return tokens;
+    }
+    let mut chains = Chains::new(n);
+    if lazy {
+        tokenize_lazy(input, &mut chains, &mut tokens, max_chain, nice_length);
+    } else {
+        tokenize_greedy(input, &mut chains, &mut tokens, max_chain, nice_length);
+    }
+    tokens
+}
+
+fn tokenize_greedy(
+    data: &[u8],
+    chains: &mut Chains,
+    tokens: &mut Vec<Token>,
+    max_chain: usize,
+    nice_length: usize,
+) {
+    let n = data.len();
+    let mut i = 0;
+    while i < n {
+        let (mlen, mdist) = chains.longest_match(data, i, max_chain, nice_length);
+        chains.insert(data, i);
+        if mlen >= MIN_MATCH {
+            tokens.push(Token::Match {
+                len: mlen as u16,
+                dist: mdist as u16,
+            });
+            for j in i + 1..i + mlen {
+                chains.insert(data, j);
+            }
+            i += mlen;
+        } else {
+            tokens.push(Token::Literal(data[i]));
+            i += 1;
+        }
+    }
+}
+
+fn tokenize_lazy(
+    data: &[u8],
+    chains: &mut Chains,
+    tokens: &mut Vec<Token>,
+    max_chain: usize,
+    nice_length: usize,
+) {
+    let n = data.len();
+    let mut i = 0;
+    // A match found at position i-1 that we deferred by one byte.
+    let mut pending: Option<(usize, usize)> = None;
+    while i < n {
+        let (mlen, mdist) = chains.longest_match(data, i, max_chain, nice_length);
+        chains.insert(data, i);
+        match pending {
+            Some((plen, pdist)) if mlen <= plen => {
+                // The deferred match is at least as good: take it.
+                tokens.push(Token::Match {
+                    len: plen as u16,
+                    dist: pdist as u16,
+                });
+                let end = i - 1 + plen;
+                for j in i + 1..end {
+                    chains.insert(data, j);
+                }
+                i = end;
+                pending = None;
+            }
+            Some(_) => {
+                // Current match is strictly longer: the byte at i-1 becomes a
+                // literal and the new match is deferred in turn.
+                tokens.push(Token::Literal(data[i - 1]));
+                pending = Some((mlen, mdist));
+                i += 1;
+            }
+            None => {
+                if mlen >= nice_length {
+                    // Good enough that lazy deferral cannot pay off.
+                    tokens.push(Token::Match {
+                        len: mlen as u16,
+                        dist: mdist as u16,
+                    });
+                    for j in i + 1..i + mlen {
+                        chains.insert(data, j);
+                    }
+                    i += mlen;
+                } else if mlen >= MIN_MATCH {
+                    pending = Some((mlen, mdist));
+                    i += 1;
+                } else {
+                    tokens.push(Token::Literal(data[i]));
+                    i += 1;
+                }
+            }
+        }
+    }
+    if let Some((plen, pdist)) = pending {
+        tokens.push(Token::Match {
+            len: plen as u16,
+            dist: pdist as u16,
+        });
+    }
+}
+
+/// Expand a token stream back to bytes (used by tests and by the encoder's
+/// internal consistency checks).
+pub fn expand(tokens: &[Token]) -> Vec<u8> {
+    let mut out = Vec::new();
+    for &t in tokens {
+        match t {
+            Token::Literal(b) => out.push(b),
+            Token::Match { len, dist } => {
+                let dist = dist as usize;
+                let len = len as usize;
+                assert!(dist <= out.len(), "match reaches before stream start");
+                let start = out.len() - dist;
+                for k in 0..len {
+                    let b = out[start + k];
+                    out.push(b);
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn check_tokens_valid(data: &[u8], tokens: &[Token]) {
+        let mut pos = 0usize;
+        for &t in tokens {
+            match t {
+                Token::Literal(b) => {
+                    assert_eq!(b, data[pos]);
+                    pos += 1;
+                }
+                Token::Match { len, dist } => {
+                    let (len, dist) = (len as usize, dist as usize);
+                    assert!((MIN_MATCH..=MAX_MATCH).contains(&len));
+                    assert!((1..=WINDOW_SIZE).contains(&dist) && dist <= pos);
+                    for k in 0..len {
+                        assert_eq!(data[pos + k], data[pos - dist + k]);
+                    }
+                    pos += len;
+                }
+            }
+        }
+        assert_eq!(pos, data.len());
+        assert_eq!(expand(tokens), data);
+    }
+
+    #[test]
+    fn greedy_and_lazy_reproduce_input() {
+        let data = b"abcabcabcabcXabcabcabcabcYabcabc".repeat(20);
+        for level in [Level::Fast, Level::Default, Level::Best] {
+            let tokens = tokenize(&data, level);
+            check_tokens_valid(&data, &tokens);
+        }
+    }
+
+    #[test]
+    fn finds_long_run() {
+        let data = vec![7u8; 1000];
+        let tokens = tokenize(&data, Level::Default);
+        check_tokens_valid(&data, &tokens);
+        // A run compresses to a handful of tokens (first literal + matches).
+        assert!(tokens.len() <= 1 + 1000 / MAX_MATCH + 2, "{}", tokens.len());
+    }
+
+    #[test]
+    fn respects_window_distance() {
+        // Repeat a marker 40KB apart: farther than the window, so it must
+        // not be matched across that gap.
+        let mut data = vec![0u8; 80_000];
+        for (i, b) in b"UNIQUEMARKER".iter().enumerate() {
+            data[100 + i] = *b;
+            data[70_000 + i] = *b;
+        }
+        let tokens = tokenize(&data, Level::Best);
+        check_tokens_valid(&data, &tokens);
+    }
+
+    #[test]
+    fn lazy_prefers_longer_match() {
+        // "ab" repeats early; "bcdef" repeats later. At the position of the
+        // second "abcdef", greedy takes the short "ab" match, lazy should
+        // emit 'a' as a literal and take the longer "bcdef"-anchored match.
+        let data = b"ab__bcdefgh__abcdefgh".to_vec();
+        let lazy_tokens = tokenize(&data, Level::Best);
+        check_tokens_valid(&data, &lazy_tokens);
+        let greedy_tokens = tokenize(&data, Level::Fast);
+        check_tokens_valid(&data, &greedy_tokens);
+        let lazy_cost: usize = lazy_tokens.len();
+        assert!(lazy_cost <= greedy_tokens.len());
+    }
+
+    #[test]
+    fn all_literals_for_random_bytes() {
+        let mut x = 0x9e3779b9u32;
+        let data: Vec<u8> = (0..4096)
+            .map(|_| {
+                x ^= x << 13;
+                x ^= x >> 17;
+                x ^= x << 5;
+                (x >> 11) as u8
+            })
+            .collect();
+        let tokens = tokenize(&data, Level::Default);
+        check_tokens_valid(&data, &tokens);
+    }
+
+    #[test]
+    fn empty_and_tiny_inputs() {
+        assert!(tokenize(&[], Level::Default).is_empty());
+        for n in 1..=4 {
+            let data = vec![9u8; n];
+            let tokens = tokenize(&data, Level::Default);
+            check_tokens_valid(&data, &tokens);
+        }
+    }
+
+    #[test]
+    fn overlapping_match_is_representable() {
+        // "aaaa..." forces dist=1 matches that overlap their own output.
+        let data = vec![b'a'; 50];
+        let tokens = tokenize(&data, Level::Default);
+        check_tokens_valid(&data, &tokens);
+        assert!(tokens
+            .iter()
+            .any(|t| matches!(t, Token::Match { dist: 1, .. })));
+    }
+}

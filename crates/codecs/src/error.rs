@@ -1,0 +1,66 @@
+//! Error type shared by every codec in this crate.
+
+/// Errors produced while compressing or decompressing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CodecError {
+    /// The compressed stream ended before decoding finished.
+    Truncated,
+    /// The compressed stream is structurally invalid; the message names the
+    /// first inconsistency found.
+    Corrupt(&'static str),
+    /// An embedded checksum did not match the decoded payload.
+    ChecksumMismatch {
+        /// Checksum stored in the stream.
+        expected: u32,
+        /// Checksum recomputed over the decoded data.
+        actual: u32,
+    },
+    /// The stream was produced by an incompatible codec or format version.
+    BadMagic,
+    /// A parameter is outside the supported range (e.g. unsupported grid
+    /// dimensions for the Lorenzo predictor).
+    InvalidParameter(&'static str),
+}
+
+impl std::fmt::Display for CodecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CodecError::Truncated => write!(f, "compressed stream is truncated"),
+            CodecError::Corrupt(msg) => write!(f, "corrupt stream: {msg}"),
+            CodecError::ChecksumMismatch { expected, actual } => write!(
+                f,
+                "checksum mismatch: stored {expected:#010x}, computed {actual:#010x}"
+            ),
+            CodecError::BadMagic => write!(f, "stream does not start with the expected magic"),
+            CodecError::InvalidParameter(msg) => write!(f, "invalid parameter: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for CodecError {}
+
+/// Convenience alias used throughout the crate.
+pub type Result<T> = std::result::Result<T, CodecError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        assert!(CodecError::Truncated.to_string().contains("truncated"));
+        assert!(CodecError::Corrupt("bad block type")
+            .to_string()
+            .contains("bad block type"));
+        let msg = CodecError::ChecksumMismatch {
+            expected: 0xdeadbeef,
+            actual: 1,
+        }
+        .to_string();
+        assert!(msg.contains("0xdeadbeef"));
+        assert!(CodecError::BadMagic.to_string().contains("magic"));
+        assert!(CodecError::InvalidParameter("dims")
+            .to_string()
+            .contains("dims"));
+    }
+}

@@ -1,0 +1,411 @@
+//! FPC — Burtscher & Ratanaworabhan's high-speed compressor for
+//! double-precision floating-point data (IEEE TC 2009), reimplemented as a
+//! related-work comparator for PRIMACY (§V of the paper).
+//!
+//! Each double is predicted twice — by an FCM (finite context method) table
+//! and a DFCM (differential FCM) table — and XOR'd with the better
+//! prediction. The XOR residual of a good prediction has many leading zero
+//! bytes; FPC emits a 4-bit code per value (1 selector bit + 3 bits of
+//! leading-zero-byte count, with count 4 folded to 3 as in the original) and
+//! then only the nonzero residual tail bytes.
+//!
+//! Stream layout: `magic "FPC1" | u8 table_log2 | varint count | header
+//! nibbles (2 values per byte) | residual bytes | crc32(payload doubles)`.
+
+use crate::checksum::crc32;
+use crate::error::{CodecError, Result};
+use crate::{read_varint, write_varint, Codec};
+
+const MAGIC: &[u8; 4] = b"FPC1";
+/// Default predictor table size: 2^20 entries × 8 bytes = 8 MiB per table,
+/// mirroring the reference implementation's sweet spot.
+pub const DEFAULT_TABLE_LOG2: u8 = 20;
+
+/// The FPC codec. `table_log2` trades memory for prediction accuracy.
+#[derive(Debug, Clone, Copy)]
+pub struct Fpc {
+    /// log2 of the FCM/DFCM table sizes (1..=28).
+    pub table_log2: u8,
+}
+
+impl Default for Fpc {
+    fn default() -> Self {
+        Self {
+            table_log2: DEFAULT_TABLE_LOG2,
+        }
+    }
+}
+
+impl Fpc {
+    /// Codec with an explicit table size.
+    pub fn with_table_log2(table_log2: u8) -> Result<Self> {
+        if !(1..=28).contains(&table_log2) {
+            return Err(CodecError::InvalidParameter("table_log2 must be 1..=28"));
+        }
+        Ok(Self { table_log2 })
+    }
+}
+
+/// Shared FCM/DFCM predictor state, updated identically on both sides.
+struct Predictors {
+    fcm: Vec<u64>,
+    dfcm: Vec<u64>,
+    fcm_hash: usize,
+    dfcm_hash: usize,
+    last: u64,
+    mask: usize,
+}
+
+impl Predictors {
+    fn new(table_log2: u8) -> Self {
+        let size = 1usize << table_log2;
+        Self {
+            fcm: vec![0; size],
+            dfcm: vec![0; size],
+            fcm_hash: 0,
+            dfcm_hash: 0,
+            last: 0,
+            mask: size - 1,
+        }
+    }
+
+    /// Current predictions `(fcm_pred, dfcm_pred)`.
+    #[inline]
+    fn predict(&self) -> (u64, u64) {
+        (
+            self.fcm[self.fcm_hash],
+            self.dfcm[self.dfcm_hash].wrapping_add(self.last),
+        )
+    }
+
+    /// Fold the true value into both tables and advance the hashes, exactly
+    /// as the reference FPC does.
+    #[inline]
+    fn update(&mut self, actual: u64) {
+        self.fcm[self.fcm_hash] = actual;
+        self.fcm_hash = ((self.fcm_hash << 6) ^ (actual >> 48) as usize) & self.mask;
+        let delta = actual.wrapping_sub(self.last);
+        self.dfcm[self.dfcm_hash] = delta;
+        self.dfcm_hash = ((self.dfcm_hash << 2) ^ (delta >> 40) as usize) & self.mask;
+        self.last = actual;
+    }
+}
+
+/// Map a leading-zero-byte count to its 3-bit code. FPC cannot encode the
+/// value 4 (3 bits cover {0,1,2,3,5,6,7,8}), so 4 is demoted to 3.
+#[inline]
+fn lzb_to_code(lzb: u32) -> u32 {
+    match lzb {
+        0..=3 => lzb,
+        4 => 3,
+        _ => lzb - 1,
+    }
+}
+
+/// Inverse of [`lzb_to_code`].
+#[inline]
+fn code_to_lzb(code: u32) -> u32 {
+    if code <= 3 {
+        code
+    } else {
+        code + 1
+    }
+}
+
+impl Fpc {
+    /// Compress a raw little-endian stream of f64 bit patterns. The input
+    /// length must be a multiple of 8.
+    pub fn compress_bytes(&self, input: &[u8]) -> Result<Vec<u8>> {
+        if !input.len().is_multiple_of(8) {
+            return Err(CodecError::InvalidParameter(
+                "fpc input must be a multiple of 8 bytes",
+            ));
+        }
+        let count = input.len() / 8;
+        let mut out = Vec::with_capacity(input.len() / 2 + 32);
+        out.extend_from_slice(MAGIC);
+        out.push(self.table_log2);
+        write_varint(&mut out, count as u64);
+
+        let mut pred = Predictors::new(self.table_log2);
+        let mut headers: Vec<u8> = Vec::with_capacity(count.div_ceil(2));
+        let mut residuals: Vec<u8> = Vec::with_capacity(input.len() / 2);
+        let mut pending_nibble: Option<u8> = None;
+
+        for chunk in input.chunks_exact(8) {
+            let actual = u64::from_le_bytes(chunk.try_into().unwrap());
+            let (fcm_pred, dfcm_pred) = pred.predict();
+            let xor_fcm = actual ^ fcm_pred;
+            let xor_dfcm = actual ^ dfcm_pred;
+            let (selector, xor) = if xor_fcm <= xor_dfcm {
+                (0u32, xor_fcm)
+            } else {
+                (1u32, xor_dfcm)
+            };
+            let lzb = (xor.leading_zeros() / 8).min(8);
+            let code = lzb_to_code(lzb);
+            let nibble = ((selector << 3) | code) as u8;
+            match pending_nibble.take() {
+                None => pending_nibble = Some(nibble),
+                Some(hi) => headers.push((hi << 4) | nibble),
+            }
+            // Emit the residual tail (8 - effective_lzb bytes, big-end first
+            // skipped: we store the low-order bytes little-endian).
+            let keep = 8 - code_to_lzb(code) as usize;
+            residuals.extend_from_slice(&xor.to_le_bytes()[..keep]);
+            pred.update(actual);
+        }
+        if let Some(hi) = pending_nibble {
+            headers.push(hi << 4);
+        }
+        out.extend_from_slice(&headers);
+        out.extend_from_slice(&residuals);
+        out.extend_from_slice(&crc32(input).to_le_bytes());
+        Ok(out)
+    }
+
+    /// Decompress a stream produced by [`Fpc::compress_bytes`].
+    pub fn decompress_bytes(&self, input: &[u8]) -> Result<Vec<u8>> {
+        if input.len() < MAGIC.len() + 1 + 1 + 4 {
+            return Err(CodecError::Truncated);
+        }
+        if &input[..4] != MAGIC {
+            return Err(CodecError::BadMagic);
+        }
+        let table_log2 = input[4];
+        if !(1..=28).contains(&table_log2) {
+            return Err(CodecError::Corrupt("fpc table size out of range"));
+        }
+        let (count, used) = read_varint(&input[5..])?;
+        let count = count as usize;
+        let mut pos = 5 + used;
+        let header_bytes = count.div_ceil(2);
+        let body_end = input.len() - 4;
+        if pos + header_bytes > body_end {
+            return Err(CodecError::Truncated);
+        }
+        let headers = &input[pos..pos + header_bytes];
+        pos += header_bytes;
+
+        let mut pred = Predictors::new(table_log2);
+        let mut out = Vec::with_capacity(crate::clamped_capacity(count as u64 * 8));
+        for i in 0..count {
+            let byte = headers[i / 2];
+            let nibble = if i % 2 == 0 { byte >> 4 } else { byte & 0x0f };
+            let selector = u32::from(nibble >> 3);
+            let lzb = code_to_lzb(u32::from(nibble & 0x07));
+            let keep = 8 - lzb as usize;
+            if pos + keep > body_end {
+                return Err(CodecError::Truncated);
+            }
+            let mut xor_bytes = [0u8; 8];
+            xor_bytes[..keep].copy_from_slice(&input[pos..pos + keep]);
+            pos += keep;
+            let xor = u64::from_le_bytes(xor_bytes);
+            let (fcm_pred, dfcm_pred) = pred.predict();
+            let prediction = if selector == 0 { fcm_pred } else { dfcm_pred };
+            let actual = xor ^ prediction;
+            out.extend_from_slice(&actual.to_le_bytes());
+            pred.update(actual);
+        }
+        if pos != body_end {
+            return Err(CodecError::Corrupt("fpc trailing residual bytes"));
+        }
+        let stored = u32::from_le_bytes(input[body_end..].try_into().unwrap());
+        let actual_crc = crc32(&out);
+        if stored != actual_crc {
+            return Err(CodecError::ChecksumMismatch {
+                expected: stored,
+                actual: actual_crc,
+            });
+        }
+        Ok(out)
+    }
+
+    /// Convenience: compress a slice of doubles.
+    pub fn compress_f64(&self, values: &[f64]) -> Result<Vec<u8>> {
+        let bytes: Vec<u8> = values.iter().flat_map(|v| v.to_le_bytes()).collect();
+        self.compress_bytes(&bytes)
+    }
+
+    /// Convenience: decompress into doubles.
+    pub fn decompress_f64(&self, input: &[u8]) -> Result<Vec<f64>> {
+        let bytes = self.decompress_bytes(input)?;
+        Ok(bytes
+            .chunks_exact(8)
+            .map(|c| f64::from_le_bytes(c.try_into().unwrap()))
+            .collect())
+    }
+}
+
+impl Codec for Fpc {
+    fn name(&self) -> &'static str {
+        "fpc"
+    }
+
+    /// FPC operates on whole doubles; trailing bytes (input length not a
+    /// multiple of 8) are stored raw after the coded stream.
+    fn compress(&self, input: &[u8]) -> Result<Vec<u8>> {
+        let whole = input.len() / 8 * 8;
+        let mut out = self.compress_bytes(&input[..whole])?;
+        out.extend_from_slice(&input[whole..]);
+        write_varint(&mut out, (input.len() - whole) as u64);
+        Ok(out)
+    }
+
+    fn decompress(&self, input: &[u8]) -> Result<Vec<u8>> {
+        if input.is_empty() {
+            return Err(CodecError::Truncated);
+        }
+        // The tail varint is a single byte (< 8).
+        let tail_len = input[input.len() - 1] as usize;
+        if tail_len >= 8 || input.len() < 1 + tail_len {
+            return Err(CodecError::Corrupt("fpc tail length invalid"));
+        }
+        let body = &input[..input.len() - 1 - tail_len];
+        let tail = &input[input.len() - 1 - tail_len..input.len() - 1];
+        let mut out = self.decompress_bytes(body)?;
+        out.extend_from_slice(tail);
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn smooth_series(n: usize) -> Vec<f64> {
+        (0..n)
+            .map(|i| (i as f64 * 0.001).sin() * 100.0 + i as f64 * 0.5)
+            .collect()
+    }
+
+    #[test]
+    fn roundtrip_smooth_series() {
+        let fpc = Fpc::default();
+        let values = smooth_series(10_000);
+        let comp = fpc.compress_f64(&values).unwrap();
+        let back = fpc.decompress_f64(&comp).unwrap();
+        assert_eq!(back, values);
+    }
+
+    #[test]
+    fn compresses_predictable_data() {
+        let fpc = Fpc::default();
+        // A constant-step ramp is perfectly DFCM-predictable.
+        let values: Vec<f64> = (0..50_000).map(|i| i as f64).collect();
+        let comp = fpc.compress_f64(&values).unwrap();
+        assert!(
+            comp.len() * 2 < values.len() * 8,
+            "ramp compressed to {} of {}",
+            comp.len(),
+            values.len() * 8
+        );
+    }
+
+    #[test]
+    fn roundtrip_random_doubles() {
+        let fpc = Fpc::default();
+        let mut x = 0xABCDEFu64;
+        let values: Vec<f64> = (0..8_192)
+            .map(|_| {
+                x = x.wrapping_mul(6_364_136_223_846_793_005).wrapping_add(1);
+                f64::from_bits((x >> 2) | 0x3FF0_0000_0000_0000)
+            })
+            .collect();
+        let comp = fpc.compress_f64(&values).unwrap();
+        assert_eq!(fpc.decompress_f64(&comp).unwrap(), values);
+    }
+
+    #[test]
+    fn roundtrip_special_values() {
+        let fpc = Fpc::default();
+        let values = vec![
+            0.0,
+            -0.0,
+            f64::INFINITY,
+            f64::NEG_INFINITY,
+            f64::MIN,
+            f64::MAX,
+            f64::MIN_POSITIVE,
+            1e-308,
+            std::f64::consts::PI,
+        ];
+        let comp = fpc.compress_f64(&values).unwrap();
+        let back = fpc.decompress_f64(&comp).unwrap();
+        assert_eq!(
+            back.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+            values.iter().map(|v| v.to_bits()).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn nan_bit_patterns_survive() {
+        let fpc = Fpc::default();
+        let values = vec![f64::from_bits(0x7FF8_0000_0000_0001), f64::NAN, 1.0];
+        let comp = fpc.compress_f64(&values).unwrap();
+        let back = fpc.decompress_f64(&comp).unwrap();
+        for (a, b) in back.iter().zip(&values) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    #[test]
+    fn lzb_code_mapping_is_consistent() {
+        for lzb in 0..=8u32 {
+            let code = lzb_to_code(lzb);
+            assert!(code < 8);
+            let back = code_to_lzb(code);
+            if lzb == 4 {
+                assert_eq!(back, 3); // folded case loses one zero byte
+            } else {
+                assert_eq!(back, lzb);
+            }
+        }
+    }
+
+    #[test]
+    fn byte_interface_handles_ragged_tail() {
+        let fpc = Fpc::default();
+        let mut data: Vec<u8> = smooth_series(100)
+            .iter()
+            .flat_map(|v| v.to_le_bytes())
+            .collect();
+        data.extend_from_slice(&[1, 2, 3]); // not a multiple of 8
+        let comp = fpc.compress(&data).unwrap();
+        assert_eq!(fpc.decompress(&comp).unwrap(), data);
+    }
+
+    #[test]
+    fn rejects_corruption_and_bad_magic() {
+        let fpc = Fpc::default();
+        let comp = fpc.compress_f64(&smooth_series(1000)).unwrap();
+        let mut bad = comp.clone();
+        bad[0] = b'X';
+        assert!(matches!(
+            fpc.decompress_bytes(&bad),
+            Err(CodecError::BadMagic)
+        ));
+        let mut bad = comp.clone();
+        let mid = bad.len() / 2;
+        bad[mid] ^= 0xFF;
+        assert!(fpc.decompress_bytes(&bad).is_err());
+    }
+
+    #[test]
+    fn small_tables_still_roundtrip() {
+        let fpc = Fpc::with_table_log2(4).unwrap();
+        let values = smooth_series(5_000);
+        let comp = fpc.compress_f64(&values).unwrap();
+        // Decompressor reads the table size from the stream, so a
+        // differently-configured instance can decode it.
+        let back = Fpc::default().decompress_f64(&comp).unwrap();
+        assert_eq!(back, values);
+    }
+
+    #[test]
+    fn invalid_table_log2_rejected() {
+        assert!(Fpc::with_table_log2(0).is_err());
+        assert!(Fpc::with_table_log2(29).is_err());
+    }
+}

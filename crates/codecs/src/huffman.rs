@@ -1,0 +1,351 @@
+//! Canonical, length-limited Huffman coding shared by the DEFLATE and BWT
+//! codecs.
+//!
+//! Code lengths are computed with the package-merge algorithm, which produces
+//! optimal codes under a maximum-length constraint (15 bits for DEFLATE's
+//! literal/length and distance alphabets, 7 bits for its code-length
+//! alphabet). Codes are assigned canonically — shorter codes first, ties
+//! broken by symbol index — which is exactly the convention RFC 1951 decoders
+//! reconstruct from lengths alone.
+
+use crate::bitio::{reverse_bits, BitReader};
+use crate::error::{CodecError, Result};
+
+/// Compute optimal length-limited code lengths for `freqs` using
+/// package-merge. Symbols with zero frequency get length 0 (no code).
+///
+/// Returns a vector of code lengths in `0..=max_len`. If only one symbol has
+/// nonzero frequency it is assigned length 1, as DEFLATE requires every coded
+/// symbol to have at least one bit.
+pub fn package_merge_lengths(freqs: &[u64], max_len: u32) -> Vec<u8> {
+    let n = freqs.len();
+    let mut lengths = vec![0u8; n];
+    let active: Vec<usize> = (0..n).filter(|&i| freqs[i] > 0).collect();
+    match active.len() {
+        0 => return lengths,
+        1 => {
+            lengths[active[0]] = 1;
+            return lengths;
+        }
+        _ => {}
+    }
+    assert!(
+        (1u64 << max_len) >= active.len() as u64,
+        "max_len {max_len} cannot code {} symbols",
+        active.len()
+    );
+
+    // Package-merge over `max_len` levels. Each item is (weight, symbol list
+    // index bitset represented as counts per symbol). Tracking full symbol
+    // lists is O(n^2); instead we use the standard "count how many times each
+    // original coin is selected" formulation: each level's items remember
+    // which leaf symbols they contain via index ranges into a tree. For the
+    // alphabet sizes here (≤ 65536 once, typically ≤ 288) a simple
+    // representation is fine: store for each item the set of leaves as a
+    // sorted Vec<u32> of active-symbol indices.
+    #[derive(Clone)]
+    struct Item {
+        weight: u64,
+        leaves: Vec<u32>,
+    }
+
+    let leaf_items: Vec<Item> = {
+        let mut items: Vec<Item> = active
+            .iter()
+            .enumerate()
+            .map(|(ai, &sym)| Item {
+                weight: freqs[sym],
+                leaves: vec![ai as u32],
+            })
+            .collect();
+        items.sort_by_key(|it| it.weight);
+        items
+    };
+
+    let mut prev: Vec<Item> = Vec::new();
+    for _level in 0..max_len {
+        // Package: pair up adjacent items of the previous level.
+        let mut packages: Vec<Item> = Vec::with_capacity(prev.len() / 2);
+        let mut iter = prev.chunks_exact(2);
+        for pair in &mut iter {
+            let mut leaves = pair[0].leaves.clone();
+            leaves.extend_from_slice(&pair[1].leaves);
+            packages.push(Item {
+                weight: pair[0].weight + pair[1].weight,
+                leaves,
+            });
+        }
+        // Merge with the original leaves (both sorted by weight).
+        let mut merged = Vec::with_capacity(leaf_items.len() + packages.len());
+        let (mut i, mut j) = (0, 0);
+        while i < leaf_items.len() || j < packages.len() {
+            let take_leaf = match (leaf_items.get(i), packages.get(j)) {
+                (Some(l), Some(p)) => l.weight <= p.weight,
+                (Some(_), None) => true,
+                (None, Some(_)) => false,
+                (None, None) => unreachable!(),
+            };
+            if take_leaf {
+                merged.push(leaf_items[i].clone());
+                i += 1;
+            } else {
+                merged.push(packages[j].clone());
+                j += 1;
+            }
+        }
+        prev = merged;
+    }
+
+    // Select the cheapest 2·(m−1) items of the final level; each time a leaf
+    // appears in the selection its code length grows by one.
+    let m = active.len();
+    let mut depth = vec![0u32; m];
+    for item in prev.iter().take(2 * (m - 1)) {
+        for &leaf in &item.leaves {
+            depth[leaf as usize] += 1;
+        }
+    }
+    for (ai, &sym) in active.iter().enumerate() {
+        debug_assert!(depth[ai] >= 1 && depth[ai] <= max_len);
+        lengths[sym] = depth[ai] as u8;
+    }
+    debug_assert!(kraft_ok(&lengths));
+    lengths
+}
+
+/// Check the Kraft inequality with equality tolerance (a complete or
+/// over-complete code is rejected; under-complete is allowed only for the
+/// degenerate single-symbol code).
+fn kraft_ok(lengths: &[u8]) -> bool {
+    let sum: u64 = lengths
+        .iter()
+        .filter(|&&l| l > 0)
+        .map(|&l| 1u64 << (60 - u32::from(l)))
+        .sum();
+    sum <= (1u64 << 60)
+}
+
+/// Assign canonical codes (MSB-first integers) to `lengths`.
+///
+/// Returns `codes[sym]`; symbols with length 0 get code 0.
+pub fn canonical_codes(lengths: &[u8]) -> Vec<u32> {
+    let max_len = lengths.iter().copied().max().unwrap_or(0) as usize;
+    let mut bl_count = vec![0u32; max_len + 1];
+    for &l in lengths {
+        if l > 0 {
+            bl_count[l as usize] += 1;
+        }
+    }
+    let mut next_code = vec![0u32; max_len + 2];
+    let mut code = 0u32;
+    for bits in 1..=max_len {
+        code = (code + bl_count[bits - 1]) << 1;
+        next_code[bits] = code;
+    }
+    let mut codes = vec![0u32; lengths.len()];
+    for (sym, &l) in lengths.iter().enumerate() {
+        if l > 0 {
+            codes[sym] = next_code[l as usize];
+            next_code[l as usize] += 1;
+        }
+    }
+    codes
+}
+
+/// An encoder-side Huffman table: per-symbol code (already bit-reversed for
+/// LSB-first emission) and length.
+#[derive(Debug, Clone)]
+pub struct Encoder {
+    /// `codes[sym]` is the LSB-first bit pattern to emit.
+    pub codes: Vec<u32>,
+    /// `lengths[sym]` in bits; 0 means the symbol is absent.
+    pub lengths: Vec<u8>,
+}
+
+impl Encoder {
+    /// Build an encoder from canonical code lengths.
+    pub fn from_lengths(lengths: &[u8]) -> Self {
+        let canonical = canonical_codes(lengths);
+        let codes = canonical
+            .iter()
+            .zip(lengths)
+            .map(|(&c, &l)| {
+                if l == 0 {
+                    0
+                } else {
+                    reverse_bits(c, u32::from(l))
+                }
+            })
+            .collect();
+        Self {
+            codes,
+            lengths: lengths.to_vec(),
+        }
+    }
+
+    /// Total encoded size in bits of a frequency histogram under this code.
+    pub fn cost_bits(&self, freqs: &[u64]) -> u64 {
+        freqs
+            .iter()
+            .zip(&self.lengths)
+            .map(|(&f, &l)| f * u64::from(l))
+            .sum()
+    }
+}
+
+/// A decoder-side Huffman table: a flat lookup table indexed by the next
+/// `max_len` (LSB-first) bits of the stream.
+#[derive(Debug, Clone)]
+pub struct Decoder {
+    /// `table[bits] = (symbol, code_len)`.
+    table: Vec<(u16, u8)>,
+    /// Width of the lookup index in bits.
+    pub max_len: u32,
+}
+
+impl Decoder {
+    /// Build a decoder from canonical code lengths. Fails if the lengths do
+    /// not describe a prefix code (over-subscribed Kraft sum).
+    pub fn from_lengths(lengths: &[u8]) -> Result<Self> {
+        let max_len = u32::from(lengths.iter().copied().max().unwrap_or(0));
+        if max_len == 0 {
+            return Err(CodecError::Corrupt("huffman table has no symbols"));
+        }
+        if max_len > 15 {
+            return Err(CodecError::Corrupt("huffman code length exceeds 15"));
+        }
+        if !kraft_ok(lengths) {
+            return Err(CodecError::Corrupt("over-subscribed huffman code"));
+        }
+        let canonical = canonical_codes(lengths);
+        let size = 1usize << max_len;
+        let mut table = vec![(u16::MAX, 0u8); size];
+        for (sym, &len) in lengths.iter().enumerate() {
+            if len == 0 {
+                continue;
+            }
+            let len32 = u32::from(len);
+            let rev = reverse_bits(canonical[sym], len32) as usize;
+            // Every index whose low `len` bits equal the reversed code maps
+            // to this symbol.
+            let step = 1usize << len32;
+            let mut idx = rev;
+            while idx < size {
+                table[idx] = (sym as u16, len);
+                idx += step;
+            }
+        }
+        Ok(Self { table, max_len })
+    }
+
+    /// Decode one symbol from `reader`.
+    #[inline]
+    pub fn decode(&self, reader: &mut BitReader<'_>) -> Result<u16> {
+        let bits = reader.peek_bits(self.max_len) as usize;
+        let (sym, len) = self.table[bits];
+        if sym == u16::MAX {
+            return Err(CodecError::Corrupt("invalid huffman code"));
+        }
+        reader.consume(u32::from(len))?;
+        Ok(sym)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bitio::BitWriter;
+
+    fn roundtrip_symbols(lengths: &[u8], symbols: &[u16]) {
+        let enc = Encoder::from_lengths(lengths);
+        let mut w = BitWriter::new();
+        for &s in symbols {
+            let s = s as usize;
+            assert!(enc.lengths[s] > 0);
+            w.write_bits(u64::from(enc.codes[s]), u32::from(enc.lengths[s]));
+        }
+        let bytes = w.finish();
+        let dec = Decoder::from_lengths(lengths).unwrap();
+        let mut r = BitReader::new(&bytes);
+        for &s in symbols {
+            assert_eq!(dec.decode(&mut r).unwrap(), s);
+        }
+    }
+
+    #[test]
+    fn package_merge_matches_entropy_shape() {
+        // Frequencies 8,4,2,1,1 — optimal lengths 1,2,3,4,4.
+        let lengths = package_merge_lengths(&[8, 4, 2, 1, 1], 15);
+        assert_eq!(lengths, vec![1, 2, 3, 4, 4]);
+    }
+
+    #[test]
+    fn package_merge_respects_limit() {
+        // Fibonacci-like frequencies force deep trees without a limit.
+        let freqs: Vec<u64> = vec![1, 1, 2, 3, 5, 8, 13, 21, 34, 55, 89, 144];
+        let lengths = package_merge_lengths(&freqs, 6);
+        assert!(lengths.iter().all(|&l| (1..=6).contains(&l)));
+        assert!(kraft_ok(&lengths));
+        // Still decodable.
+        let syms: Vec<u16> = (0..freqs.len() as u16).collect();
+        roundtrip_symbols(&lengths, &syms);
+    }
+
+    #[test]
+    fn single_symbol_gets_one_bit() {
+        let lengths = package_merge_lengths(&[0, 7, 0], 15);
+        assert_eq!(lengths, vec![0, 1, 0]);
+    }
+
+    #[test]
+    fn zero_frequencies_get_no_code() {
+        let lengths = package_merge_lengths(&[5, 0, 5, 0], 15);
+        assert_eq!(lengths[1], 0);
+        assert_eq!(lengths[3], 0);
+    }
+
+    #[test]
+    fn canonical_codes_rfc1951_example() {
+        // RFC 1951 §3.2.2 example: lengths (3,3,3,3,3,2,4,4)
+        // -> codes 010,011,100,101,110,00,1110,1111.
+        let lengths = [3u8, 3, 3, 3, 3, 2, 4, 4];
+        let codes = canonical_codes(&lengths);
+        assert_eq!(codes, vec![0b010, 0b011, 0b100, 0b101, 0b110, 0b00, 0b1110, 0b1111]);
+    }
+
+    #[test]
+    fn encode_decode_roundtrip_random_stream() {
+        let lengths = package_merge_lengths(&[100, 50, 20, 10, 5, 5, 3, 1], 15);
+        let symbols: Vec<u16> = (0..2000).map(|i| ((i * 7 + i / 3) % 8) as u16).collect();
+        roundtrip_symbols(&lengths, &symbols);
+    }
+
+    #[test]
+    fn decoder_rejects_oversubscribed() {
+        // Three symbols of length 1 is not a prefix code.
+        assert!(Decoder::from_lengths(&[1, 1, 1]).is_err());
+    }
+
+    #[test]
+    fn decoder_rejects_empty() {
+        assert!(Decoder::from_lengths(&[0, 0, 0]).is_err());
+    }
+
+    #[test]
+    fn cost_bits_accounts_all_symbols() {
+        let lengths = [1u8, 2, 2];
+        let enc = Encoder::from_lengths(&lengths);
+        assert_eq!(enc.cost_bits(&[10, 5, 5]), 10 + 10 + 10);
+    }
+
+    #[test]
+    fn large_alphabet_package_merge() {
+        // 300-symbol alphabet with a skewed distribution, limit 15.
+        let freqs: Vec<u64> = (0..300u64).map(|i| 1 + (300 - i) * (i % 7 + 1)).collect();
+        let lengths = package_merge_lengths(&freqs, 15);
+        assert!(kraft_ok(&lengths));
+        assert!(lengths.iter().all(|&l| (1..=15).contains(&l)));
+        let dec = Decoder::from_lengths(&lengths);
+        assert!(dec.is_ok());
+    }
+}

@@ -1,0 +1,110 @@
+//! Dataset analysis helpers behind the paper's motivating figures.
+//!
+//! * [`bit_probability`] — Fig. 1: probability of the most frequent bit
+//!   value at each of the 64 bit positions of a double.
+//! * [`exponent_histogram`] / [`mantissa_histogram`] — Fig. 3a/3b:
+//!   normalized frequency of 2-byte sequences in the exponent and mantissa
+//!   regions.
+
+use crate::freq::FreqTable;
+use crate::isobar::analysis::bit_majority_probability;
+use crate::split::split_hi_lo;
+
+/// Fig. 1: per-bit-position probability (p ≥ 0.5) of the dominant bit value,
+/// bit 0 = sign bit.
+pub fn bit_probability(values: &[f64]) -> Vec<f64> {
+    let elements: Vec<u64> = values.iter().map(|v| v.to_bits()).collect();
+    bit_majority_probability(&elements, 64)
+}
+
+/// Fig. 3a: normalized frequency of each possible 2-byte exponent sequence
+/// (0–65535).
+pub fn exponent_histogram(values: &[f64]) -> Vec<f64> {
+    let bytes: Vec<u8> = values.iter().flat_map(|v| v.to_le_bytes()).collect();
+    let (hi, _lo) = split_hi_lo(&bytes, 8, 2).expect("length is a multiple of 8");
+    FreqTable::from_hi_matrix(&hi, 2).normalized()
+}
+
+/// Fig. 3b: normalized frequency of 2-byte sequences drawn from the mantissa
+/// region (the first two low-order bytes of each double).
+pub fn mantissa_histogram(values: &[f64]) -> Vec<f64> {
+    let bytes: Vec<u8> = values.iter().flat_map(|v| v.to_le_bytes()).collect();
+    let (_hi, lo) = split_hi_lo(&bytes, 8, 2).expect("length is a multiple of 8");
+    // Rows are 6 bytes; take the leading pair of each row.
+    let n = lo.len() / 6;
+    let mut pairs = Vec::with_capacity(n * 2);
+    for i in 0..n {
+        pairs.push(lo[i * 6]);
+        pairs.push(lo[i * 6 + 1]);
+    }
+    FreqTable::from_hi_matrix(&pairs, 2).normalized()
+}
+
+/// Number of distinct exponent byte-sequences in a dataset — the paper
+/// reports < 2,000 of 65,536 for the majority of its datasets (§II-C).
+pub fn unique_exponent_sequences(values: &[f64]) -> usize {
+    let bytes: Vec<u8> = values.iter().flat_map(|v| v.to_le_bytes()).collect();
+    let (hi, _lo) = split_hi_lo(&bytes, 8, 2).expect("length is a multiple of 8");
+    FreqTable::from_hi_matrix(&hi, 2).unique()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn narrow_band(n: usize) -> Vec<f64> {
+        let mut x = 1u64;
+        (0..n)
+            .map(|_| {
+                x = x.wrapping_mul(6_364_136_223_846_793_005).wrapping_add(1);
+                1.0 + (x >> 12) as f64 / (1u64 << 52) as f64
+            })
+            .collect()
+    }
+
+    #[test]
+    fn fig1_shape_signal_head_noise_tail() {
+        let p = bit_probability(&narrow_band(20_000));
+        // Sign + exponent bits pinned.
+        assert!(p[0] > 0.999);
+        assert!(p[5] > 0.999);
+        // Deep mantissa ~ random.
+        let tail: f64 = p[50..].iter().sum::<f64>() / 14.0;
+        assert!(tail < 0.55, "tail {tail}");
+    }
+
+    #[test]
+    fn fig3a_exponent_histogram_is_skewed() {
+        let h = exponent_histogram(&narrow_band(20_000));
+        assert_eq!(h.len(), 65_536);
+        let max = h.iter().cloned().fold(0.0, f64::max);
+        let nonzero = h.iter().filter(|&&x| x > 0.0).count();
+        assert!(nonzero < 100, "{nonzero} distinct exponent sequences");
+        // Values in [1, 2) share one exponent; the hi pair varies only in
+        // its top-4-mantissa nibble, so the peak is ≈ 1/16.
+        assert!(max > 0.05, "peak {max}");
+        assert!((h.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fig3b_mantissa_histogram_is_flat() {
+        let h = mantissa_histogram(&narrow_band(50_000));
+        let nonzero = h.iter().filter(|&&x| x > 0.0).count();
+        // Random mantissa pairs cover a large share of the 65536 domain.
+        assert!(nonzero > 30_000, "{nonzero} distinct mantissa sequences");
+        let max = h.iter().cloned().fold(0.0, f64::max);
+        assert!(max < 0.01, "peak {max}");
+    }
+
+    #[test]
+    fn unique_exponent_sequences_matches_paper_band() {
+        // A realistic narrow-band field stays well under the paper's 2,000.
+        assert!(unique_exponent_sequences(&narrow_band(100_000)) < 2_000);
+    }
+
+    #[test]
+    fn empty_inputs() {
+        assert_eq!(bit_probability(&[]), vec![0.5; 64]);
+        assert_eq!(unique_exponent_sequences(&[]), 0);
+    }
+}

@@ -1,0 +1,628 @@
+//! Seekable PRIMACY archives: random access to compressed chunks.
+//!
+//! The paper deploys PRIMACY for checkpoint/restart and WORM (write once,
+//! read many) analysis data (§IV-D). Analysis readers rarely want the whole
+//! variable — they want a time slice or a subdomain. The streaming container
+//! ([`crate::format`]) must be decoded front to back; this module adds an
+//! archive format with a chunk directory so any chunk (and therefore any
+//! element range) can be decompressed independently:
+//!
+//! ```text
+//! "PRMA" | version u8 | element_size u8 | hi_bytes u8 | linearization u8 |
+//! codec u8 | chunk sections…(each with its own index) |
+//! directory: (u64le offset, u64le n_elements, u32le crc)* |
+//! footer: u64le directory_offset, u32le chunk_count,
+//!         u32le crc32(directory), "PRMA"
+//! ```
+//!
+//! Every chunk carries its own ID index (reuse would reintroduce the serial
+//! dependency random access is meant to remove) and its own CRC-32, so a
+//! partial read is integrity-checked without touching the rest of the file.
+
+use crate::config::PrimacyConfig;
+use crate::error::{PrimacyError, Result};
+use crate::format::{self, Header, Reader};
+use crate::pipeline::{self, PrimacyCompressor};
+use primacy_codecs::checksum::crc32;
+use primacy_codecs::Codec;
+use std::io::Write;
+
+const MAGIC: &[u8; 4] = b"PRMA";
+const VERSION: u8 = 1;
+/// Fixed footer size: offset + count + crc + magic.
+const FOOTER_LEN: usize = 8 + 4 + 4 + 4;
+
+/// One directory entry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ChunkEntry {
+    /// Byte offset of the chunk section from the start of the archive.
+    pub offset: u64,
+    /// Elements stored in this chunk.
+    pub elements: u64,
+    /// CRC-32 of the chunk's *plaintext* bytes.
+    pub crc: u32,
+}
+
+/// Incremental archive writer over any [`Write`] sink.
+///
+/// Data appended with [`ArchiveWriter::append`] is buffered until a full
+/// chunk accumulates, then compressed and flushed; [`ArchiveWriter::finish`]
+/// flushes the tail and writes the directory.
+///
+/// ```
+/// use primacy_core::{ArchiveReader, ArchiveWriter, PrimacyConfig};
+///
+/// let values: Vec<f64> = (0..10_000).map(|i| (i as f64).sqrt()).collect();
+/// let mut writer = ArchiveWriter::new(Vec::new(), PrimacyConfig::default())?;
+/// writer.append_f64(&values)?;
+/// let archive = writer.finish()?;
+///
+/// let reader = ArchiveReader::open(&archive)?;
+/// assert_eq!(reader.read_elements_f64(5_000, 10)?, &values[5_000..5_010]);
+/// # Ok::<(), primacy_core::PrimacyError>(())
+/// ```
+pub struct ArchiveWriter<W: Write> {
+    sink: W,
+    compressor: PrimacyCompressor,
+    pending: Vec<u8>,
+    directory: Vec<ChunkEntry>,
+    offset: u64,
+    finished: bool,
+}
+
+impl<W: Write> ArchiveWriter<W> {
+    /// Start an archive, writing the header immediately.
+    pub fn new(mut sink: W, config: PrimacyConfig) -> Result<Self> {
+        let compressor = PrimacyCompressor::try_new(config)?;
+        let cfg = compressor.config();
+        let mut header = Vec::with_capacity(9);
+        header.extend_from_slice(MAGIC);
+        header.push(VERSION);
+        header.push(cfg.element_size as u8);
+        header.push(cfg.hi_bytes as u8);
+        header.push(format::linearization_to_byte(cfg.linearization));
+        header.push(format::codec_to_byte(cfg.codec));
+        sink.write_all(&header)
+            .map_err(|_| PrimacyError::Format("archive sink write failed"))?;
+        Ok(Self {
+            sink,
+            compressor,
+            pending: Vec::new(),
+            directory: Vec::new(),
+            offset: header.len() as u64,
+            finished: false,
+        })
+    }
+
+    /// Append raw element bytes (any length; chunk alignment is handled
+    /// internally, but the total at `finish` must be element-aligned).
+    pub fn append(&mut self, bytes: &[u8]) -> Result<()> {
+        assert!(!self.finished, "append after finish");
+        self.pending.extend_from_slice(bytes);
+        let cfg = self.compressor.config();
+        let chunk_bytes = (cfg.chunk_elements() * cfg.element_size).max(cfg.element_size);
+        while self.pending.len() >= chunk_bytes {
+            let rest = self.pending.split_off(chunk_bytes);
+            let chunk = std::mem::replace(&mut self.pending, rest);
+            self.flush_chunk(&chunk)?;
+        }
+        Ok(())
+    }
+
+    /// Append doubles (requires an 8-byte element configuration).
+    pub fn append_f64(&mut self, values: &[f64]) -> Result<()> {
+        if self.compressor.config().element_size != 8 {
+            return Err(PrimacyError::InvalidInput(
+                "append_f64 requires an 8-byte element configuration",
+            ));
+        }
+        let bytes: Vec<u8> = values.iter().flat_map(|v| v.to_le_bytes()).collect();
+        self.append(&bytes)
+    }
+
+    fn flush_chunk(&mut self, chunk: &[u8]) -> Result<()> {
+        debug_assert!(!chunk.is_empty());
+        let cfg = self.compressor.config();
+        if !chunk.len().is_multiple_of(cfg.element_size) {
+            return Err(PrimacyError::InvalidInput(
+                "archive total length is not a multiple of the element size",
+            ));
+        }
+        let mut section = Vec::with_capacity(chunk.len() / 2 + 64);
+        // Random access requires a self-contained index per chunk.
+        let mut no_prev = None;
+        self.compressor
+            .compress_chunk(chunk, &mut no_prev, &mut section)?;
+        self.directory.push(ChunkEntry {
+            offset: self.offset,
+            elements: (chunk.len() / cfg.element_size) as u64,
+            crc: crc32(chunk),
+        });
+        self.sink
+            .write_all(&section)
+            .map_err(|_| PrimacyError::Format("archive sink write failed"))?;
+        self.offset += section.len() as u64;
+        Ok(())
+    }
+
+    /// Total elements appended so far (flushed + pending).
+    pub fn elements_written(&self) -> u64 {
+        let cfg = self.compressor.config();
+        self.directory.iter().map(|e| e.elements).sum::<u64>()
+            + (self.pending.len() / cfg.element_size) as u64
+    }
+
+    /// Flush the tail chunk, write the directory and footer, and return the
+    /// sink.
+    pub fn finish(mut self) -> Result<W> {
+        self.finished = true;
+        if !self.pending.is_empty() {
+            let tail = std::mem::take(&mut self.pending);
+            self.flush_chunk(&tail)?;
+        }
+        let directory_offset = self.offset;
+        let mut dir = Vec::with_capacity(self.directory.len() * 20);
+        for e in &self.directory {
+            dir.extend_from_slice(&e.offset.to_le_bytes());
+            dir.extend_from_slice(&e.elements.to_le_bytes());
+            dir.extend_from_slice(&e.crc.to_le_bytes());
+        }
+        let mut footer = Vec::with_capacity(FOOTER_LEN);
+        footer.extend_from_slice(&directory_offset.to_le_bytes());
+        footer.extend_from_slice(&(self.directory.len() as u32).to_le_bytes());
+        footer.extend_from_slice(&crc32(&dir).to_le_bytes());
+        footer.extend_from_slice(MAGIC);
+        self.sink
+            .write_all(&dir)
+            .and_then(|()| self.sink.write_all(&footer))
+            .map_err(|_| PrimacyError::Format("archive sink write failed"))?;
+        Ok(self.sink)
+    }
+}
+
+impl<W: Write> Write for ArchiveWriter<W> {
+    /// Streaming convenience: `write` is [`ArchiveWriter::append`]. The
+    /// element-alignment requirement still applies at [`ArchiveWriter::finish`].
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        self.append(buf)
+            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))?;
+        Ok(buf.len())
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        // Chunks flush on their own boundaries; nothing sensible to force
+        // here without splitting a chunk.
+        Ok(())
+    }
+}
+
+/// Random-access reader over an archive held in memory (or mapped).
+pub struct ArchiveReader<'a> {
+    data: &'a [u8],
+    header: Header,
+    codec: Box<dyn Codec>,
+    directory: Vec<ChunkEntry>,
+    /// Cumulative element start index per chunk.
+    starts: Vec<u64>,
+}
+
+impl<'a> ArchiveReader<'a> {
+    /// Parse the footer and directory.
+    pub fn open(data: &'a [u8]) -> Result<Self> {
+        if data.len() < 9 + FOOTER_LEN || &data[..4] != MAGIC {
+            return Err(PrimacyError::Format("not a PRIMACY archive"));
+        }
+        if data[4] != VERSION {
+            return Err(PrimacyError::UnsupportedVersion(data[4]));
+        }
+        let element_size = data[5] as usize;
+        let hi_bytes = data[6] as usize;
+        if element_size == 0
+            || element_size > 16
+            || hi_bytes == 0
+            || hi_bytes > 2
+            || hi_bytes >= element_size
+        {
+            return Err(PrimacyError::Format("implausible archive layout"));
+        }
+        let linearization = format::linearization_from_byte(data[7])?;
+        let codec_kind = format::codec_from_byte(data[8])?;
+
+        let footer = &data[data.len() - FOOTER_LEN..];
+        if &footer[16..20] != MAGIC {
+            return Err(PrimacyError::Format("archive footer magic missing"));
+        }
+        let directory_offset = u64::from_le_bytes(footer[0..8].try_into().unwrap()) as usize;
+        let chunk_count = u32::from_le_bytes(footer[8..12].try_into().unwrap()) as usize;
+        let dir_crc = u32::from_le_bytes(footer[12..16].try_into().unwrap());
+        let dir_end = data.len() - FOOTER_LEN;
+        let dir_len = chunk_count
+            .checked_mul(20)
+            .ok_or(PrimacyError::Format("directory size overflow"))?;
+        if directory_offset + dir_len != dir_end || directory_offset > data.len() {
+            return Err(PrimacyError::Format("archive directory bounds invalid"));
+        }
+        let dir = &data[directory_offset..dir_end];
+        if crc32(dir) != dir_crc {
+            return Err(PrimacyError::Format("archive directory checksum mismatch"));
+        }
+        let mut directory = Vec::with_capacity(chunk_count);
+        let mut starts = Vec::with_capacity(chunk_count);
+        let mut total = 0u64;
+        for rec in dir.chunks_exact(20) {
+            let entry = ChunkEntry {
+                offset: u64::from_le_bytes(rec[0..8].try_into().unwrap()),
+                elements: u64::from_le_bytes(rec[8..16].try_into().unwrap()),
+                crc: u32::from_le_bytes(rec[16..20].try_into().unwrap()),
+            };
+            if entry.offset as usize >= directory_offset || entry.elements == 0 {
+                return Err(PrimacyError::Format("archive directory entry invalid"));
+            }
+            // Offsets must be strictly increasing: chunk i's section ends
+            // where chunk i+1 begins.
+            if let Some(prev) = directory.last() {
+                let prev: &ChunkEntry = prev;
+                if entry.offset <= prev.offset {
+                    return Err(PrimacyError::Format("archive directory not monotonic"));
+                }
+            }
+            starts.push(total);
+            total += entry.elements;
+            directory.push(entry);
+        }
+        let header = Header {
+            element_size,
+            hi_bytes,
+            linearization,
+            codec: codec_kind,
+            total_elements: total,
+        };
+        Ok(Self {
+            data,
+            header,
+            codec: codec_kind.build(),
+            directory,
+            starts,
+        })
+    }
+
+    /// Number of chunks in the archive.
+    pub fn chunk_count(&self) -> usize {
+        self.directory.len()
+    }
+
+    /// Total elements stored.
+    pub fn element_count(&self) -> u64 {
+        self.header.total_elements
+    }
+
+    /// Bytes per element.
+    pub fn element_size(&self) -> usize {
+        self.header.element_size
+    }
+
+    /// Directory entry for chunk `i`.
+    pub fn entry(&self, i: usize) -> Option<&ChunkEntry> {
+        self.directory.get(i)
+    }
+
+    /// Decompress chunk `i`, verifying its CRC.
+    pub fn read_chunk(&self, i: usize) -> Result<Vec<u8>> {
+        let entry = self
+            .directory
+            .get(i)
+            .ok_or(PrimacyError::Format("chunk index out of range"))?;
+        let end = self
+            .directory
+            .get(i + 1)
+            .map(|e| e.offset as usize)
+            .unwrap_or_else(|| self.data.len() - FOOTER_LEN - self.directory.len() * 20);
+        let mut reader = Reader::new(self.data, entry.offset as usize, end);
+        let (chunk, _map) =
+            pipeline::decompress_chunk(&mut reader, &self.header, self.codec.as_ref(), None)?;
+        if chunk.len() != entry.elements as usize * self.header.element_size {
+            return Err(PrimacyError::Format("chunk decoded to unexpected size"));
+        }
+        let actual = crc32(&chunk);
+        if actual != entry.crc {
+            return Err(PrimacyError::Codec(
+                primacy_codecs::CodecError::ChecksumMismatch {
+                    expected: entry.crc,
+                    actual,
+                },
+            ));
+        }
+        Ok(chunk)
+    }
+
+    /// Read an arbitrary element range, decompressing only the chunks it
+    /// touches.
+    pub fn read_elements(&self, start: u64, count: usize) -> Result<Vec<u8>> {
+        if start + count as u64 > self.header.total_elements {
+            return Err(PrimacyError::InvalidInput("element range out of bounds"));
+        }
+        if count == 0 {
+            return Ok(Vec::new());
+        }
+        let es = self.header.element_size;
+        let mut out = Vec::with_capacity(count * es);
+        // Binary search for the first chunk containing `start`.
+        let mut i = match self.starts.binary_search(&start) {
+            Ok(i) => i,
+            Err(i) => i - 1,
+        };
+        let mut remaining = count;
+        let mut cursor = start;
+        while remaining > 0 {
+            let chunk = self.read_chunk(i)?;
+            let chunk_start = self.starts[i];
+            let skip = (cursor - chunk_start) as usize;
+            let take = remaining.min(self.directory[i].elements as usize - skip);
+            out.extend_from_slice(&chunk[skip * es..(skip + take) * es]);
+            remaining -= take;
+            cursor += take as u64;
+            i += 1;
+        }
+        Ok(out)
+    }
+
+    /// Decompress the whole archive on `threads` worker threads. Chunks are
+    /// fully independent (own index, own CRC), so this scales like the
+    /// compression side — the restart-read analogue of compute nodes each
+    /// decompressing their own checkpoint shard.
+    pub fn read_all_parallel(&self, threads: usize) -> Result<Vec<u8>> {
+        let es = self.header.element_size;
+        let total = self.header.total_elements as usize * es;
+        let mut out = vec![0u8; total];
+        // Carve the output into one contiguous slice per chunk.
+        let mut slices: Vec<&mut [u8]> = Vec::with_capacity(self.directory.len());
+        let mut rest = out.as_mut_slice();
+        for entry in &self.directory {
+            let (head, tail) = rest.split_at_mut(entry.elements as usize * es);
+            slices.push(head);
+            rest = tail;
+        }
+        let next = std::sync::atomic::AtomicUsize::new(0);
+        let failures = std::sync::Mutex::new(Vec::<PrimacyError>::new());
+        let slices = std::sync::Mutex::new(slices);
+        crossbeam::thread::scope(|scope| {
+            for _ in 0..threads.max(1).min(self.directory.len().max(1)) {
+                scope.spawn(|_| loop {
+                    let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                    if i >= self.directory.len() {
+                        break;
+                    }
+                    // Take this chunk's output slice out of the shared list.
+                    let slot = {
+                        let mut guard = slices.lock().unwrap();
+                        std::mem::take(&mut guard[i])
+                    };
+                    match self.read_chunk(i) {
+                        Ok(chunk) => slot.copy_from_slice(&chunk),
+                        Err(e) => failures.lock().unwrap().push(e),
+                    }
+                });
+            }
+        })
+        .expect("worker thread panicked");
+        drop(slices); // release the borrows into `out`
+        if let Some(e) = failures.into_inner().unwrap().pop() {
+            return Err(e);
+        }
+        Ok(out)
+    }
+
+    /// Read an element range as doubles.
+    pub fn read_elements_f64(&self, start: u64, count: usize) -> Result<Vec<f64>> {
+        if self.header.element_size != 8 {
+            return Err(PrimacyError::InvalidInput(
+                "read_elements_f64 requires 8-byte elements",
+            ));
+        }
+        let bytes = self.read_elements(start, count)?;
+        Ok(bytes
+            .chunks_exact(8)
+            .map(|c| f64::from_le_bytes(c.try_into().unwrap()))
+            .collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_values(n: usize) -> Vec<f64> {
+        (0..n)
+            .map(|i| 2.0 + (i as f64 * 0.01).sin() + (i % 13) as f64 * 1e-8)
+            .collect()
+    }
+
+    fn small_config() -> PrimacyConfig {
+        PrimacyConfig {
+            chunk_bytes: 4096, // 512 doubles per chunk
+            ..Default::default()
+        }
+    }
+
+    fn build_archive(values: &[f64]) -> Vec<u8> {
+        let mut w = ArchiveWriter::new(Vec::new(), small_config()).unwrap();
+        // Append in awkward sizes to exercise buffering.
+        let bytes: Vec<u8> = values.iter().flat_map(|v| v.to_le_bytes()).collect();
+        for part in bytes.chunks(777) {
+            w.append(part).unwrap();
+        }
+        w.finish().unwrap()
+    }
+
+    #[test]
+    fn full_readback_matches() {
+        let values = sample_values(3000);
+        let archive = build_archive(&values);
+        let r = ArchiveReader::open(&archive).unwrap();
+        assert_eq!(r.element_count(), 3000);
+        assert_eq!(r.chunk_count(), 3000usize.div_ceil(512));
+        let back = r.read_elements_f64(0, 3000).unwrap();
+        assert_eq!(back, values);
+    }
+
+    #[test]
+    fn random_access_reads_match() {
+        let values = sample_values(5000);
+        let archive = build_archive(&values);
+        let r = ArchiveReader::open(&archive).unwrap();
+        for (start, count) in [(0u64, 1usize), (511, 2), (512, 512), (4999, 1), (1000, 3000)] {
+            let got = r.read_elements_f64(start, count).unwrap();
+            assert_eq!(got, &values[start as usize..start as usize + count], "({start},{count})");
+        }
+    }
+
+    #[test]
+    fn per_chunk_reads_are_independent() {
+        let values = sample_values(2000);
+        let archive = build_archive(&values);
+        let r = ArchiveReader::open(&archive).unwrap();
+        // Read the *last* chunk first; no prior state needed.
+        let last = r.chunk_count() - 1;
+        let chunk = r.read_chunk(last).unwrap();
+        let chunk_values: Vec<f64> = chunk
+            .chunks_exact(8)
+            .map(|c| f64::from_le_bytes(c.try_into().unwrap()))
+            .collect();
+        assert_eq!(chunk_values, &values[last * 512..]);
+    }
+
+    #[test]
+    fn out_of_range_reads_rejected() {
+        let values = sample_values(100);
+        let archive = build_archive(&values);
+        let r = ArchiveReader::open(&archive).unwrap();
+        assert!(r.read_elements(50, 51).is_err());
+        assert!(r.read_chunk(99).is_err());
+    }
+
+    #[test]
+    fn empty_archive() {
+        let w = ArchiveWriter::new(Vec::new(), small_config()).unwrap();
+        let archive = w.finish().unwrap();
+        let r = ArchiveReader::open(&archive).unwrap();
+        assert_eq!(r.element_count(), 0);
+        assert_eq!(r.chunk_count(), 0);
+        assert!(r.read_elements(0, 0).unwrap().is_empty());
+    }
+
+    #[test]
+    fn elements_written_tracks_pending() {
+        let mut w = ArchiveWriter::new(Vec::new(), small_config()).unwrap();
+        w.append_f64(&sample_values(100)).unwrap();
+        assert_eq!(w.elements_written(), 100);
+        w.append_f64(&sample_values(1000)).unwrap();
+        assert_eq!(w.elements_written(), 1100);
+    }
+
+    #[test]
+    fn corrupted_directory_detected() {
+        let values = sample_values(1500);
+        let mut archive = build_archive(&values);
+        // Flip a byte inside the directory region (just before the footer).
+        let n = archive.len();
+        archive[n - FOOTER_LEN - 5] ^= 0xFF;
+        assert!(ArchiveReader::open(&archive).is_err());
+    }
+
+    #[test]
+    fn corrupted_chunk_detected_on_read() {
+        let values = sample_values(1500);
+        let mut archive = build_archive(&values);
+        // Flip a byte in the middle of the first chunk's payload.
+        archive[60] ^= 0x40;
+        let r = ArchiveReader::open(&archive);
+        // Directory still parses (it's at the end), but the chunk read must
+        // fail its codec or CRC check.
+        if let Ok(r) = r {
+            assert!(r.read_chunk(0).is_err());
+        }
+    }
+
+    #[test]
+    fn misaligned_total_rejected_at_flush() {
+        let mut w = ArchiveWriter::new(Vec::new(), small_config()).unwrap();
+        w.append(&[1, 2, 3]).unwrap(); // 3 bytes: not a whole double
+        assert!(w.finish().is_err());
+    }
+
+    #[test]
+    fn ragged_tail_chunk_roundtrips() {
+        // 1000 elements with 512-element chunks: tail of 488.
+        let values = sample_values(1000);
+        let archive = build_archive(&values);
+        let r = ArchiveReader::open(&archive).unwrap();
+        assert_eq!(r.chunk_count(), 2);
+        assert_eq!(r.entry(1).unwrap().elements, 488);
+        assert_eq!(r.read_elements_f64(512, 488).unwrap(), &values[512..]);
+    }
+
+    #[test]
+    fn parallel_full_read_matches_serial() {
+        let values = sample_values(4000);
+        let archive = build_archive(&values);
+        let r = ArchiveReader::open(&archive).unwrap();
+        let serial = r.read_elements(0, 4000).unwrap();
+        for threads in [1, 2, 8] {
+            assert_eq!(r.read_all_parallel(threads).unwrap(), serial);
+        }
+    }
+
+    #[test]
+    fn parallel_read_surfaces_chunk_corruption() {
+        let values = sample_values(4000);
+        let mut archive = build_archive(&values);
+        archive[40] ^= 0x10; // inside the first chunk section
+        if let Ok(r) = ArchiveReader::open(&archive) {
+            assert!(r.read_all_parallel(4).is_err());
+        }
+    }
+
+    #[test]
+    fn io_write_adapter_streams() {
+        use std::io::Write as _;
+        let values = sample_values(1500);
+        let bytes: Vec<u8> = values.iter().flat_map(|v| v.to_le_bytes()).collect();
+        let mut w = ArchiveWriter::new(Vec::new(), small_config()).unwrap();
+        let mut cursor = &bytes[..];
+        std::io::copy(&mut cursor, &mut w).unwrap();
+        w.flush().unwrap();
+        let archive = w.finish().unwrap();
+        let r = ArchiveReader::open(&archive).unwrap();
+        assert_eq!(r.read_elements_f64(0, 1500).unwrap(), values);
+    }
+
+    #[test]
+    fn f32_archives_work() {
+        let cfg = PrimacyConfig {
+            chunk_bytes: 2048,
+            ..PrimacyConfig::f32()
+        };
+        let values: Vec<f32> = (0..3000).map(|i| 1.0 + (i as f32 * 0.01).sin()).collect();
+        let bytes: Vec<u8> = values.iter().flat_map(|v| v.to_le_bytes()).collect();
+        let mut w = ArchiveWriter::new(Vec::new(), cfg).unwrap();
+        w.append(&bytes).unwrap();
+        let archive = w.finish().unwrap();
+        let r = ArchiveReader::open(&archive).unwrap();
+        assert_eq!(r.element_size(), 4);
+        assert_eq!(r.element_count(), 3000);
+        assert_eq!(r.read_elements(0, 3000).unwrap(), bytes);
+        // f64 accessor must refuse.
+        assert!(r.read_elements_f64(0, 1).is_err());
+    }
+
+    #[test]
+    fn open_rejects_foreign_bytes() {
+        assert!(ArchiveReader::open(b"not an archive at all").is_err());
+        assert!(ArchiveReader::open(&[]).is_err());
+        let values = sample_values(600);
+        let mut archive = build_archive(&values);
+        let n = archive.len();
+        archive[n - 1] = b'X'; // footer magic
+        assert!(ArchiveReader::open(&archive).is_err());
+    }
+}

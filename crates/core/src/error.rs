@@ -1,0 +1,65 @@
+//! Error type for the PRIMACY pipeline.
+
+use primacy_codecs::CodecError;
+
+/// Errors produced by the preconditioner pipeline.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PrimacyError {
+    /// Error surfaced by the backend codec.
+    Codec(CodecError),
+    /// The PRIMACY container is structurally invalid.
+    Format(&'static str),
+    /// Stream was produced with an incompatible format version.
+    UnsupportedVersion(u8),
+    /// The input violates a configuration constraint (e.g. byte length not a
+    /// multiple of the element size).
+    InvalidInput(&'static str),
+    /// A configuration value is out of range.
+    InvalidConfig(&'static str),
+}
+
+impl From<CodecError> for PrimacyError {
+    fn from(e: CodecError) -> Self {
+        PrimacyError::Codec(e)
+    }
+}
+
+impl std::fmt::Display for PrimacyError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PrimacyError::Codec(e) => write!(f, "backend codec error: {e}"),
+            PrimacyError::Format(msg) => write!(f, "invalid PRIMACY container: {msg}"),
+            PrimacyError::UnsupportedVersion(v) => {
+                write!(f, "unsupported PRIMACY format version {v}")
+            }
+            PrimacyError::InvalidInput(msg) => write!(f, "invalid input: {msg}"),
+            PrimacyError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for PrimacyError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            PrimacyError::Codec(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+/// Convenience alias.
+pub type Result<T> = std::result::Result<T, PrimacyError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        let e = PrimacyError::from(CodecError::Truncated);
+        assert!(e.to_string().contains("truncated"));
+        assert!(std::error::Error::source(&e).is_some());
+        assert!(PrimacyError::Format("bad header").to_string().contains("bad header"));
+        assert!(PrimacyError::UnsupportedVersion(9).to_string().contains('9'));
+    }
+}

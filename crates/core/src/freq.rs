@@ -1,0 +1,179 @@
+//! Byte-sequence frequency analysis (§II-C, first pipeline stage).
+
+use crate::split::hi_key;
+
+/// Histogram of high-order byte-sequences. Indexed by the sequence value;
+/// length is `1 << (8 * hi_bytes)`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FreqTable {
+    counts: Vec<u32>,
+    total: u64,
+}
+
+impl FreqTable {
+    /// Count the byte-sequences of a row-major high matrix.
+    pub fn from_hi_matrix(hi: &[u8], hi_bytes: usize) -> Self {
+        let domain = 1usize << (8 * hi_bytes);
+        let mut counts = vec![0u32; domain];
+        let n = hi.len() / hi_bytes;
+        for i in 0..n {
+            counts[hi_key(hi, i, hi_bytes) as usize] += 1;
+        }
+        Self {
+            counts,
+            total: n as u64,
+        }
+    }
+
+    /// Occurrences of sequence `seq`.
+    #[inline]
+    pub fn count(&self, seq: u16) -> u32 {
+        self.counts[seq as usize]
+    }
+
+    /// Raw counts, indexed by sequence value.
+    pub fn counts(&self) -> &[u32] {
+        &self.counts
+    }
+
+    /// Total sequences counted (= rows in the matrix).
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Number of distinct sequences present. The paper reports < 2,000 of
+    /// 65,536 for most scientific datasets.
+    pub fn unique(&self) -> usize {
+        self.counts.iter().filter(|&&c| c > 0).count()
+    }
+
+    /// Sequences sorted by descending frequency, ties broken by ascending
+    /// sequence value (the deterministic rank order IDs are assigned in).
+    pub fn ranked(&self) -> Vec<u16> {
+        let mut seqs: Vec<u16> = self
+            .counts
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(s, _)| s as u16)
+            .collect();
+        seqs.sort_by(|&a, &b| {
+            self.counts[b as usize]
+                .cmp(&self.counts[a as usize])
+                .then(a.cmp(&b))
+        });
+        seqs
+    }
+
+    /// Normalized frequency of every sequence (Fig. 3 of the paper).
+    pub fn normalized(&self) -> Vec<f64> {
+        if self.total == 0 {
+            return vec![0.0; self.counts.len()];
+        }
+        self.counts
+            .iter()
+            .map(|&c| c as f64 / self.total as f64)
+            .collect()
+    }
+
+    /// Pearson correlation between two frequency tables — the signal the
+    /// [`crate::IndexPolicy::Reuse`] policy uses to decide whether the
+    /// previous chunk's index still fits (§II-F).
+    pub fn correlation(&self, other: &FreqTable) -> f64 {
+        assert_eq!(self.counts.len(), other.counts.len());
+        let n = self.counts.len() as f64;
+        let (mut sx, mut sy, mut sxx, mut syy, mut sxy) = (0f64, 0f64, 0f64, 0f64, 0f64);
+        for (&a, &b) in self.counts.iter().zip(&other.counts) {
+            let (x, y) = (a as f64, b as f64);
+            sx += x;
+            sy += y;
+            sxx += x * x;
+            syy += y * y;
+            sxy += x * y;
+        }
+        let cov = sxy - sx * sy / n;
+        let vx = sxx - sx * sx / n;
+        let vy = syy - sy * sy / n;
+        if vx <= 0.0 || vy <= 0.0 {
+            // A constant histogram correlates perfectly with itself and not
+            // at all with anything else.
+            return if self.counts == other.counts { 1.0 } else { 0.0 };
+        }
+        cov / (vx * vy).sqrt()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hi_from_keys(keys: &[u16]) -> Vec<u8> {
+        keys.iter()
+            .flat_map(|&k| [(k >> 8) as u8, k as u8])
+            .collect()
+    }
+
+    #[test]
+    fn counts_and_total() {
+        let hi = hi_from_keys(&[5, 5, 5, 9, 9, 1]);
+        let f = FreqTable::from_hi_matrix(&hi, 2);
+        assert_eq!(f.count(5), 3);
+        assert_eq!(f.count(9), 2);
+        assert_eq!(f.count(1), 1);
+        assert_eq!(f.count(0), 0);
+        assert_eq!(f.total(), 6);
+        assert_eq!(f.unique(), 3);
+    }
+
+    #[test]
+    fn ranked_orders_by_frequency_then_value() {
+        let hi = hi_from_keys(&[7, 7, 3, 3, 10, 2]);
+        let f = FreqTable::from_hi_matrix(&hi, 2);
+        // 3 and 7 tie at 2 → ascending value; then 2 and 10 tie at 1.
+        assert_eq!(f.ranked(), vec![3, 7, 2, 10]);
+    }
+
+    #[test]
+    fn one_byte_domain() {
+        let hi = vec![1u8, 1, 2, 255];
+        let f = FreqTable::from_hi_matrix(&hi, 1);
+        assert_eq!(f.counts().len(), 256);
+        assert_eq!(f.count(1), 2);
+        assert_eq!(f.ranked()[0], 1);
+    }
+
+    #[test]
+    fn normalized_sums_to_one() {
+        let hi = hi_from_keys(&[4, 4, 4, 4, 8, 8, 15, 16]);
+        let f = FreqTable::from_hi_matrix(&hi, 2);
+        let norm = f.normalized();
+        let sum: f64 = norm.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-12);
+        assert!((norm[4] - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn correlation_self_is_one() {
+        let hi = hi_from_keys(&[1, 2, 2, 3, 3, 3]);
+        let f = FreqTable::from_hi_matrix(&hi, 2);
+        assert!((f.correlation(&f) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn correlation_discriminates() {
+        let a = FreqTable::from_hi_matrix(&hi_from_keys(&[1, 1, 1, 2, 2, 3]), 2);
+        let similar = FreqTable::from_hi_matrix(&hi_from_keys(&[1, 1, 1, 1, 2, 2, 3]), 2);
+        let different = FreqTable::from_hi_matrix(&hi_from_keys(&[100, 200, 300, 400]), 2);
+        assert!(a.correlation(&similar) > 0.9);
+        assert!(a.correlation(&different) < 0.1);
+    }
+
+    #[test]
+    fn empty_matrix() {
+        let f = FreqTable::from_hi_matrix(&[], 2);
+        assert_eq!(f.total(), 0);
+        assert_eq!(f.unique(), 0);
+        assert!(f.ranked().is_empty());
+        assert_eq!(f.normalized().iter().sum::<f64>(), 0.0);
+    }
+}

@@ -1,0 +1,212 @@
+//! Statistical primitives behind the ISOBAR classifier.
+
+/// Diagnostics for one byte-column of the low-order matrix.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ColumnReport {
+    /// Column index within the matrix.
+    pub column: usize,
+    /// Shannon entropy of the sampled byte distribution, in bits (0..=8).
+    pub entropy_bits: f64,
+    /// Relative frequency of the most common byte value in the sample.
+    pub top_byte_frequency: f64,
+    /// Number of distinct byte values observed in the sample.
+    pub unique_bytes: usize,
+    /// How many bytes were sampled.
+    pub sampled: usize,
+    /// Majority probability of each of the column's 8 bit positions (MSB
+    /// first) — the quantity the original ISOBAR classifier thresholds.
+    pub bit_majority: [f64; 8],
+}
+
+impl ColumnReport {
+    /// Bit positions whose majority probability reaches `skew_threshold`.
+    pub fn skewed_bits(&self, skew_threshold: f64) -> usize {
+        self.bit_majority
+            .iter()
+            .filter(|&&p| p >= skew_threshold)
+            .count()
+    }
+}
+
+/// Shannon entropy (bits/byte) of a byte histogram.
+pub fn byte_entropy(histogram: &[u64; 256], total: u64) -> f64 {
+    if total == 0 {
+        return 0.0;
+    }
+    let mut h = 0.0f64;
+    for &c in histogram.iter() {
+        if c > 0 {
+            let p = c as f64 / total as f64;
+            h -= p * p.log2();
+        }
+    }
+    h
+}
+
+/// Sample every `stride`-th row of column `col` and report its statistics.
+pub fn analyze_column(
+    lo: &[u8],
+    rows: usize,
+    cols: usize,
+    col: usize,
+    stride: usize,
+) -> ColumnReport {
+    debug_assert!(col < cols);
+    debug_assert!(stride >= 1);
+    let mut histogram = [0u64; 256];
+    let mut sampled = 0u64;
+    let mut r = 0usize;
+    while r < rows {
+        histogram[lo[r * cols + col] as usize] += 1;
+        sampled += 1;
+        r += stride;
+    }
+    let entropy_bits = byte_entropy(&histogram, sampled);
+    let top = histogram.iter().copied().max().unwrap_or(0);
+    let unique_bytes = histogram.iter().filter(|&&c| c > 0).count();
+    // Per-bit majority probabilities fall straight out of the histogram:
+    // ones(bit) = Σ count[v] over v with that bit set.
+    let mut bit_majority = [1.0f64; 8];
+    if sampled > 0 {
+        for (bit, slot) in bit_majority.iter_mut().enumerate() {
+            let mask = 1usize << (7 - bit);
+            let ones: u64 = histogram
+                .iter()
+                .enumerate()
+                .filter(|(v, _)| v & mask != 0)
+                .map(|(_, &c)| c)
+                .sum();
+            let p1 = ones as f64 / sampled as f64;
+            *slot = p1.max(1.0 - p1);
+        }
+    }
+    ColumnReport {
+        column: col,
+        entropy_bits,
+        top_byte_frequency: if sampled == 0 {
+            0.0
+        } else {
+            top as f64 / sampled as f64
+        },
+        unique_bytes,
+        sampled: sampled as usize,
+        bit_majority,
+    }
+}
+
+/// Per-bit-position probability of the *most frequent* bit value — exactly
+/// the quantity plotted in Fig. 1 of the paper. `width` is the number of
+/// bit positions per element (64 for f64); bit 0 is the most significant
+/// (sign) bit of the big-endian element.
+pub fn bit_majority_probability(elements: &[u64], width: usize) -> Vec<f64> {
+    debug_assert!(width <= 64);
+    if elements.is_empty() {
+        return vec![0.5; width];
+    }
+    let mut ones = vec![0u64; width];
+    for &e in elements {
+        for (pos, slot) in ones.iter_mut().enumerate() {
+            let bit = (e >> (width - 1 - pos)) & 1;
+            *slot += bit;
+        }
+    }
+    let n = elements.len() as f64;
+    ones.iter()
+        .map(|&o| {
+            let p1 = o as f64 / n;
+            p1.max(1.0 - p1)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn entropy_of_constant_is_zero() {
+        let mut h = [0u64; 256];
+        h[42] = 1000;
+        assert_eq!(byte_entropy(&h, 1000), 0.0);
+    }
+
+    #[test]
+    fn entropy_of_uniform_is_eight() {
+        let h = [10u64; 256];
+        assert!((byte_entropy(&h, 2560) - 8.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn entropy_of_two_equal_symbols_is_one() {
+        let mut h = [0u64; 256];
+        h[0] = 500;
+        h[255] = 500;
+        assert!((byte_entropy(&h, 1000) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_histogram_is_zero_entropy() {
+        assert_eq!(byte_entropy(&[0u64; 256], 0), 0.0);
+    }
+
+    #[test]
+    fn analyze_column_reports_plausible_stats() {
+        // 2-column matrix: col 0 alternates between two bytes, col 1 counts.
+        let rows = 4096;
+        let mut m = Vec::with_capacity(rows * 2);
+        for r in 0..rows {
+            m.push(if r % 2 == 0 { 0xAA } else { 0x55 });
+            m.push((r % 256) as u8);
+        }
+        let c0 = analyze_column(&m, rows, 2, 0, 1);
+        assert!((c0.entropy_bits - 1.0).abs() < 1e-9);
+        assert!((c0.top_byte_frequency - 0.5).abs() < 1e-9);
+        assert_eq!(c0.unique_bytes, 2);
+        assert_eq!(c0.sampled, rows);
+        let c1 = analyze_column(&m, rows, 2, 1, 1);
+        assert!((c1.entropy_bits - 8.0).abs() < 1e-9);
+        assert_eq!(c1.unique_bytes, 256);
+    }
+
+    #[test]
+    fn stride_reduces_sample_count() {
+        let m = vec![1u8; 1000];
+        let r = analyze_column(&m, 1000, 1, 0, 10);
+        assert_eq!(r.sampled, 100);
+    }
+
+    #[test]
+    fn bit_probability_sign_and_exponent_bits_are_skewed() {
+        // All-positive doubles in [1, 2): sign bit and exponent bits are
+        // constant (p = 1.0); deep mantissa bits of random values sit at
+        // p ≈ 0.5 — the exact shape of the paper's Fig. 1.
+        let mut x = 555u64;
+        let elements: Vec<u64> = (0..10_000)
+            .map(|_| {
+                x = x.wrapping_mul(6_364_136_223_846_793_005).wrapping_add(1);
+                1.0f64 + f64::from_bits(0x3FF0_0000_0000_0000 | (x >> 12)) - 1.0
+            })
+            .map(|v| v.to_bits())
+            .collect();
+        let p = bit_majority_probability(&elements, 64);
+        assert_eq!(p.len(), 64);
+        assert!(p[0] > 0.999, "sign bit p={}", p[0]);
+        for (i, &pi) in p.iter().enumerate().take(12).skip(1) {
+            assert!(pi > 0.99, "exponent bit {i} p={pi}");
+        }
+        let tail_mean: f64 = p[40..].iter().sum::<f64>() / 24.0;
+        assert!(tail_mean < 0.56, "mantissa tail p={tail_mean}");
+    }
+
+    #[test]
+    fn bit_probability_empty_input() {
+        assert_eq!(bit_majority_probability(&[], 64), vec![0.5; 64]);
+    }
+
+    #[test]
+    fn bit_probability_is_at_least_half() {
+        let elements = vec![0b1010u64, 0b0101, 0b1111, 0b0000];
+        let p = bit_majority_probability(&elements, 4);
+        assert!(p.iter().all(|&x| (0.5..=1.0).contains(&x)));
+    }
+}

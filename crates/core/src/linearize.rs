@@ -1,0 +1,103 @@
+//! Byte-level linearization (§II-D): row-major ↔ column-major layout of an
+//! N×M byte matrix.
+//!
+//! Column order puts each ID byte-column contiguously, turning the high
+//! frequency of low ID values into literal runs of 0-bytes that the backend
+//! compressor's LZ/RLE stage can exploit (§IV-H measures this at 8–10 % CR
+//! and ~20 % compression-throughput on the IDs).
+
+/// Transpose a row-major `rows`×`cols` byte matrix into column-major order.
+pub fn to_columns(data: &[u8], rows: usize, cols: usize) -> Vec<u8> {
+    assert_eq!(data.len(), rows * cols, "matrix shape mismatch");
+    let mut out = vec![0u8; data.len()];
+    for c in 0..cols {
+        let col = &mut out[c * rows..(c + 1) * rows];
+        for (r, slot) in col.iter_mut().enumerate() {
+            *slot = data[r * cols + c];
+        }
+    }
+    out
+}
+
+/// Inverse of [`to_columns`].
+pub fn to_rows(data: &[u8], rows: usize, cols: usize) -> Vec<u8> {
+    assert_eq!(data.len(), rows * cols, "matrix shape mismatch");
+    let mut out = vec![0u8; data.len()];
+    for c in 0..cols {
+        let col = &data[c * rows..(c + 1) * rows];
+        for (r, &b) in col.iter().enumerate() {
+            out[r * cols + c] = b;
+        }
+    }
+    out
+}
+
+/// Extract a single byte-column from a row-major matrix.
+pub fn extract_column(data: &[u8], rows: usize, cols: usize, col: usize) -> Vec<u8> {
+    assert!(col < cols);
+    assert_eq!(data.len(), rows * cols);
+    (0..rows).map(|r| data[r * cols + col]).collect()
+}
+
+/// Scatter a byte-column back into a row-major matrix.
+pub fn insert_column(data: &mut [u8], rows: usize, cols: usize, col: usize, values: &[u8]) {
+    assert!(col < cols);
+    assert_eq!(data.len(), rows * cols);
+    assert_eq!(values.len(), rows);
+    for (r, &b) in values.iter().enumerate() {
+        data[r * cols + col] = b;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn transpose_small_matrix() {
+        // 3 rows × 2 cols, row-major: [r0c0, r0c1, r1c0, r1c1, r2c0, r2c1].
+        let data = [1u8, 2, 3, 4, 5, 6];
+        let cols = to_columns(&data, 3, 2);
+        assert_eq!(cols, vec![1, 3, 5, 2, 4, 6]);
+        assert_eq!(to_rows(&cols, 3, 2), data.to_vec());
+    }
+
+    #[test]
+    fn transpose_roundtrip_various_shapes() {
+        for (rows, cols) in [(1, 1), (1, 8), (8, 1), (7, 3), (100, 6), (33, 2)] {
+            let data: Vec<u8> = (0..rows * cols).map(|i| (i * 31 % 251) as u8).collect();
+            let t = to_columns(&data, rows, cols);
+            assert_eq!(to_rows(&t, rows, cols), data, "{rows}x{cols}");
+        }
+    }
+
+    #[test]
+    fn empty_matrix() {
+        assert!(to_columns(&[], 0, 2).is_empty());
+        assert!(to_rows(&[], 0, 2).is_empty());
+    }
+
+    #[test]
+    fn column_extraction_and_insertion() {
+        let data = [10u8, 20, 30, 40, 50, 60]; // 2 rows × 3 cols
+        assert_eq!(extract_column(&data, 2, 3, 0), vec![10, 40]);
+        assert_eq!(extract_column(&data, 2, 3, 2), vec![30, 60]);
+        let mut copy = data.to_vec();
+        insert_column(&mut copy, 2, 3, 1, &[99, 98]);
+        assert_eq!(copy, vec![10, 99, 30, 40, 98, 60]);
+    }
+
+    #[test]
+    fn column_order_groups_runs() {
+        // Rows of [0, x]: column order must put all zeros adjacent.
+        let data: Vec<u8> = (0..100u8).flat_map(|i| [0u8, i]).collect();
+        let t = to_columns(&data, 100, 2);
+        assert!(t[..100].iter().all(|&b| b == 0));
+    }
+
+    #[test]
+    #[should_panic(expected = "matrix shape mismatch")]
+    fn shape_mismatch_panics() {
+        to_columns(&[1, 2, 3], 2, 2);
+    }
+}

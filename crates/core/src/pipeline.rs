@@ -1,0 +1,700 @@
+//! The end-to-end PRIMACY pipeline (Fig. 2 / Algorithm 1 of the paper).
+
+use crate::config::{IndexPolicy, Linearization, PrimacyConfig};
+use crate::error::{PrimacyError, Result};
+use crate::format::{self, Header, Reader};
+use crate::freq::FreqTable;
+use crate::idmap::IdMap;
+use crate::isobar;
+use crate::linearize::{to_columns, to_rows};
+use crate::split::{join_hi_lo, split_hi_lo};
+use crate::stats::{CompressionStats, StageTimings};
+use primacy_codecs::checksum::crc32;
+use primacy_codecs::Codec;
+use std::time::Instant;
+
+/// A configured PRIMACY compressor/decompressor.
+///
+/// The struct owns its backend codec instance and is immutable after
+/// construction, so one instance can be shared across threads (`&self`
+/// methods only).
+pub struct PrimacyCompressor {
+    config: PrimacyConfig,
+    codec: Box<dyn Codec>,
+}
+
+/// State threaded between chunks for [`IndexPolicy::Reuse`].
+pub(crate) struct IndexState {
+    pub(crate) freq: FreqTable,
+    pub(crate) map: IdMap,
+}
+
+impl PrimacyCompressor {
+    /// Build a compressor, panicking on invalid configuration (use
+    /// [`PrimacyCompressor::try_new`] to handle errors).
+    pub fn new(config: PrimacyConfig) -> Self {
+        Self::try_new(config).expect("invalid PRIMACY configuration")
+    }
+
+    /// Build a compressor, validating the configuration.
+    pub fn try_new(config: PrimacyConfig) -> Result<Self> {
+        config.validate()?;
+        let codec = config.codec.build();
+        Ok(Self { config, codec })
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &PrimacyConfig {
+        &self.config
+    }
+
+    /// Compress a slice of doubles. Requires `element_size == 8`.
+    pub fn compress_f64(&self, values: &[f64]) -> Result<Vec<u8>> {
+        if self.config.element_size != 8 {
+            return Err(PrimacyError::InvalidInput(
+                "compress_f64 requires an 8-byte element configuration",
+            ));
+        }
+        let bytes: Vec<u8> = values.iter().flat_map(|v| v.to_le_bytes()).collect();
+        self.compress_bytes(&bytes)
+    }
+
+    /// Decompress into doubles. Requires the stream's `element_size == 8`.
+    pub fn decompress_f64(&self, input: &[u8]) -> Result<Vec<f64>> {
+        let bytes = self.decompress_bytes(input)?;
+        if bytes.len() % 8 != 0 {
+            return Err(PrimacyError::Format("stream is not a whole number of doubles"));
+        }
+        Ok(bytes
+            .chunks_exact(8)
+            .map(|c| f64::from_le_bytes(c.try_into().unwrap()))
+            .collect())
+    }
+
+    /// Compress raw element bytes (length must be a multiple of
+    /// `element_size`).
+    pub fn compress_bytes(&self, input: &[u8]) -> Result<Vec<u8>> {
+        self.compress_bytes_with_stats(input).map(|(out, _)| out)
+    }
+
+    /// Compress and report per-stage statistics.
+    pub fn compress_bytes_with_stats(&self, input: &[u8]) -> Result<(Vec<u8>, CompressionStats)> {
+        if !input.len().is_multiple_of(self.config.element_size) {
+            return Err(PrimacyError::InvalidInput(
+                "input length is not a multiple of the element size",
+            ));
+        }
+        let total_elements = (input.len() / self.config.element_size) as u64;
+        let mut out = Vec::with_capacity(input.len() / 2 + 64);
+        format::write_header(
+            &mut out,
+            &Header {
+                element_size: self.config.element_size,
+                hi_bytes: self.config.hi_bytes,
+                linearization: self.config.linearization,
+                codec: self.config.codec,
+                total_elements,
+            },
+        );
+
+        let chunk_bytes = self.config.chunk_elements() * self.config.element_size;
+        let mut prev_index: Option<IndexState> = None;
+        let mut timings = StageTimings::default();
+        let mut chunks = 0usize;
+        let mut own_index_chunks = 0usize;
+        let mut weighted_alpha2 = 0f64;
+
+        for chunk in input.chunks(chunk_bytes.max(self.config.element_size)) {
+            let info = self.compress_chunk(chunk, &mut prev_index, &mut out)?;
+            timings.add(&info.timings);
+            chunks += 1;
+            if info.own_index {
+                own_index_chunks += 1;
+            }
+            weighted_alpha2 += info.alpha2 * chunk.len() as f64;
+        }
+
+        out.extend_from_slice(&crc32(input).to_le_bytes());
+        let stats = CompressionStats {
+            original_bytes: input.len(),
+            compressed_bytes: out.len(),
+            chunks,
+            own_index_chunks,
+            isobar_compressible_fraction: if input.is_empty() {
+                0.0
+            } else {
+                weighted_alpha2 / input.len() as f64
+            },
+            timings,
+        };
+        Ok((out, stats))
+    }
+
+    /// Compress chunks on `threads` worker threads (chunk sections are
+    /// independent, so this parallelizes embarrassingly — the paper runs the
+    /// preconditioner on every compute node's own data the same way).
+    ///
+    /// Under [`IndexPolicy::Reuse`] each chunk falls back to its own index,
+    /// since cross-chunk reuse would serialize the workers.
+    pub fn compress_bytes_parallel(&self, input: &[u8], threads: usize) -> Result<Vec<u8>> {
+        if !input.len().is_multiple_of(self.config.element_size) {
+            return Err(PrimacyError::InvalidInput(
+                "input length is not a multiple of the element size",
+            ));
+        }
+        let threads = threads.max(1);
+        let chunk_bytes = (self.config.chunk_elements() * self.config.element_size)
+            .max(self.config.element_size);
+        let chunks: Vec<&[u8]> = input.chunks(chunk_bytes).collect();
+        let mut sections: Vec<Result<Vec<u8>>> = Vec::with_capacity(chunks.len());
+        sections.resize_with(chunks.len(), || Ok(Vec::new()));
+
+        let next = std::sync::atomic::AtomicUsize::new(0);
+        let sections_mutex = std::sync::Mutex::new(&mut sections);
+        crossbeam::thread::scope(|scope| {
+            for _ in 0..threads.min(chunks.len().max(1)) {
+                scope.spawn(|_| loop {
+                    let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                    if i >= chunks.len() {
+                        break;
+                    }
+                    let mut buf = Vec::new();
+                    let mut no_prev = None;
+                    let r = self
+                        .compress_chunk(chunks[i], &mut no_prev, &mut buf)
+                        .map(|_| buf);
+                    let mut guard = sections_mutex.lock().unwrap();
+                    guard[i] = r;
+                });
+            }
+        })
+        .expect("worker thread panicked");
+
+        let mut out = Vec::with_capacity(input.len() / 2 + 64);
+        format::write_header(
+            &mut out,
+            &Header {
+                element_size: self.config.element_size,
+                hi_bytes: self.config.hi_bytes,
+                linearization: self.config.linearization,
+                codec: self.config.codec,
+                total_elements: (input.len() / self.config.element_size) as u64,
+            },
+        );
+        for section in sections {
+            out.extend_from_slice(&section?);
+        }
+        out.extend_from_slice(&crc32(input).to_le_bytes());
+        Ok(out)
+    }
+
+    /// Per-chunk info reported back to the stats aggregator.
+    pub(crate) fn compress_chunk(
+        &self,
+        chunk: &[u8],
+        prev_index: &mut Option<IndexState>,
+        out: &mut Vec<u8>,
+    ) -> Result<ChunkInfo> {
+        let cfg = &self.config;
+        let n = chunk.len() / cfg.element_size;
+        let lo_cols = cfg.lo_bytes();
+        let mut timings = StageTimings::default();
+
+        let t = Instant::now();
+        let (mut hi, lo) = split_hi_lo(chunk, cfg.element_size, cfg.hi_bytes)?;
+        timings.split += t.elapsed();
+
+        // Frequency analysis + index decision (§II-C, §II-F).
+        let t = Instant::now();
+        let freq = FreqTable::from_hi_matrix(&hi, cfg.hi_bytes);
+        let (own_index, state) = match (&cfg.index_policy, prev_index.take()) {
+            (
+                IndexPolicy::Reuse {
+                    correlation_threshold,
+                },
+                Some(prev),
+            ) if prev.freq.correlation(&freq) >= *correlation_threshold
+                && prev.map.covers(&hi) =>
+            {
+                (false, prev)
+            }
+            _ => {
+                let map = IdMap::from_freq(&freq, cfg.hi_bytes)?;
+                (true, IndexState { freq, map })
+            }
+        };
+        timings.frequency_analysis += t.elapsed();
+
+        // ID mapping (§II-C).
+        let t = Instant::now();
+        state.map.encode_hi(&mut hi)?;
+        timings.id_mapping += t.elapsed();
+
+        // Linearization (§II-D).
+        let t = Instant::now();
+        let hi_lin = match cfg.linearization {
+            Linearization::Row => hi,
+            Linearization::Column => to_columns(&hi, n, cfg.hi_bytes),
+        };
+        timings.linearization += t.elapsed();
+
+        // Backend compression of the ID bytes (§II-E).
+        let t = Instant::now();
+        let hi_comp = self.codec.compress(&hi_lin)?;
+        timings.codec += t.elapsed();
+
+        // ISOBAR on the mantissa bytes (§II-G).
+        let t = Instant::now();
+        let report = isobar::analyze(&lo, n, lo_cols, &cfg.isobar);
+        let (compressible, incompressible) = isobar::partition(&lo, n, lo_cols, report.mask);
+        timings.isobar += t.elapsed();
+
+        let t = Instant::now();
+        let lo_comp = if compressible.is_empty() {
+            Vec::new()
+        } else {
+            self.codec.compress(&compressible)?
+        };
+        timings.codec += t.elapsed();
+
+        // Emit the chunk section.
+        format::write_varint(out, n as u64);
+        let flags = if own_index { format::FLAG_OWN_INDEX } else { 0 };
+        out.push(flags);
+        if own_index {
+            format::write_varint(out, state.map.len() as u64);
+            state.map.serialize(out);
+        }
+        format::write_varint(out, hi_comp.len() as u64);
+        out.extend_from_slice(&hi_comp);
+        out.extend_from_slice(&report.mask.to_le_bytes());
+        format::write_varint(out, lo_comp.len() as u64);
+        out.extend_from_slice(&lo_comp);
+        out.extend_from_slice(&incompressible);
+
+        let alpha2 = report.compressible_fraction();
+        *prev_index = Some(state);
+        Ok(ChunkInfo {
+            own_index,
+            alpha2,
+            timings,
+        })
+    }
+
+    /// Decompress a PRIMACY stream produced by any configuration (the
+    /// stream header, not `self.config`, governs layout and codec).
+    pub fn decompress_bytes(&self, input: &[u8]) -> Result<Vec<u8>> {
+        self.decompress_bytes_with_stats(input).map(|(out, _)| out)
+    }
+
+    /// Decompress and report per-stage statistics (the decompression-side
+    /// mirror of [`PrimacyCompressor::compress_bytes_with_stats`]).
+    pub fn decompress_bytes_with_stats(
+        &self,
+        input: &[u8],
+    ) -> Result<(Vec<u8>, CompressionStats)> {
+        if input.len() < 13 {
+            return Err(PrimacyError::Format("stream shorter than minimum"));
+        }
+        let (header, pos) = format::read_header(input)?;
+        // The stream header, not this instance's config, names the codec.
+        let codec: Box<dyn Codec> = header.codec.build();
+        let body_end = input.len() - 4;
+        if pos > body_end {
+            return Err(PrimacyError::Format("stream shorter than header + crc"));
+        }
+        // Clamp the pre-allocation: total_elements is attacker-controlled in
+        // a corrupt stream, and over-claims are caught chunk by chunk anyway.
+        let claimed = header
+            .total_elements
+            .saturating_mul(header.element_size as u64)
+            .min(64 * 1024 * 1024) as usize;
+        let mut out = Vec::with_capacity(claimed);
+        let mut prev_map: Option<IdMap> = None;
+        let mut reader = Reader::new(input, pos, body_end);
+        let mut decoded_elements = 0u64;
+        let mut timings = StageTimings::default();
+        let mut chunks = 0usize;
+        while decoded_elements < header.total_elements {
+            if reader.remaining() == 0 {
+                return Err(PrimacyError::Format("stream ends before all elements"));
+            }
+            let (chunk, map) = decompress_chunk_timed(
+                &mut reader,
+                &header,
+                codec.as_ref(),
+                prev_map.take(),
+                &mut timings,
+            )?;
+            let n = (chunk.len() / header.element_size) as u64;
+            if decoded_elements + n > header.total_elements {
+                return Err(PrimacyError::Format("chunk element count out of range"));
+            }
+            out.extend_from_slice(&chunk);
+            decoded_elements += n;
+            chunks += 1;
+            prev_map = Some(map);
+        }
+        if reader.remaining() != 0 {
+            return Err(PrimacyError::Format("trailing bytes after final chunk"));
+        }
+        let stored = u32::from_le_bytes(input[body_end..].try_into().unwrap());
+        let actual = crc32(&out);
+        if stored != actual {
+            return Err(PrimacyError::Codec(
+                primacy_codecs::CodecError::ChecksumMismatch {
+                    expected: stored,
+                    actual,
+                },
+            ));
+        }
+        let stats = CompressionStats {
+            original_bytes: out.len(),
+            compressed_bytes: input.len(),
+            chunks,
+            own_index_chunks: chunks, // not tracked on decode; upper bound
+            isobar_compressible_fraction: 0.0,
+            timings,
+        };
+        Ok((out, stats))
+    }
+}
+
+pub(crate) struct ChunkInfo {
+    pub(crate) own_index: bool,
+    pub(crate) alpha2: f64,
+    pub(crate) timings: StageTimings,
+}
+
+/// Decode one chunk section from `reader`. `prev_map` supplies the index
+/// when the chunk reuses its predecessor's; returns the decoded bytes and
+/// the index in effect (to thread into the next chunk).
+///
+/// Crate-visible so the seekable archive format can decode individual
+/// chunks without walking the whole stream.
+pub(crate) fn decompress_chunk(
+    reader: &mut Reader<'_>,
+    header: &Header,
+    codec: &dyn Codec,
+    prev_map: Option<IdMap>,
+) -> Result<(Vec<u8>, IdMap)> {
+    let mut timings = StageTimings::default();
+    decompress_chunk_timed(reader, header, codec, prev_map, &mut timings)
+}
+
+/// [`decompress_chunk`] with per-stage wall-clock accounting.
+pub(crate) fn decompress_chunk_timed(
+    reader: &mut Reader<'_>,
+    header: &Header,
+    codec: &dyn Codec,
+    prev_map: Option<IdMap>,
+    timings: &mut StageTimings,
+) -> Result<(Vec<u8>, IdMap)> {
+    let lo_cols = header.element_size - header.hi_bytes;
+    let n = reader.varint()? as usize;
+    if n == 0 {
+        return Err(PrimacyError::Format("empty chunk section"));
+    }
+    let flags = reader.byte()?;
+    let map = if flags & format::FLAG_OWN_INDEX != 0 {
+        let k = reader.varint()? as usize;
+        if k > 1 << (8 * header.hi_bytes) {
+            return Err(PrimacyError::Format("index larger than sequence domain"));
+        }
+        let bytes = reader.bytes(k * header.hi_bytes)?;
+        IdMap::deserialize(bytes, k, header.hi_bytes)?
+    } else {
+        prev_map.ok_or(PrimacyError::Format("chunk reuses a missing index"))?
+    };
+    let hi_len = reader.varint()? as usize;
+    let hi_comp = reader.bytes(hi_len)?;
+    let mask = reader.u16_le()?;
+    if usize::from(mask.count_ones() as u16) > lo_cols || (mask >> lo_cols) != 0 {
+        return Err(PrimacyError::Format("isobar mask wider than matrix"));
+    }
+    let lo_len = reader.varint()? as usize;
+    let lo_comp = reader.bytes(lo_len)?;
+    let incompressible_cols = lo_cols - mask.count_ones() as usize;
+    let incompressible = reader.bytes(n * incompressible_cols)?;
+
+    // Reverse the hi pipeline.
+    let t = Instant::now();
+    let hi_lin = codec.decompress(hi_comp)?;
+    timings.codec += t.elapsed();
+    if hi_lin.len() != n * header.hi_bytes {
+        return Err(PrimacyError::Format("hi section has wrong size"));
+    }
+    let t = Instant::now();
+    let mut hi = match header.linearization {
+        Linearization::Row => hi_lin,
+        Linearization::Column => to_rows(&hi_lin, n, header.hi_bytes),
+    };
+    timings.linearization += t.elapsed();
+    let t = Instant::now();
+    map.decode_hi(&mut hi)?;
+    timings.id_mapping += t.elapsed();
+
+    // Reverse the lo pipeline.
+    let t = Instant::now();
+    let compressible = if lo_len == 0 {
+        Vec::new()
+    } else {
+        codec.decompress(lo_comp)?
+    };
+    timings.codec += t.elapsed();
+    if compressible.len() != n * mask.count_ones() as usize {
+        return Err(PrimacyError::Format("lo section has wrong size"));
+    }
+    let t = Instant::now();
+    let lo = isobar::unpartition(&compressible, incompressible, n, lo_cols, mask);
+    timings.isobar += t.elapsed();
+
+    let t = Instant::now();
+    let chunk = join_hi_lo(&hi, &lo, header.element_size, header.hi_bytes)?;
+    timings.split += t.elapsed();
+    Ok((chunk, map))
+}
+
+#[cfg(test)]
+// Config tweaks read more clearly as sequential assignments in tests.
+#[allow(clippy::field_reassign_with_default)]
+mod tests {
+    use super::*;
+    use primacy_codecs::CodecKind;
+
+    fn sample_values(n: usize) -> Vec<f64> {
+        (0..n)
+            .map(|i| 1.0 + (i as f64 * 0.001).sin() * 0.5 + (i % 17) as f64 * 1e-9)
+            .collect()
+    }
+
+    fn compressor() -> PrimacyCompressor {
+        PrimacyCompressor::new(PrimacyConfig::default())
+    }
+
+    #[test]
+    fn roundtrip_f64() {
+        let values = sample_values(50_000);
+        let c = compressor();
+        let comp = c.compress_f64(&values).unwrap();
+        let back = c.decompress_f64(&comp).unwrap();
+        assert_eq!(back, values);
+    }
+
+    #[test]
+    fn roundtrip_empty() {
+        let c = compressor();
+        let comp = c.compress_f64(&[]).unwrap();
+        assert!(c.decompress_f64(&comp).unwrap().is_empty());
+    }
+
+    #[test]
+    fn roundtrip_single_value() {
+        let c = compressor();
+        let comp = c.compress_f64(&[42.42]).unwrap();
+        assert_eq!(c.decompress_f64(&comp).unwrap(), vec![42.42]);
+    }
+
+    #[test]
+    fn roundtrip_multi_chunk() {
+        let mut cfg = PrimacyConfig::default();
+        cfg.chunk_bytes = 4096; // force many chunks
+        let c = PrimacyCompressor::new(cfg);
+        let values = sample_values(10_000);
+        let comp = c.compress_f64(&values).unwrap();
+        assert_eq!(c.decompress_f64(&comp).unwrap(), values);
+    }
+
+    #[test]
+    fn roundtrip_special_values() {
+        let c = compressor();
+        let values = vec![
+            0.0,
+            -0.0,
+            f64::INFINITY,
+            f64::NEG_INFINITY,
+            f64::NAN,
+            f64::MIN_POSITIVE,
+            f64::MAX,
+            -f64::MAX,
+        ];
+        let comp = c.compress_f64(&values).unwrap();
+        let back = c.decompress_f64(&comp).unwrap();
+        assert_eq!(
+            back.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+            values.iter().map(|v| v.to_bits()).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn roundtrip_every_codec_backend() {
+        let values = sample_values(5_000);
+        for kind in CodecKind::ALL {
+            let mut cfg = PrimacyConfig::default();
+            cfg.codec = kind;
+            let c = PrimacyCompressor::new(cfg);
+            let comp = c.compress_f64(&values).unwrap();
+            assert_eq!(c.decompress_f64(&comp).unwrap(), values, "backend {kind}");
+        }
+    }
+
+    #[test]
+    fn roundtrip_row_linearization() {
+        let mut cfg = PrimacyConfig::default();
+        cfg.linearization = Linearization::Row;
+        let c = PrimacyCompressor::new(cfg);
+        let values = sample_values(8_000);
+        let comp = c.compress_f64(&values).unwrap();
+        assert_eq!(c.decompress_f64(&comp).unwrap(), values);
+    }
+
+    #[test]
+    fn roundtrip_isobar_disabled() {
+        let mut cfg = PrimacyConfig::default();
+        cfg.isobar.enabled = false;
+        let c = PrimacyCompressor::new(cfg);
+        let values = sample_values(8_000);
+        let comp = c.compress_f64(&values).unwrap();
+        assert_eq!(c.decompress_f64(&comp).unwrap(), values);
+    }
+
+    #[test]
+    fn roundtrip_f32_elements() {
+        let cfg = PrimacyConfig::f32();
+        let c = PrimacyCompressor::new(cfg);
+        let bytes: Vec<u8> = (0..10_000u32)
+            .flat_map(|i| (1.5f32 + (i as f32 * 0.01).sin()).to_le_bytes())
+            .collect();
+        let comp = c.compress_bytes(&bytes).unwrap();
+        assert_eq!(c.decompress_bytes(&comp).unwrap(), bytes);
+    }
+
+    #[test]
+    fn index_reuse_reduces_index_count() {
+        let mut cfg = PrimacyConfig::default();
+        cfg.chunk_bytes = 8192;
+        cfg.index_policy = IndexPolicy::Reuse {
+            correlation_threshold: 0.5,
+        };
+        let c = PrimacyCompressor::new(cfg);
+        // Statistically stationary data: later chunks should reuse.
+        let values = sample_values(50_000);
+        let (comp, stats) = c
+            .compress_bytes_with_stats(
+                &values.iter().flat_map(|v| v.to_le_bytes()).collect::<Vec<u8>>(),
+            )
+            .unwrap();
+        assert!(stats.chunks > 10);
+        assert!(
+            stats.own_index_chunks < stats.chunks,
+            "no chunk reused an index ({}/{})",
+            stats.own_index_chunks,
+            stats.chunks
+        );
+        assert_eq!(c.decompress_f64(&comp).unwrap(), values);
+    }
+
+    #[test]
+    fn stats_are_plausible() {
+        let values = sample_values(100_000);
+        let c = compressor();
+        let bytes: Vec<u8> = values.iter().flat_map(|v| v.to_le_bytes()).collect();
+        let (comp, stats) = c.compress_bytes_with_stats(&bytes).unwrap();
+        assert_eq!(stats.original_bytes, 800_000);
+        assert_eq!(stats.compressed_bytes, comp.len());
+        assert!(stats.ratio() > 1.0, "ratio {}", stats.ratio());
+        assert!(stats.timings.total().as_nanos() > 0);
+        assert!((0.0..=1.0).contains(&stats.isobar_compressible_fraction));
+    }
+
+    #[test]
+    fn decompress_stats_are_plausible() {
+        let values = sample_values(50_000);
+        let c = compressor();
+        let comp = c.compress_f64(&values).unwrap();
+        let (out, stats) = c.decompress_bytes_with_stats(&comp).unwrap();
+        assert_eq!(out.len(), values.len() * 8);
+        assert_eq!(stats.original_bytes, out.len());
+        assert_eq!(stats.compressed_bytes, comp.len());
+        assert!(stats.chunks >= 1);
+        assert!(stats.timings.codec.as_nanos() > 0);
+        // Ratio from the decode side matches the encode side.
+        assert!((stats.ratio() - out.len() as f64 / comp.len() as f64).abs() < 1e-9);
+    }
+
+    #[test]
+    fn parallel_compression_matches_serial_output_content() {
+        let values = sample_values(60_000);
+        let bytes: Vec<u8> = values.iter().flat_map(|v| v.to_le_bytes()).collect();
+        let mut cfg = PrimacyConfig::default();
+        cfg.chunk_bytes = 32 * 1024;
+        let c = PrimacyCompressor::new(cfg);
+        let par = c.compress_bytes_parallel(&bytes, 4).unwrap();
+        let ser = c.compress_bytes(&bytes).unwrap();
+        // Same format and content (PerChunk policy makes them identical).
+        assert_eq!(par, ser);
+        assert_eq!(c.decompress_bytes(&par).unwrap(), bytes);
+    }
+
+    #[test]
+    fn rejects_ragged_input() {
+        let c = compressor();
+        assert!(c.compress_bytes(&[1, 2, 3]).is_err());
+    }
+
+    #[test]
+    fn rejects_corrupted_stream() {
+        let values = sample_values(10_000);
+        let c = compressor();
+        let comp = c.compress_f64(&values).unwrap();
+        for &pos in &[5usize, comp.len() / 2, comp.len() - 2] {
+            let mut bad = comp.clone();
+            bad[pos] ^= 0x40;
+            assert!(c.decompress_bytes(&bad).is_err(), "flip at {pos} accepted");
+        }
+    }
+
+    #[test]
+    fn rejects_truncated_stream() {
+        let values = sample_values(2_000);
+        let c = compressor();
+        let comp = c.compress_f64(&values).unwrap();
+        for cut in [1usize, 4, comp.len() / 2] {
+            assert!(c.decompress_bytes(&comp[..comp.len() - cut]).is_err());
+        }
+    }
+
+    #[test]
+    fn cross_config_decompression() {
+        // A stream written with BWT backend must decompress through a
+        // compressor configured for zlib (header governs).
+        let values = sample_values(3_000);
+        let mut cfg = PrimacyConfig::default();
+        cfg.codec = CodecKind::Bwt;
+        let writer = PrimacyCompressor::new(cfg);
+        let comp = writer.compress_f64(&values).unwrap();
+        let reader = compressor();
+        assert_eq!(reader.decompress_f64(&comp).unwrap(), values);
+    }
+
+    #[test]
+    fn compression_beats_backend_alone_on_hard_data() {
+        // Narrow-range doubles with random mantissas: the PRIMACY transform
+        // must compress better than handing the raw bytes to the codec.
+        let mut x = 777u64;
+        let values: Vec<f64> = (0..200_000)
+            .map(|_| {
+                x = x.wrapping_mul(6_364_136_223_846_793_005).wrapping_add(1);
+                1.0 + (x >> 12) as f64 / (1u64 << 52) as f64
+            })
+            .collect();
+        let bytes: Vec<u8> = values.iter().flat_map(|v| v.to_le_bytes()).collect();
+        let c = compressor();
+        let primacy_size = c.compress_bytes(&bytes).unwrap().len();
+        let zlib_size = CodecKind::Zlib.build().compress(&bytes).unwrap().len();
+        assert!(
+            primacy_size < zlib_size,
+            "primacy {primacy_size} vs zlib {zlib_size}"
+        );
+    }
+}

@@ -1,0 +1,204 @@
+//! High/low byte-matrix split (§II-B).
+//!
+//! A chunk of N elements is viewed as an N×`element_size` byte matrix in
+//! *big-endian* per-element order, so that byte column 0 is the sign +
+//! high exponent byte regardless of host endianness. The matrix is split
+//! into an N×`hi_bytes` high-order part (fed to the ID mapper) and an
+//! N×`lo_bytes` low-order part (fed to ISOBAR).
+
+use crate::error::{PrimacyError, Result};
+
+/// Split little-endian element bytes into row-major high and low matrices.
+///
+/// `input.len()` must be a multiple of `element_size`.
+pub fn split_hi_lo(
+    input: &[u8],
+    element_size: usize,
+    hi_bytes: usize,
+) -> Result<(Vec<u8>, Vec<u8>)> {
+    if !input.len().is_multiple_of(element_size) {
+        return Err(PrimacyError::InvalidInput(
+            "byte length is not a multiple of the element size",
+        ));
+    }
+    let n = input.len() / element_size;
+    let lo_bytes = element_size - hi_bytes;
+    let mut hi = vec![0u8; n * hi_bytes];
+    let mut lo = vec![0u8; n * lo_bytes];
+    if element_size == 8 && hi_bytes == 2 {
+        // Hot path for f64: one u64 load per element, big-endian byte order
+        // materialized with a byte swap.
+        for ((elem, h), l) in input
+            .chunks_exact(8)
+            .zip(hi.chunks_exact_mut(2))
+            .zip(lo.chunks_exact_mut(6))
+        {
+            let be = u64::from_le_bytes(elem.try_into().unwrap()).to_be_bytes();
+            h.copy_from_slice(&be[0..2]);
+            l.copy_from_slice(&be[2..8]);
+        }
+        return Ok((hi, lo));
+    }
+    for ((elem, h), l) in input
+        .chunks_exact(element_size)
+        .zip(hi.chunks_exact_mut(hi_bytes))
+        .zip(lo.chunks_exact_mut(lo_bytes))
+    {
+        // Big-endian order: most significant byte (sign+exponent) first.
+        for (k, slot) in h.iter_mut().enumerate() {
+            *slot = elem[element_size - 1 - k];
+        }
+        for (k, slot) in l.iter_mut().enumerate() {
+            *slot = elem[element_size - 1 - hi_bytes - k];
+        }
+    }
+    Ok((hi, lo))
+}
+
+/// Inverse of [`split_hi_lo`]: reassemble little-endian element bytes.
+pub fn join_hi_lo(
+    hi: &[u8],
+    lo: &[u8],
+    element_size: usize,
+    hi_bytes: usize,
+) -> Result<Vec<u8>> {
+    let lo_bytes = element_size - hi_bytes;
+    if !hi.len().is_multiple_of(hi_bytes) || !lo.len().is_multiple_of(lo_bytes) {
+        return Err(PrimacyError::Format("hi/lo matrices have ragged rows"));
+    }
+    let n = hi.len() / hi_bytes;
+    if lo.len() / lo_bytes != n {
+        return Err(PrimacyError::Format("hi/lo matrices disagree on row count"));
+    }
+    let mut out = vec![0u8; n * element_size];
+    if element_size == 8 && hi_bytes == 2 {
+        // Hot path for f64: assemble the big-endian element in a register
+        // and emit one u64 store (mirrors the split fast path).
+        for ((elem, h), l) in out
+            .chunks_exact_mut(8)
+            .zip(hi.chunks_exact(2))
+            .zip(lo.chunks_exact(6))
+        {
+            let mut be = [0u8; 8];
+            be[0..2].copy_from_slice(h);
+            be[2..8].copy_from_slice(l);
+            elem.copy_from_slice(&u64::from_be_bytes(be).to_le_bytes());
+        }
+        return Ok(out);
+    }
+    for ((elem, h), l) in out
+        .chunks_exact_mut(element_size)
+        .zip(hi.chunks_exact(hi_bytes))
+        .zip(lo.chunks_exact(lo_bytes))
+    {
+        for (k, &b) in h.iter().enumerate() {
+            elem[element_size - 1 - k] = b;
+        }
+        for (k, &b) in l.iter().enumerate() {
+            elem[element_size - 1 - hi_bytes - k] = b;
+        }
+    }
+    Ok(out)
+}
+
+/// Read the high-order byte-sequence of row `i` as an integer key
+/// (`hi_bytes` ∈ {1, 2}).
+#[inline]
+pub fn hi_key(hi: &[u8], i: usize, hi_bytes: usize) -> u16 {
+    match hi_bytes {
+        1 => u16::from(hi[i]),
+        2 => u16::from(hi[i * 2]) << 8 | u16::from(hi[i * 2 + 1]),
+        _ => unreachable!("validated: hi_bytes is 1 or 2"),
+    }
+}
+
+/// Write an integer key back as a high-order byte-sequence.
+#[inline]
+pub fn write_hi_key(out: &mut [u8], i: usize, hi_bytes: usize, key: u16) {
+    match hi_bytes {
+        1 => out[i] = key as u8,
+        2 => {
+            out[i * 2] = (key >> 8) as u8;
+            out[i * 2 + 1] = key as u8;
+        }
+        _ => unreachable!("validated: hi_bytes is 1 or 2"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn split_extracts_sign_and_exponent_bytes() {
+        // 1.0f64 = 0x3FF0000000000000; the two big-endian high bytes are
+        // 0x3F, 0xF0.
+        let bytes = 1.0f64.to_le_bytes();
+        let (hi, lo) = split_hi_lo(&bytes, 8, 2).unwrap();
+        assert_eq!(hi, vec![0x3F, 0xF0]);
+        assert_eq!(lo, vec![0, 0, 0, 0, 0, 0]);
+    }
+
+    #[test]
+    fn split_join_roundtrip_f64() {
+        let values: Vec<f64> = (0..500).map(|i| (i as f64).sqrt() * -3.25).collect();
+        let bytes: Vec<u8> = values.iter().flat_map(|v| v.to_le_bytes()).collect();
+        let (hi, lo) = split_hi_lo(&bytes, 8, 2).unwrap();
+        assert_eq!(hi.len(), 500 * 2);
+        assert_eq!(lo.len(), 500 * 6);
+        let back = join_hi_lo(&hi, &lo, 8, 2).unwrap();
+        assert_eq!(back, bytes);
+    }
+
+    #[test]
+    fn split_join_roundtrip_f32_shape() {
+        let bytes: Vec<u8> = (0..400u32).flat_map(|i| (i as f32).to_le_bytes()).collect();
+        let (hi, lo) = split_hi_lo(&bytes, 4, 1).unwrap();
+        assert_eq!(hi.len(), 400);
+        assert_eq!(lo.len(), 1200);
+        assert_eq!(join_hi_lo(&hi, &lo, 4, 1).unwrap(), bytes);
+    }
+
+    #[test]
+    fn ragged_input_rejected() {
+        assert!(split_hi_lo(&[1, 2, 3], 8, 2).is_err());
+        assert!(join_hi_lo(&[1], &[1, 2, 3, 4, 5, 6], 8, 2).is_err());
+        assert!(join_hi_lo(&[1, 2], &[1, 2, 3, 4, 5], 8, 2).is_err());
+        // Row-count disagreement.
+        assert!(join_hi_lo(&[1, 2, 3, 4], &[1, 2, 3, 4, 5, 6], 8, 2).is_err());
+    }
+
+    #[test]
+    fn hi_key_roundtrip() {
+        let mut buf = vec![0u8; 6];
+        for (i, key) in [(0usize, 0x1234u16), (1, 0), (2, 0xFFFF)] {
+            write_hi_key(&mut buf, i, 2, key);
+            assert_eq!(hi_key(&buf, i, 2), key);
+        }
+        let mut buf = vec![0u8; 3];
+        for (i, key) in [(0usize, 0x12u16), (1, 0xFF), (2, 1)] {
+            write_hi_key(&mut buf, i, 1, key);
+            assert_eq!(hi_key(&buf, i, 1), key);
+        }
+    }
+
+    #[test]
+    fn empty_input_is_fine() {
+        let (hi, lo) = split_hi_lo(&[], 8, 2).unwrap();
+        assert!(hi.is_empty() && lo.is_empty());
+        assert_eq!(join_hi_lo(&hi, &lo, 8, 2).unwrap(), Vec::<u8>::new());
+    }
+
+    #[test]
+    fn exponent_byte_regularity_shows_in_hi() {
+        // Values in a narrow range share their exponent byte: hi columns
+        // must have far fewer unique values than lo columns.
+        let values: Vec<f64> = (0..2000).map(|i| 1.0 + (i as f64) * 1e-7).collect();
+        let bytes: Vec<u8> = values.iter().flat_map(|v| v.to_le_bytes()).collect();
+        let (hi, _lo) = split_hi_lo(&bytes, 8, 2).unwrap();
+        let mut uniq: Vec<u16> = (0..2000).map(|i| hi_key(&hi, i, 2)).collect();
+        uniq.sort_unstable();
+        uniq.dedup();
+        assert!(uniq.len() < 10, "{} unique hi sequences", uniq.len());
+    }
+}

@@ -1,0 +1,232 @@
+//! Field generators: the primitive stochastic processes the dataset specs
+//! are assembled from.
+//!
+//! Every generator takes an explicit seed and is fully deterministic. The
+//! knobs map directly onto the statistics PRIMACY responds to: the *dynamic
+//! range* and *sign mixture* control how many distinct exponent
+//! byte-sequences appear; *quantization* controls mantissa-byte entropy;
+//! *value pooling / runs* control exact repetition.
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// Standard normal sample via Box–Muller (rand ships only uniform sources).
+pub fn normal(rng: &mut StdRng) -> f64 {
+    loop {
+        let u1: f64 = rng.random();
+        let u2: f64 = rng.random();
+        if u1 > f64::MIN_POSITIVE {
+            return (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
+        }
+    }
+}
+
+/// A smooth quasi-periodic field plus white noise:
+/// `base + Σ amp_k · sin(freq_k · i + phase_k) + noise·N(0,1)`.
+///
+/// Narrow dynamic range (few exponent sequences), fully random mantissa —
+/// the signature of the hard-to-compress GTS/FLASH fields.
+pub fn smooth_field(
+    seed: u64,
+    n: usize,
+    base: f64,
+    amplitudes: &[f64],
+    noise: f64,
+) -> Vec<f64> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let modes: Vec<(f64, f64, f64)> = amplitudes
+        .iter()
+        .map(|&a| {
+            (
+                a,
+                rng.random_range(0.001..0.1),
+                rng.random_range(0.0..std::f64::consts::TAU),
+            )
+        })
+        .collect();
+    (0..n)
+        .map(|i| {
+            let t = i as f64;
+            let signal: f64 = modes
+                .iter()
+                .map(|&(a, f, p)| a * (f * t + p).sin())
+                .sum();
+            base + signal + noise * normal(&mut rng)
+        })
+        .collect()
+}
+
+/// A Gaussian random walk: `x_{i+1} = x_i + step·N(0,1)`, reflected softly
+/// towards `center` so the exponent range stays bounded.
+pub fn random_walk(seed: u64, n: usize, center: f64, step: f64) -> Vec<f64> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut x = center;
+    (0..n)
+        .map(|_| {
+            x += step * normal(&mut rng) - 0.001 * (x - center);
+            x
+        })
+        .collect()
+}
+
+/// Log-uniform magnitudes over `decades` orders of magnitude, with a
+/// `negative_fraction` of sign flips: spreads values over many exponents,
+/// like observational error/irradiance data.
+pub fn log_uniform(
+    seed: u64,
+    n: usize,
+    min_magnitude: f64,
+    decades: f64,
+    negative_fraction: f64,
+) -> Vec<f64> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|_| {
+            let e: f64 = rng.random_range(0.0..decades);
+            let mantissa: f64 = rng.random_range(1.0..10.0);
+            let v = min_magnitude * 10f64.powf(e) * mantissa;
+            if rng.random::<f64>() < negative_fraction {
+                -v
+            } else {
+                v
+            }
+        })
+        .collect()
+}
+
+/// Quantize values to `scale` (e.g. 1e-3 rounds to 3 decimals). Rounding
+/// zeroes much of the mantissa tail, emulating sensor data recorded at fixed
+/// precision — the easier-to-compress observational datasets.
+pub fn quantize(values: &mut [f64], scale: f64) {
+    for v in values.iter_mut() {
+        *v = (*v / scale).round() * scale;
+    }
+}
+
+/// Draw from a small pool of exact values with geometric run lengths:
+/// `msg_sppm`-style easy-to-compress data (zlib CR > 7 comes from exact
+/// byte-level repetition).
+pub fn pooled_runs(
+    seed: u64,
+    n: usize,
+    pool_size: usize,
+    mean_run: usize,
+    zero_fraction: f64,
+) -> Vec<f64> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let pool: Vec<f64> = (0..pool_size)
+        .map(|_| (normal(&mut rng) * 100.0 * 8.0).round() / 8.0)
+        .collect();
+    let mut out = Vec::with_capacity(n);
+    while out.len() < n {
+        let v = if rng.random::<f64>() < zero_fraction {
+            0.0
+        } else {
+            pool[rng.random_range(0..pool_size)]
+        };
+        let run = 1 + rng.random_range(0..mean_run * 2);
+        for _ in 0..run.min(n - out.len()) {
+            out.push(v);
+        }
+    }
+    out
+}
+
+/// Overwrite a `fraction` of positions (chosen pseudo-randomly) with `value`.
+/// Emulates masked/fill-value regions in satellite products.
+pub fn sprinkle_fill(seed: u64, values: &mut [f64], fraction: f64, value: f64) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    for v in values.iter_mut() {
+        if rng.random::<f64>() < fraction {
+            *v = value;
+        }
+    }
+}
+
+/// Element-wise sum of two equally long series.
+pub fn add(a: &mut [f64], b: &[f64]) {
+    assert_eq!(a.len(), b.len());
+    for (x, y) in a.iter_mut().zip(b) {
+        *x += *y;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn normal_has_plausible_moments() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let n = 200_000;
+        let samples: Vec<f64> = (0..n).map(|_| normal(&mut rng)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.01, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.02, "var {var}");
+    }
+
+    #[test]
+    fn smooth_field_is_band_limited() {
+        let v = smooth_field(1, 10_000, 50.0, &[3.0, 1.0], 0.01);
+        let (min, max) = v
+            .iter()
+            .fold((f64::MAX, f64::MIN), |(lo, hi), &x| (lo.min(x), hi.max(x)));
+        assert!(min > 40.0 && max < 60.0, "range [{min}, {max}]");
+    }
+
+    #[test]
+    fn random_walk_stays_bounded() {
+        let v = random_walk(2, 100_000, 0.0, 0.1);
+        assert!(v.iter().all(|x| x.abs() < 100.0));
+    }
+
+    #[test]
+    fn log_uniform_spans_decades() {
+        let v = log_uniform(3, 50_000, 1e-6, 8.0, 0.3);
+        let negatives = v.iter().filter(|&&x| x < 0.0).count();
+        assert!((negatives as f64 / v.len() as f64 - 0.3).abs() < 0.02);
+        let max_mag = v.iter().fold(0.0f64, |m, &x| m.max(x.abs()));
+        let min_mag = v.iter().fold(f64::MAX, |m, &x| m.min(x.abs()));
+        assert!(max_mag / min_mag > 1e6, "span {}", max_mag / min_mag);
+    }
+
+    #[test]
+    fn quantize_zeroes_mantissa_tails() {
+        let mut v = vec![1.23456789, 2.3456789, 1000.987654];
+        quantize(&mut v, 0.25);
+        assert_eq!(v, vec![1.25, 2.25, 1001.0]);
+    }
+
+    #[test]
+    fn pooled_runs_repeat_values() {
+        let v = pooled_runs(4, 100_000, 16, 8, 0.3);
+        let mut uniq: Vec<u64> = v.iter().map(|x| x.to_bits()).collect();
+        uniq.sort_unstable();
+        uniq.dedup();
+        assert!(uniq.len() <= 17, "{} unique values", uniq.len());
+        // Runs: a large fraction of adjacent pairs must be equal.
+        let repeats = v.windows(2).filter(|w| w[0] == w[1]).count();
+        assert!(repeats * 2 > v.len(), "{repeats} adjacent repeats");
+    }
+
+    #[test]
+    fn sprinkle_fill_hits_requested_fraction() {
+        let mut v = vec![1.0; 100_000];
+        sprinkle_fill(5, &mut v, 0.25, -999.0);
+        let filled = v.iter().filter(|&&x| x == -999.0).count();
+        assert!((filled as f64 / v.len() as f64 - 0.25).abs() < 0.01);
+    }
+
+    #[test]
+    fn generators_are_deterministic() {
+        assert_eq!(
+            smooth_field(9, 100, 1.0, &[1.0], 0.5),
+            smooth_field(9, 100, 1.0, &[1.0], 0.5)
+        );
+        assert_eq!(
+            log_uniform(9, 100, 1e-3, 4.0, 0.5),
+            log_uniform(9, 100, 1e-3, 4.0, 0.5)
+        );
+    }
+}

@@ -1,0 +1,141 @@
+//! Checkpoint-interval analysis: what faster checkpoints buy at scale.
+//!
+//! The paper's introduction motivates in-situ compression with the rising
+//! checkpoint frequency required by falling MTBFs at exascale. This module
+//! closes that loop: given a checkpoint commit time (from the §III model,
+//! with or without compression) and a system MTBF, it computes the optimal
+//! checkpoint interval (Young's first-order rule and Daly's higher-order
+//! refinement) and the resulting machine efficiency, so compression's
+//! end-to-end write speedup can be translated into saved machine time.
+
+/// Young's optimal checkpoint interval: √(2·δ·M) for checkpoint cost δ and
+/// MTBF M (both seconds).
+pub fn young_interval(checkpoint_secs: f64, mtbf_secs: f64) -> f64 {
+    assert!(checkpoint_secs > 0.0 && mtbf_secs > 0.0);
+    (2.0 * checkpoint_secs * mtbf_secs).sqrt()
+}
+
+/// Daly's higher-order interval, accurate when δ is not ≪ M:
+/// √(2δM)·(1 + ⅓·√(δ/2M) + (1/9)·(δ/2M)) − δ, clamped to be positive.
+pub fn daly_interval(checkpoint_secs: f64, mtbf_secs: f64) -> f64 {
+    assert!(checkpoint_secs > 0.0 && mtbf_secs > 0.0);
+    let ratio = checkpoint_secs / (2.0 * mtbf_secs);
+    let base = (2.0 * checkpoint_secs * mtbf_secs).sqrt();
+    let refined = base * (1.0 + ratio.sqrt() / 3.0 + ratio / 9.0) - checkpoint_secs;
+    refined.max(checkpoint_secs)
+}
+
+/// Expected fraction of machine time doing useful work for a given
+/// checkpoint interval τ, checkpoint cost δ, restart cost R and MTBF M,
+/// under the standard first-order waste model:
+/// waste = δ/(τ+δ) + (τ+δ)/(2M) + R/M.
+pub fn efficiency(
+    interval_secs: f64,
+    checkpoint_secs: f64,
+    restart_secs: f64,
+    mtbf_secs: f64,
+) -> f64 {
+    assert!(interval_secs > 0.0 && mtbf_secs > 0.0);
+    let period = interval_secs + checkpoint_secs;
+    let waste =
+        checkpoint_secs / period + period / (2.0 * mtbf_secs) + restart_secs / mtbf_secs;
+    (1.0 - waste).max(0.0)
+}
+
+/// Outcome of a checkpoint-strategy evaluation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CheckpointPlan {
+    /// Seconds to commit one checkpoint.
+    pub checkpoint_secs: f64,
+    /// Chosen interval between checkpoints (Daly).
+    pub interval_secs: f64,
+    /// Machine efficiency in [0, 1].
+    pub efficiency: f64,
+}
+
+/// Plan checkpoints for a job: state of `state_bytes` per compute group,
+/// committed at `write_bps` end-to-end (from the §III model), restarted at
+/// `read_bps`, on a system with the given MTBF.
+///
+/// ```
+/// use primacy_hpcsim::checkpoint::plan;
+///
+/// // 2.4 GB of state, 10 MB/s writes, 40 MB/s reads, 24 h MTBF.
+/// let p = plan(2.4e9, 10e6, 40e6, 86_400.0);
+/// assert!(p.interval_secs > p.checkpoint_secs);
+/// assert!(p.efficiency > 0.9);
+/// ```
+pub fn plan(state_bytes: f64, write_bps: f64, read_bps: f64, mtbf_secs: f64) -> CheckpointPlan {
+    let checkpoint_secs = state_bytes / write_bps;
+    let restart_secs = state_bytes / read_bps;
+    let interval_secs = daly_interval(checkpoint_secs, mtbf_secs);
+    CheckpointPlan {
+        checkpoint_secs,
+        interval_secs,
+        efficiency: efficiency(interval_secs, checkpoint_secs, restart_secs, mtbf_secs),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn young_matches_hand_computation() {
+        // δ = 50 s, M = 3600 s → √(2·50·3600) = 600 s.
+        assert!((young_interval(50.0, 3600.0) - 600.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn daly_close_to_young_for_small_delta() {
+        let (d, m) = (10.0, 86_400.0);
+        let y = young_interval(d, m);
+        let daly = daly_interval(d, m);
+        assert!((daly - y).abs() / y < 0.05, "young {y}, daly {daly}");
+    }
+
+    #[test]
+    fn efficiency_peaks_near_the_optimal_interval() {
+        let (d, r, m) = (60.0, 30.0, 7200.0);
+        let opt = daly_interval(d, m);
+        let at_opt = efficiency(opt, d, r, m);
+        for factor in [0.25, 0.5, 2.0, 4.0] {
+            let off = efficiency(opt * factor, d, r, m);
+            assert!(
+                at_opt >= off - 1e-6,
+                "interval {opt}×{factor}: {off} > {at_opt}"
+            );
+        }
+    }
+
+    #[test]
+    fn faster_checkpoints_raise_efficiency() {
+        // The whole point: compression shortens δ and thereby lifts
+        // efficiency at every MTBF.
+        for mtbf in [7200.0, 86_400.0, 604_800.0] {
+            let slow = plan(2.4e9, 8e6, 32e6, mtbf); // null-case write speed
+            let fast = plan(2.4e9, 10.4e6, 41e6, mtbf); // +30% from compression
+            assert!(
+                fast.efficiency > slow.efficiency,
+                "mtbf {mtbf}: {} <= {}",
+                fast.efficiency,
+                slow.efficiency
+            );
+            assert!(fast.checkpoint_secs < slow.checkpoint_secs);
+        }
+    }
+
+    #[test]
+    fn shorter_mtbf_means_shorter_intervals() {
+        let d = 120.0;
+        assert!(daly_interval(d, 1800.0) < daly_interval(d, 86_400.0));
+    }
+
+    #[test]
+    fn plan_fields_are_consistent() {
+        let p = plan(1e12, 20e6, 80e6, 43_200.0);
+        assert!((p.checkpoint_secs - 50_000.0).abs() < 1.0);
+        assert!(p.interval_secs > 0.0);
+        assert!((0.0..=1.0).contains(&p.efficiency));
+    }
+}

@@ -1,0 +1,226 @@
+//! Measure the model's machine-dependent inputs on the running build.
+//!
+//! The paper measures `Tprec`, `Tcomp`, the compression ratios and the
+//! compressible fractions on Jaguar's Opterons; here they are measured on
+//! the host machine with the same code paths the benchmarks exercise, then
+//! fed to both the analytical model and the cluster simulator.
+
+use crate::model::ModelInputs;
+use primacy_codecs::Codec;
+use primacy_core::{PrimacyCompressor, PrimacyConfig};
+use std::time::Instant;
+
+/// Machine-measured rates and ratios for one (data, method) pair.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MeasuredRates {
+    /// Preconditioner throughput, bytes/s (forward direction).
+    pub t_prec: f64,
+    /// Backend compressor throughput over the bytes it actually touched.
+    pub t_comp: f64,
+    /// Decompression-side codec throughput.
+    pub t_decomp: f64,
+    /// Inverse-preconditioner throughput.
+    pub t_prec_inv: f64,
+    /// Compressed/original ratio on the high-order section (σho), including
+    /// the index metadata.
+    pub sigma_ho: f64,
+    /// Compressed/original ratio on the compressible low-order bytes (σlo).
+    pub sigma_lo: f64,
+    /// Fraction of the chunk routed through the ID mapper (α1).
+    pub alpha1: f64,
+    /// Compressible fraction of the low-order bytes (α2).
+    pub alpha2: f64,
+    /// Whole-pipeline compression ratio (original/compressed).
+    pub ratio: f64,
+    /// Whole-pipeline compression throughput, bytes/s.
+    pub compress_bps: f64,
+    /// Whole-pipeline decompression throughput, bytes/s.
+    pub decompress_bps: f64,
+}
+
+/// Run the PRIMACY pipeline over `bytes` once and extract model inputs.
+pub fn measure_primacy(config: &PrimacyConfig, bytes: &[u8]) -> MeasuredRates {
+    let compressor = PrimacyCompressor::new(config.clone());
+    let t0 = Instant::now();
+    let (compressed, stats) = compressor
+        .compress_bytes_with_stats(bytes)
+        .expect("measurement input must be valid");
+    let compress_secs = t0.elapsed().as_secs_f64();
+
+    let t0 = Instant::now();
+    let (restored, dec_stats) = compressor
+        .decompress_bytes_with_stats(&compressed)
+        .expect("own stream must decompress");
+    let decompress_secs = t0.elapsed().as_secs_f64();
+    assert_eq!(restored.len(), bytes.len());
+
+    let alpha1 = config.hi_bytes as f64 / config.element_size as f64;
+    let alpha2 = stats.isobar_compressible_fraction;
+
+    // Section ratios: approximate σho from the overall split. The container
+    // interleaves sections per chunk, so recover them by re-running the
+    // codec on representative sections would double-measure; instead derive
+    // them from the aggregate accounting: compressed = σho·α1·N +
+    // σlo·α2·(1−α1)·N + (1−α2)(1−α1)·N + δ. We attribute the ID-side ratio
+    // directly by compressing one chunk's hi section, which is cheap.
+    let (sigma_ho, sigma_lo) = section_ratios(config, bytes);
+
+    let prec_secs = stats.timings.preconditioner().as_secs_f64();
+    let codec_secs = stats.timings.codec.as_secs_f64();
+    // Decode-side attribution from the measured per-stage timings: codec
+    // time is the decompressor proper, everything else is the inverse
+    // preconditioner (delinearize, ID decode, unpartition, rejoin).
+    let dec_codec_secs = dec_stats.timings.codec.as_secs_f64().max(1e-9);
+    let dec_prec_secs = (decompress_secs - dec_codec_secs).max(1e-9);
+    let n = bytes.len().max(1) as f64;
+    MeasuredRates {
+        t_prec: rate(n, prec_secs),
+        t_comp: rate(codec_touched_bytes(alpha1, alpha2, n), codec_secs),
+        t_decomp: rate(codec_touched_bytes(alpha1, alpha2, n), dec_codec_secs),
+        t_prec_inv: rate(n, dec_prec_secs),
+        sigma_ho,
+        sigma_lo,
+        alpha1,
+        alpha2,
+        ratio: stats.ratio(),
+        compress_bps: rate(n, compress_secs),
+        decompress_bps: rate(n, decompress_secs),
+    }
+}
+
+/// Bytes the backend codec actually processes under the ISOBAR partition.
+fn codec_touched_bytes(alpha1: f64, alpha2: f64, n: f64) -> f64 {
+    (alpha1 + alpha2 * (1.0 - alpha1)) * n
+}
+
+fn rate(bytes: f64, secs: f64) -> f64 {
+    if secs <= 0.0 {
+        f64::INFINITY
+    } else {
+        bytes / secs
+    }
+}
+
+/// Compress one chunk's high and low sections separately to estimate σho
+/// and σlo.
+fn section_ratios(config: &PrimacyConfig, bytes: &[u8]) -> (f64, f64) {
+    use primacy_core::{freq::FreqTable, idmap::IdMap, isobar, linearize, split};
+    let chunk_len = (config.chunk_elements() * config.element_size).min(bytes.len());
+    let chunk = &bytes[..chunk_len - chunk_len % config.element_size];
+    if chunk.is_empty() {
+        return (1.0, 1.0);
+    }
+    let codec = config.codec.build();
+    let (mut hi, lo) = split::split_hi_lo(chunk, config.element_size, config.hi_bytes)
+        .expect("aligned by construction");
+    let n = chunk.len() / config.element_size;
+    let freq = FreqTable::from_hi_matrix(&hi, config.hi_bytes);
+    let map = IdMap::from_freq(&freq, config.hi_bytes).expect("non-degenerate domain");
+    map.encode_hi(&mut hi).expect("every sequence is mapped");
+    let hi_lin = linearize::to_columns(&hi, n, config.hi_bytes);
+    let hi_comp = codec.compress(&hi_lin).expect("compress cannot fail");
+    let sigma_ho = (hi_comp.len() + map.serialized_len()) as f64 / hi.len().max(1) as f64;
+
+    let lo_cols = config.lo_bytes();
+    let report = isobar::analyze(&lo, n, lo_cols, &config.isobar);
+    let (compressible, _raw) = isobar::partition(&lo, n, lo_cols, report.mask);
+    let sigma_lo = if compressible.is_empty() {
+        1.0
+    } else {
+        let lo_comp = codec.compress(&compressible).expect("compress cannot fail");
+        lo_comp.len() as f64 / compressible.len() as f64
+    };
+    (sigma_ho.min(1.5), sigma_lo.min(1.5))
+}
+
+/// Measure a vanilla whole-buffer codec: returns `(sigma, compress_bps,
+/// decompress_bps)`.
+pub fn measure_vanilla(codec: &dyn Codec, bytes: &[u8]) -> (f64, f64, f64) {
+    let t0 = Instant::now();
+    let compressed = codec.compress(bytes).expect("compress cannot fail");
+    let c_secs = t0.elapsed().as_secs_f64();
+    let t0 = Instant::now();
+    let restored = codec.decompress(&compressed).expect("own stream decompresses");
+    let d_secs = t0.elapsed().as_secs_f64();
+    assert_eq!(restored.len(), bytes.len());
+    let n = bytes.len().max(1) as f64;
+    (
+        compressed.len() as f64 / n,
+        rate(n, c_secs),
+        rate(n, d_secs),
+    )
+}
+
+impl MeasuredRates {
+    /// Assemble full model inputs from these rates plus cluster parameters.
+    pub fn to_model_inputs(
+        &self,
+        cluster: crate::model::ClusterParams,
+        chunk_bytes: f64,
+        metadata_bytes: f64,
+    ) -> ModelInputs {
+        ModelInputs {
+            cluster,
+            chunk_bytes,
+            metadata_bytes,
+            alpha1: self.alpha1,
+            alpha2: self.alpha2,
+            sigma_ho: self.sigma_ho,
+            sigma_lo: self.sigma_lo,
+            t_prec: self.t_prec,
+            t_comp: self.t_comp,
+            t_decomp: self.t_decomp,
+            t_prec_inv: self.t_prec_inv,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use primacy_codecs::CodecKind;
+
+    fn sample_bytes(n: usize) -> Vec<u8> {
+        let mut x = 3u64;
+        (0..n)
+            .map(|_| {
+                x = x.wrapping_mul(6_364_136_223_846_793_005).wrapping_add(1);
+                1.0 + (x >> 12) as f64 / (1u64 << 52) as f64
+            })
+            .flat_map(|v: f64| v.to_le_bytes())
+            .collect()
+    }
+
+    #[test]
+    fn primacy_measurement_is_plausible() {
+        let cfg = PrimacyConfig::default();
+        let bytes = sample_bytes(100_000);
+        let m = measure_primacy(&cfg, &bytes);
+        assert!((m.alpha1 - 0.25).abs() < 1e-12);
+        assert!((0.0..=1.0).contains(&m.alpha2));
+        assert!(m.sigma_ho < 0.8, "hi bytes must compress, σho = {}", m.sigma_ho);
+        assert!(m.ratio > 1.0);
+        assert!(m.t_prec.is_finite() && m.t_prec > 0.0);
+        assert!(m.compress_bps > 0.0 && m.decompress_bps > 0.0);
+    }
+
+    #[test]
+    fn vanilla_measurement_is_plausible() {
+        let codec = CodecKind::Zlib.build();
+        let bytes = sample_bytes(50_000);
+        let (sigma, cbps, dbps) = measure_vanilla(codec.as_ref(), &bytes);
+        assert!(sigma > 0.5 && sigma <= 1.05, "sigma {sigma}");
+        assert!(cbps > 0.0 && dbps > 0.0);
+    }
+
+    #[test]
+    fn to_model_inputs_passthrough() {
+        let cfg = PrimacyConfig::default();
+        let bytes = sample_bytes(20_000);
+        let m = measure_primacy(&cfg, &bytes);
+        let inputs = m.to_model_inputs(Default::default(), 3e6, 4096.0);
+        assert_eq!(inputs.alpha1, m.alpha1);
+        assert_eq!(inputs.sigma_ho, m.sigma_ho);
+        assert!(inputs.effective_ratio() > 0.5);
+    }
+}

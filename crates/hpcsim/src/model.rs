@@ -1,0 +1,362 @@
+//! The analytical performance model of §III.
+//!
+//! Notation follows Tables I and II of the paper. Two deliberate deviations
+//! from the printed equations, both documented in DESIGN.md:
+//!
+//! 1. Eq. 11/12 multiply the *incompressible* fraction by σlo; data that is
+//!    stored raw travels at full size, so that factor is 1 here (taking the
+//!    equation literally would let uncompressed bytes shrink in transit).
+//! 2. Eq. 12 scales the disk-write term by (1+ρ) while the base case (Eq. 5)
+//!    uses ρ; the disk stores the ρ compute nodes' data exactly once, so ρ
+//!    is used consistently.
+//!
+//! Neither changes who wins or where crossovers fall; both make the model
+//! dimensionally consistent.
+
+/// Cluster-wide parameters (a subset of Table I).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ClusterParams {
+    /// ρ — compute nodes per I/O node (8 in all of the paper's runs).
+    pub rho: f64,
+    /// θ — collective-network throughput at the I/O node, bytes/s.
+    pub theta: f64,
+    /// μw — disk write throughput, bytes/s.
+    pub mu_write: f64,
+    /// μr — disk read throughput, bytes/s.
+    pub mu_read: f64,
+}
+
+impl Default for ClusterParams {
+    fn default() -> Self {
+        // Defaults shaped after the paper's staging environment: a fast
+        // Gemini-class collective network in front of a much slower
+        // per-I/O-node share of the parallel filesystem. Writes contend with
+        // every other job's checkpoints (slow); reads hit the OSS cache
+        // (fast), which is what makes vanilla decompression a net loss in
+        // Fig. 4b while PRIMACY still wins.
+        Self {
+            rho: 8.0,
+            theta: 1.2e9,
+            mu_write: 8e6,
+            mu_read: 250e6,
+        }
+    }
+}
+
+/// Full model input set (Table I).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ModelInputs {
+    /// Cluster parameters.
+    pub cluster: ClusterParams,
+    /// C — chunk size in bytes.
+    pub chunk_bytes: f64,
+    /// δ — metadata bytes per chunk (PRIMACY's index).
+    pub metadata_bytes: f64,
+    /// α1 — fraction of the chunk handled by the ID mapper (the high-order
+    /// bytes; 2/8 for doubles).
+    pub alpha1: f64,
+    /// α2 — fraction of the low-order bytes ISOBAR classifies compressible.
+    pub alpha2: f64,
+    /// σho — compressed/original size ratio on the high-order bytes.
+    pub sigma_ho: f64,
+    /// σlo — compressed/original ratio on the compressible low-order bytes.
+    pub sigma_lo: f64,
+    /// Tprec — preconditioner throughput, bytes/s.
+    pub t_prec: f64,
+    /// Tcomp — backend compressor throughput, bytes/s.
+    pub t_comp: f64,
+    /// Decompressor throughput, bytes/s (for the read model).
+    pub t_decomp: f64,
+    /// Preconditioner-inverse throughput, bytes/s (for the read model).
+    pub t_prec_inv: f64,
+}
+
+/// Model outputs (Table II). All times are seconds for one bulk-synchronous
+/// step of ρ chunks (one per compute node); `tau` is the end-to-end
+/// throughput of Eq. 3.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct ModelOutputs {
+    /// Time in the PRIMACY preconditioner (Eq. 7).
+    pub t_prec1: f64,
+    /// Time in the ISOBAR preconditioner (Eq. 8).
+    pub t_prec2: f64,
+    /// Time compressing the high-order bytes (Eq. 9).
+    pub t_compress1: f64,
+    /// Time compressing the compressible low-order bytes (Eq. 10).
+    pub t_compress2: f64,
+    /// Network transfer time (Eq. 11 / Eq. 4).
+    pub t_transfer: f64,
+    /// Disk time (Eq. 12 / Eq. 5).
+    pub t_disk: f64,
+    /// Total end-to-end time (Eq. 13 / Eq. 6).
+    pub t_total: f64,
+    /// End-to-end throughput ρ·C/t_total (Eq. 3), bytes/s.
+    pub tau: f64,
+}
+
+impl ModelInputs {
+    /// Bytes leaving a compute node per chunk after PRIMACY compression.
+    pub fn compressed_chunk_bytes(&self) -> f64 {
+        let c = self.chunk_bytes;
+        let compressed_hi = self.alpha1 * c * self.sigma_ho;
+        let compressed_lo = self.alpha2 * (1.0 - self.alpha1) * c * self.sigma_lo;
+        let raw_lo = (1.0 - self.alpha2) * (1.0 - self.alpha1) * c;
+        compressed_hi + compressed_lo + raw_lo + self.metadata_bytes
+    }
+
+    /// Effective compression ratio implied by the inputs.
+    pub fn effective_ratio(&self) -> f64 {
+        self.chunk_bytes / self.compressed_chunk_bytes()
+    }
+}
+
+/// Base case (§III-B): no compression, data flows straight to disk.
+pub fn base_write(inputs: &ModelInputs) -> ModelOutputs {
+    let c = inputs.chunk_bytes;
+    let p = inputs.cluster;
+    let t_transfer = (1.0 + p.rho) * c / p.theta; // Eq. 4
+    let t_disk = p.rho * c / p.mu_write; // Eq. 5
+    let t_total = t_transfer + t_disk; // Eq. 6
+    ModelOutputs {
+        t_transfer,
+        t_disk,
+        t_total,
+        tau: p.rho * c / t_total, // Eq. 3
+        ..Default::default()
+    }
+}
+
+/// Base case read: the write path reversed.
+pub fn base_read(inputs: &ModelInputs) -> ModelOutputs {
+    let c = inputs.chunk_bytes;
+    let p = inputs.cluster;
+    let t_disk = p.rho * c / p.mu_read;
+    let t_transfer = (1.0 + p.rho) * c / p.theta;
+    let t_total = t_transfer + t_disk;
+    ModelOutputs {
+        t_transfer,
+        t_disk,
+        t_total,
+        tau: p.rho * c / t_total,
+        ..Default::default()
+    }
+}
+
+/// PRIMACY at the compute nodes (§III-C): Eqs. 7–13. Compression happens in
+/// parallel on every compute node, so the per-step cost is one chunk's worth
+/// of preconditioning/compression; transfer and disk see the reduced sizes.
+pub fn primacy_write(inputs: &ModelInputs) -> ModelOutputs {
+    let c = inputs.chunk_bytes;
+    let p = inputs.cluster;
+    let t_prec1 = c / inputs.t_prec; // Eq. 7
+    let t_prec2 = (1.0 - inputs.alpha1) * c / inputs.t_prec; // Eq. 8
+    let t_compress1 = inputs.alpha1 * c / inputs.t_comp; // Eq. 9
+    let t_compress2 = inputs.alpha2 * (1.0 - inputs.alpha1) * c / inputs.t_comp; // Eq. 10
+    let c_out = inputs.compressed_chunk_bytes();
+    let t_transfer = (1.0 + p.rho) * c_out / p.theta; // Eq. 11 (σ applied via c_out)
+    let t_disk = p.rho * c_out / p.mu_write; // Eq. 12 (ρ, see module docs)
+    let t_total = t_prec1 + t_prec2 + t_compress1 + t_compress2 + t_transfer + t_disk; // Eq. 13
+    ModelOutputs {
+        t_prec1,
+        t_prec2,
+        t_compress1,
+        t_compress2,
+        t_transfer,
+        t_disk,
+        t_total,
+        tau: p.rho * c / t_total,
+    }
+}
+
+/// PRIMACY read (§III, "inverse order of operations"): disk → network →
+/// decompress → inverse-precondition.
+pub fn primacy_read(inputs: &ModelInputs) -> ModelOutputs {
+    let c = inputs.chunk_bytes;
+    let p = inputs.cluster;
+    let c_in = inputs.compressed_chunk_bytes();
+    let t_disk = p.rho * c_in / p.mu_read;
+    let t_transfer = (1.0 + p.rho) * c_in / p.theta;
+    let t_decompress1 = inputs.alpha1 * c / inputs.t_decomp;
+    let t_decompress2 = inputs.alpha2 * (1.0 - inputs.alpha1) * c / inputs.t_decomp;
+    let t_post = c / inputs.t_prec_inv;
+    let t_total = t_disk + t_transfer + t_decompress1 + t_decompress2 + t_post;
+    ModelOutputs {
+        t_prec1: t_post,
+        t_prec2: 0.0,
+        t_compress1: t_decompress1,
+        t_compress2: t_decompress2,
+        t_transfer,
+        t_disk,
+        t_total,
+        tau: p.rho * c / t_total,
+    }
+}
+
+/// Vanilla whole-chunk compression at the compute nodes (the zlib/lzo bars
+/// of Fig. 4): one compressor pass over the full chunk, no preconditioner,
+/// no partition.
+pub fn vanilla_write(inputs: &ModelInputs, sigma: f64, t_comp: f64) -> ModelOutputs {
+    let c = inputs.chunk_bytes;
+    let p = inputs.cluster;
+    let t_compress1 = c / t_comp;
+    let c_out = c * sigma;
+    let t_transfer = (1.0 + p.rho) * c_out / p.theta;
+    let t_disk = p.rho * c_out / p.mu_write;
+    let t_total = t_compress1 + t_transfer + t_disk;
+    ModelOutputs {
+        t_compress1,
+        t_transfer,
+        t_disk,
+        t_total,
+        tau: p.rho * c / t_total,
+        ..Default::default()
+    }
+}
+
+/// Vanilla whole-chunk decompression read.
+pub fn vanilla_read(inputs: &ModelInputs, sigma: f64, t_decomp: f64) -> ModelOutputs {
+    let c = inputs.chunk_bytes;
+    let p = inputs.cluster;
+    let c_in = c * sigma;
+    let t_disk = p.rho * c_in / p.mu_read;
+    let t_transfer = (1.0 + p.rho) * c_in / p.theta;
+    let t_compress1 = c / t_decomp;
+    let t_total = t_disk + t_transfer + t_compress1;
+    ModelOutputs {
+        t_compress1,
+        t_transfer,
+        t_disk,
+        t_total,
+        tau: p.rho * c / t_total,
+        ..Default::default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn inputs() -> ModelInputs {
+        ModelInputs {
+            cluster: ClusterParams::default(),
+            chunk_bytes: 3.0 * 1024.0 * 1024.0,
+            metadata_bytes: 4096.0,
+            alpha1: 0.25,
+            alpha2: 0.2,
+            sigma_ho: 0.25,
+            sigma_lo: 0.8,
+            t_prec: 400e6,
+            t_comp: 120e6,
+            t_decomp: 300e6,
+            t_prec_inv: 600e6,
+        }
+    }
+
+    #[test]
+    fn compressed_chunk_accounting() {
+        let m = inputs();
+        let c = m.chunk_bytes;
+        let expected = 0.25 * c * 0.25 + 0.2 * 0.75 * c * 0.8 + 0.8 * 0.75 * c + 4096.0;
+        assert!((m.compressed_chunk_bytes() - expected).abs() < 1e-6);
+        assert!(m.effective_ratio() > 1.0);
+    }
+
+    #[test]
+    fn base_write_matches_equations() {
+        let m = inputs();
+        let out = base_write(&m);
+        let c = m.chunk_bytes;
+        let p = m.cluster;
+        assert!((out.t_transfer - 9.0 * c / p.theta).abs() < 1e-12);
+        assert!((out.t_disk - 8.0 * c / p.mu_write).abs() < 1e-12);
+        assert!((out.t_total - (out.t_transfer + out.t_disk)).abs() < 1e-12);
+        assert!((out.tau - 8.0 * c / out.t_total).abs() < 1e-6);
+    }
+
+    #[test]
+    fn primacy_beats_base_when_disk_bound() {
+        // Slow disk, good ratio, fast codec: compression must win.
+        let m = inputs();
+        let base = base_write(&m);
+        let prim = primacy_write(&m);
+        assert!(
+            prim.tau > base.tau,
+            "primacy {:.1} <= base {:.1} MB/s",
+            prim.tau / 1e6,
+            base.tau / 1e6
+        );
+    }
+
+    #[test]
+    fn slow_compressor_loses_end_to_end() {
+        // A compressor slower than the disk it saves cannot pay for itself —
+        // the paper's core argument against bzlib2-class codecs in-situ.
+        let mut m = inputs();
+        m.t_comp = 0.5e6; // 0.5 MB/s, worse than bzip2-class
+        let base = base_write(&m);
+        let prim = primacy_write(&m);
+        assert!(prim.tau < base.tau);
+    }
+
+    #[test]
+    fn incompressible_data_degrades_to_base_minus_overhead() {
+        let mut m = inputs();
+        m.sigma_ho = 1.0;
+        m.sigma_lo = 1.0;
+        m.alpha2 = 0.0;
+        m.metadata_bytes = 0.0;
+        let base = base_write(&m);
+        let prim = primacy_write(&m);
+        // Same bytes moved; only preconditioner/codec overhead differs.
+        assert!(prim.tau < base.tau);
+        assert!(prim.tau > base.tau * 0.8);
+    }
+
+    #[test]
+    fn read_model_mirrors_write() {
+        let m = inputs();
+        let r = primacy_read(&m);
+        assert!(r.t_total > 0.0);
+        assert!(r.tau > 0.0);
+        // Faster read disk ⇒ read throughput above write throughput.
+        assert!(r.tau > primacy_write(&m).tau);
+    }
+
+    #[test]
+    fn vanilla_matches_hand_computation() {
+        let m = inputs();
+        let sigma = 0.9;
+        let t_comp = 20e6;
+        let out = vanilla_write(&m, sigma, t_comp);
+        let c = m.chunk_bytes;
+        let p = m.cluster;
+        let expect_total =
+            c / t_comp + 9.0 * c * sigma / p.theta + 8.0 * c * sigma / p.mu_write;
+        assert!((out.t_total - expect_total).abs() < 1e-9);
+    }
+
+    #[test]
+    fn metadata_overhead_can_flip_the_result() {
+        // With ratio ~1 and large metadata, PRIMACY must lose vs base —
+        // the msg_sppm effect (§IV-E).
+        let mut m = inputs();
+        m.sigma_ho = 1.0;
+        m.sigma_lo = 1.0;
+        m.metadata_bytes = 0.2 * m.chunk_bytes;
+        let base = base_write(&m);
+        let prim = primacy_write(&m);
+        assert!(prim.tau < base.tau);
+    }
+
+    #[test]
+    fn tau_scales_with_rho_until_network_saturates() {
+        let mut m = inputs();
+        m.cluster.rho = 4.0;
+        let tau4 = base_write(&m).tau;
+        m.cluster.rho = 8.0;
+        let tau8 = base_write(&m).tau;
+        // Disk-bound regime: doubling compute nodes cannot double the
+        // end-to-end rate.
+        assert!(tau8 < tau4 * 2.0);
+    }
+}

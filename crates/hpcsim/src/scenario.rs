@@ -1,0 +1,241 @@
+//! Scenario glue: evaluate (dataset × compression method) end-to-end, both
+//! through the analytical model ("theoretical") and the cluster simulator
+//! ("empirical") — the six-bar groups of Fig. 4.
+
+use crate::measure::{measure_primacy, measure_vanilla};
+use crate::model::{
+    self, ClusterParams, ModelInputs,
+};
+use crate::sim::{simulate, Direction, SimConfig};
+use primacy_codecs::CodecKind;
+use primacy_core::PrimacyConfig;
+
+/// A compression strategy applied at the compute nodes.
+#[derive(Debug, Clone)]
+pub enum CompressionMethod {
+    /// No compression (the null case).
+    Null,
+    /// The PRIMACY pipeline with the given configuration.
+    Primacy(PrimacyConfig),
+    /// Vanilla whole-chunk compression with one of the standard codecs.
+    Vanilla(CodecKind),
+}
+
+impl CompressionMethod {
+    /// Short label used in tables ("P", "Z", "L" in the paper's figures).
+    pub fn label(&self) -> String {
+        match self {
+            CompressionMethod::Null => "null".into(),
+            CompressionMethod::Primacy(_) => "primacy".into(),
+            CompressionMethod::Vanilla(kind) => kind.to_string(),
+        }
+    }
+}
+
+/// A cluster + workload setting under which methods are compared.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Scenario {
+    /// Cluster parameters (ρ, θ, μ).
+    pub cluster: ClusterParams,
+    /// Chunk size per compute node per step.
+    pub chunk_bytes: usize,
+    /// Bulk-synchronous steps for the simulator.
+    pub steps: usize,
+}
+
+impl Default for Scenario {
+    fn default() -> Self {
+        Self {
+            cluster: ClusterParams::default(),
+            chunk_bytes: 3 * 1024 * 1024,
+            steps: 16,
+        }
+    }
+}
+
+/// Model and simulation throughputs for one method on one dataset, MB/s.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EndToEnd {
+    /// Method label.
+    pub method: String,
+    /// Analytical write throughput (the paper's "T" bars).
+    pub write_theoretical_mbps: f64,
+    /// Simulated write throughput (the paper's "E" bars).
+    pub write_empirical_mbps: f64,
+    /// Analytical read throughput.
+    pub read_theoretical_mbps: f64,
+    /// Simulated read throughput.
+    pub read_empirical_mbps: f64,
+    /// Compression ratio achieved on this dataset (1.0 for null).
+    pub ratio: f64,
+}
+
+impl Scenario {
+    /// Evaluate one method on a dataset (raw little-endian doubles).
+    pub fn evaluate(&self, method: &CompressionMethod, data: &[u8]) -> EndToEnd {
+        let c = self.chunk_bytes as f64;
+        match method {
+            CompressionMethod::Null => {
+                let inputs = self.null_inputs();
+                let wt = model::base_write(&inputs).tau;
+                let rt = model::base_read(&inputs).tau;
+                let ws = simulate(&self.sim_config(c, 0.0, Direction::Write));
+                let rs = simulate(&self.sim_config(c, 0.0, Direction::Read));
+                EndToEnd {
+                    method: method.label(),
+                    write_theoretical_mbps: wt / 1e6,
+                    write_empirical_mbps: ws.tau_bps / 1e6,
+                    read_theoretical_mbps: rt / 1e6,
+                    read_empirical_mbps: rs.tau_bps / 1e6,
+                    ratio: 1.0,
+                }
+            }
+            CompressionMethod::Primacy(cfg) => {
+                let rates = measure_primacy(cfg, data);
+                let inputs = rates.to_model_inputs(
+                    self.cluster,
+                    c,
+                    // Index metadata per chunk: measured ratio already folds
+                    // it in; the model term uses a representative size.
+                    2048.0,
+                );
+                let wt = model::primacy_write(&inputs).tau;
+                let rt = model::primacy_read(&inputs).tau;
+                let c_out = c / rates.ratio;
+                let ws = simulate(&SimConfig {
+                    compressed_bytes: c_out,
+                    compute_secs: c / rates.compress_bps,
+                    ..self.sim_config(c, 0.0, Direction::Write)
+                });
+                let rs = simulate(&SimConfig {
+                    compressed_bytes: c_out,
+                    compute_secs: c / rates.decompress_bps,
+                    ..self.sim_config(c, 0.0, Direction::Read)
+                });
+                EndToEnd {
+                    method: method.label(),
+                    write_theoretical_mbps: wt / 1e6,
+                    write_empirical_mbps: ws.tau_bps / 1e6,
+                    read_theoretical_mbps: rt / 1e6,
+                    read_empirical_mbps: rs.tau_bps / 1e6,
+                    ratio: rates.ratio,
+                }
+            }
+            CompressionMethod::Vanilla(kind) => {
+                let codec = kind.build();
+                let (sigma, cbps, dbps) = measure_vanilla(codec.as_ref(), data);
+                let inputs = self.null_inputs();
+                let wt = model::vanilla_write(&inputs, sigma, cbps).tau;
+                let rt = model::vanilla_read(&inputs, sigma, dbps).tau;
+                let ws = simulate(&SimConfig {
+                    compressed_bytes: c * sigma,
+                    compute_secs: c / cbps,
+                    ..self.sim_config(c, 0.0, Direction::Write)
+                });
+                let rs = simulate(&SimConfig {
+                    compressed_bytes: c * sigma,
+                    compute_secs: c / dbps,
+                    ..self.sim_config(c, 0.0, Direction::Read)
+                });
+                EndToEnd {
+                    method: method.label(),
+                    write_theoretical_mbps: wt / 1e6,
+                    write_empirical_mbps: ws.tau_bps / 1e6,
+                    read_theoretical_mbps: rt / 1e6,
+                    read_empirical_mbps: rs.tau_bps / 1e6,
+                    ratio: 1.0 / sigma,
+                }
+            }
+        }
+    }
+
+    fn null_inputs(&self) -> ModelInputs {
+        ModelInputs {
+            cluster: self.cluster,
+            chunk_bytes: self.chunk_bytes as f64,
+            metadata_bytes: 0.0,
+            alpha1: 0.25,
+            alpha2: 0.0,
+            sigma_ho: 1.0,
+            sigma_lo: 1.0,
+            t_prec: f64::INFINITY,
+            t_comp: f64::INFINITY,
+            t_decomp: f64::INFINITY,
+            t_prec_inv: f64::INFINITY,
+        }
+    }
+
+    fn sim_config(&self, compressed: f64, compute: f64, direction: Direction) -> SimConfig {
+        SimConfig {
+            rho: self.cluster.rho as usize,
+            steps: self.steps,
+            chunk_bytes: self.chunk_bytes as f64,
+            compressed_bytes: compressed,
+            compute_secs: compute,
+            theta: self.cluster.theta,
+            mu: match direction {
+                Direction::Write => self.cluster.mu_write,
+                Direction::Read => self.cluster.mu_read,
+            },
+            direction,
+            jitter: 0.04,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_data() -> Vec<u8> {
+        let mut x = 11u64;
+        (0..200_000)
+            .map(|_| {
+                x = x.wrapping_mul(6_364_136_223_846_793_005).wrapping_add(1);
+                1.0 + (x >> 12) as f64 / (1u64 << 52) as f64
+            })
+            .flat_map(|v: f64| v.to_le_bytes())
+            .collect()
+    }
+
+    #[test]
+    fn null_case_theory_matches_sim_roughly() {
+        let s = Scenario::default();
+        let e = s.evaluate(&CompressionMethod::Null, &sample_data());
+        let rel = (e.write_theoretical_mbps - e.write_empirical_mbps).abs()
+            / e.write_theoretical_mbps;
+        assert!(rel < 0.3, "write theory {} vs sim {}", e.write_theoretical_mbps, e.write_empirical_mbps);
+        assert_eq!(e.ratio, 1.0);
+    }
+
+    #[test]
+    fn primacy_beats_null_on_hard_data() {
+        let s = Scenario::default();
+        let data = sample_data();
+        let null = s.evaluate(&CompressionMethod::Null, &data);
+        let prim = s.evaluate(
+            &CompressionMethod::Primacy(PrimacyConfig::default()),
+            &data,
+        );
+        assert!(prim.ratio > 1.05, "ratio {}", prim.ratio);
+        assert!(
+            prim.write_empirical_mbps > null.write_empirical_mbps,
+            "primacy {} vs null {}",
+            prim.write_empirical_mbps,
+            null.write_empirical_mbps
+        );
+    }
+
+    #[test]
+    fn labels_are_stable() {
+        assert_eq!(CompressionMethod::Null.label(), "null");
+        assert_eq!(
+            CompressionMethod::Vanilla(CodecKind::Lzr).label(),
+            "lzr"
+        );
+        assert_eq!(
+            CompressionMethod::Primacy(PrimacyConfig::default()).label(),
+            "primacy"
+        );
+    }
+}

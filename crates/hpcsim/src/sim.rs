@@ -1,0 +1,353 @@
+//! Discrete-event simulation of the staging-I/O pipeline.
+//!
+//! This is the testbed substitute for the paper's Jaguar XK6 runs: ρ compute
+//! nodes per I/O node produce one chunk per bulk-synchronous step, compress
+//! it locally (in parallel), push it through the shared collective network
+//! (a single server of capacity θ), and the I/O node writes it to its
+//! filesystem share (a single server of capacity μ). Reads run the pipeline
+//! backwards. Unlike the closed-form model (which adds phase times), the
+//! simulation lets transfers overlap disk activity across chunks and adds
+//! deterministic per-chunk jitter — producing the "empirical" counterpart to
+//! the model's "theoretical" bars in Fig. 4.
+
+/// Transfer direction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Direction {
+    /// Compute nodes → disk (checkpoint write).
+    Write,
+    /// Disk → compute nodes (restart read).
+    Read,
+}
+
+/// Simulation parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SimConfig {
+    /// Compute nodes per I/O node (ρ).
+    pub rho: usize,
+    /// Bulk-synchronous steps to simulate.
+    pub steps: usize,
+    /// Original chunk size per node per step, bytes.
+    pub chunk_bytes: f64,
+    /// Bytes per chunk after compression (== `chunk_bytes` for the null
+    /// case).
+    pub compressed_bytes: f64,
+    /// Per-node compression (or decompression) seconds per chunk; 0 for the
+    /// null case.
+    pub compute_secs: f64,
+    /// Collective network capacity at the I/O node, bytes/s.
+    pub theta: f64,
+    /// Disk throughput for this direction, bytes/s.
+    pub mu: f64,
+    /// Direction of the run.
+    pub direction: Direction,
+    /// Relative jitter amplitude on per-chunk compute/transfer times
+    /// (deterministic), e.g. 0.05 for ±5 %.
+    pub jitter: f64,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        Self {
+            rho: 8,
+            steps: 16,
+            chunk_bytes: 3.0 * 1024.0 * 1024.0,
+            compressed_bytes: 3.0 * 1024.0 * 1024.0,
+            compute_secs: 0.0,
+            theta: 1.2e9,
+            mu: 18e6,
+            direction: Direction::Write,
+            jitter: 0.05,
+        }
+    }
+}
+
+/// Simulation outcome.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SimResult {
+    /// Wall-clock makespan of the whole run, seconds.
+    pub makespan_secs: f64,
+    /// End-to-end throughput: original bytes moved / makespan, bytes/s.
+    pub tau_bps: f64,
+    /// Fraction of the makespan the network server was busy.
+    pub network_utilization: f64,
+    /// Fraction of the makespan the disk server was busy.
+    pub disk_utilization: f64,
+    /// Fraction of the makespan the (parallel) compute phase accounts for.
+    pub compute_fraction: f64,
+}
+
+/// Deterministic multiplicative jitter in `[1-amp, 1+amp]`.
+struct Jitter {
+    state: u64,
+    amp: f64,
+}
+
+impl Jitter {
+    fn new(amp: f64) -> Self {
+        Self {
+            state: 0x9E37_79B9_7F4A_7C15,
+            amp,
+        }
+    }
+
+    fn next(&mut self) -> f64 {
+        self.state = self
+            .state
+            .wrapping_mul(6_364_136_223_846_793_005)
+            .wrapping_add(1_442_695_040_888_963_407);
+        let u = (self.state >> 11) as f64 / (1u64 << 53) as f64; // [0,1)
+        1.0 + self.amp * (2.0 * u - 1.0)
+    }
+}
+
+/// Run the simulation.
+pub fn simulate(cfg: &SimConfig) -> SimResult {
+    assert!(cfg.rho >= 1 && cfg.steps >= 1);
+    let mut jitter = Jitter::new(cfg.jitter);
+    let mut network_free = 0.0f64;
+    let mut disk_free = 0.0f64;
+    let mut network_busy = 0.0f64;
+    let mut disk_busy = 0.0f64;
+    let mut compute_busy = 0.0f64;
+    let mut step_start = 0.0f64;
+    let mut makespan = 0.0f64;
+
+    for _step in 0..cfg.steps {
+        let mut step_end = step_start;
+        match cfg.direction {
+            Direction::Write => {
+                // Parallel compute phase, then FIFO through network and disk.
+                let mut step_compute = 0.0f64;
+                let mut ready: Vec<f64> = (0..cfg.rho)
+                    .map(|_| {
+                        let t = cfg.compute_secs * jitter.next();
+                        step_compute = step_compute.max(t); // nodes run in parallel
+                        step_start + t
+                    })
+                    .collect();
+                ready.sort_by(|a, b| a.partial_cmp(b).unwrap());
+                compute_busy += step_compute;
+                for r in ready {
+                    let xfer = cfg.compressed_bytes / cfg.theta * jitter.next();
+                    let start = r.max(network_free);
+                    network_free = start + xfer;
+                    network_busy += xfer;
+                    let write = cfg.compressed_bytes / cfg.mu * jitter.next();
+                    let wstart = network_free.max(disk_free);
+                    disk_free = wstart + write;
+                    disk_busy += write;
+                    step_end = step_end.max(disk_free);
+                }
+            }
+            Direction::Read => {
+                // Disk reads, transfers, then parallel decompression.
+                for _node in 0..cfg.rho {
+                    let read = cfg.compressed_bytes / cfg.mu * jitter.next();
+                    let rstart = step_start.max(disk_free);
+                    disk_free = rstart + read;
+                    disk_busy += read;
+                    let xfer = cfg.compressed_bytes / cfg.theta * jitter.next();
+                    let xstart = disk_free.max(network_free);
+                    network_free = xstart + xfer;
+                    network_busy += xfer;
+                    let decomp = cfg.compute_secs * jitter.next();
+                    step_end = step_end.max(network_free + decomp);
+                }
+            }
+        }
+        // Bulk-synchronous barrier: the next step starts when every node's
+        // chunk has fully landed.
+        step_start = step_end;
+        makespan = step_end;
+    }
+
+    let total_original = cfg.chunk_bytes * cfg.rho as f64 * cfg.steps as f64;
+    SimResult {
+        makespan_secs: makespan,
+        tau_bps: total_original / makespan,
+        network_utilization: (network_busy / makespan).min(1.0),
+        disk_utilization: (disk_busy / makespan).min(1.0),
+        compute_fraction: (compute_busy / makespan).min(1.0),
+    }
+}
+
+/// Result of a multi-group run (an application spanning many I/O nodes).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MultiGroupResult {
+    /// Aggregate end-to-end throughput across all groups, bytes/s.
+    pub aggregate_tau_bps: f64,
+    /// What perfect linear scaling of the fastest group would give.
+    pub ideal_tau_bps: f64,
+    /// Aggregate / ideal: 1.0 means no straggler penalty.
+    pub scaling_efficiency: f64,
+    /// Ratio of slowest to fastest per-group makespan.
+    pub straggler_spread: f64,
+}
+
+/// Simulate `groups` I/O groups running the same bulk-synchronous workload
+/// with per-group speed variation of ±`group_jitter` (relative). The
+/// application barriers across groups each step, so every step is gated by
+/// its slowest group — the classic straggler effect that makes aggregate
+/// I/O scale sub-linearly on real machines (and why the paper reports
+/// per-I/O-node throughputs).
+pub fn simulate_multi_group(
+    cfg: &SimConfig,
+    groups: usize,
+    group_jitter: f64,
+) -> MultiGroupResult {
+    assert!(groups >= 1);
+    let mut jitter = Jitter::new(group_jitter);
+    // Per-group slowdown factors (deterministic).
+    let factors: Vec<f64> = (0..groups).map(|_| jitter.next()).collect();
+    let base = simulate(cfg);
+    // A group slower by factor f takes f× as long per step; with a barrier
+    // per step the step time is max over groups.
+    let per_step = base.makespan_secs / cfg.steps as f64;
+    let max_factor = factors.iter().cloned().fold(f64::MIN, f64::max);
+    let min_factor = factors.iter().cloned().fold(f64::MAX, f64::min);
+    let stepped_makespan = per_step * max_factor * cfg.steps as f64;
+    let bytes_per_group = cfg.chunk_bytes * cfg.rho as f64 * cfg.steps as f64;
+    let aggregate = bytes_per_group * groups as f64 / stepped_makespan;
+    let ideal = bytes_per_group / (per_step * min_factor * cfg.steps as f64) * groups as f64;
+    MultiGroupResult {
+        aggregate_tau_bps: aggregate,
+        ideal_tau_bps: ideal,
+        scaling_efficiency: aggregate / ideal,
+        straggler_spread: max_factor / min_factor,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn base() -> SimConfig {
+        SimConfig {
+            jitter: 0.0,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn null_write_is_disk_bound() {
+        let cfg = base();
+        let r = simulate(&cfg);
+        // Disk is the slowest server by far; utilization should be ~1.
+        assert!(r.disk_utilization > 0.95, "disk util {}", r.disk_utilization);
+        // Throughput approaches μ (the single disk drains everything).
+        assert!(
+            (r.tau_bps - cfg.mu).abs() / cfg.mu < 0.1,
+            "tau {} vs mu {}",
+            r.tau_bps,
+            cfg.mu
+        );
+    }
+
+    #[test]
+    fn compression_raises_write_throughput() {
+        let null = simulate(&base());
+        let compressed = simulate(&SimConfig {
+            compressed_bytes: 2.4 * 1024.0 * 1024.0, // ratio 1.25
+            compute_secs: 0.03,                      // 100 MB/s compressor
+            ..base()
+        });
+        assert!(
+            compressed.tau_bps > null.tau_bps * 1.1,
+            "{} vs {}",
+            compressed.tau_bps,
+            null.tau_bps
+        );
+    }
+
+    #[test]
+    fn slow_compressor_hurts_despite_ratio() {
+        let null = simulate(&base());
+        let slow = simulate(&SimConfig {
+            compressed_bytes: 1.5 * 1024.0 * 1024.0,
+            compute_secs: 3.0, // ~1 MB/s compressor: dominates everything
+            ..base()
+        });
+        assert!(slow.tau_bps < null.tau_bps);
+    }
+
+    #[test]
+    fn read_direction_uses_disk_then_network() {
+        let r = simulate(&SimConfig {
+            direction: Direction::Read,
+            mu: 90e6,
+            ..base()
+        });
+        assert!(r.tau_bps > 0.0);
+        assert!(r.disk_utilization > 0.5);
+    }
+
+    #[test]
+    fn jitter_changes_little_but_something() {
+        let smooth = simulate(&base());
+        let noisy = simulate(&SimConfig {
+            jitter: 0.05,
+            ..base()
+        });
+        let rel = (noisy.tau_bps - smooth.tau_bps).abs() / smooth.tau_bps;
+        assert!(rel < 0.1, "jitter moved throughput by {rel}");
+        assert_ne!(noisy.tau_bps, smooth.tau_bps);
+    }
+
+    #[test]
+    fn sim_tracks_model_shape() {
+        // The simulation must agree with the closed-form model within ~25 %
+        // for the disk-bound null case (the paper's model-vs-empirical
+        // comparison).
+        use crate::model::{base_write, ClusterParams, ModelInputs};
+        let cfg = base();
+        let sim = simulate(&cfg);
+        let model = base_write(&ModelInputs {
+            cluster: ClusterParams {
+                rho: cfg.rho as f64,
+                theta: cfg.theta,
+                mu_write: cfg.mu,
+                mu_read: 90e6,
+            },
+            chunk_bytes: cfg.chunk_bytes,
+            metadata_bytes: 0.0,
+            alpha1: 0.25,
+            alpha2: 0.0,
+            sigma_ho: 1.0,
+            sigma_lo: 1.0,
+            t_prec: 1e12,
+            t_comp: 1e12,
+            t_decomp: 1e12,
+            t_prec_inv: 1e12,
+        });
+        let rel = (sim.tau_bps - model.tau).abs() / model.tau;
+        assert!(rel < 0.25, "sim {} vs model {}", sim.tau_bps, model.tau);
+    }
+
+    #[test]
+    fn multi_group_scales_with_straggler_penalty() {
+        let cfg = base();
+        let one = simulate_multi_group(&cfg, 1, 0.0);
+        assert!((one.scaling_efficiency - 1.0).abs() < 1e-9);
+        assert!((one.straggler_spread - 1.0).abs() < 1e-9);
+
+        let many_uniform = simulate_multi_group(&cfg, 64, 0.0);
+        assert!((many_uniform.scaling_efficiency - 1.0).abs() < 1e-9);
+        // 64 identical groups move 64× the data in the same time.
+        assert!(
+            (many_uniform.aggregate_tau_bps / one.aggregate_tau_bps - 64.0).abs() < 1e-6
+        );
+
+        let many_jittered = simulate_multi_group(&cfg, 64, 0.15);
+        assert!(many_jittered.scaling_efficiency < 1.0);
+        assert!(many_jittered.straggler_spread > 1.05);
+        assert!(many_jittered.aggregate_tau_bps < many_uniform.aggregate_tau_bps);
+    }
+
+    #[test]
+    fn more_steps_converge_throughput() {
+        let short = simulate(&SimConfig { steps: 2, ..base() });
+        let long = simulate(&SimConfig { steps: 64, ..base() });
+        let rel = (short.tau_bps - long.tau_bps).abs() / long.tau_bps;
+        assert!(rel < 0.2, "throughput unstable across steps: {rel}");
+    }
+}

@@ -1,0 +1,184 @@
+//! Parameter sweeps over the §III model — the paper's closing promise that
+//! the model "can enable prediction of I/O performance on target systems ...
+//! and additionally help application developers in choosing particular
+//! configurations", as a queryable API instead of a one-off plot.
+
+use crate::model::{base_write, primacy_write, vanilla_write, ClusterParams, ModelInputs};
+
+/// One strategy's predicted throughput at a grid point.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GridPoint {
+    /// Compute-to-I/O-node ratio at this point.
+    pub rho: f64,
+    /// Disk write throughput at this point, bytes/s.
+    pub mu_write: f64,
+    /// Null-case throughput, bytes/s.
+    pub null_bps: f64,
+    /// PRIMACY throughput, bytes/s.
+    pub primacy_bps: f64,
+    /// Vanilla-codec throughput, bytes/s.
+    pub vanilla_bps: f64,
+}
+
+impl GridPoint {
+    /// Which strategy wins here.
+    pub fn winner(&self) -> Strategy {
+        if self.primacy_bps >= self.null_bps && self.primacy_bps >= self.vanilla_bps {
+            Strategy::Primacy
+        } else if self.vanilla_bps >= self.null_bps {
+            Strategy::Vanilla
+        } else {
+            Strategy::Null
+        }
+    }
+
+    /// Best gain over null, as a fraction (≥ 0 when compression wins).
+    pub fn best_gain(&self) -> f64 {
+        (self.primacy_bps.max(self.vanilla_bps) / self.null_bps) - 1.0
+    }
+}
+
+/// A compression strategy label for sweep results.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Strategy {
+    /// No compression.
+    Null,
+    /// PRIMACY at the compute nodes.
+    Primacy,
+    /// Vanilla whole-chunk codec at the compute nodes.
+    Vanilla,
+}
+
+/// Sweep the model over (ρ × μw), holding the measured rates fixed.
+///
+/// `vanilla` is `(sigma, t_comp_bps)` for the whole-chunk codec being
+/// compared (e.g. from [`crate::measure_vanilla`]).
+pub fn sweep_rho_mu(
+    template: &ModelInputs,
+    vanilla: (f64, f64),
+    rhos: &[f64],
+    mu_writes: &[f64],
+) -> Vec<GridPoint> {
+    let mut grid = Vec::with_capacity(rhos.len() * mu_writes.len());
+    for &rho in rhos {
+        for &mu_write in mu_writes {
+            let inputs = ModelInputs {
+                cluster: ClusterParams {
+                    rho,
+                    mu_write,
+                    ..template.cluster
+                },
+                ..*template
+            };
+            grid.push(GridPoint {
+                rho,
+                mu_write,
+                null_bps: base_write(&inputs).tau,
+                primacy_bps: primacy_write(&inputs).tau,
+                vanilla_bps: vanilla_write(&inputs, vanilla.0, vanilla.1).tau,
+            });
+        }
+    }
+    grid
+}
+
+/// The disk speed above which compression stops paying at a given ρ: the
+/// crossover the paper's model exists to locate. Returns `None` when
+/// compression wins across the whole probed range.
+pub fn crossover_mu(template: &ModelInputs, rho: f64, probe_max: f64) -> Option<f64> {
+    // Bisect on μw between 0.1 MB/s and probe_max.
+    let wins = |mu: f64| {
+        let inputs = ModelInputs {
+            cluster: ClusterParams {
+                rho,
+                mu_write: mu,
+                ..template.cluster
+            },
+            ..*template
+        };
+        primacy_write(&inputs).tau > base_write(&inputs).tau
+    };
+    if wins(probe_max) {
+        return None;
+    }
+    let (mut lo, mut hi) = (0.1e6, probe_max);
+    if !wins(lo) {
+        return Some(lo);
+    }
+    for _ in 0..60 {
+        let mid = 0.5 * (lo + hi);
+        if wins(mid) {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    Some(0.5 * (lo + hi))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn template() -> ModelInputs {
+        ModelInputs {
+            cluster: ClusterParams::default(),
+            chunk_bytes: 3.0 * 1024.0 * 1024.0,
+            metadata_bytes: 2048.0,
+            alpha1: 0.25,
+            alpha2: 0.1,
+            sigma_ho: 0.3,
+            sigma_lo: 0.9,
+            t_prec: 500e6,
+            t_comp: 80e6,
+            t_decomp: 250e6,
+            t_prec_inv: 600e6,
+        }
+    }
+
+    #[test]
+    fn grid_has_expected_shape_and_structure() {
+        let grid = sweep_rho_mu(
+            &template(),
+            (0.9, 15e6),
+            &[2.0, 8.0],
+            &[4e6, 32e6, 256e6],
+        );
+        assert_eq!(grid.len(), 6);
+        // Slow disk, high fan-in: compression wins; very fast disk: null.
+        let slow = grid.iter().find(|g| g.rho == 8.0 && g.mu_write == 4e6).unwrap();
+        assert_eq!(slow.winner(), Strategy::Primacy);
+        assert!(slow.best_gain() > 0.0);
+        let fast = grid.iter().find(|g| g.rho == 2.0 && g.mu_write == 256e6).unwrap();
+        assert_eq!(fast.winner(), Strategy::Null);
+    }
+
+    #[test]
+    fn crossover_exists_and_orders_with_rho() {
+        let t = template();
+        let c8 = crossover_mu(&t, 8.0, 10e9).expect("crossover in range");
+        assert!(c8 > 1e6, "crossover {c8}");
+        // At the crossover, the two strategies are within a hair.
+        let inputs = ModelInputs {
+            cluster: ClusterParams {
+                rho: 8.0,
+                mu_write: c8,
+                ..t.cluster
+            },
+            ..t
+        };
+        let gap = (primacy_write(&inputs).tau - base_write(&inputs).tau).abs()
+            / base_write(&inputs).tau;
+        assert!(gap < 0.01, "gap at crossover {gap}");
+    }
+
+    #[test]
+    fn crossover_none_when_compression_always_wins() {
+        let mut t = template();
+        t.sigma_ho = 0.01;
+        t.sigma_lo = 0.01; // absurdly compressible
+        t.t_prec = 1e12;
+        t.t_comp = 1e12; // free CPU
+        assert!(crossover_mu(&t, 8.0, 1e9).is_none());
+    }
+}

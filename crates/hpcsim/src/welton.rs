@@ -1,0 +1,133 @@
+//! The Welton et al. model (CLUSTER 2011, the paper's reference \[22\]):
+//! compression as a pure effective-network-bandwidth multiplier, with
+//! compression and decompression assumed costless.
+//!
+//! PRIMACY's §V argues this assumption breaks down in practice — the CPU
+//! cost of the compressor "cannot be trivialized". This module implements
+//! the costless model so the bench suite can show exactly how much it
+//! over-predicts relative to the full model and the simulator, reproducing
+//! the paper's argument quantitatively.
+
+use crate::model::{ModelInputs, ModelOutputs};
+
+/// End-to-end write throughput under the costless-compression assumption:
+/// identical to the base case with every transferred/stored byte scaled by
+/// `sigma`, and zero time charged for the compressor.
+pub fn welton_write(inputs: &ModelInputs, sigma: f64) -> ModelOutputs {
+    let c = inputs.chunk_bytes;
+    let p = inputs.cluster;
+    let c_out = c * sigma;
+    let t_transfer = (1.0 + p.rho) * c_out / p.theta;
+    let t_disk = p.rho * c_out / p.mu_write;
+    let t_total = t_transfer + t_disk;
+    ModelOutputs {
+        t_transfer,
+        t_disk,
+        t_total,
+        tau: p.rho * c / t_total,
+        ..Default::default()
+    }
+}
+
+/// Costless-decompression read throughput.
+pub fn welton_read(inputs: &ModelInputs, sigma: f64) -> ModelOutputs {
+    let c = inputs.chunk_bytes;
+    let p = inputs.cluster;
+    let c_in = c * sigma;
+    let t_disk = p.rho * c_in / p.mu_read;
+    let t_transfer = (1.0 + p.rho) * c_in / p.theta;
+    let t_total = t_transfer + t_disk;
+    ModelOutputs {
+        t_transfer,
+        t_disk,
+        t_total,
+        tau: p.rho * c / t_total,
+        ..Default::default()
+    }
+}
+
+/// Effective network bandwidth under the costless assumption: raw bandwidth
+/// divided by the compressed fraction — the headline quantity of the Welton
+/// study.
+pub fn effective_network_bandwidth(theta: f64, sigma: f64) -> f64 {
+    if sigma <= 0.0 {
+        return f64::INFINITY;
+    }
+    theta / sigma
+}
+
+/// How much the costless model over-predicts the full model's throughput
+/// (≥ 0; 0 means compression really was free).
+pub fn overprediction(costless: &ModelOutputs, full: &ModelOutputs) -> f64 {
+    (costless.tau - full.tau).max(0.0) / full.tau
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{vanilla_write, ClusterParams};
+
+    fn inputs() -> ModelInputs {
+        ModelInputs {
+            cluster: ClusterParams::default(),
+            chunk_bytes: 3.0 * 1024.0 * 1024.0,
+            metadata_bytes: 0.0,
+            alpha1: 0.25,
+            alpha2: 0.0,
+            sigma_ho: 1.0,
+            sigma_lo: 1.0,
+            t_prec: f64::INFINITY,
+            t_comp: f64::INFINITY,
+            t_decomp: f64::INFINITY,
+            t_prec_inv: f64::INFINITY,
+        }
+    }
+
+    #[test]
+    fn costless_model_scales_inversely_with_sigma() {
+        let m = inputs();
+        let full = welton_write(&m, 1.0);
+        let half = welton_write(&m, 0.5);
+        assert!((half.tau / full.tau - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn costless_always_beats_the_full_model() {
+        // With any finite compressor speed, charging the CPU time can only
+        // lower throughput.
+        let m = inputs();
+        let sigma = 0.8;
+        for t_comp in [5e6, 20e6, 100e6] {
+            let costless = welton_write(&m, sigma);
+            let full = vanilla_write(&m, sigma, t_comp);
+            assert!(costless.tau >= full.tau);
+            assert!(overprediction(&costless, &full) >= 0.0);
+        }
+    }
+
+    #[test]
+    fn overprediction_grows_as_the_compressor_slows() {
+        let m = inputs();
+        let sigma = 0.85;
+        let costless = welton_write(&m, sigma);
+        let fast = vanilla_write(&m, sigma, 200e6);
+        let slow = vanilla_write(&m, sigma, 5e6);
+        assert!(
+            overprediction(&costless, &slow) > overprediction(&costless, &fast),
+            "slow compressor must be over-predicted more"
+        );
+    }
+
+    #[test]
+    fn effective_bandwidth_formula() {
+        assert!((effective_network_bandwidth(100.0, 0.5) - 200.0).abs() < 1e-12);
+        assert!(effective_network_bandwidth(100.0, 0.0).is_infinite());
+    }
+
+    #[test]
+    fn read_model_mirrors_write() {
+        let m = inputs();
+        let r = welton_read(&m, 0.7);
+        assert!(r.tau > welton_read(&m, 1.0).tau);
+    }
+}

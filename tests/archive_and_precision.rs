@@ -1,0 +1,104 @@
+//! Integration: the seekable archive across datasets and the paper's
+//! "other precisions" claim (f32 pipeline end to end).
+
+use primacy_suite::core::{ArchiveReader, ArchiveWriter, PrimacyCompressor, PrimacyConfig};
+use primacy_suite::datagen::DatasetId;
+
+#[test]
+fn archive_roundtrips_every_dataset() {
+    let cfg = PrimacyConfig {
+        chunk_bytes: 64 * 1024,
+        ..Default::default()
+    };
+    for id in DatasetId::ALL {
+        let bytes = id.generate_bytes(1 << 13);
+        let mut w = ArchiveWriter::new(Vec::new(), cfg.clone()).expect("valid config");
+        w.append(&bytes).expect("aligned");
+        let archive = w.finish().expect("finishes");
+        let r = ArchiveReader::open(&archive).expect("parses");
+        assert_eq!(
+            r.read_elements(0, r.element_count() as usize).expect("reads"),
+            bytes,
+            "{id}"
+        );
+    }
+}
+
+#[test]
+fn archive_random_windows_match_source() {
+    let values = DatasetId::MsgSp.generate(1 << 15);
+    let cfg = PrimacyConfig {
+        chunk_bytes: 32 * 1024, // 4096 doubles per chunk
+        ..Default::default()
+    };
+    let mut w = ArchiveWriter::new(Vec::new(), cfg).expect("valid config");
+    w.append_f64(&values).expect("aligned");
+    let archive = w.finish().expect("finishes");
+    let r = ArchiveReader::open(&archive).expect("parses");
+
+    let mut x = 12345u64;
+    for _ in 0..50 {
+        x = x.wrapping_mul(6_364_136_223_846_793_005).wrapping_add(1);
+        let start = (x >> 33) as usize % (values.len() - 100);
+        let count = 1 + (x >> 20) as usize % 100;
+        let got = r.read_elements_f64(start as u64, count).expect("in range");
+        assert_eq!(got, &values[start..start + count]);
+    }
+}
+
+#[test]
+fn f32_pipeline_end_to_end() {
+    // §IV-B: "PRIMACY can also perform effectively on floating-point data
+    // of higher precisions due to the nature of its mapping scheme" — and
+    // lower ones: the f32 configuration maps 1 exponent byte + 3 mantissa
+    // bytes.
+    let cfg = PrimacyConfig::f32();
+    let c = PrimacyCompressor::new(cfg);
+    for id in [DatasetId::GtsPhiL, DatasetId::ObsTemp, DatasetId::NumPlasma] {
+        let bytes = id.generate_f32_bytes(1 << 15);
+        let comp = c.compress_bytes(&bytes).expect("compress");
+        assert_eq!(c.decompress_bytes(&comp).expect("roundtrip"), bytes, "{id}");
+    }
+}
+
+#[test]
+fn f32_compression_still_beats_backend_alone() {
+    // The ID mapping over the single exponent byte must still help on
+    // narrow-range single-precision data.
+    use primacy_suite::codecs::CodecKind;
+    let mut x = 5u64;
+    let values: Vec<f32> = (0..1 << 17)
+        .map(|_| {
+            x = x.wrapping_mul(6_364_136_223_846_793_005).wrapping_add(1);
+            1.0f32 + (x >> 40) as f32 / (1u64 << 26) as f32
+        })
+        .collect();
+    let bytes: Vec<u8> = values.iter().flat_map(|v| v.to_le_bytes()).collect();
+    let c = PrimacyCompressor::new(PrimacyConfig::f32());
+    let primacy_size = c.compress_bytes(&bytes).expect("compress").len();
+    let zlib_size = CodecKind::Zlib
+        .build()
+        .compress(&bytes)
+        .expect("compress")
+        .len();
+    assert!(
+        primacy_size < zlib_size,
+        "primacy {primacy_size} vs zlib {zlib_size}"
+    );
+    assert_eq!(c.decompress_bytes(&c.compress_bytes(&bytes).unwrap()).unwrap(), bytes);
+}
+
+#[test]
+fn archives_and_streams_coexist() {
+    // The two container formats are distinguishable by magic; neither parses
+    // as the other.
+    let values = DatasetId::ObsInfo.generate(4096);
+    let c = PrimacyCompressor::new(PrimacyConfig::default());
+    let stream = c.compress_f64(&values).expect("compress");
+    assert!(ArchiveReader::open(&stream).is_err());
+
+    let mut w = ArchiveWriter::new(Vec::new(), PrimacyConfig::default()).expect("valid");
+    w.append_f64(&values).expect("aligned");
+    let archive = w.finish().expect("finishes");
+    assert!(c.decompress_bytes(&archive).is_err());
+}

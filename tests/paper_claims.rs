@@ -1,0 +1,179 @@
+//! Integration: the paper's headline claims, checked at test scale.
+//!
+//! These run on smaller inputs than the bench binaries, so thresholds are
+//! slightly looser than the published numbers — they pin the *shape* (who
+//! wins, in which direction) rather than exact magnitudes.
+
+use primacy_suite::codecs::{Codec, CodecKind};
+use primacy_suite::core::analysis;
+use primacy_suite::core::{PrimacyCompressor, PrimacyConfig};
+use primacy_suite::datagen::{permute, DatasetId};
+use primacy_suite::hpcsim::{CompressionMethod, Scenario};
+
+const N: usize = 1 << 16; // 64 Ki doubles = 512 KiB
+
+fn cr_codec(codec: &dyn Codec, bytes: &[u8]) -> f64 {
+    let comp = codec.compress(bytes).expect("compress");
+    bytes.len() as f64 / comp.len() as f64
+}
+
+fn cr_primacy(c: &PrimacyCompressor, bytes: &[u8]) -> f64 {
+    let comp = c.compress_bytes(bytes).expect("compress");
+    bytes.len() as f64 / comp.len() as f64
+}
+
+#[test]
+fn primacy_beats_zlib_cr_on_most_datasets_and_loses_msg_sppm() {
+    let zlib = CodecKind::Zlib.build();
+    let primacy = PrimacyCompressor::new(PrimacyConfig::default());
+    let mut wins = 0;
+    let mut sppm_loses = false;
+    for id in DatasetId::ALL {
+        let bytes = id.generate_bytes(N);
+        let z = cr_codec(zlib.as_ref(), &bytes);
+        let p = cr_primacy(&primacy, &bytes);
+        if p > z {
+            wins += 1;
+        } else if id == DatasetId::MsgSppm {
+            sppm_loses = true;
+        }
+    }
+    // Paper: 19/20 (95 %), the exception being the easy-to-compress
+    // msg_sppm where the index overhead costs more than it buys.
+    assert!(wins >= 17, "PRIMACY won CR on only {wins}/20 datasets");
+    assert!(sppm_loses, "msg_sppm should be the documented loss");
+}
+
+#[test]
+fn primacy_advantage_survives_permutation() {
+    // §IV-G: the ID mapper uses byte frequencies, not locality, so shuffling
+    // the data must not erase its advantage.
+    let zlib = CodecKind::Zlib.build();
+    let primacy = PrimacyCompressor::new(PrimacyConfig::default());
+    let mut wins = 0;
+    for id in DatasetId::ALL {
+        let values = permute(&id.generate(N));
+        let bytes: Vec<u8> = values.iter().flat_map(|v| v.to_le_bytes()).collect();
+        if cr_primacy(&primacy, &bytes) > cr_codec(zlib.as_ref(), &bytes) {
+            wins += 1;
+        }
+    }
+    assert!(wins >= 17, "only {wins}/20 permuted wins");
+}
+
+#[test]
+fn primacy_compresses_faster_than_zlib_on_hard_data() {
+    // §IV-F: 3-4× average; demand at least 1.5× on a random-mantissa
+    // dataset at test scale.
+    use std::time::Instant;
+    let bytes = DatasetId::GtsPhiL.generate_bytes(1 << 18);
+    let zlib = CodecKind::Zlib.build();
+    let primacy = PrimacyCompressor::new(PrimacyConfig::default());
+
+    let t0 = Instant::now();
+    let _ = zlib.compress(&bytes).unwrap();
+    let z_secs = t0.elapsed().as_secs_f64();
+
+    let t0 = Instant::now();
+    let _ = primacy.compress_bytes(&bytes).unwrap();
+    let p_secs = t0.elapsed().as_secs_f64();
+
+    assert!(
+        p_secs * 1.5 < z_secs,
+        "primacy {p_secs:.3}s vs zlib {z_secs:.3}s"
+    );
+}
+
+#[test]
+fn fig1_shape_holds_for_all_datasets() {
+    // Sign/exponent bits carry signal; deep mantissa is noise. The strong
+    // head claim holds for narrow-range fields like the four the paper
+    // plots; wide-range data (log-uniform observations) genuinely varies
+    // its exponent bits, so only validity is asserted for the rest.
+    for id in DatasetId::ALL {
+        let p = analysis::bit_probability(&id.generate(1 << 14));
+        assert!(p.iter().all(|&x| (0.5..=1.0).contains(&x)), "{id}");
+    }
+    for id in [
+        DatasetId::GtsPhiL,
+        DatasetId::NumPlasma,
+        DatasetId::ObsTemp,
+        DatasetId::MsgSweep3d,
+    ] {
+        let p = analysis::bit_probability(&id.generate(1 << 14));
+        let head: f64 = p[..12].iter().sum::<f64>() / 12.0;
+        assert!(head > 0.75, "{id}: head probability {head}");
+    }
+}
+
+#[test]
+fn hard_datasets_have_random_mantissa_tails() {
+    for id in [DatasetId::GtsPhiL, DatasetId::ObsTemp, DatasetId::GtsChkpZeon] {
+        let p = analysis::bit_probability(&id.generate(1 << 14));
+        let tail: f64 = p[48..].iter().sum::<f64>() / 16.0;
+        assert!(tail < 0.6, "{id}: tail probability {tail} should be ~0.5");
+    }
+}
+
+#[test]
+fn exponent_domain_is_sparse_like_the_paper_says() {
+    // §II-C: most datasets use < 2,000 of the 65,536 possible sequences.
+    let mut under = 0;
+    for id in DatasetId::ALL {
+        if analysis::unique_exponent_sequences(&id.generate(N)) < 2000 {
+            under += 1;
+        }
+    }
+    assert!(under >= 15, "only {under}/20 datasets under 2,000 sequences");
+}
+
+#[test]
+fn end_to_end_write_gain_shape() {
+    // Fig. 4a at test scale: PRIMACY must beat null; vanilla zlib must land
+    // between (small gain or small loss); everything positive throughput.
+    let scenario = Scenario::default();
+    let data = DatasetId::NumComet.generate_bytes(N);
+    let null = scenario.evaluate(&CompressionMethod::Null, &data);
+    let prim = scenario.evaluate(
+        &CompressionMethod::Primacy(PrimacyConfig::default()),
+        &data,
+    );
+    let zlib = scenario.evaluate(&CompressionMethod::Vanilla(CodecKind::Zlib), &data);
+    assert!(prim.write_empirical_mbps > null.write_empirical_mbps * 1.05);
+    assert!(prim.write_empirical_mbps > zlib.write_empirical_mbps);
+    // Reads: vanilla decompression must not beat PRIMACY's. This one leans
+    // on real wall-clock codec speeds, which unoptimized builds distort
+    // (debug codecs are ~10x slower, flipping the read trade-off), so only
+    // assert it where the measurement is representative.
+    if !cfg!(debug_assertions) {
+        assert!(prim.read_empirical_mbps > zlib.read_empirical_mbps);
+    }
+}
+
+#[test]
+fn bzip2_class_is_strong_but_slow() {
+    // §IV-C's reason for excluding bzlib2 from in-situ runs.
+    use std::time::Instant;
+    let bytes = DatasetId::NumPlasma.generate_bytes(1 << 16);
+    let bwt = CodecKind::Bwt.build();
+    let lzr = CodecKind::Lzr.build();
+
+    let t0 = Instant::now();
+    let bwt_out = bwt.compress(&bytes).unwrap();
+    let bwt_secs = t0.elapsed().as_secs_f64();
+
+    let t0 = Instant::now();
+    let lzr_out = lzr.compress(&bytes).unwrap();
+    let lzr_secs = t0.elapsed().as_secs_f64();
+
+    assert!(
+        bwt_out.len() < lzr_out.len(),
+        "bwt {} should out-compress lzr {}",
+        bwt_out.len(),
+        lzr_out.len()
+    );
+    assert!(
+        bwt_secs > lzr_secs * 3.0,
+        "bwt {bwt_secs:.3}s should be much slower than lzr {lzr_secs:.4}s"
+    );
+}

@@ -1,0 +1,204 @@
+//! Property-based tests: losslessness and safety invariants under
+//! adversarial inputs, for every codec and the full pipeline.
+
+use proptest::prelude::*;
+use primacy_suite::codecs::bwt::{bwt_forward, bwt_inverse, mtf_forward, mtf_inverse};
+use primacy_suite::codecs::deflate::{deflate, inflate, Level};
+use primacy_suite::codecs::CodecKind;
+use primacy_suite::core::freq::FreqTable;
+use primacy_suite::core::idmap::IdMap;
+use primacy_suite::core::linearize::{to_columns, to_rows};
+use primacy_suite::core::split::{join_hi_lo, split_hi_lo};
+use primacy_suite::core::{PrimacyCompressor, PrimacyConfig};
+
+/// Byte buffers biased towards compressible structure (runs and repeats)
+/// but including fully random tails.
+fn structured_bytes() -> impl Strategy<Value = Vec<u8>> {
+    prop_oneof![
+        proptest::collection::vec(any::<u8>(), 0..2048),
+        proptest::collection::vec(0u8..4, 0..4096),
+        (any::<u8>(), 1usize..2000).prop_map(|(b, n)| vec![b; n]),
+        proptest::collection::vec(any::<u8>(), 0..64)
+            .prop_map(|unit| unit.repeat(17)),
+    ]
+}
+
+fn f64_vec() -> impl Strategy<Value = Vec<f64>> {
+    prop_oneof![
+        proptest::collection::vec(any::<f64>(), 0..512),
+        proptest::collection::vec(-1000.0..1000.0f64, 0..512),
+        proptest::collection::vec((0u16..50).prop_map(|i| 1.0 + f64::from(i) * 0.125), 0..512),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn deflate_roundtrips(data in structured_bytes()) {
+        for level in [Level::Fast, Level::Default, Level::Best] {
+            let comp = deflate(&data, level);
+            prop_assert_eq!(&inflate(&comp).unwrap(), &data);
+        }
+    }
+
+    #[test]
+    fn every_codec_roundtrips(data in structured_bytes()) {
+        for kind in CodecKind::ALL {
+            let codec = kind.build();
+            let comp = codec.compress(&data).unwrap();
+            prop_assert_eq!(&codec.decompress(&comp).unwrap(), &data, "codec {}", kind);
+        }
+    }
+
+    #[test]
+    fn inflate_never_panics_on_garbage(data in proptest::collection::vec(any::<u8>(), 0..512)) {
+        let _ = inflate(&data);
+    }
+
+    #[test]
+    fn codec_decompress_never_panics_on_garbage(
+        data in proptest::collection::vec(any::<u8>(), 0..256),
+    ) {
+        for kind in CodecKind::ALL {
+            let _ = kind.build().decompress(&data);
+        }
+    }
+
+    #[test]
+    fn bwt_mtf_roundtrip(data in structured_bytes()) {
+        let (bwt, primary) = bwt_forward(&data);
+        prop_assert_eq!(bwt.len(), data.len());
+        prop_assert_eq!(&bwt_inverse(&bwt, primary).unwrap(), &data);
+        let ranks = mtf_forward(&data);
+        prop_assert_eq!(&mtf_inverse(&ranks), &data);
+    }
+
+    #[test]
+    fn bwt_is_a_byte_permutation(data in structured_bytes()) {
+        let (bwt, _) = bwt_forward(&data);
+        let mut a = data.clone();
+        let mut b = bwt.clone();
+        a.sort_unstable();
+        b.sort_unstable();
+        prop_assert_eq!(a, b);
+    }
+
+    #[test]
+    fn primacy_roundtrips_any_doubles(values in f64_vec()) {
+        let c = PrimacyCompressor::new(PrimacyConfig::default());
+        let comp = c.compress_f64(&values).unwrap();
+        let back = c.decompress_f64(&comp).unwrap();
+        let a: Vec<u64> = back.iter().map(|v| v.to_bits()).collect();
+        let b: Vec<u64> = values.iter().map(|v| v.to_bits()).collect();
+        prop_assert_eq!(a, b);
+    }
+
+    #[test]
+    fn primacy_decompress_never_panics_on_garbage(
+        data in proptest::collection::vec(any::<u8>(), 0..256),
+    ) {
+        let c = PrimacyCompressor::new(PrimacyConfig::default());
+        let _ = c.decompress_bytes(&data);
+    }
+
+    #[test]
+    fn split_join_inverse(values in f64_vec()) {
+        let bytes: Vec<u8> = values.iter().flat_map(|v| v.to_le_bytes()).collect();
+        let (hi, lo) = split_hi_lo(&bytes, 8, 2).unwrap();
+        prop_assert_eq!(join_hi_lo(&hi, &lo, 8, 2).unwrap(), bytes);
+    }
+
+    #[test]
+    fn transpose_inverse(data in proptest::collection::vec(any::<u8>(), 0..512), cols in 1usize..8) {
+        let rows = data.len() / cols;
+        let data = &data[..rows * cols];
+        let t = to_columns(data, rows, cols);
+        prop_assert_eq!(to_rows(&t, rows, cols), data.to_vec());
+    }
+
+    #[test]
+    fn idmap_is_bijective_on_present_sequences(keys in proptest::collection::vec(any::<u16>(), 1..500)) {
+        let hi: Vec<u8> = keys.iter().flat_map(|k| k.to_be_bytes()).collect();
+        let freq = FreqTable::from_hi_matrix(&hi, 2);
+        let map = IdMap::from_freq(&freq, 2).unwrap();
+        // Every present sequence maps to a unique ID below the map size.
+        let mut seen = std::collections::HashSet::new();
+        for &k in &keys {
+            let id = map.id_of(k).expect("present sequence must be mapped");
+            prop_assert!((id as usize) < map.len());
+            prop_assert_eq!(map.seq_of(id), Some(k));
+            seen.insert(id);
+        }
+        prop_assert_eq!(seen.len(), map.len());
+        // IDs are assigned by non-increasing frequency.
+        for id in 1..map.len() as u16 {
+            let prev = map.seq_of(id - 1).unwrap();
+            let cur = map.seq_of(id).unwrap();
+            prop_assert!(freq.count(prev) >= freq.count(cur));
+        }
+        // Encode/decode of the matrix is the identity.
+        let mut enc = hi.clone();
+        map.encode_hi(&mut enc).unwrap();
+        map.decode_hi(&mut enc).unwrap();
+        prop_assert_eq!(enc, hi);
+    }
+
+    #[test]
+    fn gzip_roundtrips(data in structured_bytes()) {
+        use primacy_suite::codecs::deflate::Gzip;
+        let g = Gzip::default();
+        let comp = g.compress_bytes(&data).unwrap();
+        prop_assert_eq!(&g.decompress_bytes(&comp).unwrap(), &data);
+    }
+
+    #[test]
+    fn archive_appends_and_ranged_reads(
+        pieces in proptest::collection::vec(
+            proptest::collection::vec(-1e6..1e6f64, 0..200), 1..6),
+        window in any::<(u16, u8)>(),
+    ) {
+        use primacy_suite::core::{ArchiveReader, ArchiveWriter};
+        let cfg = PrimacyConfig { chunk_bytes: 512, ..Default::default() };
+        let mut w = ArchiveWriter::new(Vec::new(), cfg).unwrap();
+        let mut all: Vec<f64> = Vec::new();
+        for piece in &pieces {
+            w.append_f64(piece).unwrap();
+            all.extend_from_slice(piece);
+        }
+        let archive = w.finish().unwrap();
+        let r = ArchiveReader::open(&archive).unwrap();
+        prop_assert_eq!(r.element_count(), all.len() as u64);
+        // Full readback.
+        let back = r.read_elements_f64(0, all.len()).unwrap();
+        let a: Vec<u64> = back.iter().map(|v| v.to_bits()).collect();
+        let b: Vec<u64> = all.iter().map(|v| v.to_bits()).collect();
+        prop_assert_eq!(a, b);
+        // A pseudo-random window.
+        if !all.is_empty() {
+            let start = window.0 as usize % all.len();
+            let count = (window.1 as usize).min(all.len() - start);
+            let got = r.read_elements_f64(start as u64, count).unwrap();
+            let a: Vec<u64> = got.iter().map(|v| v.to_bits()).collect();
+            let b: Vec<u64> = all[start..start + count].iter().map(|v| v.to_bits()).collect();
+            prop_assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn archive_open_never_panics_on_garbage(
+        data in proptest::collection::vec(any::<u8>(), 0..300),
+    ) {
+        use primacy_suite::core::ArchiveReader;
+        let _ = ArchiveReader::open(&data);
+    }
+
+    #[test]
+    fn compressed_stream_smaller_or_bounded(values in proptest::collection::vec(-1.0..1.0f64, 64..512)) {
+        // Worst-case expansion of the container must stay modest even on
+        // adversarial doubles.
+        let c = PrimacyCompressor::new(PrimacyConfig::default());
+        let comp = c.compress_f64(&values).unwrap();
+        prop_assert!(comp.len() < values.len() * 8 + values.len() * 2 + 4096);
+    }
+}
