@@ -1,0 +1,22 @@
+#!/usr/bin/env bash
+# Offline CI gate for the PRIMACY suite.
+#
+# The workspace is hermetic: every dependency is an in-tree `primacy-*`
+# path crate (see DESIGN.md "Dependency policy"), so the whole gate runs
+# with `--offline` — no registry, no network, an empty cargo cache is fine.
+# `.github/workflows/ci.yml` runs exactly this script; run it locally
+# before pushing.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+run() {
+    echo "==> $*"
+    "$@"
+}
+
+run cargo fmt --check
+run cargo clippy --workspace --all-targets --offline -- -D warnings
+run cargo build --release --workspace --offline
+run cargo test -q --workspace --offline
+
+echo "==> ci.sh: all gates green"

@@ -1,25 +1,24 @@
-//! Criterion sweep over the chunk size — the design-choice ablation behind
-//! §II-B's fixed 3 MB: compressor efficiency (ratio per CPU second) should
-//! level off around that size, while tiny chunks pay per-chunk index
-//! overhead and giant chunks stop helping.
+//! Sweep over the chunk size — the design-choice ablation behind §II-B's
+//! fixed 3 MB: compressor efficiency (ratio per CPU second) should level
+//! off around that size, while tiny chunks pay per-chunk index overhead and
+//! giant chunks stop helping.
+//!
+//! Runs on the in-tree harness (`primacy_bench::harness`).
 
-// Config tweaks read more clearly as sequential assignments here.
-#![allow(clippy::field_reassign_with_default)]
-
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use primacy_bench::harness::Group;
 use primacy_core::{PrimacyCompressor, PrimacyConfig};
 use primacy_datagen::DatasetId;
 use std::hint::black_box;
 
-fn bench_chunk_sizes(c: &mut Criterion) {
+fn main() {
     let bytes = DatasetId::MsgSp.generate_bytes(1 << 20); // 8 MiB
-    let mut group = c.benchmark_group("chunk_size_sweep");
-    group.sample_size(10);
-    group.throughput(Throughput::Bytes(bytes.len() as u64));
+    let group = Group::new("chunk_size_sweep").throughput_bytes(bytes.len() as u64);
 
     for chunk_kb in [64usize, 256, 1024, 3072, 8192] {
-        let mut cfg = PrimacyConfig::default();
-        cfg.chunk_bytes = chunk_kb * 1024;
+        let cfg = PrimacyConfig {
+            chunk_bytes: chunk_kb * 1024,
+            ..Default::default()
+        };
         let compressor = PrimacyCompressor::new(cfg);
         // Record the ratio once so the report ties speed to ratio.
         let out = compressor.compress_bytes(&bytes).unwrap();
@@ -27,16 +26,8 @@ fn bench_chunk_sizes(c: &mut Criterion) {
             "chunk {chunk_kb:>5} KiB: CR {:.4}",
             bytes.len() as f64 / out.len() as f64
         );
-        group.bench_with_input(
-            BenchmarkId::from_parameter(format!("{chunk_kb}KiB")),
-            &bytes,
-            |b, data| {
-                b.iter(|| black_box(compressor.compress_bytes(black_box(data)).unwrap()));
-            },
-        );
+        group.bench(&format!("{chunk_kb}KiB"), || {
+            black_box(compressor.compress_bytes(black_box(&bytes)).unwrap())
+        });
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_chunk_sizes);
-criterion_main!(benches);

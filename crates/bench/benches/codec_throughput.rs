@@ -1,8 +1,11 @@
-//! Criterion micro-benchmarks: compression and decompression throughput of
-//! every codec on a representative 3 MB chunk (the paper's unit of work).
-//! Backs the throughput columns of Table III and the Tcomp model input.
+//! Micro-benchmarks: compression and decompression throughput of every
+//! codec on a representative 3 MB chunk (the paper's unit of work). Backs
+//! the throughput columns of Table III and the Tcomp model input.
+//!
+//! Runs on the in-tree harness (`primacy_bench::harness`) — see DESIGN.md
+//! "Dependency policy" for why criterion is not used.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use primacy_bench::harness::Group;
 use primacy_codecs::CodecKind;
 use primacy_core::{PrimacyCompressor, PrimacyConfig};
 use primacy_datagen::DatasetId;
@@ -10,45 +13,36 @@ use std::hint::black_box;
 
 const CHUNK_ELEMS: usize = 3 * 1024 * 1024 / 8;
 
-fn bench_codecs(c: &mut Criterion) {
+fn main() {
     let bytes = DatasetId::FlashVelx.generate_bytes(CHUNK_ELEMS);
 
-    let mut group = c.benchmark_group("compress_3mb_chunk");
-    group.sample_size(10);
-    group.throughput(Throughput::Bytes(bytes.len() as u64));
+    let group = Group::new("compress_3mb_chunk").throughput_bytes(bytes.len() as u64);
     for kind in CodecKind::ALL {
         let codec = kind.build();
-        group.bench_with_input(BenchmarkId::from_parameter(kind), &bytes, |b, data| {
-            b.iter(|| black_box(codec.compress(black_box(data)).unwrap()));
+        group.bench(&kind.to_string(), || {
+            black_box(codec.compress(black_box(&bytes)).unwrap())
         });
     }
     {
         let primacy = PrimacyCompressor::new(PrimacyConfig::default());
-        group.bench_with_input(BenchmarkId::from_parameter("primacy"), &bytes, |b, data| {
-            b.iter(|| black_box(primacy.compress_bytes(black_box(data)).unwrap()));
+        group.bench("primacy", || {
+            black_box(primacy.compress_bytes(black_box(&bytes)).unwrap())
         });
     }
-    group.finish();
 
-    let mut group = c.benchmark_group("decompress_3mb_chunk");
-    group.sample_size(10);
-    group.throughput(Throughput::Bytes(bytes.len() as u64));
+    let group = Group::new("decompress_3mb_chunk").throughput_bytes(bytes.len() as u64);
     for kind in CodecKind::ALL {
         let codec = kind.build();
         let comp = codec.compress(&bytes).unwrap();
-        group.bench_with_input(BenchmarkId::from_parameter(kind), &comp, |b, data| {
-            b.iter(|| black_box(codec.decompress(black_box(data)).unwrap()));
+        group.bench(&kind.to_string(), || {
+            black_box(codec.decompress(black_box(&comp)).unwrap())
         });
     }
     {
         let primacy = PrimacyCompressor::new(PrimacyConfig::default());
         let comp = primacy.compress_bytes(&bytes).unwrap();
-        group.bench_with_input(BenchmarkId::from_parameter("primacy"), &comp, |b, data| {
-            b.iter(|| black_box(primacy.decompress_bytes(black_box(data)).unwrap()));
+        group.bench("primacy", || {
+            black_box(primacy.decompress_bytes(black_box(&comp)).unwrap())
         });
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_codecs);
-criterion_main!(benches);

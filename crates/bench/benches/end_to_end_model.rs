@@ -1,13 +1,12 @@
-//! Criterion benchmarks of the hpcsim layer itself: evaluating the
-//! closed-form model is effectively free while the discrete-event
-//! simulation scales with ρ·steps — confirming the model is cheap enough
-//! for the paper's intended use (predicting target systems interactively),
-//! and benchmarking the parallel chunk pipeline that feeds it.
+//! Benchmarks of the hpcsim layer itself: evaluating the closed-form model
+//! is effectively free while the discrete-event simulation scales with
+//! ρ·steps — confirming the model is cheap enough for the paper's intended
+//! use (predicting target systems interactively), and benchmarking the
+//! parallel chunk pipeline that feeds it.
+//!
+//! Runs on the in-tree harness (`primacy_bench::harness`).
 
-// Config tweaks read more clearly as sequential assignments here.
-#![allow(clippy::field_reassign_with_default)]
-
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use primacy_bench::harness::Group;
 use primacy_core::{PrimacyCompressor, PrimacyConfig};
 use primacy_datagen::DatasetId;
 use primacy_hpcsim::model::{base_write, primacy_write, ClusterParams, ModelInputs};
@@ -30,54 +29,40 @@ fn model_inputs() -> ModelInputs {
     }
 }
 
-fn bench_model_and_sim(c: &mut Criterion) {
+fn main() {
     let inputs = model_inputs();
-    c.bench_function("analytical_model_eval", |b| {
-        b.iter(|| {
-            let i = black_box(&inputs);
-            black_box((base_write(i).tau, primacy_write(i).tau))
-        });
+    let group = Group::new("analytical_model");
+    group.bench("analytical_model_eval", || {
+        let i = black_box(&inputs);
+        black_box((base_write(i).tau, primacy_write(i).tau))
     });
 
-    let mut group = c.benchmark_group("discrete_event_sim");
+    let group = Group::new("discrete_event_sim");
     for steps in [16usize, 64, 256] {
-        group.bench_with_input(BenchmarkId::from_parameter(steps), &steps, |b, &steps| {
-            let cfg = SimConfig {
-                steps,
-                compute_secs: 0.05,
-                compressed_bytes: 2.4e6,
-                ..Default::default()
-            };
-            b.iter(|| black_box(simulate(black_box(&cfg))));
-        });
+        let cfg = SimConfig {
+            steps,
+            compute_secs: 0.05,
+            compressed_bytes: 2.4e6,
+            ..Default::default()
+        };
+        group.bench(&steps.to_string(), || black_box(simulate(black_box(&cfg))));
     }
-    group.finish();
 
     // Parallel chunk pipeline scaling (compute-node-side work).
     let bytes = DatasetId::ObsInfo.generate_bytes(1 << 20);
-    let mut cfg = PrimacyConfig::default();
-    cfg.chunk_bytes = 256 * 1024;
+    let cfg = PrimacyConfig {
+        chunk_bytes: 256 * 1024,
+        ..Default::default()
+    };
     let compressor = PrimacyCompressor::new(cfg);
-    let mut group = c.benchmark_group("parallel_pipeline");
-    group.sample_size(10);
-    group.throughput(Throughput::Bytes(bytes.len() as u64));
+    let group = Group::new("parallel_pipeline").throughput_bytes(bytes.len() as u64);
     for threads in [1usize, 2, 4, 8] {
-        group.bench_with_input(
-            BenchmarkId::from_parameter(threads),
-            &threads,
-            |b, &threads| {
-                b.iter(|| {
-                    black_box(
-                        compressor
-                            .compress_bytes_parallel(black_box(&bytes), threads)
-                            .unwrap(),
-                    )
-                });
-            },
-        );
+        group.bench(&threads.to_string(), || {
+            black_box(
+                compressor
+                    .compress_bytes_parallel(black_box(&bytes), threads)
+                    .unwrap(),
+            )
+        });
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_model_and_sim);
-criterion_main!(benches);

@@ -1,9 +1,11 @@
-//! Criterion micro-benchmarks for the individual PRIMACY pipeline stages
-//! (Fig. 2 workflow): split, frequency analysis, ID mapping, linearization,
-//! ISOBAR analysis. Backs the Tprec input of the performance model and
-//! shows that the preconditioner itself is far faster than any codec.
+//! Micro-benchmarks for the individual PRIMACY pipeline stages (Fig. 2
+//! workflow): split, frequency analysis, ID mapping, linearization, ISOBAR
+//! analysis. Backs the Tprec input of the performance model and shows that
+//! the preconditioner itself is far faster than any codec.
+//!
+//! Runs on the in-tree harness (`primacy_bench::harness`).
 
-use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use primacy_bench::harness::Group;
 use primacy_core::config::IsobarConfig;
 use primacy_core::freq::FreqTable;
 use primacy_core::idmap::IdMap;
@@ -15,7 +17,7 @@ use std::hint::black_box;
 
 const CHUNK_ELEMS: usize = 3 * 1024 * 1024 / 8;
 
-fn bench_stages(c: &mut Criterion) {
+fn main() {
     let bytes = DatasetId::GtsPhiL.generate_bytes(CHUNK_ELEMS);
     let n = CHUNK_ELEMS;
     let (hi, lo) = split_hi_lo(&bytes, 8, 2).unwrap();
@@ -25,53 +27,47 @@ fn bench_stages(c: &mut Criterion) {
     map.encode_hi(&mut encoded).unwrap();
     let columns = to_columns(&encoded, n, 2);
 
-    let mut group = c.benchmark_group("primacy_stages");
-    group.sample_size(20);
-    group.throughput(Throughput::Bytes(bytes.len() as u64));
+    let group = Group::new("primacy_stages").throughput_bytes(bytes.len() as u64);
 
-    group.bench_function("split_hi_lo", |b| {
-        b.iter(|| black_box(split_hi_lo(black_box(&bytes), 8, 2).unwrap()));
+    group.bench("split_hi_lo", || {
+        black_box(split_hi_lo(black_box(&bytes), 8, 2).unwrap())
     });
-    group.bench_function("join_hi_lo", |b| {
-        b.iter(|| black_box(join_hi_lo(black_box(&hi), black_box(&lo), 8, 2).unwrap()));
+    group.bench("join_hi_lo", || {
+        black_box(join_hi_lo(black_box(&hi), black_box(&lo), 8, 2).unwrap())
     });
-    group.bench_function("frequency_analysis", |b| {
-        b.iter(|| black_box(FreqTable::from_hi_matrix(black_box(&hi), 2)));
+    group.bench("frequency_analysis", || {
+        black_box(FreqTable::from_hi_matrix(black_box(&hi), 2))
     });
-    group.bench_function("index_generation", |b| {
-        b.iter(|| black_box(IdMap::from_freq(black_box(&freq), 2).unwrap()));
+    group.bench("index_generation", || {
+        black_box(IdMap::from_freq(black_box(&freq), 2).unwrap())
     });
-    group.bench_function("id_encode", |b| {
-        b.iter(|| {
-            let mut data = hi.clone();
-            map.encode_hi(&mut data).unwrap();
-            black_box(data)
-        });
+    group.bench("id_encode", || {
+        let mut data = hi.clone();
+        map.encode_hi(&mut data).unwrap();
+        black_box(data)
     });
-    group.bench_function("id_decode", |b| {
-        b.iter(|| {
-            let mut data = encoded.clone();
-            map.decode_hi(&mut data).unwrap();
-            black_box(data)
-        });
+    group.bench("id_decode", || {
+        let mut data = encoded.clone();
+        map.decode_hi(&mut data).unwrap();
+        black_box(data)
     });
-    group.bench_function("column_linearize", |b| {
-        b.iter(|| black_box(to_columns(black_box(&encoded), n, 2)));
+    group.bench("column_linearize", || {
+        black_box(to_columns(black_box(&encoded), n, 2))
     });
-    group.bench_function("row_delinearize", |b| {
-        b.iter(|| black_box(to_rows(black_box(&columns), n, 2)));
+    group.bench("row_delinearize", || {
+        black_box(to_rows(black_box(&columns), n, 2))
     });
-    group.bench_function("isobar_analyze", |b| {
+    {
         let cfg = IsobarConfig::default();
-        b.iter(|| black_box(isobar::analyze(black_box(&lo), n, 6, &cfg)));
-    });
-    group.bench_function("isobar_partition", |b| {
+        group.bench("isobar_analyze", || {
+            black_box(isobar::analyze(black_box(&lo), n, 6, &cfg))
+        });
+    }
+    {
         let cfg = IsobarConfig::default();
         let report = isobar::analyze(&lo, n, 6, &cfg);
-        b.iter(|| black_box(isobar::partition(black_box(&lo), n, 6, report.mask)));
-    });
-    group.finish();
+        group.bench("isobar_partition", || {
+            black_box(isobar::partition(black_box(&lo), n, 6, report.mask))
+        });
+    }
 }
-
-criterion_group!(benches, bench_stages);
-criterion_main!(benches);

@@ -6,13 +6,14 @@
 //! vanilla whole-buffer compression against the same codec behind PRIMACY,
 //! on a hard and a quantized dataset.
 
-use primacy_bench::{dataset_bytes, dataset_elements};
+use primacy_bench::{dataset_bytes, dataset_elements, Report};
 use primacy_codecs::CodecKind;
 use primacy_core::{PrimacyCompressor, PrimacyConfig};
 use primacy_datagen::DatasetId;
 use std::time::Instant;
 
 fn main() {
+    let mut report = Report::new("backend_sweep");
     println!(
         "SV backend sweep: vanilla codec vs PRIMACY+codec ({} doubles/dataset)\n",
         dataset_elements()
@@ -21,7 +22,11 @@ fn main() {
         "{:<14} {:<6} | {:>9} {:>10} | {:>9} {:>10} | {:>7} {:>7}",
         "dataset", "codec", "vanCR", "vanMB/s", "priCR", "priMB/s", "CRx", "TPx"
     );
-    for id in [DatasetId::GtsPhiL, DatasetId::NumPlasma, DatasetId::FlashVely] {
+    for id in [
+        DatasetId::GtsPhiL,
+        DatasetId::NumPlasma,
+        DatasetId::FlashVely,
+    ] {
         let bytes = dataset_bytes(id);
         for kind in [CodecKind::Zlib, CodecKind::Lzr, CodecKind::Bwt] {
             let codec = kind.build();
@@ -55,10 +60,16 @@ fn main() {
                 pri_cr / van_cr,
                 pri_tp / van_tp
             );
+            let key = format!("{}/{kind}", id.name());
+            report.push(format!("{key}/vanilla_cr"), van_cr);
+            report.push(format!("{key}/primacy_cr"), pri_cr);
+            report.push(format!("{key}/cr_gain"), pri_cr / van_cr);
+            report.push(format!("{key}/tp_gain"), pri_tp / van_tp);
         }
         println!();
     }
     println!("reading (paper SV): the preconditioner improves every backend's ratio AND");
     println!("throughput; bzip2-class throughput improves but stays \"too low for in-situ");
     println!("processing\" — which is why the paper ships zlib as the solver.");
+    report.finish();
 }

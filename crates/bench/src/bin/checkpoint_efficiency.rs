@@ -7,7 +7,7 @@
 //! theory shows what the 25–38 % write speedups are ultimately worth: a
 //! higher fraction of machine time spent computing, at every failure rate.
 
-use primacy_bench::dataset_bytes;
+use primacy_bench::{dataset_bytes, Report};
 use primacy_codecs::CodecKind;
 use primacy_core::PrimacyConfig;
 use primacy_datagen::DatasetId;
@@ -15,6 +15,7 @@ use primacy_hpcsim::checkpoint::{daly_interval, plan};
 use primacy_hpcsim::{CompressionMethod, Scenario};
 
 fn main() {
+    let mut report = Report::new("checkpoint_efficiency");
     let scenario = Scenario::default();
     let data = dataset_bytes(DatasetId::FlashVelx);
 
@@ -41,7 +42,10 @@ fn main() {
 
     // A 2.4 GB checkpoint per I/O group (the state behind one I/O node).
     let state_bytes = 2.4e9;
-    println!("checkpoint planning for {:.1} GB of state per I/O group (flash_velx profile)\n", state_bytes / 1e9);
+    println!(
+        "checkpoint planning for {:.1} GB of state per I/O group (flash_velx profile)\n",
+        state_bytes / 1e9
+    );
     println!(
         "{:<9} {:>10} {:>10} | {:>12} {:>12} {:>12}",
         "method", "writeMB/s", "readMB/s", "delta(s)", "interval(s)", "efficiency"
@@ -60,6 +64,10 @@ fn main() {
                 p.checkpoint_secs,
                 p.interval_secs,
                 p.efficiency * 100.0
+            );
+            report.push(
+                format!("mtbf_{mtbf_hours}h/{name}/efficiency"),
+                p.efficiency,
             );
             if best.map(|(_, e)| p.efficiency > e).unwrap_or(true) {
                 best = Some((name, p.efficiency));
@@ -80,4 +88,5 @@ fn main() {
     println!("\nreading: compression shortens delta, which both shortens the optimal");
     println!("interval (less lost work per failure) and cuts checkpoint overhead —");
     println!("compounding the raw write-throughput gain into machine-time savings.");
+    report.finish();
 }

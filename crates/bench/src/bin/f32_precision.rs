@@ -6,13 +6,14 @@
 //! mapper, 3 mantissa bytes to ISOBAR) — the analogous split at the other
 //! common precision.
 
-use primacy_bench::dataset_elements;
-use primacy_codecs::{Codec, CodecKind};
+use primacy_bench::{dataset_elements, Report};
+use primacy_codecs::CodecKind;
 use primacy_core::{PrimacyCompressor, PrimacyConfig};
 use primacy_datagen::DatasetId;
 use std::time::Instant;
 
 fn main() {
+    let mut report = Report::new("f32_precision");
     let n = dataset_elements();
     let zlib = CodecKind::Zlib.build();
     let primacy = PrimacyCompressor::new(PrimacyConfig::f32());
@@ -52,9 +53,14 @@ fn main() {
             bytes.len() as f64 / 1e6 / z_secs,
             bytes.len() as f64 / 1e6 / p_secs,
         );
+        report.push(format!("{}/zlib_cr", id.name()), zcr);
+        report.push(format!("{}/primacy_cr", id.name()), pcr);
     }
     let mean = gains.iter().sum::<f64>() / gains.len() as f64 * 100.0;
     println!("\nf32 shape check: PRIMACY CR wins {wins}/20, mean CR gain {mean:+.1}%");
     println!("(paper only asserts the scheme generalizes across precisions; the f64");
     println!("numbers in Table III remain the primary comparison)");
+    report.push("cr_wins".to_string(), f64::from(wins));
+    report.push("mean_cr_gain_pct".to_string(), mean);
+    report.finish();
 }

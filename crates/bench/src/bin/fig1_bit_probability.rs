@@ -7,7 +7,7 @@
 //! the deep mantissa — the "signal head, noise tail" that motivates the
 //! 2+6 byte split.
 
-use primacy_bench::{bar, dataset_values, rule};
+use primacy_bench::{bar, dataset_values, rule, Report};
 use primacy_core::analysis::bit_probability;
 use primacy_datagen::DatasetId;
 
@@ -56,11 +56,15 @@ fn main() {
     }
 
     // Quantitative shape check against the paper's claim.
+    let mut report = Report::new("fig1_bit_probability");
     for (id, p) in &series {
         let head: f64 = p[..12].iter().sum::<f64>() / 12.0;
         let tail: f64 = p[48..].iter().sum::<f64>() / 16.0;
         println!(
             "{id}: head(sign+exp) p={head:.3}, deep-mantissa p={tail:.3}  (paper: head ~0.9-1.0, tail ~0.5)"
         );
+        report.push(format!("{id}/head_p"), head);
+        report.push(format!("{id}/tail_p"), tail);
     }
+    report.finish();
 }

@@ -6,7 +6,7 @@
 //! hundred sequences with visible peaks (3a); mantissa histograms spread
 //! thinly over tens of thousands of sequences with peaks around 1e-5 (3b).
 
-use primacy_bench::dataset_values;
+use primacy_bench::{dataset_values, Report};
 use primacy_core::analysis::{exponent_histogram, mantissa_histogram, unique_exponent_sequences};
 use primacy_datagen::DatasetId;
 
@@ -54,7 +54,10 @@ fn main() {
     }
     println!("  (paper: tens of thousands of distinct sequences, peaks near 1e-5 — no skew for the ID mapper to exploit)");
 
-    println!("\nper-dataset distinct exponent sequences (§II-C claim: majority < 2,000 of 65,536):");
+    println!(
+        "\nper-dataset distinct exponent sequences (§II-C claim: majority < 2,000 of 65,536):"
+    );
+    let mut report = Report::new("fig3_byte_frequency");
     let mut under_2000 = 0;
     for id in DatasetId::ALL {
         let values = dataset_values(id);
@@ -63,6 +66,9 @@ fn main() {
             under_2000 += 1;
         }
         println!("  {:<16} {u:>6}", id.name());
+        report.push(format!("{}/unique_exponent_sequences", id.name()), u as f64);
     }
     println!("  -> {under_2000}/20 datasets under 2,000 (paper: \"the majority\")");
+    report.push("summary/datasets_under_2000", under_2000 as f64);
+    report.finish();
 }

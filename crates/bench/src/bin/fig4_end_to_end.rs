@@ -8,15 +8,20 @@
 //! (up to +38 %), zlib ≈ +8 %, lzo ≈ +10 %; reads — PRIMACY ≈ +19 % (up to
 //! +22 %), zlib ≈ −7 %, lzo ≈ −4 %; theoretical ≈ empirical throughout.
 
-use primacy_bench::dataset_bytes;
+use primacy_bench::{dataset_bytes, Report};
 use primacy_codecs::CodecKind;
 use primacy_core::PrimacyConfig;
 use primacy_datagen::DatasetId;
 use primacy_hpcsim::{CompressionMethod, Scenario};
 
 fn main() {
+    let mut report = Report::new("fig4_end_to_end");
     let scenario = Scenario::default();
-    let datasets = [DatasetId::NumComet, DatasetId::FlashVelx, DatasetId::ObsTemp];
+    let datasets = [
+        DatasetId::NumComet,
+        DatasetId::FlashVelx,
+        DatasetId::ObsTemp,
+    ];
     let methods = [
         CompressionMethod::Primacy(PrimacyConfig::default()),
         CompressionMethod::Vanilla(CodecKind::Zlib),
@@ -32,7 +37,9 @@ fn main() {
         scenario.cluster.mu_write / 1e6,
         scenario.cluster.mu_read / 1e6,
     );
-    println!("P=PRIMACY Z=zlib L=lzr N=null; T=theoretical (model) E=empirical (simulation); MB/s\n");
+    println!(
+        "P=PRIMACY Z=zlib L=lzr N=null; T=theoretical (model) E=empirical (simulation); MB/s\n"
+    );
 
     for id in datasets {
         let data = dataset_bytes(id);
@@ -64,6 +71,16 @@ fn main() {
             );
         }
         for e in &rows {
+            report.push(
+                format!("{}/{}/write_mbps", id.name(), e.method),
+                e.write_empirical_mbps,
+            );
+            report.push(
+                format!("{}/{}/read_mbps", id.name(), e.method),
+                e.read_empirical_mbps,
+            );
+        }
+        for e in &rows {
             if e.method == "null" {
                 continue;
             }
@@ -80,4 +97,5 @@ fn main() {
     println!("paper reference (3-dataset averages): PRIMACY write +27% / read +19%;");
     println!("zlib write +8% / read -7%; lzo write +10% / read -4%;");
     println!("theoretical and empirical values consistent for every method.");
+    report.finish();
 }

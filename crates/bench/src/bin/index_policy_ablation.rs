@@ -12,16 +12,19 @@
 //! thresholds to reuse at all, and aggressive reuse costs ratio.
 
 // Config tweaks read more clearly as sequential assignments here.
-#![allow(clippy::field_reassign_with_default)]
 
-use primacy_bench::dataset_bytes;
+use primacy_bench::{dataset_bytes, Report};
 use primacy_core::{IndexPolicy, PrimacyCompressor, PrimacyConfig};
 use primacy_datagen::DatasetId;
 
 fn main() {
+    let mut report = Report::new("index_policy_ablation");
     // Small chunks make index counts visible at bench sizes.
     let chunk_bytes = 256 * 1024;
-    println!("SII-F ablation: index policy (chunk = {} KiB)", chunk_bytes / 1024);
+    println!(
+        "SII-F ablation: index policy (chunk = {} KiB)",
+        chunk_bytes / 1024
+    );
     println!(
         "{:<16} {:>12} | {:>8} {:>8} {:>10} {:>10}",
         "dataset", "policy", "CR", "MB/s", "indexes", "chunks"
@@ -45,9 +48,11 @@ fn main() {
             ));
         }
         for (label, policy) in policies {
-            let mut cfg = PrimacyConfig::default();
-            cfg.chunk_bytes = chunk_bytes;
-            cfg.index_policy = policy;
+            let cfg = PrimacyConfig {
+                chunk_bytes,
+                index_policy: policy,
+                ..Default::default()
+            };
             let c = PrimacyCompressor::new(cfg);
             let (out, stats) = c.compress_bytes_with_stats(&bytes).expect("compress");
             assert_eq!(
@@ -65,8 +70,14 @@ fn main() {
                 stats.own_index_chunks,
                 stats.chunks
             );
+            report.push(format!("{}/{label}/cr", id.name()), stats.ratio());
+            report.push(
+                format!("{}/{label}/own_index_chunks", id.name()),
+                stats.own_index_chunks as f64,
+            );
         }
         println!();
     }
     println!("reading: fewer indexes at equal CR = reuse pays off; CR drop = stale index misfit (the data-dependence SII-F warns about).");
+    report.finish();
 }

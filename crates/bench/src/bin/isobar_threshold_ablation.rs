@@ -8,13 +8,13 @@
 //! and genuinely compressible columns are stored raw, losing ratio.
 
 // Config tweaks read more clearly as sequential assignments here.
-#![allow(clippy::field_reassign_with_default)]
 
-use primacy_bench::dataset_bytes;
-use primacy_core::{PrimacyCompressor, PrimacyConfig};
+use primacy_bench::{dataset_bytes, Report};
+use primacy_core::{IsobarConfig, PrimacyCompressor, PrimacyConfig};
 use primacy_datagen::DatasetId;
 
 fn main() {
+    let mut report = Report::new("isobar_threshold_ablation");
     println!("SII-G ablation: ISOBAR entropy threshold sweep");
     println!(
         "{:<16} {:>9} | {:>8} {:>9} {:>9} {:>7}",
@@ -22,19 +22,22 @@ fn main() {
     );
 
     for id in [
-        DatasetId::NumPlasma,  // heavily truncated: several compressible columns
-        DatasetId::FlashGamc,  // moderately truncated
-        DatasetId::GtsPhiL,    // fully random mantissa
-        DatasetId::MsgSppm,    // exact repetition everywhere
+        DatasetId::NumPlasma, // heavily truncated: several compressible columns
+        DatasetId::FlashGamc, // moderately truncated
+        DatasetId::GtsPhiL,   // fully random mantissa
+        DatasetId::MsgSppm,   // exact repetition everywhere
     ] {
         let bytes = dataset_bytes(id);
         for threshold in [2.0, 6.0, 7.0, 7.9, 8.0] {
-            let mut cfg = PrimacyConfig::default();
-            cfg.isobar.entropy_threshold_bits = threshold;
-            if threshold >= 8.0 {
-                // 8 bits can never be exceeded: force-everything mode.
-                cfg.isobar.enabled = false;
-            }
+            let cfg = PrimacyConfig {
+                isobar: IsobarConfig {
+                    entropy_threshold_bits: threshold,
+                    // 8 bits can never be exceeded: force-everything mode.
+                    enabled: threshold < 8.0,
+                    ..Default::default()
+                },
+                ..Default::default()
+            };
             let c = PrimacyCompressor::new(cfg);
             let (out, stats) = c.compress_bytes_with_stats(&bytes).expect("compress");
             let t0 = std::time::Instant::now();
@@ -50,10 +53,15 @@ fn main() {
                 bytes.len() as f64 / 1e6 / dsecs,
                 stats.isobar_compressible_fraction
             );
+            report.push(
+                format!("{}/threshold_{threshold}/cr", id.name()),
+                stats.ratio(),
+            );
         }
         println!();
     }
     println!("reading: threshold 8.0 = compress everything (vanilla); the paper's design point");
     println!("keeps ratio within a hair of vanilla while compressing several times faster on");
     println!("random-mantissa datasets (alpha2 ~ 0).");
+    report.finish();
 }

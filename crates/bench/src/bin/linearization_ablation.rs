@@ -12,9 +12,8 @@
 //!    (paper) — exercised implicitly through ISOBAR's column grouping.
 
 // Config tweaks read more clearly as sequential assignments here.
-#![allow(clippy::field_reassign_with_default)]
 
-use primacy_bench::{dataset_bytes, dataset_elements};
+use primacy_bench::{dataset_bytes, dataset_elements, Report};
 use primacy_codecs::{Codec, CodecKind};
 use primacy_core::freq::FreqTable;
 use primacy_core::idmap::IdMap;
@@ -91,20 +90,25 @@ fn main() {
             tp_gain * 100.0
         );
     }
+    let mut report = Report::new("linearization_ablation");
     let mean_cr = cr_gains.iter().sum::<f64>() / cr_gains.len() as f64 * 100.0;
     let mean_tp = tp_gains.iter().sum::<f64>() / tp_gains.len() as f64 * 100.0;
     println!(
         "\ncolumn vs row on ID values: CR {mean_cr:+.1}% (paper: +8-10%), throughput {mean_tp:+.1}% (paper: ~+20%)"
     );
     println!("rawCR column shows the split-only baseline: the frequency ranking itself, not just the split, carries the gain.");
+    report.push("summary/column_cr_gain_pct", mean_cr);
+    report.push("summary/column_tp_gain_pct", mean_tp);
 
     // End-to-end check through the full pipeline.
     println!("\nfull-pipeline linearization check:");
     for id in [DatasetId::GtsPhiL, DatasetId::ObsTemp] {
         let bytes = dataset_bytes(id);
         for lin in [Linearization::Row, Linearization::Column] {
-            let mut cfg = PrimacyConfig::default();
-            cfg.linearization = lin;
+            let cfg = PrimacyConfig {
+                linearization: lin,
+                ..Default::default()
+            };
             let c = PrimacyCompressor::new(cfg);
             let (out, stats) = c.compress_bytes_with_stats(&bytes).expect("compress");
             assert_eq!(
@@ -118,6 +122,8 @@ fn main() {
                 stats.ratio(),
                 stats.throughput_mbps()
             );
+            report.push(format!("{}/{lin:?}/cr", id.name()), stats.ratio());
         }
     }
+    report.finish();
 }

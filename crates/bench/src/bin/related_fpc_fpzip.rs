@@ -7,7 +7,7 @@
 //! (their dimensional correlation is gone) and PRIMACY wins on 100 % /
 //! 95 % with ~14 % / ~9 % better CR.
 
-use primacy_bench::dataset_elements;
+use primacy_bench::{dataset_elements, Report};
 use primacy_codecs::{fpc::Fpc, fpz::Fpz, Codec};
 use primacy_core::{PrimacyCompressor, PrimacyConfig};
 use primacy_datagen::{permute, DatasetId};
@@ -34,7 +34,10 @@ fn measure_primacy(c: &PrimacyCompressor, bytes: &[u8]) -> Meas {
     let t0 = Instant::now();
     let comp = c.compress_bytes(bytes).expect("compress");
     let secs = t0.elapsed().as_secs_f64();
-    assert_eq!(c.decompress_bytes(&comp).expect("roundtrip"), bytes.to_vec());
+    assert_eq!(
+        c.decompress_bytes(&comp).expect("roundtrip"),
+        bytes.to_vec()
+    );
     Meas {
         cr: bytes.len() as f64 / comp.len() as f64,
         ctp: bytes.len() as f64 / 1e6 / secs,
@@ -50,7 +53,16 @@ fn main() {
     println!("SV — PRIMACY vs FPC vs FPZ (fpzip-class), {n} doubles per dataset");
     println!(
         "{:<16} | {:>7} {:>7} {:>7} | {:>8} {:>8} {:>8} | {:>7} {:>7} {:>7}",
-        "dataset", "primCR", "fpcCR", "fpzCR", "primCTP", "fpcCTP", "fpzCTP", "permP", "permFPC", "permFPZ"
+        "dataset",
+        "primCR",
+        "fpcCR",
+        "fpzCR",
+        "primCTP",
+        "fpcCTP",
+        "fpzCTP",
+        "permP",
+        "permFPC",
+        "permFPZ"
     );
 
     let (mut fpc_wins, mut fpz_wins) = (0, 0);
@@ -103,6 +115,11 @@ fn main() {
         );
     }
 
+    let mut report = Report::new("related_fpc_fpzip");
+    report.push("summary/cr_wins_vs_fpc", fpc_wins as f64);
+    report.push("summary/cr_wins_vs_fpz", fpz_wins as f64);
+    report.push("summary/perm_cr_wins_vs_fpc", fpc_perm_wins as f64);
+    report.push("summary/perm_cr_wins_vs_fpz", fpz_perm_wins as f64);
     let mean_fpc_x = ctp_fpc_ratio.iter().sum::<f64>() / 20.0;
     let mean_fpz_x = ctp_fpz_ratio.iter().sum::<f64>() / 20.0;
     println!("\nshape checks vs paper (SV):");
@@ -112,4 +129,7 @@ fn main() {
     println!("  permuted: beats fpzip-class:   {fpz_perm_wins}/20   (paper: 19/20)");
     println!("  mean CTP vs FPC:               {mean_fpc_x:.1}x    (paper: ~3x)");
     println!("  mean CTP vs fpzip-class:       {mean_fpz_x:.1}x    (paper: ~2x)");
+    report.push("summary/mean_ctp_vs_fpc", mean_fpc_x);
+    report.push("summary/mean_ctp_vs_fpz", mean_fpz_x);
+    report.finish();
 }

@@ -11,7 +11,7 @@
 //! compressor is slow) and PRIMACY only mildly (its pipeline is fast) — the
 //! quantitative form of the paper's argument for preconditioning.
 
-use primacy_bench::dataset_bytes;
+use primacy_bench::{dataset_bytes, Report};
 use primacy_codecs::CodecKind;
 use primacy_core::PrimacyConfig;
 use primacy_datagen::DatasetId;
@@ -36,14 +36,15 @@ fn null_inputs(cluster: ClusterParams, chunk_bytes: f64) -> ModelInputs {
 }
 
 fn main() {
+    let mut report = Report::new("related_welton_model");
     let scenario = Scenario::default();
     let chunk = scenario.chunk_bytes as f64;
-    println!("SV quantification — costless (Welton) vs cost-charging model vs simulation; write MB/s\n");
+    println!(
+        "SV quantification — costless (Welton) vs cost-charging model vs simulation; write MB/s\n"
+    );
     println!(
         "{:<14} | {:>9} {:>9} {:>9} {:>9} | {:>9} {:>9} {:>9} {:>9}",
-        "dataset",
-        "z:free", "z:model", "z:sim", "z:over%",
-        "p:free", "p:model", "p:sim", "p:over%"
+        "dataset", "z:free", "z:model", "z:sim", "z:over%", "p:free", "p:model", "p:sim", "p:over%"
     );
 
     for id in [
@@ -69,11 +70,16 @@ fn main() {
         let p_free = welton_write(&inputs, p_sigma);
         let p_inputs = rates.to_model_inputs(scenario.cluster, chunk, 2048.0);
         let p_model = primacy_hpcsim::model::primacy_write(&p_inputs);
-        let p_sim = scenario.evaluate(
-            &CompressionMethod::Primacy(PrimacyConfig::default()),
-            &data,
-        );
+        let p_sim = scenario.evaluate(&CompressionMethod::Primacy(PrimacyConfig::default()), &data);
 
+        report.push(
+            format!("{}/zlib_overprediction", id.name()),
+            overprediction(&z_free, &z_model),
+        );
+        report.push(
+            format!("{}/primacy_overprediction", id.name()),
+            overprediction(&p_free, &p_model),
+        );
         println!(
             "{:<14} | {:>9.2} {:>9.2} {:>9.2} {:>8.1}% | {:>9.2} {:>9.2} {:>9.2} {:>8.1}%",
             id.name(),
@@ -89,7 +95,10 @@ fn main() {
     }
 
     let theta = scenario.cluster.theta;
-    println!("\neffective network bandwidth (Welton headline) at theta = {:.1} GB/s:", theta / 1e9);
+    println!(
+        "\neffective network bandwidth (Welton headline) at theta = {:.1} GB/s:",
+        theta / 1e9
+    );
     for sigma in [0.9, 0.8, 0.5] {
         println!(
             "  sigma {sigma:.1} -> {:.2} GB/s effective",
@@ -99,4 +108,5 @@ fn main() {
     println!("\nreading: 'over%' is how far the costless assumption over-predicts the");
     println!("cost-charging model. Vanilla zlib is over-predicted far more than PRIMACY —");
     println!("the compression cost the paper says cannot be trivialized.");
+    report.finish();
 }

@@ -7,13 +7,14 @@
 //! survives (and its shorter steps slightly dampen absolute straggler
 //! losses).
 
-use primacy_bench::dataset_bytes;
+use primacy_bench::{dataset_bytes, Report};
 use primacy_core::PrimacyConfig;
 use primacy_datagen::DatasetId;
 use primacy_hpcsim::measure_primacy;
 use primacy_hpcsim::sim::{simulate_multi_group, Direction, SimConfig};
 
 fn main() {
+    let mut report = Report::new("straggler_scaling");
     let data = dataset_bytes(DatasetId::FlashVelx);
     let rates = measure_primacy(&PrimacyConfig::default(), &data);
     let chunk = 3.0 * 1024.0 * 1024.0;
@@ -35,7 +36,10 @@ fn main() {
         ..base
     };
 
-    println!("aggregate write scaling across I/O groups (flash_velx rates, CR {:.2})\n", rates.ratio);
+    println!(
+        "aggregate write scaling across I/O groups (flash_velx rates, CR {:.2})\n",
+        rates.ratio
+    );
     println!(
         "{:>7} {:>8} | {:>12} {:>10} {:>10} | {:>12} {:>10} {:>10}",
         "groups", "jitter", "null GB/s", "scale-eff", "spread", "prim GB/s", "scale-eff", "spread"
@@ -55,6 +59,10 @@ fn main() {
                 p.scaling_efficiency * 100.0,
                 p.straggler_spread,
             );
+            let key = format!("g{groups}/j{gj}");
+            report.push(format!("{key}/null_gbps"), n.aggregate_tau_bps / 1e9);
+            report.push(format!("{key}/primacy_gbps"), p.aggregate_tau_bps / 1e9);
+            report.push(format!("{key}/primacy_scaling_eff"), p.scaling_efficiency);
         }
         println!();
     }
@@ -62,4 +70,6 @@ fn main() {
     println!("straggler spread grows with group count and jitter, costing both strategies");
     println!("the same relative scaling efficiency — compression neither fixes nor worsens");
     println!("the barrier penalty, it just moves more science through the same machine.");
+    report.push("compression_ratio".to_string(), rates.ratio);
+    report.finish();
 }

@@ -7,7 +7,7 @@
 //! (paper): PRIMACY wins CR on 19/20 datasets (all but msg_sppm), wins CTP
 //! and DTP by 3–4× on average, and keeps its CR advantage on permuted data.
 
-use primacy_bench::{dataset_elements, mbps};
+use primacy_bench::{dataset_elements, mbps, Comparison, Report};
 use primacy_codecs::{Codec, CodecKind};
 use primacy_core::{PrimacyCompressor, PrimacyConfig};
 use primacy_datagen::{permute, DatasetId};
@@ -63,6 +63,7 @@ fn main() {
         "zCTP", "(p)", "pCTP", "(p)", "zDTP", "(p)", "pDTP", "(p)"
     );
 
+    let mut report = Report::new("table3_compression");
     let mut rows = Vec::new();
     for id in DatasetId::ALL {
         let values = id.generate(n);
@@ -87,6 +88,18 @@ fn main() {
             primacy_dtp: pdtp,
         };
         let p = id.spec().paper;
+        for (metric, measured, paper) in [
+            ("zlib_cr", row.zlib_cr, p.zlib_cr),
+            ("primacy_cr", row.primacy_cr, p.primacy_cr),
+            ("zlib_lin_cr", row.zlib_lin_cr, p.zlib_lin_cr),
+            ("primacy_lin_cr", row.primacy_lin_cr, p.primacy_lin_cr),
+        ] {
+            report.push_comparison(&Comparison {
+                key: format!("table3/{}/{metric}", row.name),
+                paper,
+                measured,
+            });
+        }
         println!(
             "{:<14} | {:>7.2}({:>6.2}) {:>7.2}({:>6.2}) | {:>7.2}({:>6.2}) {:>7.2}({:>6.2}) | {}({:>7.1}) {}({:>7.1}) | {}({:>7.1}) {}({:>7.1})",
             row.name,
@@ -132,13 +145,13 @@ fn main() {
         "  mean CR improvement:        {:+.1}%          (paper: ~13%, up to 25%)",
         mean_cr_gain * 100.0
     );
-    println!(
-        "  mean compression speedup:   {mean_ctp_x:.1}x           (paper: 3-4x)"
-    );
-    println!(
-        "  mean decompression speedup: {mean_dtp_x:.1}x           (paper: 3-4x)"
-    );
-    println!(
-        "  permuted-layout CR wins:    {lin_wins}/20 measured   (paper: 19/20)"
-    );
+    println!("  mean compression speedup:   {mean_ctp_x:.1}x           (paper: 3-4x)");
+    println!("  mean decompression speedup: {mean_dtp_x:.1}x           (paper: 3-4x)");
+    println!("  permuted-layout CR wins:    {lin_wins}/20 measured   (paper: 19/20)");
+    report.push("summary/cr_wins", cr_wins as f64);
+    report.push("summary/lin_wins", lin_wins as f64);
+    report.push("summary/mean_cr_gain", mean_cr_gain);
+    report.push("summary/mean_ctp_speedup", mean_ctp_x);
+    report.push("summary/mean_dtp_speedup", mean_dtp_x);
+    report.finish();
 }

@@ -4,8 +4,11 @@
 //! paper (see DESIGN.md's experiment index) and prints paper-vs-measured
 //! values so EXPERIMENTS.md can be filled in by running them.
 
+pub mod harness;
+pub mod json;
+
+use json::Value;
 use primacy_datagen::DatasetId;
-use serde::Serialize;
 
 /// Number of doubles per dataset used by the bench binaries. 2²¹ elements =
 /// 16 MiB — several 3 MB chunks, large enough for stable ratios, small
@@ -29,7 +32,7 @@ pub fn dataset_values(id: DatasetId) -> Vec<f64> {
 }
 
 /// One measured-vs-paper record, serializable for EXPERIMENTS.md tooling.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct Comparison {
     /// Experiment identifier (e.g. "table3/gts_phi_l/zlib_cr").
     pub key: String,
@@ -46,6 +49,77 @@ impl Comparison {
             return f64::NAN;
         }
         (self.measured - self.paper) / self.paper
+    }
+
+    /// Hand-rolled JSON form (the in-tree substitute for a serde derive).
+    pub fn to_value(&self) -> Value {
+        Value::object([
+            ("key", Value::from(self.key.as_str())),
+            ("paper", Value::from(self.paper)),
+            ("measured", Value::from(self.measured)),
+            ("deviation", Value::from(self.deviation())),
+        ])
+    }
+}
+
+/// Machine-readable results of one bench binary.
+///
+/// Every binary under `src/bin/` records its headline numbers here next to
+/// the human-readable table it prints; when the `PRIMACY_BENCH_JSON`
+/// environment variable is set, [`Report::finish`] writes the collected
+/// records to that path (or to stdout for `-`) as a JSON document built by
+/// [`json`]. `tests/bench_smoke.rs` round-trips this output through the
+/// parser.
+#[derive(Debug)]
+pub struct Report {
+    experiment: String,
+    records: Vec<Value>,
+}
+
+impl Report {
+    /// Start a report for the named experiment (conventionally the binary
+    /// name, e.g. `table3_compression`).
+    pub fn new(experiment: &str) -> Self {
+        Self {
+            experiment: experiment.to_string(),
+            records: Vec::new(),
+        }
+    }
+
+    /// Record one scalar metric.
+    pub fn push(&mut self, key: impl Into<String>, value: f64) {
+        self.records.push(Value::object([
+            ("key", Value::from(key.into())),
+            ("value", Value::from(value)),
+        ]));
+    }
+
+    /// Record a measured-vs-paper comparison.
+    pub fn push_comparison(&mut self, c: &Comparison) {
+        self.records.push(c.to_value());
+    }
+
+    /// The full report as a JSON value.
+    pub fn to_value(&self) -> Value {
+        Value::object([
+            ("experiment", Value::from(self.experiment.as_str())),
+            ("records", Value::Array(self.records.clone())),
+        ])
+    }
+
+    /// Emit the report if `PRIMACY_BENCH_JSON` requests it. Call last in
+    /// `main`; panics on an unwritable path so CI fails loudly.
+    pub fn finish(self) {
+        let Ok(dest) = std::env::var("PRIMACY_BENCH_JSON") else {
+            return;
+        };
+        let text = self.to_value().to_json();
+        if dest == "-" {
+            println!("{text}");
+        } else {
+            std::fs::write(&dest, text)
+                .unwrap_or_else(|e| panic!("writing bench JSON to {dest}: {e}"));
+        }
     }
 }
 
@@ -65,7 +139,9 @@ pub fn bar(value: f64, max: f64, width: usize) -> String {
     if !(value.is_finite() && max > 0.0) {
         return String::new();
     }
-    let filled = ((value / max) * width as f64).round().clamp(0.0, width as f64) as usize;
+    let filled = ((value / max) * width as f64)
+        .round()
+        .clamp(0.0, width as f64) as usize;
     let mut s = String::with_capacity(width);
     for _ in 0..filled {
         s.push('#');

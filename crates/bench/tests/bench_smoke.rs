@@ -1,0 +1,59 @@
+//! End-to-end smoke test for the bench binaries: run one real binary on a
+//! tiny input, have it emit its machine-readable report via
+//! `PRIMACY_BENCH_JSON`, and check the output parses back through the
+//! hand-rolled `primacy_bench::json` emitter/parser pair.
+//!
+//! This is the CI guard for the zero-dependency reporting path: a binary
+//! that stops emitting valid JSON, or an emitter/parser drift, fails here
+//! in seconds instead of surfacing after a full bench sweep.
+
+use primacy_bench::json::{self, Value};
+use std::process::Command;
+
+#[test]
+fn fig1_binary_emits_parseable_json() {
+    let out_path =
+        std::env::temp_dir().join(format!("primacy_bench_smoke_{}.json", std::process::id()));
+    let _ = std::fs::remove_file(&out_path);
+
+    let status = Command::new(env!("CARGO_BIN_EXE_fig1_bit_probability"))
+        // 4096 doubles per dataset: enough for the probability estimates to
+        // be finite, small enough that all 20 datasets finish in seconds.
+        .env("PRIMACY_BENCH_ELEMS", "4096")
+        .env("PRIMACY_BENCH_JSON", &out_path)
+        .stdout(std::process::Stdio::null())
+        .status()
+        .expect("spawn fig1_bit_probability");
+    assert!(status.success(), "binary exited with {status}");
+
+    let text = std::fs::read_to_string(&out_path).expect("report file written");
+    let _ = std::fs::remove_file(&out_path);
+
+    let doc = json::parse(&text).expect("report parses");
+    assert_eq!(
+        doc.get("experiment").and_then(Value::as_str),
+        Some("fig1_bit_probability")
+    );
+    let records = doc
+        .get("records")
+        .and_then(Value::as_array)
+        .expect("records array");
+    assert!(!records.is_empty(), "report has records");
+    for rec in records {
+        let key = rec.get("key").and_then(Value::as_str).expect("record key");
+        assert!(!key.is_empty());
+        let value = rec
+            .get("value")
+            .and_then(Value::as_f64)
+            .expect("record value");
+        assert!(value.is_finite(), "metric {key} is finite");
+        // Bit probabilities live in [0, 1].
+        assert!((0.0..=1.0).contains(&value), "metric {key} = {value}");
+    }
+
+    // The emitter must reproduce its own parse — i.e. parse ∘ emit is the
+    // identity on the document (key order is deterministic via BTreeMap).
+    let reemitted = doc.to_json();
+    assert_eq!(json::parse(&reemitted).expect("re-parse"), doc);
+    assert_eq!(reemitted, json::parse(&text).expect("parse").to_json());
+}

@@ -95,8 +95,7 @@ fn run() -> Result<(), String> {
                     cfg.element_size
                 ));
             }
-            let compressor =
-                PrimacyCompressor::try_new(cfg).map_err(|e| e.to_string())?;
+            let compressor = PrimacyCompressor::try_new(cfg).map_err(|e| e.to_string())?;
             let t0 = Instant::now();
             let (out, stats) = if let Some(threads) = parse_flag::<usize>(&args, "--threads") {
                 let out = compressor
@@ -138,7 +137,9 @@ fn run() -> Result<(), String> {
             let data = std::fs::read(input).map_err(|e| format!("read {input}: {e}"))?;
             let compressor = PrimacyCompressor::new(PrimacyConfig::default());
             let t0 = Instant::now();
-            let out = compressor.decompress_bytes(&data).map_err(|e| e.to_string())?;
+            let out = compressor
+                .decompress_bytes(&data)
+                .map_err(|e| e.to_string())?;
             let secs = t0.elapsed().as_secs_f64();
             std::fs::write(output, &out).map_err(|e| format!("write {output}: {e}"))?;
             println!(
@@ -188,7 +189,10 @@ fn run() -> Result<(), String> {
             let input = args.get(1).ok_or("missing input path")?;
             let data = std::fs::read(input).map_err(|e| format!("read {input}: {e}"))?;
             let aligned = &data[..data.len() / 8 * 8];
-            println!("{:<10} {:>9} {:>10} {:>10}", "method", "CR", "comp MB/s", "dec MB/s");
+            println!(
+                "{:<10} {:>9} {:>10} {:>10}",
+                "method", "CR", "comp MB/s", "dec MB/s"
+            );
             for kind in CodecKind::ALL {
                 let codec = kind.build();
                 let t0 = Instant::now();
@@ -208,10 +212,14 @@ fn run() -> Result<(), String> {
             }
             let compressor = PrimacyCompressor::new(PrimacyConfig::default());
             let t0 = Instant::now();
-            let comp = compressor.compress_bytes(aligned).map_err(|e| e.to_string())?;
+            let comp = compressor
+                .compress_bytes(aligned)
+                .map_err(|e| e.to_string())?;
             let cs = t0.elapsed().as_secs_f64();
             let t0 = Instant::now();
-            let back = compressor.decompress_bytes(&comp).map_err(|e| e.to_string())?;
+            let back = compressor
+                .decompress_bytes(&comp)
+                .map_err(|e| e.to_string())?;
             let ds = t0.elapsed().as_secs_f64();
             assert_eq!(back, aligned);
             println!(
@@ -310,10 +318,16 @@ fn run() -> Result<(), String> {
             let t0 = Instant::now();
             let (bytes, kind) = if data.len() >= 4 && &data[..4] == b"PRMA" {
                 let r = ArchiveReader::open(&data).map_err(|e| e.to_string())?;
-                (r.read_all_parallel(4).map_err(|e| e.to_string())?.len(), "archive")
+                (
+                    r.read_all_parallel(4).map_err(|e| e.to_string())?.len(),
+                    "archive",
+                )
             } else {
                 let c = PrimacyCompressor::new(PrimacyConfig::default());
-                (c.decompress_bytes(&data).map_err(|e| e.to_string())?.len(), "stream")
+                (
+                    c.decompress_bytes(&data).map_err(|e| e.to_string())?.len(),
+                    "stream",
+                )
             };
             println!(
                 "{input}: OK ({kind}); {} compressed bytes -> {} plaintext bytes, all checksums verified in {:.2}s",
@@ -365,7 +379,15 @@ mod tests {
 
     #[test]
     fn parse_flag_extracts_typed_values() {
-        let a = args(&["compress", "in", "out", "--chunk-kb", "512", "--threads", "4"]);
+        let a = args(&[
+            "compress",
+            "in",
+            "out",
+            "--chunk-kb",
+            "512",
+            "--threads",
+            "4",
+        ]);
         assert_eq!(parse_flag::<usize>(&a, "--chunk-kb"), Some(512));
         assert_eq!(parse_flag::<usize>(&a, "--threads"), Some(4));
         assert_eq!(parse_flag::<usize>(&a, "--missing"), None);
@@ -380,8 +402,17 @@ mod tests {
     #[test]
     fn build_config_maps_flags() {
         let a = args(&[
-            "compress", "in", "out", "--codec", "bwt", "--chunk-kb", "256", "--row-linear",
-            "--no-isobar", "--reuse-index", "0.9",
+            "compress",
+            "in",
+            "out",
+            "--codec",
+            "bwt",
+            "--chunk-kb",
+            "256",
+            "--row-linear",
+            "--no-isobar",
+            "--reuse-index",
+            "0.9",
         ]);
         let cfg = build_config(&a).unwrap();
         assert_eq!(cfg.codec, CodecKind::Bwt);

@@ -129,7 +129,11 @@ pub fn bwt_inverse(bwt: &[u8], primary: usize) -> Result<Vec<u8>> {
         if row == primary {
             return Err(CodecError::Corrupt("bwt walk hit the sentinel early"));
         }
-        out[k] = if row < primary { bwt[row] } else { bwt[row - 1] };
+        out[k] = if row < primary {
+            bwt[row]
+        } else {
+            bwt[row - 1]
+        };
         row = lf[row] as usize;
     }
     Ok(out)
@@ -579,10 +583,7 @@ mod tests {
         let codec = BwtCodec::default();
         let mut comp = codec.compress(b"x").unwrap();
         comp[1] = b'?';
-        assert!(matches!(
-            codec.decompress(&comp),
-            Err(CodecError::BadMagic)
-        ));
+        assert!(matches!(codec.decompress(&comp), Err(CodecError::BadMagic)));
     }
 
     #[test]
@@ -641,19 +642,21 @@ mod tests {
         // below the 200-symbol multi-table threshold is not equivalent, so
         // just sanity-bound the ratio: heterogeneous structured data must
         // compress well.
-        assert!(comp.len() * 2 < data.len(), "{} of {}", comp.len(), data.len());
+        assert!(
+            comp.len() * 2 < data.len(),
+            "{} of {}",
+            comp.len(),
+            data.len()
+        );
     }
 
     #[test]
     fn beats_naive_on_text() {
         // Sanity: BWT+MTF+RLE+Huffman should compress structured text well.
-        let data = std::iter::repeat_n(
-            &b"abcabcabdabcabcacb-the-cat-sat-on-the-mat-"[..],
-            200,
-        )
-        .flatten()
-        .copied()
-        .collect::<Vec<u8>>();
+        let data = std::iter::repeat_n(&b"abcabcabdabcabcacb-the-cat-sat-on-the-mat-"[..], 200)
+            .flatten()
+            .copied()
+            .collect::<Vec<u8>>();
         let comp = BwtCodec::default().compress(&data).unwrap();
         assert!(comp.len() * 5 < data.len());
     }

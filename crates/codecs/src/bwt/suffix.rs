@@ -86,10 +86,7 @@ fn sais(s: &[u32], k: usize) -> Vec<u32> {
         sorted_lms
     } else {
         // Recurse on the reduced string of names (in text order).
-        let reduced: Vec<u32> = lms_positions
-            .iter()
-            .map(|&p| name_of[p as usize])
-            .collect();
+        let reduced: Vec<u32> = lms_positions.iter().map(|&p| name_of[p as usize]).collect();
         let reduced_sa = sais(&reduced, num_names);
         reduced_sa
             .iter()

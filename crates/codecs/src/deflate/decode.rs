@@ -129,14 +129,14 @@ fn inflate_block(
             END_OF_BLOCK => return Ok(()),
             257..=285 => {
                 let li = (sym - 257) as usize;
-                let len = LENGTH_BASE[li] as usize
-                    + r.read_bits(u32::from(LENGTH_EXTRA[li]))? as usize;
+                let len =
+                    LENGTH_BASE[li] as usize + r.read_bits(u32::from(LENGTH_EXTRA[li]))? as usize;
                 let dsym = dist.decode(r)? as usize;
                 if dsym >= 30 {
                     return Err(CodecError::Corrupt("invalid distance code"));
                 }
-                let d = DIST_BASE[dsym] as usize
-                    + r.read_bits(u32::from(DIST_EXTRA[dsym]))? as usize;
+                let d =
+                    DIST_BASE[dsym] as usize + r.read_bits(u32::from(DIST_EXTRA[dsym]))? as usize;
                 if d > out.len() {
                     return Err(CodecError::Corrupt("distance reaches before output start"));
                 }
@@ -205,7 +205,7 @@ mod tests {
         let mut w = BitWriter::new();
         w.write_bits(1, 1); // BFINAL
         w.write_bits(0b01, 2); // fixed
-        // literal 'A' (65): code = 0x30 + 65 = 113, 8 bits MSB-first.
+                               // literal 'A' (65): code = 0x30 + 65 = 113, 8 bits MSB-first.
         w.write_bits(u64::from(reverse_bits(0x30 + 65, 8)), 8);
         // length code 257 (len 3): 7-bit code value 1.
         w.write_bits(u64::from(reverse_bits(1, 7)), 7);

@@ -114,7 +114,12 @@ struct DynamicHeader {
     header_bits: u64,
 }
 
-fn build_dynamic_header(lit_lengths: &[u8], dist_lengths: &[u8], hlit: usize, hdist: usize) -> DynamicHeader {
+fn build_dynamic_header(
+    lit_lengths: &[u8],
+    dist_lengths: &[u8],
+    hlit: usize,
+    hdist: usize,
+) -> DynamicHeader {
     let mut all = Vec::with_capacity(hlit + hdist);
     all.extend_from_slice(&lit_lengths[..hlit]);
     all.extend_from_slice(&dist_lengths[..hdist]);
@@ -198,7 +203,10 @@ fn emit_one_block(w: &mut BitWriter, tokens: &[Token], bytes: &[u8], is_final: b
         .rev()
         .find(|&k| lit_lengths[k - 1] != 0)
         .unwrap_or(257);
-    let hdist = (1..=NUM_DIST).rev().find(|&k| dist_lengths[k - 1] != 0).unwrap_or(1);
+    let hdist = (1..=NUM_DIST)
+        .rev()
+        .find(|&k| dist_lengths[k - 1] != 0)
+        .unwrap_or(1);
 
     let lit_enc = Encoder::from_lengths(&lit_lengths);
     let dist_enc = Encoder::from_lengths(&dist_lengths);

@@ -56,7 +56,7 @@ impl Gzip {
         }
         out.push(flags);
         out.extend_from_slice(&0u32.to_le_bytes()); // MTIME: unset
-        // XFL: 2 = max compression, 4 = fastest.
+                                                    // XFL: 2 = max compression, 4 = fastest.
         out.push(match self.level {
             Level::Fast => 4,
             Level::Default => 0,
@@ -118,8 +118,7 @@ impl Gzip {
         let out = decode::inflate(body)?;
         let stored_crc =
             u32::from_le_bytes(input[input.len() - 8..input.len() - 4].try_into().unwrap());
-        let stored_isize =
-            u32::from_le_bytes(input[input.len() - 4..].try_into().unwrap());
+        let stored_isize = u32::from_le_bytes(input[input.len() - 4..].try_into().unwrap());
         let actual = crc32(&out);
         if stored_crc != actual {
             return Err(CodecError::ChecksumMismatch {
@@ -188,13 +187,18 @@ mod tests {
 
     #[test]
     fn header_fields_are_rfc1952() {
-        let comp = Gzip::with_level(Level::Best).compress_bytes(b"abc").unwrap();
+        let comp = Gzip::with_level(Level::Best)
+            .compress_bytes(b"abc")
+            .unwrap();
         assert_eq!(&comp[0..2], &[0x1f, 0x8b]);
         assert_eq!(comp[2], 8); // deflate
         assert_eq!(comp[8], 2); // XFL: max compression
         assert_eq!(comp[9], 255); // OS: unknown
-        // Trailer: ISIZE == 3.
-        assert_eq!(u32::from_le_bytes(comp[comp.len() - 4..].try_into().unwrap()), 3);
+                                  // Trailer: ISIZE == 3.
+        assert_eq!(
+            u32::from_le_bytes(comp[comp.len() - 4..].try_into().unwrap()),
+            3
+        );
     }
 
     #[test]

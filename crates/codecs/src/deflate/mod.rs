@@ -73,7 +73,11 @@ pub fn length_code(len: usize) -> (u16, u8, u16) {
     let e = (31 - l.leading_zeros()) - 2;
     let code = 4 * (e + 1) + ((l >> e) & 3);
     let base = u32::from(LENGTH_BASE[code as usize]);
-    (code as u16, LENGTH_EXTRA[code as usize], (len as u32 - base) as u16)
+    (
+        code as u16,
+        LENGTH_EXTRA[code as usize],
+        (len as u32 - base) as u16,
+    )
 }
 
 /// Map a match distance (1..=32768) to `(dist_code_index, extra_bits, extra_value)`.

@@ -115,10 +115,12 @@ fn lorenzo_predict(prev: &[u64], i: usize, grid: Grid) -> u64 {
             let y = i / nx;
             let west = if x > 0 { Some(i - 1) } else { None };
             let south = if y > 0 { Some(i - nx) } else { None };
-            let sw = if x > 0 && y > 0 { Some(i - nx - 1) } else { None };
-            get(west)
-                .wrapping_add(get(south))
-                .wrapping_sub(get(sw))
+            let sw = if x > 0 && y > 0 {
+                Some(i - nx - 1)
+            } else {
+                None
+            };
+            get(west).wrapping_add(get(south)).wrapping_sub(get(sw))
         }
         Grid::D3(nx, ny, _) => {
             let x = i % nx;
@@ -347,7 +349,9 @@ mod tests {
     #[test]
     fn roundtrip_1d_smooth() {
         let fpz = Fpz::default();
-        let values: Vec<f64> = (0..20_000).map(|i| (i as f64 * 0.01).cos() * 42.0).collect();
+        let values: Vec<f64> = (0..20_000)
+            .map(|i| (i as f64 * 0.01).cos() * 42.0)
+            .collect();
         let comp = fpz.compress_f64(&values).unwrap();
         let back = fpz.decompress_f64(&comp).unwrap();
         assert_eq!(

@@ -322,7 +322,11 @@ mod tests {
         // Adaptive probabilities saturate near (but not at) certainty, so a
         // constant symbol still costs a fraction of a bit: well under the
         // 8750 bytes a flat 7-bit encoding would take.
-        assert!(data.len() < 500, "constant symbol took {} bytes", data.len());
+        assert!(
+            data.len() < 500,
+            "constant symbol took {} bytes",
+            data.len()
+        );
     }
 
     #[test]

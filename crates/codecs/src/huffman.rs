@@ -310,7 +310,10 @@ mod tests {
         // -> codes 010,011,100,101,110,00,1110,1111.
         let lengths = [3u8, 3, 3, 3, 3, 2, 4, 4];
         let codes = canonical_codes(&lengths);
-        assert_eq!(codes, vec![0b010, 0b011, 0b100, 0b101, 0b110, 0b00, 0b1110, 0b1111]);
+        assert_eq!(
+            codes,
+            vec![0b010, 0b011, 0b100, 0b101, 0b110, 0b00, 0b1110, 0b1111]
+        );
     }
 
     #[test]

@@ -110,7 +110,11 @@ fn compress_body(input: &[u8], out: &mut Vec<u8>) {
     // Trailing literals: token with match nibble 0 and no offset.
     let lits = &input[literal_start..];
     let lit_len = lits.len();
-    let token = if lit_len >= 15 { 0xF0 } else { (lit_len as u8) << 4 };
+    let token = if lit_len >= 15 {
+        0xF0
+    } else {
+        (lit_len as u8) << 4
+    };
     out.push(token);
     if lit_len >= 15 {
         write_extended(out, lit_len - 15);

@@ -385,9 +385,9 @@ impl<'a> ArchiveReader<'a> {
         let next = std::sync::atomic::AtomicUsize::new(0);
         let failures = std::sync::Mutex::new(Vec::<PrimacyError>::new());
         let slices = std::sync::Mutex::new(slices);
-        crossbeam::thread::scope(|scope| {
+        std::thread::scope(|scope| {
             for _ in 0..threads.max(1).min(self.directory.len().max(1)) {
-                scope.spawn(|_| loop {
+                scope.spawn(|| loop {
                     let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
                     if i >= self.directory.len() {
                         break;
@@ -403,8 +403,7 @@ impl<'a> ArchiveReader<'a> {
                     }
                 });
             }
-        })
-        .expect("worker thread panicked");
+        });
         drop(slices); // release the borrows into `out`
         if let Some(e) = failures.into_inner().unwrap().pop() {
             return Err(e);
@@ -470,9 +469,19 @@ mod tests {
         let values = sample_values(5000);
         let archive = build_archive(&values);
         let r = ArchiveReader::open(&archive).unwrap();
-        for (start, count) in [(0u64, 1usize), (511, 2), (512, 512), (4999, 1), (1000, 3000)] {
+        for (start, count) in [
+            (0u64, 1usize),
+            (511, 2),
+            (512, 512),
+            (4999, 1),
+            (1000, 3000),
+        ] {
             let got = r.read_elements_f64(start, count).unwrap();
-            assert_eq!(got, &values[start as usize..start as usize + count], "({start},{count})");
+            assert_eq!(
+                got,
+                &values[start as usize..start as usize + count],
+                "({start},{count})"
+            );
         }
     }
 

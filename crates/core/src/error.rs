@@ -59,7 +59,11 @@ mod tests {
         let e = PrimacyError::from(CodecError::Truncated);
         assert!(e.to_string().contains("truncated"));
         assert!(std::error::Error::source(&e).is_some());
-        assert!(PrimacyError::Format("bad header").to_string().contains("bad header"));
-        assert!(PrimacyError::UnsupportedVersion(9).to_string().contains('9'));
+        assert!(PrimacyError::Format("bad header")
+            .to_string()
+            .contains("bad header"));
+        assert!(PrimacyError::UnsupportedVersion(9)
+            .to_string()
+            .contains('9'));
     }
 }

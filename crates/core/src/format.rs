@@ -109,7 +109,12 @@ pub fn read_header(input: &[u8]) -> Result<(Header, usize)> {
     }
     let element_size = input[5] as usize;
     let hi_bytes = input[6] as usize;
-    if element_size == 0 || element_size > 16 || hi_bytes == 0 || hi_bytes > 2 || hi_bytes >= element_size {
+    if element_size == 0
+        || element_size > 16
+        || hi_bytes == 0
+        || hi_bytes > 2
+        || hi_bytes >= element_size
+    {
         return Err(PrimacyError::Format("implausible layout parameters"));
     }
     let linearization = linearization_from_byte(input[7])?;
@@ -287,7 +292,10 @@ mod tests {
     #[test]
     fn linearization_bytes_roundtrip() {
         for l in [Linearization::Row, Linearization::Column] {
-            assert_eq!(linearization_from_byte(linearization_to_byte(l)).unwrap(), l);
+            assert_eq!(
+                linearization_from_byte(linearization_to_byte(l)).unwrap(),
+                l
+            );
         }
         assert!(linearization_from_byte(7).is_err());
     }

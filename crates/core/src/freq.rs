@@ -97,7 +97,11 @@ impl FreqTable {
         if vx <= 0.0 || vy <= 0.0 {
             // A constant histogram correlates perfectly with itself and not
             // at all with anything else.
-            return if self.counts == other.counts { 1.0 } else { 0.0 };
+            return if self.counts == other.counts {
+                1.0
+            } else {
+                0.0
+            };
         }
         cov / (vx * vy).sqrt()
     }

@@ -234,8 +234,24 @@ mod tests {
     fn sampling_stride_gives_same_verdict_here() {
         let rows = 50_000;
         let m = mixed_matrix(rows);
-        let full = analyze(&m, rows, 3, &IsobarConfig { sample_stride: 1, ..Default::default() });
-        let sampled = analyze(&m, rows, 3, &IsobarConfig { sample_stride: 16, ..Default::default() });
+        let full = analyze(
+            &m,
+            rows,
+            3,
+            &IsobarConfig {
+                sample_stride: 1,
+                ..Default::default()
+            },
+        );
+        let sampled = analyze(
+            &m,
+            rows,
+            3,
+            &IsobarConfig {
+                sample_stride: 16,
+                ..Default::default()
+            },
+        );
         assert_eq!(full.mask, sampled.mask);
     }
 

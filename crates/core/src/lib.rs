@@ -52,12 +52,12 @@ pub mod split;
 pub mod stats;
 pub mod stream;
 
+pub use archive::{ArchiveReader, ArchiveWriter};
 pub use config::{IndexPolicy, IsobarClassifier, IsobarConfig, Linearization, PrimacyConfig};
 pub use error::{PrimacyError, Result};
-pub use archive::{ArchiveReader, ArchiveWriter};
 pub use pipeline::PrimacyCompressor;
-pub use stream::ElementReader;
 pub use stats::{CompressionStats, StageTimings};
+pub use stream::ElementReader;
 
 #[cfg(test)]
 mod tests {

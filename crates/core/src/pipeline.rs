@@ -63,7 +63,9 @@ impl PrimacyCompressor {
     pub fn decompress_f64(&self, input: &[u8]) -> Result<Vec<f64>> {
         let bytes = self.decompress_bytes(input)?;
         if bytes.len() % 8 != 0 {
-            return Err(PrimacyError::Format("stream is not a whole number of doubles"));
+            return Err(PrimacyError::Format(
+                "stream is not a whole number of doubles",
+            ));
         }
         Ok(bytes
             .chunks_exact(8)
@@ -143,17 +145,17 @@ impl PrimacyCompressor {
             ));
         }
         let threads = threads.max(1);
-        let chunk_bytes = (self.config.chunk_elements() * self.config.element_size)
-            .max(self.config.element_size);
+        let chunk_bytes =
+            (self.config.chunk_elements() * self.config.element_size).max(self.config.element_size);
         let chunks: Vec<&[u8]> = input.chunks(chunk_bytes).collect();
         let mut sections: Vec<Result<Vec<u8>>> = Vec::with_capacity(chunks.len());
         sections.resize_with(chunks.len(), || Ok(Vec::new()));
 
         let next = std::sync::atomic::AtomicUsize::new(0);
         let sections_mutex = std::sync::Mutex::new(&mut sections);
-        crossbeam::thread::scope(|scope| {
+        std::thread::scope(|scope| {
             for _ in 0..threads.min(chunks.len().max(1)) {
-                scope.spawn(|_| loop {
+                scope.spawn(|| loop {
                     let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
                     if i >= chunks.len() {
                         break;
@@ -167,8 +169,7 @@ impl PrimacyCompressor {
                     guard[i] = r;
                 });
             }
-        })
-        .expect("worker thread panicked");
+        });
 
         let mut out = Vec::with_capacity(input.len() / 2 + 64);
         format::write_header(
@@ -213,9 +214,7 @@ impl PrimacyCompressor {
                     correlation_threshold,
                 },
                 Some(prev),
-            ) if prev.freq.correlation(&freq) >= *correlation_threshold
-                && prev.map.covers(&hi) =>
-            {
+            ) if prev.freq.correlation(&freq) >= *correlation_threshold && prev.map.covers(&hi) => {
                 (false, prev)
             }
             _ => {
@@ -289,10 +288,7 @@ impl PrimacyCompressor {
 
     /// Decompress and report per-stage statistics (the decompression-side
     /// mirror of [`PrimacyCompressor::compress_bytes_with_stats`]).
-    pub fn decompress_bytes_with_stats(
-        &self,
-        input: &[u8],
-    ) -> Result<(Vec<u8>, CompressionStats)> {
+    pub fn decompress_bytes_with_stats(&self, input: &[u8]) -> Result<(Vec<u8>, CompressionStats)> {
         if input.len() < 13 {
             return Err(PrimacyError::Format("stream shorter than minimum"));
         }
@@ -581,7 +577,10 @@ mod tests {
         let values = sample_values(50_000);
         let (comp, stats) = c
             .compress_bytes_with_stats(
-                &values.iter().flat_map(|v| v.to_le_bytes()).collect::<Vec<u8>>(),
+                &values
+                    .iter()
+                    .flat_map(|v| v.to_le_bytes())
+                    .collect::<Vec<u8>>(),
             )
             .unwrap();
         assert!(stats.chunks > 10);

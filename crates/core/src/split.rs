@@ -56,12 +56,7 @@ pub fn split_hi_lo(
 }
 
 /// Inverse of [`split_hi_lo`]: reassemble little-endian element bytes.
-pub fn join_hi_lo(
-    hi: &[u8],
-    lo: &[u8],
-    element_size: usize,
-    hi_bytes: usize,
-) -> Result<Vec<u8>> {
+pub fn join_hi_lo(hi: &[u8], lo: &[u8], element_size: usize, hi_bytes: usize) -> Result<Vec<u8>> {
     let lo_bytes = element_size - hi_bytes;
     if !hi.len().is_multiple_of(hi_bytes) || !lo.len().is_multiple_of(lo_bytes) {
         return Err(PrimacyError::Format("hi/lo matrices have ragged rows"));

@@ -63,9 +63,7 @@ impl Read for ElementReader<'_> {
             match self.refill() {
                 Ok(true) => {}
                 Ok(false) => return Ok(0), // EOF
-                Err(e) => {
-                    return Err(std::io::Error::new(std::io::ErrorKind::InvalidData, e))
-                }
+                Err(e) => return Err(std::io::Error::new(std::io::ErrorKind::InvalidData, e)),
             }
         }
         let n = buf.len().min(self.buffer.len() - self.offset);
@@ -142,7 +140,10 @@ mod tests {
     #[test]
     fn empty_archive_reads_eof_immediately() {
         let cfg = PrimacyConfig::default();
-        let archive = ArchiveWriter::new(Vec::new(), cfg).unwrap().finish().unwrap();
+        let archive = ArchiveWriter::new(Vec::new(), cfg)
+            .unwrap()
+            .finish()
+            .unwrap();
         let r = ArchiveReader::open(&archive).unwrap();
         let mut reader = ElementReader::new(&r);
         let mut buf = [0u8; 8];

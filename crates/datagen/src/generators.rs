@@ -7,18 +7,12 @@
 //! byte-sequences appear; *quantization* controls mantissa-byte entropy;
 //! *value pooling / runs* control exact repetition.
 
-use rand::rngs::StdRng;
-use rand::{RngExt, SeedableRng};
+use crate::rng::Rng;
 
-/// Standard normal sample via Box–Muller (rand ships only uniform sources).
-pub fn normal(rng: &mut StdRng) -> f64 {
-    loop {
-        let u1: f64 = rng.random();
-        let u2: f64 = rng.random();
-        if u1 > f64::MIN_POSITIVE {
-            return (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
-        }
-    }
+/// Standard normal sample via Box–Muller (the in-tree [`Rng`] ships only
+/// uniform sources; see [`Rng::standard_normal`]).
+pub fn normal(rng: &mut Rng) -> f64 {
+    rng.standard_normal()
 }
 
 /// A smooth quasi-periodic field plus white noise:
@@ -26,31 +20,22 @@ pub fn normal(rng: &mut StdRng) -> f64 {
 ///
 /// Narrow dynamic range (few exponent sequences), fully random mantissa —
 /// the signature of the hard-to-compress GTS/FLASH fields.
-pub fn smooth_field(
-    seed: u64,
-    n: usize,
-    base: f64,
-    amplitudes: &[f64],
-    noise: f64,
-) -> Vec<f64> {
-    let mut rng = StdRng::seed_from_u64(seed);
+pub fn smooth_field(seed: u64, n: usize, base: f64, amplitudes: &[f64], noise: f64) -> Vec<f64> {
+    let mut rng = Rng::seed_from_u64(seed);
     let modes: Vec<(f64, f64, f64)> = amplitudes
         .iter()
         .map(|&a| {
             (
                 a,
-                rng.random_range(0.001..0.1),
-                rng.random_range(0.0..std::f64::consts::TAU),
+                rng.gen_range(0.001..0.1),
+                rng.gen_range(0.0..std::f64::consts::TAU),
             )
         })
         .collect();
     (0..n)
         .map(|i| {
             let t = i as f64;
-            let signal: f64 = modes
-                .iter()
-                .map(|&(a, f, p)| a * (f * t + p).sin())
-                .sum();
+            let signal: f64 = modes.iter().map(|&(a, f, p)| a * (f * t + p).sin()).sum();
             base + signal + noise * normal(&mut rng)
         })
         .collect()
@@ -59,7 +44,7 @@ pub fn smooth_field(
 /// A Gaussian random walk: `x_{i+1} = x_i + step·N(0,1)`, reflected softly
 /// towards `center` so the exponent range stays bounded.
 pub fn random_walk(seed: u64, n: usize, center: f64, step: f64) -> Vec<f64> {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Rng::seed_from_u64(seed);
     let mut x = center;
     (0..n)
         .map(|_| {
@@ -79,13 +64,13 @@ pub fn log_uniform(
     decades: f64,
     negative_fraction: f64,
 ) -> Vec<f64> {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Rng::seed_from_u64(seed);
     (0..n)
         .map(|_| {
-            let e: f64 = rng.random_range(0.0..decades);
-            let mantissa: f64 = rng.random_range(1.0..10.0);
+            let e: f64 = rng.gen_range(0.0..decades);
+            let mantissa: f64 = rng.gen_range(1.0..10.0);
             let v = min_magnitude * 10f64.powf(e) * mantissa;
-            if rng.random::<f64>() < negative_fraction {
+            if rng.gen_f64() < negative_fraction {
                 -v
             } else {
                 v
@@ -113,18 +98,18 @@ pub fn pooled_runs(
     mean_run: usize,
     zero_fraction: f64,
 ) -> Vec<f64> {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Rng::seed_from_u64(seed);
     let pool: Vec<f64> = (0..pool_size)
         .map(|_| (normal(&mut rng) * 100.0 * 8.0).round() / 8.0)
         .collect();
     let mut out = Vec::with_capacity(n);
     while out.len() < n {
-        let v = if rng.random::<f64>() < zero_fraction {
+        let v = if rng.gen_f64() < zero_fraction {
             0.0
         } else {
-            pool[rng.random_range(0..pool_size)]
+            pool[rng.gen_range(0..pool_size)]
         };
-        let run = 1 + rng.random_range(0..mean_run * 2);
+        let run = 1 + rng.gen_range(0..mean_run * 2);
         for _ in 0..run.min(n - out.len()) {
             out.push(v);
         }
@@ -135,9 +120,9 @@ pub fn pooled_runs(
 /// Overwrite a `fraction` of positions (chosen pseudo-randomly) with `value`.
 /// Emulates masked/fill-value regions in satellite products.
 pub fn sprinkle_fill(seed: u64, values: &mut [f64], fraction: f64, value: f64) {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Rng::seed_from_u64(seed);
     for v in values.iter_mut() {
-        if rng.random::<f64>() < fraction {
+        if rng.gen_f64() < fraction {
             *v = value;
         }
     }
@@ -157,7 +142,7 @@ mod tests {
 
     #[test]
     fn normal_has_plausible_moments() {
-        let mut rng = StdRng::seed_from_u64(7);
+        let mut rng = Rng::seed_from_u64(7);
         let n = 200_000;
         let samples: Vec<f64> = (0..n).map(|_| normal(&mut rng)).collect();
         let mean = samples.iter().sum::<f64>() / n as f64;

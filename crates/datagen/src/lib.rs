@@ -19,9 +19,11 @@
 
 pub mod generators;
 pub mod permute;
+pub mod rng;
 pub mod spec;
 
 pub use permute::{permute, permute_with_seed};
+pub use rng::{Rng, SplitMix64};
 pub use spec::{DatasetSpec, PaperRow};
 
 /// The 20 datasets of the paper's Table III, in table order.

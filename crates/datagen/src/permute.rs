@@ -6,8 +6,7 @@
 //! frequency statistics are preserved). These helpers reproduce that
 //! treatment.
 
-use rand::rngs::StdRng;
-use rand::{RngExt, SeedableRng};
+use crate::rng::Rng;
 
 /// Seed used by [`permute`] so every experiment shuffles identically.
 pub const DEFAULT_PERMUTE_SEED: u64 = 0x5157_4F52_4D21;
@@ -20,11 +19,7 @@ pub fn permute(values: &[f64]) -> Vec<f64> {
 /// Fisher–Yates shuffle with an explicit seed.
 pub fn permute_with_seed(values: &[f64], seed: u64) -> Vec<f64> {
     let mut out = values.to_vec();
-    let mut rng = StdRng::seed_from_u64(seed);
-    for i in (1..out.len()).rev() {
-        let j = rng.random_range(0..=i);
-        out.swap(i, j);
-    }
+    Rng::seed_from_u64(seed).shuffle(&mut out);
     out
 }
 

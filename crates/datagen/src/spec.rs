@@ -92,9 +92,7 @@ impl DatasetSpec {
             Process::Smooth { base, amps, noise } => {
                 generators::smooth_field(self.seed, n, base, &amps, noise)
             }
-            Process::Walk { center, step } => {
-                generators::random_walk(self.seed, n, center, step)
-            }
+            Process::Walk { center, step } => generators::random_walk(self.seed, n, center, step),
             Process::LogUniform {
                 min_mag,
                 decades,
@@ -149,121 +147,195 @@ pub fn spec_for(id: DatasetId) -> DatasetSpec {
     use DatasetId::*;
     let (process, truncate_bits, zero_fill, paper) = match id {
         GtsChkpZeon => (
-            Process::Walk { center: 10.0, step: 0.7 },
+            Process::Walk {
+                center: 10.0,
+                step: 0.7,
+            },
             0,
             0.0,
             paper!(1.04, 1.14, 1.04, 1.12, 18.23, 84.87, 87.13, 275.22),
         ),
         GtsChkpZion => (
-            Process::Walk { center: 12.0, step: 0.8 },
+            Process::Walk {
+                center: 12.0,
+                step: 0.8,
+            },
             0,
             0.0,
             paper!(1.04, 1.16, 1.04, 1.12, 18.21, 88.93, 90.83, 279.96),
         ),
         GtsPhiL => (
-            Process::Smooth { base: 0.0, amps: [1.0, 0.3, 0.1], noise: 0.02 },
+            Process::Smooth {
+                base: 0.0,
+                amps: [1.0, 0.3, 0.1],
+                noise: 0.02,
+            },
             0,
             0.0,
             paper!(1.04, 1.15, 1.04, 1.11, 17.14, 54.19, 95.42, 201.01),
         ),
         GtsPhiNl => (
-            Process::Smooth { base: 0.0, amps: [1.5, 0.5, 0.2], noise: 0.05 },
+            Process::Smooth {
+                base: 0.0,
+                amps: [1.5, 0.5, 0.2],
+                noise: 0.05,
+            },
             0,
             0.0,
             paper!(1.05, 1.15, 1.04, 1.12, 17.02, 54.27, 89.25, 202.20),
         ),
         FlashGamc => (
-            Process::Smooth { base: 1.4, amps: [0.08, 0.02, 0.0], noise: 0.005 },
+            Process::Smooth {
+                base: 1.4,
+                amps: [0.08, 0.02, 0.0],
+                noise: 0.005,
+            },
             14,
             0.0,
             paper!(1.29, 1.47, 1.16, 1.32, 20.92, 57.06, 64.4, 214.99),
         ),
         FlashVelx => (
-            Process::Smooth { base: 0.0, amps: [120.0, 30.0, 8.0], noise: 4.0 },
+            Process::Smooth {
+                base: 0.0,
+                amps: [120.0, 30.0, 8.0],
+                noise: 4.0,
+            },
             6,
             0.0,
             paper!(1.11, 1.31, 1.05, 1.15, 19.04, 184.64, 76.47, 382.16),
         ),
         FlashVely => (
-            Process::Smooth { base: 0.0, amps: [90.0, 25.0, 6.0], noise: 3.0 },
+            Process::Smooth {
+                base: 0.0,
+                amps: [90.0, 25.0, 6.0],
+                noise: 3.0,
+            },
             8,
             0.0,
             paper!(1.14, 1.31, 1.06, 1.16, 19.14, 183.92, 73.04, 380.74),
         ),
         MsgBt => (
-            Process::Walk { center: 100.0, step: 0.5 },
+            Process::Walk {
+                center: 100.0,
+                step: 0.5,
+            },
             6,
             0.0,
             paper!(1.13, 1.31, 1.08, 1.14, 19.23, 23.64, 85.55, 149.91),
         ),
         MsgLu => (
-            Process::Walk { center: 50.0, step: 0.6 },
+            Process::Walk {
+                center: 50.0,
+                step: 0.6,
+            },
             0,
             0.0,
             paper!(1.06, 1.24, 1.04, 1.12, 17.57, 133.92, 89.57, 317.60),
         ),
         MsgSp => (
-            Process::Smooth { base: 10.0, amps: [5.0, 2.0, 0.5], noise: 0.4 },
+            Process::Smooth {
+                base: 10.0,
+                amps: [5.0, 2.0, 0.5],
+                noise: 0.4,
+            },
             4,
             0.0,
             paper!(1.10, 1.30, 1.04, 1.14, 18.80, 76.05, 76.37, 257.28),
         ),
         MsgSppm => (
-            Process::PooledRuns { pool: 96, mean_run: 2, zero_frac: 0.15 },
+            Process::PooledRuns {
+                pool: 96,
+                mean_run: 2,
+                zero_frac: 0.15,
+            },
             0,
             0.0,
             paper!(7.42, 7.17, 2.13, 1.99, 77.35, 66.86, 32.11, 198.91),
         ),
         MsgSweep3d => (
-            Process::Smooth { base: 1e-3, amps: [5e-4, 1e-4, 0.0], noise: 1e-4 },
+            Process::Smooth {
+                base: 1e-3,
+                amps: [5e-4, 1e-4, 0.0],
+                noise: 1e-4,
+            },
             4,
             0.0,
             paper!(1.09, 1.31, 1.07, 1.17, 18.29, 24.52, 84.13, 238.22),
         ),
         NumBrain => (
-            Process::Walk { center: 0.0, step: 0.01 },
+            Process::Walk {
+                center: 0.0,
+                step: 0.01,
+            },
             2,
             0.0,
             paper!(1.06, 1.24, 1.06, 1.17, 17.69, 134.29, 84.94, 329.86),
         ),
         NumComet => (
-            Process::LogUniform { min_mag: 1e-3, decades: 5.0, neg: 0.0 },
+            Process::LogUniform {
+                min_mag: 1e-3,
+                decades: 5.0,
+                neg: 0.0,
+            },
             8,
             0.0,
             paper!(1.16, 1.27, 1.13, 1.17, 17.13, 19.73, 83.02, 117.76),
         ),
         NumControl => (
-            Process::Walk { center: 0.0, step: 1.0 },
+            Process::Walk {
+                center: 0.0,
+                step: 1.0,
+            },
             2,
             0.0,
             paper!(1.06, 1.13, 1.02, 1.08, 17.50, 21.11, 93.6, 193.97),
         ),
         NumPlasma => (
-            Process::Smooth { base: 1.0, amps: [0.5, 0.1, 0.0], noise: 0.05 },
+            Process::Smooth {
+                base: 1.0,
+                amps: [0.5, 0.1, 0.0],
+                noise: 0.05,
+            },
             22,
             0.0,
             paper!(1.78, 2.16, 1.37, 1.50, 28.31, 37.32, 67.15, 157.42),
         ),
         ObsError => (
-            Process::LogUniform { min_mag: 1e-5, decades: 6.0, neg: 0.4 },
+            Process::LogUniform {
+                min_mag: 1e-5,
+                decades: 6.0,
+                neg: 0.4,
+            },
             18,
             0.08,
             paper!(1.44, 1.59, 1.16, 1.26, 24.21, 26.37, 69.13, 137.68),
         ),
         ObsInfo => (
-            Process::Smooth { base: 300.0, amps: [50.0, 10.0, 2.0], noise: 3.0 },
+            Process::Smooth {
+                base: 300.0,
+                amps: [50.0, 10.0, 2.0],
+                noise: 3.0,
+            },
             6,
             0.0,
             paper!(1.15, 1.25, 1.06, 1.15, 19.82, 130.02, 86.59, 335.65),
         ),
         ObsSpitzer => (
-            Process::LogUniform { min_mag: 1e-2, decades: 3.0, neg: 0.2 },
+            Process::LogUniform {
+                min_mag: 1e-2,
+                decades: 3.0,
+                neg: 0.2,
+            },
             12,
             0.0,
             paper!(1.23, 1.39, 1.23, 1.38, 18.65, 22.07, 65.39, 113.98),
         ),
         ObsTemp => (
-            Process::Smooth { base: 285.0, amps: [10.0, 3.0, 1.0], noise: 3.0 },
+            Process::Smooth {
+                base: 285.0,
+                amps: [10.0, 3.0, 1.0],
+                noise: 3.0,
+            },
             0,
             0.0,
             paper!(1.04, 1.14, 1.04, 1.14, 17.76, 89.40, 88.99, 305.78),

@@ -37,8 +37,7 @@ pub fn efficiency(
 ) -> f64 {
     assert!(interval_secs > 0.0 && mtbf_secs > 0.0);
     let period = interval_secs + checkpoint_secs;
-    let waste =
-        checkpoint_secs / period + period / (2.0 * mtbf_secs) + restart_secs / mtbf_secs;
+    let waste = checkpoint_secs / period + period / (2.0 * mtbf_secs) + restart_secs / mtbf_secs;
     (1.0 - waste).max(0.0)
 }
 

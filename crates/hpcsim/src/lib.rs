@@ -32,8 +32,8 @@ pub mod sim;
 pub mod sweep;
 pub mod welton;
 
+pub use checkpoint::CheckpointPlan;
 pub use measure::{measure_primacy, measure_vanilla, MeasuredRates};
 pub use model::{ClusterParams, ModelInputs, ModelOutputs};
 pub use scenario::{CompressionMethod, Scenario};
-pub use checkpoint::CheckpointPlan;
 pub use sim::{SimConfig, SimResult};

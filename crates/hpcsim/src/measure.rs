@@ -140,7 +140,9 @@ pub fn measure_vanilla(codec: &dyn Codec, bytes: &[u8]) -> (f64, f64, f64) {
     let compressed = codec.compress(bytes).expect("compress cannot fail");
     let c_secs = t0.elapsed().as_secs_f64();
     let t0 = Instant::now();
-    let restored = codec.decompress(&compressed).expect("own stream decompresses");
+    let restored = codec
+        .decompress(&compressed)
+        .expect("own stream decompresses");
     let d_secs = t0.elapsed().as_secs_f64();
     assert_eq!(restored.len(), bytes.len());
     let n = bytes.len().max(1) as f64;
@@ -198,7 +200,11 @@ mod tests {
         let m = measure_primacy(&cfg, &bytes);
         assert!((m.alpha1 - 0.25).abs() < 1e-12);
         assert!((0.0..=1.0).contains(&m.alpha2));
-        assert!(m.sigma_ho < 0.8, "hi bytes must compress, σho = {}", m.sigma_ho);
+        assert!(
+            m.sigma_ho < 0.8,
+            "hi bytes must compress, σho = {}",
+            m.sigma_ho
+        );
         assert!(m.ratio > 1.0);
         assert!(m.t_prec.is_finite() && m.t_prec > 0.0);
         assert!(m.compress_bps > 0.0 && m.decompress_bps > 0.0);

@@ -330,8 +330,7 @@ mod tests {
         let out = vanilla_write(&m, sigma, t_comp);
         let c = m.chunk_bytes;
         let p = m.cluster;
-        let expect_total =
-            c / t_comp + 9.0 * c * sigma / p.theta + 8.0 * c * sigma / p.mu_write;
+        let expect_total = c / t_comp + 9.0 * c * sigma / p.theta + 8.0 * c * sigma / p.mu_write;
         assert!((out.t_total - expect_total).abs() < 1e-9);
     }
 

@@ -3,9 +3,7 @@
 //! ("empirical") — the six-bar groups of Fig. 4.
 
 use crate::measure::{measure_primacy, measure_vanilla};
-use crate::model::{
-    self, ClusterParams, ModelInputs,
-};
+use crate::model::{self, ClusterParams, ModelInputs};
 use crate::sim::{simulate, Direction, SimConfig};
 use primacy_codecs::CodecKind;
 use primacy_core::PrimacyConfig;
@@ -202,9 +200,14 @@ mod tests {
     fn null_case_theory_matches_sim_roughly() {
         let s = Scenario::default();
         let e = s.evaluate(&CompressionMethod::Null, &sample_data());
-        let rel = (e.write_theoretical_mbps - e.write_empirical_mbps).abs()
-            / e.write_theoretical_mbps;
-        assert!(rel < 0.3, "write theory {} vs sim {}", e.write_theoretical_mbps, e.write_empirical_mbps);
+        let rel =
+            (e.write_theoretical_mbps - e.write_empirical_mbps).abs() / e.write_theoretical_mbps;
+        assert!(
+            rel < 0.3,
+            "write theory {} vs sim {}",
+            e.write_theoretical_mbps,
+            e.write_empirical_mbps
+        );
         assert_eq!(e.ratio, 1.0);
     }
 
@@ -213,10 +216,7 @@ mod tests {
         let s = Scenario::default();
         let data = sample_data();
         let null = s.evaluate(&CompressionMethod::Null, &data);
-        let prim = s.evaluate(
-            &CompressionMethod::Primacy(PrimacyConfig::default()),
-            &data,
-        );
+        let prim = s.evaluate(&CompressionMethod::Primacy(PrimacyConfig::default()), &data);
         assert!(prim.ratio > 1.05, "ratio {}", prim.ratio);
         assert!(
             prim.write_empirical_mbps > null.write_empirical_mbps,
@@ -229,10 +229,7 @@ mod tests {
     #[test]
     fn labels_are_stable() {
         assert_eq!(CompressionMethod::Null.label(), "null");
-        assert_eq!(
-            CompressionMethod::Vanilla(CodecKind::Lzr).label(),
-            "lzr"
-        );
+        assert_eq!(CompressionMethod::Vanilla(CodecKind::Lzr).label(), "lzr");
         assert_eq!(
             CompressionMethod::Primacy(PrimacyConfig::default()).label(),
             "primacy"

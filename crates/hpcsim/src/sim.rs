@@ -190,11 +190,7 @@ pub struct MultiGroupResult {
 /// its slowest group — the classic straggler effect that makes aggregate
 /// I/O scale sub-linearly on real machines (and why the paper reports
 /// per-I/O-node throughputs).
-pub fn simulate_multi_group(
-    cfg: &SimConfig,
-    groups: usize,
-    group_jitter: f64,
-) -> MultiGroupResult {
+pub fn simulate_multi_group(cfg: &SimConfig, groups: usize, group_jitter: f64) -> MultiGroupResult {
     assert!(groups >= 1);
     let mut jitter = Jitter::new(group_jitter);
     // Per-group slowdown factors (deterministic).
@@ -233,7 +229,11 @@ mod tests {
         let cfg = base();
         let r = simulate(&cfg);
         // Disk is the slowest server by far; utilization should be ~1.
-        assert!(r.disk_utilization > 0.95, "disk util {}", r.disk_utilization);
+        assert!(
+            r.disk_utilization > 0.95,
+            "disk util {}",
+            r.disk_utilization
+        );
         // Throughput approaches μ (the single disk drains everything).
         assert!(
             (r.tau_bps - cfg.mu).abs() / cfg.mu < 0.1,
@@ -333,9 +333,7 @@ mod tests {
         let many_uniform = simulate_multi_group(&cfg, 64, 0.0);
         assert!((many_uniform.scaling_efficiency - 1.0).abs() < 1e-9);
         // 64 identical groups move 64× the data in the same time.
-        assert!(
-            (many_uniform.aggregate_tau_bps / one.aggregate_tau_bps - 64.0).abs() < 1e-6
-        );
+        assert!((many_uniform.aggregate_tau_bps / one.aggregate_tau_bps - 64.0).abs() < 1e-6);
 
         let many_jittered = simulate_multi_group(&cfg, 64, 0.15);
         assert!(many_jittered.scaling_efficiency < 1.0);
@@ -346,7 +344,10 @@ mod tests {
     #[test]
     fn more_steps_converge_throughput() {
         let short = simulate(&SimConfig { steps: 2, ..base() });
-        let long = simulate(&SimConfig { steps: 64, ..base() });
+        let long = simulate(&SimConfig {
+            steps: 64,
+            ..base()
+        });
         let rel = (short.tau_bps - long.tau_bps).abs() / long.tau_bps;
         assert!(rel < 0.2, "throughput unstable across steps: {rel}");
     }

@@ -138,18 +138,19 @@ mod tests {
 
     #[test]
     fn grid_has_expected_shape_and_structure() {
-        let grid = sweep_rho_mu(
-            &template(),
-            (0.9, 15e6),
-            &[2.0, 8.0],
-            &[4e6, 32e6, 256e6],
-        );
+        let grid = sweep_rho_mu(&template(), (0.9, 15e6), &[2.0, 8.0], &[4e6, 32e6, 256e6]);
         assert_eq!(grid.len(), 6);
         // Slow disk, high fan-in: compression wins; very fast disk: null.
-        let slow = grid.iter().find(|g| g.rho == 8.0 && g.mu_write == 4e6).unwrap();
+        let slow = grid
+            .iter()
+            .find(|g| g.rho == 8.0 && g.mu_write == 4e6)
+            .unwrap();
         assert_eq!(slow.winner(), Strategy::Primacy);
         assert!(slow.best_gain() > 0.0);
-        let fast = grid.iter().find(|g| g.rho == 2.0 && g.mu_write == 256e6).unwrap();
+        let fast = grid
+            .iter()
+            .find(|g| g.rho == 2.0 && g.mu_write == 256e6)
+            .unwrap();
         assert_eq!(fast.winner(), Strategy::Null);
     }
 
@@ -167,8 +168,8 @@ mod tests {
             },
             ..t
         };
-        let gap = (primacy_write(&inputs).tau - base_write(&inputs).tau).abs()
-            / base_write(&inputs).tau;
+        let gap =
+            (primacy_write(&inputs).tau - base_write(&inputs).tau).abs() / base_write(&inputs).tau;
         assert!(gap < 0.01, "gap at crossover {gap}");
     }
 

@@ -17,7 +17,8 @@ fn archive_roundtrips_every_dataset() {
         let archive = w.finish().expect("finishes");
         let r = ArchiveReader::open(&archive).expect("parses");
         assert_eq!(
-            r.read_elements(0, r.element_count() as usize).expect("reads"),
+            r.read_elements(0, r.element_count() as usize)
+                .expect("reads"),
             bytes,
             "{id}"
         );
@@ -85,7 +86,11 @@ fn f32_compression_still_beats_backend_alone() {
         primacy_size < zlib_size,
         "primacy {primacy_size} vs zlib {zlib_size}"
     );
-    assert_eq!(c.decompress_bytes(&c.compress_bytes(&bytes).unwrap()).unwrap(), bytes);
+    assert_eq!(
+        c.decompress_bytes(&c.compress_bytes(&bytes).unwrap())
+            .unwrap(),
+        bytes
+    );
 }
 
 #[test]

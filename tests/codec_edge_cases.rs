@@ -69,7 +69,9 @@ fn deflate_single_distinct_symbols() {
     // 1-symbol and 2-symbol alphabets stress degenerate Huffman trees.
     assert_deflate_roundtrip(&[0u8]);
     assert_deflate_roundtrip(&[255u8; 3]);
-    let two: Vec<u8> = (0..10_000).map(|i| if i % 3 == 0 { 7 } else { 9 }).collect();
+    let two: Vec<u8> = (0..10_000)
+        .map(|i| if i % 3 == 0 { 7 } else { 9 })
+        .collect();
     assert_deflate_roundtrip(&two);
 }
 
@@ -92,7 +94,8 @@ fn zlib_and_gzip_containers_on_boundary_sizes() {
         let data = xorshift_bytes(n, 42 + n as u64);
         assert_eq!(z.decompress_bytes(&z.compress_bytes(&data)).unwrap(), data);
         assert_eq!(
-            g.decompress_bytes(&g.compress_bytes(&data).unwrap()).unwrap(),
+            g.decompress_bytes(&g.compress_bytes(&data).unwrap())
+                .unwrap(),
             data
         );
     }
@@ -172,7 +175,11 @@ fn fpc_residual_class_boundaries() {
     let fpc = Fpc::default();
     let mut values = vec![0.0f64];
     for k in 0..=8u32 {
-        let bits: u64 = if k == 8 { 0 } else { 0x0101_0101_0101_0101 >> (8 * k) };
+        let bits: u64 = if k == 8 {
+            0
+        } else {
+            0x0101_0101_0101_0101 >> (8 * k)
+        };
         values.push(f64::from_bits(bits));
         values.push(0.0); // reset-ish
     }

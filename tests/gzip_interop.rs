@@ -78,8 +78,7 @@ fn we_decode_system_gzip_streams() {
     let g = Gzip::default();
     for (i, payload) in test_payloads().iter().enumerate() {
         for flag in ["-1", "-6", "-9"] {
-            let theirs =
-                run_filter("gzip", &["-c", flag], payload).expect("system gzip runs");
+            let theirs = run_filter("gzip", &["-c", flag], payload).expect("system gzip runs");
             let ours = g
                 .decompress_bytes(&theirs)
                 .unwrap_or_else(|e| panic!("payload {i} at {flag}: {e}"));

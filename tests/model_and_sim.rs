@@ -48,12 +48,8 @@ fn model_and_simulation_agree_for_the_null_case() {
 fn model_and_simulation_agree_for_primacy() {
     let scenario = Scenario::default();
     let data = DatasetId::NumComet.generate_bytes(1 << 16);
-    let e = scenario.evaluate(
-        &CompressionMethod::Primacy(PrimacyConfig::default()),
-        &data,
-    );
-    let dev =
-        (e.write_theoretical_mbps - e.write_empirical_mbps).abs() / e.write_theoretical_mbps;
+    let e = scenario.evaluate(&CompressionMethod::Primacy(PrimacyConfig::default()), &data);
+    let dev = (e.write_theoretical_mbps - e.write_empirical_mbps).abs() / e.write_theoretical_mbps;
     assert!(dev < 0.35, "model/sim deviation {dev}");
 }
 
@@ -95,10 +91,7 @@ fn vanilla_bwt_loses_when_the_disk_is_not_glacial() {
     let data = DatasetId::NumPlasma.generate_bytes(1 << 15);
     let null = scenario.evaluate(&CompressionMethod::Null, &data);
     let bwt = scenario.evaluate(&CompressionMethod::Vanilla(CodecKind::Bwt), &data);
-    let prim = scenario.evaluate(
-        &CompressionMethod::Primacy(PrimacyConfig::default()),
-        &data,
-    );
+    let prim = scenario.evaluate(&CompressionMethod::Primacy(PrimacyConfig::default()), &data);
     assert!(
         bwt.write_empirical_mbps < null.write_empirical_mbps,
         "bwt {} should lose to null {}",

@@ -16,7 +16,12 @@ fn payload() -> Vec<u8> {
 
 /// Flip one byte at a stride of positions; decoding must be Err or the
 /// exact original.
-fn sweep_flips(decode: impl Fn(&[u8]) -> Option<Vec<u8>>, stream: &[u8], original: &[u8], label: &str) {
+fn sweep_flips(
+    decode: impl Fn(&[u8]) -> Option<Vec<u8>>,
+    stream: &[u8],
+    original: &[u8],
+    label: &str,
+) {
     for pos in (0..stream.len()).step_by(7) {
         for mask in [0x01u8, 0x80, 0xFF] {
             let mut bad = stream.to_vec();
@@ -34,17 +39,30 @@ fn sweep_flips(decode: impl Fn(&[u8]) -> Option<Vec<u8>>, stream: &[u8], origina
 /// Every truncation must fail (a prefix of a valid stream is never valid
 /// for these framed formats, except the degenerate empty-payload cases the
 /// decoder can legitimately reconstruct).
-fn sweep_truncations(decode: impl Fn(&[u8]) -> Option<Vec<u8>>, stream: &[u8], original: &[u8], label: &str) {
+fn sweep_truncations(
+    decode: impl Fn(&[u8]) -> Option<Vec<u8>>,
+    stream: &[u8],
+    original: &[u8],
+    label: &str,
+) {
     for keep in (0..stream.len()).step_by(11) {
         if let Some(out) = decode(&stream[..keep]) {
-            assert_eq!(out, original, "{label}: truncation to {keep} returned wrong data");
+            assert_eq!(
+                out, original,
+                "{label}: truncation to {keep} returned wrong data"
+            );
         }
     }
 }
 
 /// Appending trailing garbage: accepted only if the decoder still returns
 /// the original (self-terminating stream), otherwise must error.
-fn sweep_extensions(decode: impl Fn(&[u8]) -> Option<Vec<u8>>, stream: &[u8], original: &[u8], label: &str) {
+fn sweep_extensions(
+    decode: impl Fn(&[u8]) -> Option<Vec<u8>>,
+    stream: &[u8],
+    original: &[u8],
+    label: &str,
+) {
     for extra in [1usize, 8, 1000] {
         let mut extended = stream.to_vec();
         extended.extend(std::iter::repeat_n(0xA5u8, extra));

@@ -108,7 +108,11 @@ fn fig1_shape_holds_for_all_datasets() {
 
 #[test]
 fn hard_datasets_have_random_mantissa_tails() {
-    for id in [DatasetId::GtsPhiL, DatasetId::ObsTemp, DatasetId::GtsChkpZeon] {
+    for id in [
+        DatasetId::GtsPhiL,
+        DatasetId::ObsTemp,
+        DatasetId::GtsChkpZeon,
+    ] {
         let p = analysis::bit_probability(&id.generate(1 << 14));
         let tail: f64 = p[48..].iter().sum::<f64>() / 16.0;
         assert!(tail < 0.6, "{id}: tail probability {tail} should be ~0.5");
@@ -124,7 +128,10 @@ fn exponent_domain_is_sparse_like_the_paper_says() {
             under += 1;
         }
     }
-    assert!(under >= 15, "only {under}/20 datasets under 2,000 sequences");
+    assert!(
+        under >= 15,
+        "only {under}/20 datasets under 2,000 sequences"
+    );
 }
 
 #[test]
@@ -134,10 +141,7 @@ fn end_to_end_write_gain_shape() {
     let scenario = Scenario::default();
     let data = DatasetId::NumComet.generate_bytes(N);
     let null = scenario.evaluate(&CompressionMethod::Null, &data);
-    let prim = scenario.evaluate(
-        &CompressionMethod::Primacy(PrimacyConfig::default()),
-        &data,
-    );
+    let prim = scenario.evaluate(&CompressionMethod::Primacy(PrimacyConfig::default()), &data);
     let zlib = scenario.evaluate(&CompressionMethod::Vanilla(CodecKind::Zlib), &data);
     assert!(prim.write_empirical_mbps > null.write_empirical_mbps * 1.05);
     assert!(prim.write_empirical_mbps > zlib.write_empirical_mbps);

@@ -87,7 +87,9 @@ fn parallel_compression_interoperates_with_serial_decompression() {
     cfg.chunk_bytes = 64 * 1024;
     let c = PrimacyCompressor::new(cfg);
     for threads in [1, 2, 8] {
-        let comp = c.compress_bytes_parallel(&bytes, threads).expect("compress");
+        let comp = c
+            .compress_bytes_parallel(&bytes, threads)
+            .expect("compress");
         assert_eq!(c.decompress_bytes(&comp).expect("decompress"), bytes);
     }
 }
