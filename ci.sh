@@ -17,6 +17,13 @@ run() {
 run cargo fmt --check
 run cargo clippy --workspace --all-targets --offline -- -D warnings
 run cargo build --release --workspace --offline
+# Panic-safety static analysis (DESIGN.md "Panic policy & lint rules"):
+# non-zero exit on any unjustified unwrap/expect/panic!, unchecked
+# indexing in untrusted-input modules, or non-Result decode entry point.
+run cargo run --release --offline -p primacy-lint
 run cargo test -q --workspace --offline
+# The adversarial-decode corpus is part of the workspace test run above;
+# re-run it by name so a corpus failure is unmissable in the CI log.
+run cargo test -q --offline --test adversarial_decode
 
 echo "==> ci.sh: all gates green"

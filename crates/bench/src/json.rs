@@ -230,7 +230,7 @@ impl<'a> Parser<'a> {
         }
     }
 
-    fn expect(&mut self, b: u8, message: &'static str) -> Result<(), ParseError> {
+    fn expect_byte(&mut self, b: u8, message: &'static str) -> Result<(), ParseError> {
         if self.peek() == Some(b) {
             self.pos += 1;
             Ok(())
@@ -262,7 +262,7 @@ impl<'a> Parser<'a> {
     }
 
     fn array(&mut self) -> Result<Value, ParseError> {
-        self.expect(b'[', "expected '['")?;
+        self.expect_byte(b'[', "expected '['")?;
         let mut items = Vec::new();
         self.skip_ws();
         if self.peek() == Some(b']') {
@@ -285,7 +285,7 @@ impl<'a> Parser<'a> {
     }
 
     fn object(&mut self) -> Result<Value, ParseError> {
-        self.expect(b'{', "expected '{'")?;
+        self.expect_byte(b'{', "expected '{'")?;
         let mut map = BTreeMap::new();
         self.skip_ws();
         if self.peek() == Some(b'}') {
@@ -296,7 +296,7 @@ impl<'a> Parser<'a> {
             self.skip_ws();
             let key = self.string()?;
             self.skip_ws();
-            self.expect(b':', "expected ':'")?;
+            self.expect_byte(b':', "expected ':'")?;
             self.skip_ws();
             let value = self.value()?;
             map.insert(key, value);
@@ -313,7 +313,7 @@ impl<'a> Parser<'a> {
     }
 
     fn string(&mut self) -> Result<String, ParseError> {
-        self.expect(b'"', "expected '\"'")?;
+        self.expect_byte(b'"', "expected '\"'")?;
         let mut out = String::new();
         loop {
             let start = self.pos;
@@ -351,8 +351,8 @@ impl<'a> Parser<'a> {
                             // Surrogate pairs: \uD800-\uDBFF must be followed
                             // by a \uDC00-\uDFFF low surrogate.
                             let c = if (0xD800..0xDC00).contains(&cp) {
-                                self.expect(b'\\', "expected low surrogate")?;
-                                self.expect(b'u', "expected low surrogate")?;
+                                self.expect_byte(b'\\', "expected low surrogate")?;
+                                self.expect_byte(b'u', "expected low surrogate")?;
                                 let lo = self.hex4()?;
                                 if !(0xDC00..0xE000).contains(&lo) {
                                     return Err(self.err("invalid low surrogate"));
@@ -414,7 +414,9 @@ impl<'a> Parser<'a> {
                 return Err(self.err("expected exponent digits"));
             }
         }
-        let text = std::str::from_utf8(&self.bytes[start..self.pos]).unwrap();
+        // The scanned span is ASCII digits/signs only; a non-UTF-8 span is
+        // impossible, and an empty fallback fails the parse below instead.
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).unwrap_or_default();
         text.parse::<f64>()
             .map(Value::Number)
             .map_err(|_| self.err("number out of range"))

@@ -118,6 +118,7 @@ impl Report {
             println!("{text}");
         } else {
             std::fs::write(&dest, text)
+                // lint: allow(panic) -- documented contract: CI must fail loudly on an unwritable report path
                 .unwrap_or_else(|e| panic!("writing bench JSON to {dest}: {e}"));
         }
     }

@@ -70,6 +70,7 @@ pub fn bwt_forward(data: &[u8]) -> (Vec<u8>, usize) {
     let mut bwt = Vec::with_capacity(n);
     // Conceptual row 0 is the sentinel suffix, whose preceding char is the
     // last byte of the data.
+    // lint: allow(index) -- encoder-owned data; n > 0 checked above
     bwt.push(data[n - 1]);
     let mut primary = 0usize;
     for (i, &p) in sa.iter().enumerate() {
@@ -78,6 +79,7 @@ pub fn bwt_forward(data: &[u8]) -> (Vec<u8>, usize) {
             // belongs instead of storing it.
             primary = i + 1;
         } else {
+            // lint: allow(index) -- encoder-owned data; suffix-array entries are < n
             bwt.push(data[p as usize - 1]);
         }
     }
@@ -95,24 +97,28 @@ pub fn bwt_inverse(bwt: &[u8], primary: usize) -> Result<Vec<u8>> {
         return Err(CodecError::Corrupt("bwt primary index out of range"));
     }
     // Symbols: 0 = sentinel, byte b = b+1. Conceptual column has n+1 rows;
-    // row `primary` holds the sentinel.
+    // row `primary` holds the sentinel. Out-of-range rows map to the
+    // sentinel symbol; a corrupted stream then trips the early-sentinel
+    // check (or the caller's CRC) instead of panicking.
     let sym_at = |p: usize| -> usize {
         if p == primary {
             0
-        } else if p < primary {
-            bwt[p] as usize + 1
         } else {
-            bwt[p - 1] as usize + 1
+            let idx = if p < primary { p } else { p - 1 };
+            bwt.get(idx).map_or(0, |&b| b as usize + 1)
         }
     };
     let mut count = [0u32; 258];
+    // lint: allow(index) -- symbols are 0..=256 against fixed [u32; 258] tables
     count[0] = 1;
     for &b in bwt {
+        // lint: allow(index) -- symbols are 0..=256 against fixed [u32; 258] tables
         count[b as usize + 2 - 1] += 1; // symbol b+1
     }
     let mut starts = [0u32; 258];
     let mut sum = 0u32;
     for (c, &cnt) in count.iter().enumerate() {
+        // lint: allow(index) -- c enumerates the same fixed-size table
         starts[c] = sum;
         sum += cnt;
     }
@@ -120,22 +126,26 @@ pub fn bwt_inverse(bwt: &[u8], primary: usize) -> Result<Vec<u8>> {
     let mut lf = vec![0u32; n + 1];
     for (p, lf_slot) in lf.iter_mut().enumerate() {
         let s = sym_at(p);
+        // lint: allow(index) -- sym_at returns 0..=256 against fixed [u32; 258] tables
         *lf_slot = starts[s] + occ[s];
-        occ[s] += 1;
+        occ[s] += 1; // lint: allow(index) -- same bound as the line above
     }
-    let mut out = vec![0u8; n];
+    // Walk the LF mapping backwards, building the output back-to-front.
+    let mut out = Vec::with_capacity(n);
     let mut row = 0usize; // row 0 begins with the sentinel: "$T".
-    for k in (0..n).rev() {
+    for _ in 0..n {
         if row == primary {
             return Err(CodecError::Corrupt("bwt walk hit the sentinel early"));
         }
-        out[k] = if row < primary {
-            bwt[row]
-        } else {
-            bwt[row - 1]
-        };
-        row = lf[row] as usize;
+        let idx = if row < primary { row } else { row - 1 };
+        let b = bwt
+            .get(idx)
+            .copied()
+            .ok_or(CodecError::Corrupt("bwt walk escaped the matrix"))?;
+        out.push(b);
+        row = lf.get(row).copied().unwrap_or(0) as usize;
     }
+    out.reverse();
     Ok(out)
 }
 
@@ -144,10 +154,12 @@ pub fn mtf_forward(data: &[u8]) -> Vec<u8> {
     let mut order: Vec<u8> = (0..=255).collect();
     let mut out = Vec::with_capacity(data.len());
     for &b in data {
-        let pos = order.iter().position(|&x| x == b).unwrap();
+        // `order` is a permutation of all 256 byte values, so the search
+        // always succeeds; 0 is a safe (if suboptimal) fallback.
+        let pos = order.iter().position(|&x| x == b).unwrap_or(0);
         out.push(pos as u8);
         order.copy_within(0..pos, 1);
-        order[0] = b;
+        order[0] = b; // lint: allow(index) -- order always holds all 256 byte values
     }
     out
 }
@@ -158,10 +170,11 @@ pub fn mtf_inverse(ranks: &[u8]) -> Vec<u8> {
     let mut out = Vec::with_capacity(ranks.len());
     for &r in ranks {
         let pos = r as usize;
-        let b = order[pos];
+        // A rank is a u8, so pos < 256 == order.len() always holds.
+        let b = order.get(pos).copied().unwrap_or(0);
         out.push(b);
         order.copy_within(0..pos, 1);
-        order[0] = b;
+        order[0] = b; // lint: allow(index) -- order always holds all 256 byte values
     }
     out
 }
@@ -200,7 +213,7 @@ fn rle2_encode(ranks: &[u8]) -> Vec<u16> {
 /// Invert [`rle2_encode`]. Stops at (and consumes) nothing: the caller feeds
 /// exactly the symbols of one block, excluding EOB.
 fn rle2_decode(symbols: &[u16], expected_len: usize) -> Result<Vec<u8>> {
-    let mut out = Vec::with_capacity(expected_len);
+    let mut out = Vec::with_capacity(crate::clamped_capacity(expected_len as u64));
     let mut run = 0usize;
     let mut place = 1usize;
     let mut in_run = false;
@@ -212,16 +225,21 @@ fn rle2_decode(symbols: &[u16], expected_len: usize) -> Result<Vec<u8>> {
             *in_run = false;
         }
     };
+    // Run lengths grow bijectively (place doubles per digit), so a hostile
+    // digit string can push them toward overflow long before the length
+    // check below fires; every step is checked.
+    let overflow = || CodecError::Corrupt("rle2 run length overflow");
     for &s in symbols {
         match s {
             RUNA => {
-                run += place;
-                place *= 2;
+                run = run.checked_add(place).ok_or_else(overflow)?;
+                place = place.checked_mul(2).ok_or_else(overflow)?;
                 in_run = true;
             }
             RUNB => {
-                run += 2 * place;
-                place *= 2;
+                let two = place.checked_mul(2).ok_or_else(overflow)?;
+                run = run.checked_add(two).ok_or_else(overflow)?;
+                place = two;
                 in_run = true;
             }
             2..=256 => {
@@ -230,7 +248,7 @@ fn rle2_decode(symbols: &[u16], expected_len: usize) -> Result<Vec<u8>> {
             }
             _ => return Err(CodecError::Corrupt("invalid rle2 symbol")),
         }
-        if out.len() + run > expected_len {
+        if out.len().checked_add(run).is_none_or(|t| t > expected_len) {
             return Err(CodecError::Corrupt("rle2 output exceeds block length"));
         }
     }
@@ -272,13 +290,16 @@ fn fit_tables(symbols: &[u16], n_tables: usize) -> (Vec<Vec<u8>>, Vec<u8>) {
     let refit = |selectors: &[u8], lengths: &mut Vec<Vec<u8>>| {
         let mut freqs = vec![[0u64; ALPHABET]; n_tables];
         for (g, group) in symbols.chunks(GROUP).enumerate() {
+            // lint: allow(index) -- encoder state: one selector per group, all < n_tables
             let t = selectors[g] as usize;
             for &sym in group {
+                // lint: allow(index) -- encoder state: rle2 symbols are < ALPHABET
                 freqs[t][sym as usize] += 1;
             }
         }
         for (t, freq) in freqs.iter().enumerate() {
             if freq.iter().any(|&f| f > 0) {
+                // lint: allow(index) -- encoder state: t enumerates the n_tables entries
                 lengths[t] = package_merge_lengths(freq, 15);
             }
         }
@@ -293,6 +314,7 @@ fn fit_tables(symbols: &[u16], n_tables: usize) -> (Vec<Vec<u8>>, Vec<u8>) {
             for (t, table) in lengths.iter().enumerate() {
                 let cost: u64 = group
                     .iter()
+                    // lint: allow(index) -- encoder state: rle2 symbols are < ALPHABET
                     .map(|&sym| match table[sym as usize] {
                         0 => 16,
                         l => u64::from(l),
@@ -302,7 +324,7 @@ fn fit_tables(symbols: &[u16], n_tables: usize) -> (Vec<Vec<u8>>, Vec<u8>) {
                     best = (cost, t);
                 }
             }
-            selectors[g] = best.1 as u8;
+            selectors[g] = best.1 as u8; // lint: allow(index) -- encoder state: one selector per group
         }
         refit(&selectors, &mut lengths);
     }
@@ -338,10 +360,13 @@ fn compress_block(block: &[u8], out: &mut Vec<u8>) {
     }
     // Symbol stream, switching tables every GROUP symbols.
     for (g, group) in symbols.chunks(GROUP).enumerate() {
+        // lint: allow(index) -- encoder state: fit_tables returns one selector per group, all < n_tables
         let enc = &encoders[selectors[g] as usize];
         for &sym in group {
             let sym = sym as usize;
+            // lint: allow(index) -- encoder state: rle2 symbols index the ALPHABET-sized code tables
             debug_assert!(enc.lengths[sym] > 0, "selected table misses symbol");
+            // lint: allow(index) -- encoder state: rle2 symbols index the ALPHABET-sized code tables
             w.write_bits(u64::from(enc.codes[sym]), u32::from(enc.lengths[sym]));
         }
     }
@@ -351,33 +376,30 @@ fn compress_block(block: &[u8], out: &mut Vec<u8>) {
 }
 
 fn decompress_block(input: &[u8], pos: &mut usize, out: &mut Vec<u8>) -> Result<()> {
-    let (block_len, used) = read_varint(&input[*pos..])?;
-    *pos += used;
-    let (primary, used) = read_varint(&input[*pos..])?;
-    *pos += used;
-    let (n_tables, used) = read_varint(&input[*pos..])?;
-    *pos += used;
-    let (n_groups, used) = read_varint(&input[*pos..])?;
-    *pos += used;
-    let n_tables = n_tables as usize;
-    let n_groups = n_groups as usize;
+    let next_varint = |pos: &mut usize| -> Result<u64> {
+        let (v, used) = read_varint(input.get(*pos..).ok_or(CodecError::Truncated)?)?;
+        *pos = pos.checked_add(used).ok_or(CodecError::Truncated)?;
+        Ok(v)
+    };
+    let block_len = next_varint(pos)?;
+    let primary = next_varint(pos)?;
+    let n_tables = next_varint(pos)? as usize;
+    let n_groups = next_varint(pos)? as usize;
     if n_tables == 0 || n_tables > MAX_TABLES {
         return Err(CodecError::Corrupt("bwt table count out of range"));
     }
-    if n_groups > block_len as usize * 2 + 64 {
+    // All plausibility bounds saturate: block_len is attacker-controlled.
+    let symbol_cap = (block_len as usize).saturating_mul(2).saturating_add(64);
+    if n_groups > symbol_cap {
         return Err(CodecError::Corrupt("bwt group count implausible"));
     }
-    let (payload_len, used) = read_varint(&input[*pos..])?;
-    *pos += used;
-    let payload_len = payload_len as usize;
-    if *pos + payload_len > input.len() {
-        return Err(CodecError::Truncated);
-    }
-    let payload = &input[*pos..*pos + payload_len];
-    *pos += payload_len;
+    let payload_len = next_varint(pos)? as usize;
+    let payload_end = pos.checked_add(payload_len).ok_or(CodecError::Truncated)?;
+    let payload = input.get(*pos..payload_end).ok_or(CodecError::Truncated)?;
+    *pos = payload_end;
 
     let mut r = BitReader::new(payload);
-    let mut selectors = Vec::with_capacity(n_groups);
+    let mut selectors = Vec::with_capacity(crate::clamped_capacity(n_groups as u64));
     for _ in 0..n_groups {
         let sel = r.read_bits(3)? as usize;
         if sel >= n_tables {
@@ -396,8 +418,9 @@ fn decompress_block(input: &[u8], pos: &mut usize, out: &mut Vec<u8>) -> Result<
     }
     let mut symbols = Vec::new();
     'groups: for &sel in &selectors {
-        let dec = decoders[sel]
-            .as_ref()
+        let dec = decoders
+            .get(sel)
+            .and_then(|d| d.as_ref())
             .ok_or(CodecError::Corrupt("selector references empty table"))?;
         for _ in 0..GROUP {
             let s = dec.decode(&mut r)?;
@@ -405,7 +428,7 @@ fn decompress_block(input: &[u8], pos: &mut usize, out: &mut Vec<u8>) -> Result<
                 break 'groups;
             }
             symbols.push(s);
-            if symbols.len() > block_len as usize * 2 + 64 {
+            if symbols.len() > symbol_cap {
                 return Err(CodecError::Corrupt("rle2 symbol stream too long"));
             }
         }
@@ -437,12 +460,12 @@ impl Codec for BwtCodec {
         if input.len() < MAGIC.len() + 4 {
             return Err(CodecError::Truncated);
         }
-        if &input[..4] != MAGIC {
+        if input.get(..4) != Some(MAGIC.as_slice()) {
             return Err(CodecError::BadMagic);
         }
         let body_end = input.len() - 4;
         let mut pos = 4usize;
-        let (total_len, used) = read_varint(&input[pos..body_end])?;
+        let (total_len, used) = read_varint(input.get(pos..body_end).unwrap_or(&[]))?;
         pos += used;
         let mut out = Vec::with_capacity(crate::clamped_capacity(total_len));
         while (out.len() as u64) < total_len {
@@ -452,9 +475,13 @@ impl Codec for BwtCodec {
             decompress_block(input, &mut pos, &mut out)?;
         }
         if out.len() as u64 != total_len {
-            return Err(CodecError::Corrupt("bwt stream length mismatch"));
+            return Err(CodecError::LengthMismatch {
+                expected: total_len as usize,
+                actual: out.len(),
+            });
         }
-        let stored = u32::from_le_bytes(input[body_end..].try_into().unwrap());
+        let stored =
+            u32::from_le_bytes(crate::read_array(input, body_end).ok_or(CodecError::Truncated)?);
         let actual = crc32(&out);
         if stored != actual {
             return Err(CodecError::ChecksumMismatch {

@@ -3,6 +3,11 @@
 //! Nong, Zhang & Chan's induced-sorting algorithm. The public entry point
 //! appends a virtual sentinel (smaller than every byte) so the Burrows–
 //! Wheeler layer gets well-defined suffix order for arbitrary binary data.
+//!
+//! SA-IS runs exclusively on the encode side, over an encoder-owned copy
+//! of the input; no untrusted bytes reach it, and its index arithmetic is
+//! the textbook algorithm's own invariants.
+// lint: allow-file(index) -- encode-only SA-IS over encoder-owned buffers; rewriting with checked access would obscure the algorithm
 
 const EMPTY: u32 = u32::MAX;
 

@@ -111,8 +111,11 @@ impl Crc32 {
         let mut crc = self.state;
         let mut chunks = data.chunks_exact(8);
         for chunk in &mut chunks {
-            let lo = u32::from_le_bytes(chunk[0..4].try_into().unwrap()) ^ crc;
-            let hi = u32::from_le_bytes(chunk[4..8].try_into().unwrap());
+            let mut word = [0u8; 8];
+            word.copy_from_slice(chunk); // chunks_exact(8) guarantees the length
+            let v = u64::from_le_bytes(word);
+            let lo = (v as u32) ^ crc;
+            let hi = (v >> 32) as u32;
             crc = CRC_TABLES[7][(lo & 0xff) as usize]
                 ^ CRC_TABLES[6][((lo >> 8) & 0xff) as usize]
                 ^ CRC_TABLES[5][((lo >> 16) & 0xff) as usize]

@@ -50,16 +50,16 @@ fn inflate_stored(r: &mut BitReader<'_>, out: &mut Vec<u8>) -> Result<()> {
 
 fn fixed_decoders() -> Result<(&'static Decoder, &'static Decoder)> {
     use std::sync::OnceLock;
-    static TABLES: OnceLock<(Decoder, Decoder)> = OnceLock::new();
-    let (lit, dist) = TABLES.get_or_init(|| {
-        (
-            Decoder::from_lengths(&super::encode::fixed_litlen_lengths())
-                .expect("fixed literal table is a valid prefix code"),
-            Decoder::from_lengths(&super::encode::fixed_dist_lengths())
-                .expect("fixed distance table is a valid prefix code"),
-        )
+    static TABLES: OnceLock<Result<(Decoder, Decoder)>> = OnceLock::new();
+    let tables = TABLES.get_or_init(|| {
+        let lit = Decoder::from_lengths(&super::encode::fixed_litlen_lengths())?;
+        let dist = Decoder::from_lengths(&super::encode::fixed_dist_lengths())?;
+        Ok((lit, dist))
     });
-    Ok((lit, dist))
+    match tables {
+        Ok((lit, dist)) => Ok((lit, dist)),
+        Err(e) => Err(e.clone()),
+    }
 }
 
 fn read_dynamic_tables(r: &mut BitReader<'_>) -> Result<(Decoder, Decoder)> {
@@ -74,6 +74,7 @@ fn read_dynamic_tables(r: &mut BitReader<'_>) -> Result<(Decoder, Decoder)> {
     }
     let mut cl_lengths = [0u8; NUM_CODELEN];
     for &idx in CODELEN_ORDER.iter().take(hclen) {
+        // lint: allow(index) -- CODELEN_ORDER is a const permutation of 0..NUM_CODELEN
         cl_lengths[idx] = r.read_bits(3)? as u8;
     }
     let cl_dec = Decoder::from_lengths(&cl_lengths)?;
@@ -111,8 +112,11 @@ fn read_dynamic_tables(r: &mut BitReader<'_>) -> Result<(Decoder, Decoder)> {
             _ => return Err(CodecError::Corrupt("invalid code-length symbol")),
         }
     }
-    let lit = Decoder::from_lengths(&lengths[..hlit])?;
-    let dist = Decoder::from_lengths(&lengths[hlit..])?;
+    let (lit_lengths, dist_lengths) = lengths
+        .split_at_checked(hlit)
+        .ok_or(CodecError::Corrupt("code-length table underfilled"))?;
+    let lit = Decoder::from_lengths(lit_lengths)?;
+    let dist = Decoder::from_lengths(dist_lengths)?;
     Ok((lit, dist))
 }
 
@@ -130,12 +134,14 @@ fn inflate_block(
             257..=285 => {
                 let li = (sym - 257) as usize;
                 let len =
+                    // lint: allow(index) -- li <= 28 indexes the 29-entry RFC 1951 length tables
                     LENGTH_BASE[li] as usize + r.read_bits(u32::from(LENGTH_EXTRA[li]))? as usize;
                 let dsym = dist.decode(r)? as usize;
                 if dsym >= 30 {
                     return Err(CodecError::Corrupt("invalid distance code"));
                 }
                 let d =
+                    // lint: allow(index) -- dsym < 30 (checked above) indexes the 30-entry tables
                     DIST_BASE[dsym] as usize + r.read_bits(u32::from(DIST_EXTRA[dsym]))? as usize;
                 if d > out.len() {
                     return Err(CodecError::Corrupt("distance reaches before output start"));
@@ -157,6 +163,7 @@ fn copy_match(out: &mut Vec<u8>, dist: usize, len: usize) {
     } else {
         out.reserve(len);
         for k in 0..len {
+            // lint: allow(index) -- start + k < out.len(): start = len - dist and one byte is pushed per k
             let b = out[start + k];
             out.push(b);
         }
@@ -230,6 +237,79 @@ mod tests {
         let mut out = vec![1, 2, 3];
         copy_match(&mut out, 2, 5);
         assert_eq!(out, vec![1, 2, 3, 2, 3, 2, 3, 2]);
+    }
+
+    /// Build a dynamic-Huffman block header whose code-length code covers
+    /// symbols {0 (len 1), 2 (len 2), 18 (len 2)} — a complete CL code —
+    /// then let the caller emit the 258 litlen+dist code lengths with it.
+    fn dynamic_block_with(emit_lengths: impl Fn(&mut crate::bitio::BitWriter)) -> Vec<u8> {
+        use crate::bitio::BitWriter;
+        let mut w = BitWriter::new();
+        w.write_bits(1, 1); // BFINAL
+        w.write_bits(0b10, 2); // dynamic block
+        w.write_bits(0, 5); // HLIT -> 257 litlen codes
+        w.write_bits(0, 5); // HDIST -> 1 dist code
+        w.write_bits(12, 4); // HCLEN -> 16 CL entries
+        for &sym in CODELEN_ORDER.iter().take(16) {
+            let l = match sym {
+                0 => 1,
+                2 | 18 => 2,
+                _ => 0,
+            };
+            w.write_bits(l, 3);
+        }
+        emit_lengths(&mut w);
+        w.finish()
+    }
+
+    // Canonical CL codes for the table above: sym 0 -> 0 (1 bit),
+    // sym 2 -> 10, sym 18 -> 11; emitted LSB-first (bit-reversed).
+    fn emit_len_two(w: &mut crate::bitio::BitWriter) {
+        w.write_bits(0b01, 2);
+    }
+    fn emit_zero_run(w: &mut crate::bitio::BitWriter, run: u64) {
+        w.write_bits(0b11, 2);
+        w.write_bits(run - 11, 7);
+    }
+    fn emit_len_zero(w: &mut crate::bitio::BitWriter) {
+        w.write_bits(0, 1);
+    }
+
+    #[test]
+    fn rejects_undersubscribed_dynamic_litlen_table() {
+        // Litlen lengths: sym 0 and sym 256 get 2 bits, everything else 0.
+        // Kraft sum 1/2: under-subscribed — half the code space decodes to
+        // nothing. A lenient decoder would read garbage symbols; ours must
+        // reject the table itself.
+        let block = dynamic_block_with(|w| {
+            emit_len_two(w); // sym 0
+            emit_zero_run(w, 138); // syms 1..=138
+            emit_zero_run(w, 117); // syms 139..=255
+            emit_len_two(w); // sym 256
+            emit_len_zero(w); // the single dist code
+        });
+        assert!(matches!(
+            inflate(&block),
+            Err(CodecError::InvalidHuffmanTable("under-subscribed code"))
+        ));
+    }
+
+    #[test]
+    fn rejects_oversubscribed_dynamic_litlen_table() {
+        // Five symbols of length 2: Kraft sum 5/4 — over-subscribed, the
+        // code is ambiguous.
+        let block = dynamic_block_with(|w| {
+            for _ in 0..5 {
+                emit_len_two(w); // syms 0..=4
+            }
+            emit_zero_run(w, 138); // syms 5..=142
+            emit_zero_run(w, 114); // syms 143..=256
+            emit_len_zero(w); // the single dist code
+        });
+        assert!(matches!(
+            inflate(&block),
+            Err(CodecError::InvalidHuffmanTable("over-subscribed code"))
+        ));
     }
 
     #[test]

@@ -116,9 +116,12 @@ impl Gzip {
         }
         let body = &input[pos..input.len() - 8];
         let out = decode::inflate(body)?;
-        let stored_crc =
-            u32::from_le_bytes(input[input.len() - 8..input.len() - 4].try_into().unwrap());
-        let stored_isize = u32::from_le_bytes(input[input.len() - 4..].try_into().unwrap());
+        let stored_crc = u32::from_le_bytes(
+            crate::read_array(input, input.len() - 8).ok_or(CodecError::Truncated)?,
+        );
+        let stored_isize = u32::from_le_bytes(
+            crate::read_array(input, input.len() - 4).ok_or(CodecError::Truncated)?,
+        );
         let actual = crc32(&out);
         if stored_crc != actual {
             return Err(CodecError::ChecksumMismatch {
@@ -127,7 +130,10 @@ impl Gzip {
             });
         }
         if stored_isize != out.len() as u32 {
-            return Err(CodecError::Corrupt("gzip ISIZE mismatch"));
+            return Err(CodecError::LengthMismatch {
+                expected: stored_isize as usize,
+                actual: out.len(),
+            });
         }
         Ok(out)
     }

@@ -67,7 +67,9 @@ impl Zlib {
         }
         let body = &input[2..input.len() - 4];
         let out = decode::inflate(body)?;
-        let stored = u32::from_be_bytes(input[input.len() - 4..].try_into().unwrap());
+        let stored = u32::from_be_bytes(
+            crate::read_array(input, input.len() - 4).ok_or(CodecError::Truncated)?,
+        );
         let actual = adler32(&out);
         if stored != actual {
             return Err(CodecError::ChecksumMismatch {

@@ -20,6 +20,17 @@ pub enum CodecError {
     /// A parameter is outside the supported range (e.g. unsupported grid
     /// dimensions for the Lorenzo predictor).
     InvalidParameter(&'static str),
+    /// A decoded section's length disagrees with the length the stream
+    /// declared for it.
+    LengthMismatch {
+        /// Length the stream declared.
+        expected: usize,
+        /// Length actually decoded.
+        actual: usize,
+    },
+    /// A serialized Huffman table does not describe a usable prefix code
+    /// (over-subscribed, under-subscribed, or empty).
+    InvalidHuffmanTable(&'static str),
 }
 
 impl std::fmt::Display for CodecError {
@@ -33,6 +44,11 @@ impl std::fmt::Display for CodecError {
             ),
             CodecError::BadMagic => write!(f, "stream does not start with the expected magic"),
             CodecError::InvalidParameter(msg) => write!(f, "invalid parameter: {msg}"),
+            CodecError::LengthMismatch { expected, actual } => write!(
+                f,
+                "length mismatch: stream declared {expected} bytes, decoded {actual}"
+            ),
+            CodecError::InvalidHuffmanTable(msg) => write!(f, "invalid huffman table: {msg}"),
         }
     }
 }
@@ -62,5 +78,14 @@ mod tests {
         assert!(CodecError::InvalidParameter("dims")
             .to_string()
             .contains("dims"));
+        let msg = CodecError::LengthMismatch {
+            expected: 100,
+            actual: 7,
+        }
+        .to_string();
+        assert!(msg.contains("100") && msg.contains('7'));
+        assert!(CodecError::InvalidHuffmanTable("incomplete code")
+            .to_string()
+            .contains("incomplete code"));
     }
 }

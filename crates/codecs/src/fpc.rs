@@ -133,7 +133,9 @@ impl Fpc {
         let mut pending_nibble: Option<u8> = None;
 
         for chunk in input.chunks_exact(8) {
-            let actual = u64::from_le_bytes(chunk.try_into().unwrap());
+            let mut word = [0u8; 8];
+            word.copy_from_slice(chunk); // chunks_exact(8) guarantees the length
+            let actual = u64::from_le_bytes(word);
             let (fcm_pred, dfcm_pred) = pred.predict();
             let xor_fcm = actual ^ fcm_pred;
             let xor_dfcm = actual ^ dfcm_pred;
@@ -181,14 +183,16 @@ impl Fpc {
         let mut pos = 5 + used;
         let header_bytes = count.div_ceil(2);
         let body_end = input.len() - 4;
-        if pos + header_bytes > body_end {
-            return Err(CodecError::Truncated);
-        }
-        let headers = &input[pos..pos + header_bytes];
-        pos += header_bytes;
+        // `count` is an attacker-controllable varint: checked arithmetic only.
+        let headers_end = pos
+            .checked_add(header_bytes)
+            .filter(|&e| e <= body_end)
+            .ok_or(CodecError::Truncated)?;
+        let headers = input.get(pos..headers_end).ok_or(CodecError::Truncated)?;
+        pos = headers_end;
 
         let mut pred = Predictors::new(table_log2);
-        let mut out = Vec::with_capacity(crate::clamped_capacity(count as u64 * 8));
+        let mut out = Vec::with_capacity(crate::clamped_capacity((count as u64).saturating_mul(8)));
         for i in 0..count {
             let byte = headers[i / 2];
             let nibble = if i % 2 == 0 { byte >> 4 } else { byte & 0x0f };
@@ -211,7 +215,8 @@ impl Fpc {
         if pos != body_end {
             return Err(CodecError::Corrupt("fpc trailing residual bytes"));
         }
-        let stored = u32::from_le_bytes(input[body_end..].try_into().unwrap());
+        let stored =
+            u32::from_le_bytes(crate::read_array(input, body_end).ok_or(CodecError::Truncated)?);
         let actual_crc = crc32(&out);
         if stored != actual_crc {
             return Err(CodecError::ChecksumMismatch {
@@ -233,7 +238,11 @@ impl Fpc {
         let bytes = self.decompress_bytes(input)?;
         Ok(bytes
             .chunks_exact(8)
-            .map(|c| f64::from_le_bytes(c.try_into().unwrap()))
+            .map(|c| {
+                let mut a = [0u8; 8];
+                a.copy_from_slice(c);
+                f64::from_le_bytes(a)
+            })
             .collect())
     }
 }

@@ -43,11 +43,14 @@ impl Grid {
         }
     }
 
+    /// Total element count, or `None` for the shapeless 1-D stream. An
+    /// overflowing product saturates to `usize::MAX`, which can never match a
+    /// decodable element count, so callers reject it by plain comparison.
     fn element_count(&self) -> Option<usize> {
         match *self {
             Grid::D1 => None,
-            Grid::D2(nx, ny) => Some(nx * ny),
-            Grid::D3(nx, ny, nz) => Some(nx * ny * nz),
+            Grid::D2(nx, ny) => Some(nx.saturating_mul(ny)),
+            Grid::D3(nx, ny, nz) => Some(nx.saturating_mul(ny).saturating_mul(nz)),
         }
     }
 }
@@ -101,13 +104,13 @@ fn unzigzag(v: u64) -> i64 {
 /// Lorenzo prediction for element `i` given all previously seen (mapped)
 /// values. Out-of-grid neighbours contribute zero.
 fn lorenzo_predict(prev: &[u64], i: usize, grid: Grid) -> u64 {
-    let get = |idx: Option<usize>| idx.map_or(0u64, |j| prev[j]);
+    let get = |idx: Option<usize>| idx.map_or(0u64, |j| prev.get(j).copied().unwrap_or(0));
     match grid {
         Grid::D1 => {
             if i == 0 {
                 0
             } else {
-                prev[i - 1]
+                prev.get(i - 1).copied().unwrap_or(0)
             }
         }
         Grid::D2(nx, _) => {
@@ -183,6 +186,7 @@ impl Fpz {
         let mut class_model = BitTreeModel::new(7);
         for i in 0..mapped.len() {
             let pred = lorenzo_predict(&mapped, i, self.grid);
+            // lint: allow(index) -- encoder-owned buffer; i < mapped.len() by the loop bound
             let residual = zigzag(mapped[i].wrapping_sub(pred) as i64);
             let class = 64 - residual.leading_zeros(); // 0..=64
             class_model.encode(&mut enc, class);
@@ -202,10 +206,10 @@ impl Fpz {
         if input.len() < 10 {
             return Err(CodecError::Truncated);
         }
-        if &input[..4] != MAGIC {
+        if input.get(..4) != Some(MAGIC.as_slice()) {
             return Err(CodecError::BadMagic);
         }
-        let rank = input[4];
+        let rank = input.get(4).copied().ok_or(CodecError::Truncated)?;
         let mut pos = 5usize;
         let mut dims = [0usize; 3];
         if !(1..=3).contains(&rank) {
@@ -213,31 +217,30 @@ impl Fpz {
         }
         let n_dims = if rank == 1 { 0 } else { rank as usize };
         for d in dims.iter_mut().take(n_dims) {
-            let (v, used) = read_varint(&input[pos..])?;
+            let (v, used) = read_varint(input.get(pos..).ok_or(CodecError::Truncated)?)?;
             *d = v as usize;
-            pos += used;
+            pos = pos.checked_add(used).ok_or(CodecError::Truncated)?;
         }
-        let (count, used) = read_varint(&input[pos..])?;
+        let (count, used) = read_varint(input.get(pos..).ok_or(CodecError::Truncated)?)?;
         let count = count as usize;
         pos += used;
+        let [d0, d1, d2] = dims;
         let grid = match rank {
             1 => Grid::D1,
-            2 => Grid::D2(dims[0], dims[1]),
-            _ => Grid::D3(dims[0], dims[1], dims[2]),
+            2 => Grid::D2(d0, d1),
+            _ => Grid::D3(d0, d1, d2),
         };
         if let Some(expected) = grid.element_count() {
             if expected != count {
                 return Err(CodecError::Corrupt("fpz grid/count mismatch"));
             }
-            if dims[..n_dims].contains(&0) {
+            if dims.iter().take(n_dims).any(|&d| d == 0) {
                 return Err(CodecError::Corrupt("fpz zero grid dimension"));
             }
         }
         let body_end = input.len() - 4;
-        if pos > body_end {
-            return Err(CodecError::Truncated);
-        }
-        let mut dec = RangeDecoder::new(&input[pos..body_end])?;
+        let body = input.get(pos..body_end).ok_or(CodecError::Truncated)?;
+        let mut dec = RangeDecoder::new(body)?;
         let mut class_model = BitTreeModel::new(7);
         let mut mapped = Vec::with_capacity(crate::clamped_capacity(count as u64));
         for i in 0..count {
@@ -258,7 +261,8 @@ impl Fpz {
             .map(|&m| f64::from_bits(unmap_bits(m)))
             .collect();
         let raw: Vec<u8> = values.iter().flat_map(|v| v.to_le_bytes()).collect();
-        let stored = u32::from_le_bytes(input[body_end..].try_into().unwrap());
+        let stored =
+            u32::from_le_bytes(crate::read_array(input, body_end).ok_or(CodecError::Truncated)?);
         let actual = crc32(&raw);
         if stored != actual {
             return Err(CodecError::ChecksumMismatch {
@@ -279,26 +283,28 @@ impl Codec for Fpz {
     /// an arbitrary byte stream has no shape), a ragged tail is stored raw.
     fn compress(&self, input: &[u8]) -> Result<Vec<u8>> {
         let whole = input.len() / 8 * 8;
-        let values: Vec<f64> = input[..whole]
+        let values: Vec<f64> = input
             .chunks_exact(8)
-            .map(|c| f64::from_le_bytes(c.try_into().unwrap()))
+            .map(|c| {
+                let mut bytes = [0u8; 8];
+                bytes.copy_from_slice(c); // chunks_exact(8) guarantees the length
+                f64::from_le_bytes(bytes)
+            })
             .collect();
         let mut out = Fpz::default().compress_f64(&values)?;
-        out.extend_from_slice(&input[whole..]);
+        out.extend_from_slice(input.get(whole..).unwrap_or(&[]));
         out.push((input.len() - whole) as u8);
         Ok(out)
     }
 
     fn decompress(&self, input: &[u8]) -> Result<Vec<u8>> {
-        if input.is_empty() {
-            return Err(CodecError::Truncated);
-        }
-        let tail_len = input[input.len() - 1] as usize;
+        let tail_len = usize::from(*input.last().ok_or(CodecError::Truncated)?);
         if tail_len >= 8 || input.len() < 1 + tail_len {
             return Err(CodecError::Corrupt("fpz tail length invalid"));
         }
-        let body = &input[..input.len() - 1 - tail_len];
-        let tail = &input[input.len() - 1 - tail_len..input.len() - 1];
+        let split = input.len() - 1 - tail_len;
+        let body = input.get(..split).ok_or(CodecError::Truncated)?;
+        let tail = input.get(split..input.len() - 1).unwrap_or(&[]);
         let values = Fpz::default().decompress_f64(body)?;
         let mut out: Vec<u8> = values.iter().flat_map(|v| v.to_le_bytes()).collect();
         out.extend_from_slice(tail);

@@ -136,7 +136,7 @@ impl<'a> RangeDecoder<'a> {
         }
         let mut code = 0u32;
         // The first byte is the encoder's initial zero cache; skip it.
-        for &b in &input[1..5] {
+        for &b in input.get(1..5).ok_or(CodecError::Truncated)? {
             code = (code << 8) | u32::from(b);
         }
         Ok(Self {
@@ -158,6 +158,7 @@ impl<'a> RangeDecoder<'a> {
 
     /// Decode one modeled bit.
     #[inline]
+    // lint: allow(decode-result) -- coder primitive: zero-fills past end by design; the container CRC rejects truncation
     pub fn decode_bit(&mut self, prob: &mut Prob) -> u32 {
         let bound = (self.range >> PROB_BITS) * u32::from(prob.0);
         let bit = if self.code < bound {
@@ -177,6 +178,7 @@ impl<'a> RangeDecoder<'a> {
     }
 
     /// Decode `count` unmodeled bits, most-significant first.
+    // lint: allow(decode-result) -- coder primitive: zero-fills past end by design; the container CRC rejects truncation
     pub fn decode_direct(&mut self, count: u32) -> u64 {
         let mut value = 0u64;
         for _ in 0..count {
@@ -220,15 +222,18 @@ impl BitTreeModel {
         let mut ctx = 1usize;
         for i in (0..self.n_bits).rev() {
             let bit = (symbol >> i) & 1;
+            // lint: allow(index) -- tree walk invariant: ctx < 2^n_bits == probs.len()
             enc.encode_bit(&mut self.probs[ctx], bit);
             ctx = (ctx << 1) | bit as usize;
         }
     }
 
     /// Decode one symbol.
+    // lint: allow(decode-result) -- coder primitive: zero-fills past end by design; the container CRC rejects truncation
     pub fn decode(&mut self, dec: &mut RangeDecoder<'_>) -> u32 {
         let mut ctx = 1usize;
         for _ in 0..self.n_bits {
+            // lint: allow(index) -- tree walk invariant: ctx < 2^n_bits == probs.len()
             let bit = dec.decode_bit(&mut self.probs[ctx]);
             ctx = (ctx << 1) | bit as usize;
         }

@@ -83,6 +83,7 @@ pub fn package_merge_lengths(freqs: &[u64], max_len: u32) -> Vec<u8> {
                 (Some(l), Some(p)) => l.weight <= p.weight,
                 (Some(_), None) => true,
                 (None, Some(_)) => false,
+                // lint: allow(panic) -- loop condition guarantees at least one side is non-empty
                 (None, None) => unreachable!(),
             };
             if take_leaf {
@@ -113,16 +114,21 @@ pub fn package_merge_lengths(freqs: &[u64], max_len: u32) -> Vec<u8> {
     lengths
 }
 
-/// Check the Kraft inequality with equality tolerance (a complete or
-/// over-complete code is rejected; under-complete is allowed only for the
-/// degenerate single-symbol code).
-fn kraft_ok(lengths: &[u8]) -> bool {
-    let sum: u64 = lengths
+/// Kraft sum in units of 2^-60 (exact for lengths ≤ 60). A complete prefix
+/// code sums to exactly [`KRAFT_FULL`]; larger is over-subscribed (ambiguous),
+/// smaller is under-subscribed (some bit patterns decode to nothing).
+const KRAFT_FULL: u64 = 1 << 60;
+
+fn kraft_sum(lengths: &[u8]) -> u64 {
+    lengths
         .iter()
         .filter(|&&l| l > 0)
         .map(|&l| 1u64 << (60 - u32::from(l)))
-        .sum();
-    sum <= (1u64 << 60)
+        .sum()
+}
+
+fn kraft_ok(lengths: &[u8]) -> bool {
+    kraft_sum(lengths) <= KRAFT_FULL
 }
 
 /// Assign canonical codes (MSB-first integers) to `lengths`.
@@ -204,18 +210,28 @@ pub struct Decoder {
 }
 
 impl Decoder {
-    /// Build a decoder from canonical code lengths. Fails if the lengths do
-    /// not describe a prefix code (over-subscribed Kraft sum).
+    /// Build a decoder from canonical code lengths. Fails unless the lengths
+    /// describe a *complete* prefix code: an over-subscribed Kraft sum makes
+    /// decoding ambiguous, and an under-subscribed one leaves bit patterns
+    /// that decode to nothing — both are accepted by naive decoders and are
+    /// classic malformed-stream attack surface. The single exception, per
+    /// RFC 1951 §3.2.7, is a degenerate alphabet with exactly one symbol,
+    /// which must be coded with one bit.
     pub fn from_lengths(lengths: &[u8]) -> Result<Self> {
         let max_len = u32::from(lengths.iter().copied().max().unwrap_or(0));
         if max_len == 0 {
-            return Err(CodecError::Corrupt("huffman table has no symbols"));
+            return Err(CodecError::InvalidHuffmanTable("table has no symbols"));
         }
         if max_len > 15 {
-            return Err(CodecError::Corrupt("huffman code length exceeds 15"));
+            return Err(CodecError::InvalidHuffmanTable("code length exceeds 15"));
         }
-        if !kraft_ok(lengths) {
-            return Err(CodecError::Corrupt("over-subscribed huffman code"));
+        let sum = kraft_sum(lengths);
+        if sum > KRAFT_FULL {
+            return Err(CodecError::InvalidHuffmanTable("over-subscribed code"));
+        }
+        let coded = lengths.iter().filter(|&&l| l > 0).count();
+        if sum < KRAFT_FULL && !(coded == 1 && max_len == 1) {
+            return Err(CodecError::InvalidHuffmanTable("under-subscribed code"));
         }
         let canonical = canonical_codes(lengths);
         let size = 1usize << max_len;
@@ -326,7 +342,33 @@ mod tests {
     #[test]
     fn decoder_rejects_oversubscribed() {
         // Three symbols of length 1 is not a prefix code.
-        assert!(Decoder::from_lengths(&[1, 1, 1]).is_err());
+        assert!(matches!(
+            Decoder::from_lengths(&[1, 1, 1]),
+            Err(CodecError::InvalidHuffmanTable("over-subscribed code"))
+        ));
+    }
+
+    #[test]
+    fn decoder_rejects_undersubscribed() {
+        // Two symbols of length 2 leave half the code space dangling; a
+        // decoder accepting this would read undefined symbols from valid-
+        // looking bit patterns.
+        assert!(matches!(
+            Decoder::from_lengths(&[2, 2, 0]),
+            Err(CodecError::InvalidHuffmanTable("under-subscribed code"))
+        ));
+        // One symbol of length 3 is also incomplete: the degenerate
+        // single-symbol exception requires exactly one bit (RFC 1951).
+        assert!(Decoder::from_lengths(&[0, 3, 0]).is_err());
+    }
+
+    #[test]
+    fn decoder_allows_degenerate_single_symbol_code() {
+        // RFC 1951 §3.2.7: an alphabet with one used symbol is coded with a
+        // single 1-bit code even though the Kraft sum is only one half.
+        let dec = Decoder::from_lengths(&[0, 1, 0]).unwrap();
+        let mut r = BitReader::new(&[0b0000_0000]);
+        assert_eq!(dec.decode(&mut r).unwrap(), 1);
     }
 
     #[test]

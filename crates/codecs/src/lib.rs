@@ -118,6 +118,17 @@ pub(crate) fn clamped_capacity(claimed: u64) -> usize {
     claimed.min(CAP) as usize
 }
 
+/// Read a fixed-size array starting at `at`, or `None` if `at + N` is out of
+/// bounds (including overflow). The panic-free counterpart of
+/// `buf[at..at + N].try_into().unwrap()` for untrusted input.
+pub(crate) fn read_array<const N: usize>(buf: &[u8], at: usize) -> Option<[u8; N]> {
+    let end = at.checked_add(N)?;
+    let s = buf.get(at..end)?;
+    let mut a = [0u8; N];
+    a.copy_from_slice(s);
+    Some(a)
+}
+
 /// Write `v` as a LEB128 varint.
 pub(crate) fn write_varint(out: &mut Vec<u8>, mut v: u64) {
     loop {

@@ -24,7 +24,9 @@ const MAX_OFFSET: usize = 65_535;
 
 #[inline]
 fn hash4(data: &[u8], i: usize) -> usize {
-    let v = u32::from_le_bytes(data[i..i + 4].try_into().unwrap());
+    // Callers guarantee i + 4 <= data.len(); a zero hash on a (impossible)
+    // short read only costs one missed match, never a panic.
+    let v = crate::read_array(data, i).map_or(0, u32::from_le_bytes);
     (v.wrapping_mul(0x9E37_79B1) >> (32 - HASH_BITS)) as usize
 }
 
@@ -48,13 +50,19 @@ impl Lzr {
         if input.len() < MAGIC.len() + 4 {
             return Err(CodecError::Truncated);
         }
-        if &input[..4] != MAGIC {
+        if input.get(..4) != Some(MAGIC.as_slice()) {
             return Err(CodecError::BadMagic);
         }
-        let (orig_len, used) = read_varint(&input[4..])?;
-        let body = &input[4 + used..input.len() - 4];
+        let (orig_len, used) = read_varint(input.get(4..).unwrap_or(&[]))?;
+        // A varint long enough to overlap the CRC trailer inverts this
+        // range; `get` turns that into a typed error instead of a panic.
+        let body = input
+            .get(4 + used..input.len() - 4)
+            .ok_or(CodecError::Truncated)?;
         let out = decompress_body(body, orig_len as usize)?;
-        let stored = u32::from_le_bytes(input[input.len() - 4..].try_into().unwrap());
+        let stored = u32::from_le_bytes(
+            crate::read_array(input, input.len() - 4).ok_or(CodecError::Truncated)?,
+        );
         let actual = crc32(&out);
         if stored != actual {
             return Err(CodecError::ChecksumMismatch {
@@ -87,10 +95,13 @@ fn compress_body(input: &[u8], out: &mut Vec<u8>) {
     let probe_limit = n.saturating_sub(MIN_MATCH + 1);
     while i < probe_limit {
         let h = hash4(input, i);
+        // lint: allow(index) -- hash4 masks h below HASH_SIZE == table.len()
         let cand = table[h];
+        // lint: allow(index) -- hash4 masks h below HASH_SIZE == table.len()
         table[h] = i as u32;
         let matched = cand != u32::MAX && {
             let c = cand as usize;
+            // lint: allow(index) -- encoder-owned input; c < i < probe_limit leaves 4 readable bytes
             i - c <= MAX_OFFSET && input[c..c + 4] == input[i..i + 4]
         };
         if !matched {
@@ -100,15 +111,17 @@ fn compress_body(input: &[u8], out: &mut Vec<u8>) {
         let c = cand as usize;
         // Extend the match forward.
         let mut len = MIN_MATCH;
+        // lint: allow(index) -- encoder-owned input; c + len < i + len < n by the loop condition
         while i + len < n && input[c + len] == input[i + len] {
             len += 1;
         }
+        // lint: allow(index) -- encoder-owned input; literal_start <= i <= n by construction
         emit_sequence(out, &input[literal_start..i], len - MIN_MATCH, i - c);
         i += len;
         literal_start = i;
     }
     // Trailing literals: token with match nibble 0 and no offset.
-    let lits = &input[literal_start..];
+    let lits = input.get(literal_start..).unwrap_or(&[]);
     let lit_len = lits.len();
     let token = if lit_len >= 15 {
         0xF0
@@ -165,20 +178,17 @@ fn decompress_body(body: &[u8], orig_len: usize) -> Result<Vec<u8>> {
         if lit_len == 15 {
             lit_len += read_extended(body, &mut pos)?;
         }
-        if pos + lit_len > body.len() {
-            return Err(CodecError::Truncated);
-        }
-        out.extend_from_slice(&body[pos..pos + lit_len]);
-        pos += lit_len;
+        let lit_end = pos.checked_add(lit_len).ok_or(CodecError::Truncated)?;
+        let literals = body.get(pos..lit_end).ok_or(CodecError::Truncated)?;
+        out.extend_from_slice(literals);
+        pos = lit_end;
         let match_code = (token & 0x0f) as usize;
         if match_code == 0 {
             // Literal-only tail sequence terminates the stream.
             break;
         }
-        if pos + 2 > body.len() {
-            return Err(CodecError::Truncated);
-        }
-        let offset = u16::from_le_bytes(body[pos..pos + 2].try_into().unwrap()) as usize;
+        let offset =
+            u16::from_le_bytes(crate::read_array(body, pos).ok_or(CodecError::Truncated)?) as usize;
         pos += 2;
         let mut match_len = match_code - 1 + MIN_MATCH;
         if match_code == 15 {
@@ -193,16 +203,23 @@ fn decompress_body(body: &[u8], orig_len: usize) -> Result<Vec<u8>> {
         } else {
             out.reserve(match_len);
             for k in 0..match_len {
+                // lint: allow(index) -- start + k < out.len(): start = len - offset and one byte is pushed per k
                 let b = out[start + k];
                 out.push(b);
             }
         }
         if out.len() > orig_len {
-            return Err(CodecError::Corrupt("lzr output exceeds declared length"));
+            return Err(CodecError::LengthMismatch {
+                expected: orig_len,
+                actual: out.len(),
+            });
         }
     }
     if out.len() != orig_len {
-        return Err(CodecError::Corrupt("lzr output shorter than declared"));
+        return Err(CodecError::LengthMismatch {
+            expected: orig_len,
+            actual: out.len(),
+        });
     }
     Ok(out)
 }

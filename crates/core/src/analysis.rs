@@ -21,7 +21,8 @@ pub fn bit_probability(values: &[f64]) -> Vec<f64> {
 /// (0–65535).
 pub fn exponent_histogram(values: &[f64]) -> Vec<f64> {
     let bytes: Vec<u8> = values.iter().flat_map(|v| v.to_le_bytes()).collect();
-    let (hi, _lo) = split_hi_lo(&bytes, 8, 2).expect("length is a multiple of 8");
+    // Infallible: `bytes` is 8 bytes per value by construction.
+    let (hi, _lo) = split_hi_lo(&bytes, 8, 2).unwrap_or_default();
     FreqTable::from_hi_matrix(&hi, 2).normalized()
 }
 
@@ -29,7 +30,8 @@ pub fn exponent_histogram(values: &[f64]) -> Vec<f64> {
 /// region (the first two low-order bytes of each double).
 pub fn mantissa_histogram(values: &[f64]) -> Vec<f64> {
     let bytes: Vec<u8> = values.iter().flat_map(|v| v.to_le_bytes()).collect();
-    let (_hi, lo) = split_hi_lo(&bytes, 8, 2).expect("length is a multiple of 8");
+    // Infallible: `bytes` is 8 bytes per value by construction.
+    let (_hi, lo) = split_hi_lo(&bytes, 8, 2).unwrap_or_default();
     // Rows are 6 bytes; take the leading pair of each row.
     let n = lo.len() / 6;
     let mut pairs = Vec::with_capacity(n * 2);
@@ -44,7 +46,8 @@ pub fn mantissa_histogram(values: &[f64]) -> Vec<f64> {
 /// reports < 2,000 of 65,536 for the majority of its datasets (§II-C).
 pub fn unique_exponent_sequences(values: &[f64]) -> usize {
     let bytes: Vec<u8> = values.iter().flat_map(|v| v.to_le_bytes()).collect();
-    let (hi, _lo) = split_hi_lo(&bytes, 8, 2).expect("length is a multiple of 8");
+    // Infallible: `bytes` is 8 bytes per value by construction.
+    let (hi, _lo) = split_hi_lo(&bytes, 8, 2).unwrap_or_default();
     FreqTable::from_hi_matrix(&hi, 2).unique()
 }
 

@@ -208,15 +208,25 @@ pub struct ArchiveReader<'a> {
 
 impl<'a> ArchiveReader<'a> {
     /// Parse the footer and directory.
+    ///
+    /// Every length and offset field in the footer and directory is
+    /// attacker-controlled; each one is validated against the actual buffer
+    /// with checked arithmetic before it is used to slice or allocate.
     pub fn open(data: &'a [u8]) -> Result<Self> {
-        if data.len() < 9 + FOOTER_LEN || &data[..4] != MAGIC {
+        if data.len() < 9 + FOOTER_LEN {
             return Err(PrimacyError::Format("not a PRIMACY archive"));
         }
-        if data[4] != VERSION {
-            return Err(PrimacyError::UnsupportedVersion(data[4]));
+        let head: [u8; 9] =
+            format::read_array(data, 0).ok_or(PrimacyError::Format("not a PRIMACY archive"))?;
+        let [m0, m1, m2, m3, version, es, hi, lin, codec_byte] = head;
+        if [m0, m1, m2, m3] != *MAGIC {
+            return Err(PrimacyError::Format("not a PRIMACY archive"));
         }
-        let element_size = data[5] as usize;
-        let hi_bytes = data[6] as usize;
+        if version != VERSION {
+            return Err(PrimacyError::UnsupportedVersion(version));
+        }
+        let element_size = es as usize;
+        let hi_bytes = hi as usize;
         if element_size == 0
             || element_size > 16
             || hi_bytes == 0
@@ -225,24 +235,32 @@ impl<'a> ArchiveReader<'a> {
         {
             return Err(PrimacyError::Format("implausible archive layout"));
         }
-        let linearization = format::linearization_from_byte(data[7])?;
-        let codec_kind = format::codec_from_byte(data[8])?;
+        let linearization = format::linearization_from_byte(lin)?;
+        let codec_kind = format::codec_from_byte(codec_byte)?;
 
-        let footer = &data[data.len() - FOOTER_LEN..];
-        if &footer[16..20] != MAGIC {
+        let footer_at = data.len() - FOOTER_LEN;
+        let footer_magic: [u8; 4] =
+            format::read_array(data, footer_at + 16).ok_or(PrimacyError::Truncated)?;
+        if footer_magic != *MAGIC {
             return Err(PrimacyError::Format("archive footer magic missing"));
         }
-        let directory_offset = u64::from_le_bytes(footer[0..8].try_into().unwrap()) as usize;
-        let chunk_count = u32::from_le_bytes(footer[8..12].try_into().unwrap()) as usize;
-        let dir_crc = u32::from_le_bytes(footer[12..16].try_into().unwrap());
-        let dir_end = data.len() - FOOTER_LEN;
-        let dir_len = chunk_count
-            .checked_mul(20)
-            .ok_or(PrimacyError::Format("directory size overflow"))?;
-        if directory_offset + dir_len != dir_end || directory_offset > data.len() {
-            return Err(PrimacyError::Format("archive directory bounds invalid"));
+        let directory_offset =
+            u64::from_le_bytes(format::read_array(data, footer_at).ok_or(PrimacyError::Truncated)?)
+                as usize;
+        let chunk_count = u32::from_le_bytes(
+            format::read_array(data, footer_at + 8).ok_or(PrimacyError::Truncated)?,
+        ) as usize;
+        let dir_crc = u32::from_le_bytes(
+            format::read_array(data, footer_at + 12).ok_or(PrimacyError::Truncated)?,
+        );
+        let dir_end = footer_at;
+        let dir_len = chunk_count.checked_mul(20).ok_or(PrimacyError::Truncated)?;
+        if directory_offset.checked_add(dir_len) != Some(dir_end) {
+            return Err(PrimacyError::Truncated);
         }
-        let dir = &data[directory_offset..dir_end];
+        let dir = data
+            .get(directory_offset..dir_end)
+            .ok_or(PrimacyError::Truncated)?;
         if crc32(dir) != dir_crc {
             return Err(PrimacyError::Format("archive directory checksum mismatch"));
         }
@@ -251,9 +269,15 @@ impl<'a> ArchiveReader<'a> {
         let mut total = 0u64;
         for rec in dir.chunks_exact(20) {
             let entry = ChunkEntry {
-                offset: u64::from_le_bytes(rec[0..8].try_into().unwrap()),
-                elements: u64::from_le_bytes(rec[8..16].try_into().unwrap()),
-                crc: u32::from_le_bytes(rec[16..20].try_into().unwrap()),
+                offset: u64::from_le_bytes(
+                    format::read_array(rec, 0).ok_or(PrimacyError::Truncated)?,
+                ),
+                elements: u64::from_le_bytes(
+                    format::read_array(rec, 8).ok_or(PrimacyError::Truncated)?,
+                ),
+                crc: u32::from_le_bytes(
+                    format::read_array(rec, 16).ok_or(PrimacyError::Truncated)?,
+                ),
             };
             if entry.offset as usize >= directory_offset || entry.elements == 0 {
                 return Err(PrimacyError::Format("archive directory entry invalid"));
@@ -267,7 +291,9 @@ impl<'a> ArchiveReader<'a> {
                 }
             }
             starts.push(total);
-            total += entry.elements;
+            total = total
+                .checked_add(entry.elements)
+                .ok_or(PrimacyError::Truncated)?;
             directory.push(entry);
         }
         let header = Header {
@@ -320,7 +346,11 @@ impl<'a> ArchiveReader<'a> {
         let mut reader = Reader::new(self.data, entry.offset as usize, end);
         let (chunk, _map) =
             pipeline::decompress_chunk(&mut reader, &self.header, self.codec.as_ref(), None)?;
-        if chunk.len() != entry.elements as usize * self.header.element_size {
+        let expected = entry
+            .elements
+            .checked_mul(self.header.element_size as u64)
+            .ok_or(PrimacyError::Truncated)?;
+        if chunk.len() as u64 != expected {
             return Err(PrimacyError::Format("chunk decoded to unexpected size"));
         }
         let actual = crc32(&chunk);
@@ -338,27 +368,41 @@ impl<'a> ArchiveReader<'a> {
     /// Read an arbitrary element range, decompressing only the chunks it
     /// touches.
     pub fn read_elements(&self, start: u64, count: usize) -> Result<Vec<u8>> {
-        if start + count as u64 > self.header.total_elements {
+        let range_end = start
+            .checked_add(count as u64)
+            .ok_or(PrimacyError::InvalidInput("element range out of bounds"))?;
+        if range_end > self.header.total_elements {
             return Err(PrimacyError::InvalidInput("element range out of bounds"));
         }
         if count == 0 {
             return Ok(Vec::new());
         }
         let es = self.header.element_size;
-        let mut out = Vec::with_capacity(count * es);
-        // Binary search for the first chunk containing `start`.
+        let mut out = Vec::with_capacity(count.saturating_mul(es).min(1 << 24));
+        // Binary search for the first chunk containing `start`. `starts[0]`
+        // is always 0, so a miss never lands before index 1.
         let mut i = match self.starts.binary_search(&start) {
             Ok(i) => i,
-            Err(i) => i - 1,
+            Err(i) => i.saturating_sub(1),
         };
         let mut remaining = count;
         let mut cursor = start;
         while remaining > 0 {
+            let (chunk_start, chunk_elements) = match (self.starts.get(i), self.directory.get(i)) {
+                (Some(&s), Some(e)) => (s, e.elements as usize),
+                // Unreachable given the range check above; erring keeps the
+                // walk panic-free even if the directory were inconsistent.
+                _ => return Err(PrimacyError::Truncated),
+            };
             let chunk = self.read_chunk(i)?;
-            let chunk_start = self.starts[i];
             let skip = (cursor - chunk_start) as usize;
-            let take = remaining.min(self.directory[i].elements as usize - skip);
-            out.extend_from_slice(&chunk[skip * es..(skip + take) * es]);
+            let take = remaining.min(chunk_elements - skip);
+            // `read_chunk` verified chunk.len() == elements * es, so both
+            // products stay within the decoded buffer.
+            let section = chunk
+                .get(skip * es..(skip + take) * es)
+                .ok_or(PrimacyError::Truncated)?;
+            out.extend_from_slice(section);
             remaining -= take;
             cursor += take as u64;
             i += 1;
@@ -372,13 +416,21 @@ impl<'a> ArchiveReader<'a> {
     /// decompressing their own checkpoint shard.
     pub fn read_all_parallel(&self, threads: usize) -> Result<Vec<u8>> {
         let es = self.header.element_size;
-        let total = self.header.total_elements as usize * es;
+        let total = self
+            .header
+            .total_elements
+            .checked_mul(es as u64)
+            .and_then(|t| usize::try_from(t).ok())
+            .ok_or(PrimacyError::Truncated)?;
         let mut out = vec![0u8; total];
-        // Carve the output into one contiguous slice per chunk.
+        // Carve the output into one contiguous slice per chunk. The per-entry
+        // products sum to `total` (checked in `open`), so each split fits.
         let mut slices: Vec<&mut [u8]> = Vec::with_capacity(self.directory.len());
         let mut rest = out.as_mut_slice();
         for entry in &self.directory {
-            let (head, tail) = rest.split_at_mut(entry.elements as usize * es);
+            let (head, tail) = rest
+                .split_at_mut_checked(entry.elements as usize * es)
+                .ok_or(PrimacyError::Truncated)?;
             slices.push(head);
             rest = tail;
         }
@@ -393,19 +445,28 @@ impl<'a> ArchiveReader<'a> {
                         break;
                     }
                     // Take this chunk's output slice out of the shared list.
+                    // Workers never panic while holding the lock, but recover
+                    // from poison anyway: the data is a plain slice list.
                     let slot = {
-                        let mut guard = slices.lock().unwrap();
-                        std::mem::take(&mut guard[i])
+                        let mut guard = slices.lock().unwrap_or_else(|e| e.into_inner());
+                        guard.get_mut(i).map(std::mem::take)
                     };
-                    match self.read_chunk(i) {
-                        Ok(chunk) => slot.copy_from_slice(&chunk),
-                        Err(e) => failures.lock().unwrap().push(e),
+                    let result = slot
+                        .ok_or(PrimacyError::Truncated)
+                        .and_then(|slot| self.read_chunk(i).map(|chunk| (slot, chunk)));
+                    match result {
+                        Ok((slot, chunk)) => slot.copy_from_slice(&chunk),
+                        Err(e) => failures.lock().unwrap_or_else(|e| e.into_inner()).push(e),
                     }
                 });
             }
         });
         drop(slices); // release the borrows into `out`
-        if let Some(e) = failures.into_inner().unwrap().pop() {
+        if let Some(e) = failures
+            .into_inner()
+            .unwrap_or_else(|e| e.into_inner())
+            .pop()
+        {
             return Err(e);
         }
         Ok(out)
@@ -421,7 +482,11 @@ impl<'a> ArchiveReader<'a> {
         let bytes = self.read_elements(start, count)?;
         Ok(bytes
             .chunks_exact(8)
-            .map(|c| f64::from_le_bytes(c.try_into().unwrap()))
+            .map(|c| {
+                let mut a = [0u8; 8];
+                a.copy_from_slice(c);
+                f64::from_le_bytes(a)
+            })
             .collect())
     }
 }

@@ -9,6 +9,9 @@ pub enum PrimacyError {
     Codec(CodecError),
     /// The PRIMACY container is structurally invalid.
     Format(&'static str),
+    /// The container declared more data than the buffer actually holds —
+    /// a length or offset field points past the end of the input.
+    Truncated,
     /// Stream was produced with an incompatible format version.
     UnsupportedVersion(u8),
     /// The input violates a configuration constraint (e.g. byte length not a
@@ -29,6 +32,12 @@ impl std::fmt::Display for PrimacyError {
         match self {
             PrimacyError::Codec(e) => write!(f, "backend codec error: {e}"),
             PrimacyError::Format(msg) => write!(f, "invalid PRIMACY container: {msg}"),
+            PrimacyError::Truncated => {
+                write!(
+                    f,
+                    "PRIMACY container is truncated: declared data exceeds buffer"
+                )
+            }
             PrimacyError::UnsupportedVersion(v) => {
                 write!(f, "unsupported PRIMACY format version {v}")
             }
@@ -65,5 +74,6 @@ mod tests {
         assert!(PrimacyError::UnsupportedVersion(9)
             .to_string()
             .contains('9'));
+        assert!(PrimacyError::Truncated.to_string().contains("truncated"));
     }
 }

@@ -69,6 +69,17 @@ pub fn linearization_from_byte(b: u8) -> Result<Linearization> {
     })
 }
 
+/// Read a fixed-size array starting at `at`, or `None` if `at + N` is out of
+/// bounds (including overflow). The panic-free counterpart of
+/// `buf[at..at + N].try_into().unwrap()` for untrusted input.
+pub(crate) fn read_array<const N: usize>(buf: &[u8], at: usize) -> Option<[u8; N]> {
+    let end = at.checked_add(N)?;
+    let s = buf.get(at..end)?;
+    let mut a = [0u8; N];
+    a.copy_from_slice(s);
+    Some(a)
+}
+
 /// Decoded stream header.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Header {
@@ -98,17 +109,17 @@ pub fn write_header(out: &mut Vec<u8>, h: &Header) {
 /// Parse the stream header; returns the header and the offset of the first
 /// chunk.
 pub fn read_header(input: &[u8]) -> Result<(Header, usize)> {
-    if input.len() < 9 {
-        return Err(PrimacyError::Format("stream shorter than header"));
-    }
-    if &input[..4] != MAGIC {
+    let head: [u8; 9] =
+        read_array(input, 0).ok_or(PrimacyError::Format("stream shorter than header"))?;
+    let [m0, m1, m2, m3, version, es, hi, lin, codec_byte] = head;
+    if [m0, m1, m2, m3] != *MAGIC {
         return Err(PrimacyError::Format("bad magic"));
     }
-    if input[4] != VERSION {
-        return Err(PrimacyError::UnsupportedVersion(input[4]));
+    if version != VERSION {
+        return Err(PrimacyError::UnsupportedVersion(version));
     }
-    let element_size = input[5] as usize;
-    let hi_bytes = input[6] as usize;
+    let element_size = es as usize;
+    let hi_bytes = hi as usize;
     if element_size == 0
         || element_size > 16
         || hi_bytes == 0
@@ -117,9 +128,9 @@ pub fn read_header(input: &[u8]) -> Result<(Header, usize)> {
     {
         return Err(PrimacyError::Format("implausible layout parameters"));
     }
-    let linearization = linearization_from_byte(input[7])?;
-    let codec = codec_from_byte(input[8])?;
-    let (total_elements, used) = read_varint(&input[9..])?;
+    let linearization = linearization_from_byte(lin)?;
+    let codec = codec_from_byte(codec_byte)?;
+    let (total_elements, used) = read_varint(input.get(9..).unwrap_or(&[]))?;
     Ok((
         Header {
             element_size,
@@ -188,7 +199,8 @@ impl<'a> Reader<'a> {
 
     /// Read one varint.
     pub fn varint(&mut self) -> Result<u64> {
-        let (v, used) = read_varint(&self.input[self.pos..self.end])?;
+        let window = self.input.get(self.pos..self.end).unwrap_or(&[]);
+        let (v, used) = read_varint(window)?;
         self.pos += used;
         Ok(v)
     }
@@ -198,18 +210,27 @@ impl<'a> Reader<'a> {
         if self.pos >= self.end {
             return Err(PrimacyError::Format("unexpected end of stream"));
         }
-        let b = self.input[self.pos];
+        let b = self
+            .input
+            .get(self.pos)
+            .copied()
+            .ok_or(PrimacyError::Format("unexpected end of stream"))?;
         self.pos += 1;
         Ok(b)
     }
 
     /// Read a little-endian u16.
     pub fn u16_le(&mut self) -> Result<u16> {
-        if self.pos + 2 > self.end {
-            return Err(PrimacyError::Format("unexpected end of stream"));
-        }
-        let v = u16::from_le_bytes([self.input[self.pos], self.input[self.pos + 1]]);
-        self.pos += 2;
+        let end = self
+            .pos
+            .checked_add(2)
+            .filter(|&e| e <= self.end)
+            .ok_or(PrimacyError::Format("unexpected end of stream"))?;
+        let v = u16::from_le_bytes(
+            read_array(self.input, self.pos)
+                .ok_or(PrimacyError::Format("unexpected end of stream"))?,
+        );
+        self.pos = end;
         Ok(v)
     }
 
@@ -225,7 +246,10 @@ impl<'a> Reader<'a> {
         if end > self.end {
             return Err(PrimacyError::Format("chunk section truncated"));
         }
-        let s = &self.input[self.pos..end];
+        let s = self
+            .input
+            .get(self.pos..end)
+            .ok_or(PrimacyError::Format("chunk section truncated"))?;
         self.pos = end;
         Ok(s)
     }

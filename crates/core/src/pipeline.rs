@@ -33,6 +33,7 @@ impl PrimacyCompressor {
     /// Build a compressor, panicking on invalid configuration (use
     /// [`PrimacyCompressor::try_new`] to handle errors).
     pub fn new(config: PrimacyConfig) -> Self {
+        // lint: allow(panic) -- documented panicking constructor; try_new is the fallible path
         Self::try_new(config).expect("invalid PRIMACY configuration")
     }
 
@@ -69,7 +70,11 @@ impl PrimacyCompressor {
         }
         Ok(bytes
             .chunks_exact(8)
-            .map(|c| f64::from_le_bytes(c.try_into().unwrap()))
+            .map(|c| {
+                let mut a = [0u8; 8];
+                a.copy_from_slice(c);
+                f64::from_le_bytes(a)
+            })
             .collect())
     }
 
@@ -165,7 +170,7 @@ impl PrimacyCompressor {
                     let r = self
                         .compress_chunk(chunks[i], &mut no_prev, &mut buf)
                         .map(|_| buf);
-                    let mut guard = sections_mutex.lock().unwrap();
+                    let mut guard = sections_mutex.lock().unwrap_or_else(|e| e.into_inner());
                     guard[i] = r;
                 });
             }
@@ -323,18 +328,22 @@ impl PrimacyCompressor {
                 &mut timings,
             )?;
             let n = (chunk.len() / header.element_size) as u64;
-            if decoded_elements + n > header.total_elements {
+            let after = decoded_elements
+                .checked_add(n)
+                .ok_or(PrimacyError::Format("chunk element count out of range"))?;
+            if after > header.total_elements {
                 return Err(PrimacyError::Format("chunk element count out of range"));
             }
             out.extend_from_slice(&chunk);
-            decoded_elements += n;
+            decoded_elements = after;
             chunks += 1;
             prev_map = Some(map);
         }
         if reader.remaining() != 0 {
             return Err(PrimacyError::Format("trailing bytes after final chunk"));
         }
-        let stored = u32::from_le_bytes(input[body_end..].try_into().unwrap());
+        let stored =
+            u32::from_le_bytes(format::read_array(input, body_end).ok_or(PrimacyError::Truncated)?);
         let actual = crc32(&out);
         if stored != actual {
             return Err(PrimacyError::Codec(
@@ -397,6 +406,7 @@ pub(crate) fn decompress_chunk_timed(
         if k > 1 << (8 * header.hi_bytes) {
             return Err(PrimacyError::Format("index larger than sequence domain"));
         }
+        // k <= 65536 and hi_bytes <= 2, so this product cannot overflow.
         let bytes = reader.bytes(k * header.hi_bytes)?;
         IdMap::deserialize(bytes, k, header.hi_bytes)?
     } else {
@@ -411,13 +421,18 @@ pub(crate) fn decompress_chunk_timed(
     let lo_len = reader.varint()? as usize;
     let lo_comp = reader.bytes(lo_len)?;
     let incompressible_cols = lo_cols - mask.count_ones() as usize;
-    let incompressible = reader.bytes(n * incompressible_cols)?;
+    // `n` comes straight from an attacker-controllable varint; every product
+    // involving it must be checked or an over-claim wraps into a panic.
+    let raw_len = n
+        .checked_mul(incompressible_cols)
+        .ok_or(PrimacyError::Truncated)?;
+    let incompressible = reader.bytes(raw_len)?;
 
     // Reverse the hi pipeline.
     let t = Instant::now();
     let hi_lin = codec.decompress(hi_comp)?;
     timings.codec += t.elapsed();
-    if hi_lin.len() != n * header.hi_bytes {
+    if n.checked_mul(header.hi_bytes) != Some(hi_lin.len()) {
         return Err(PrimacyError::Format("hi section has wrong size"));
     }
     let t = Instant::now();
@@ -438,7 +453,7 @@ pub(crate) fn decompress_chunk_timed(
         codec.decompress(lo_comp)?
     };
     timings.codec += t.elapsed();
-    if compressible.len() != n * mask.count_ones() as usize {
+    if n.checked_mul(mask.count_ones() as usize) != Some(compressible.len()) {
         return Err(PrimacyError::Format("lo section has wrong size"));
     }
     let t = Instant::now();

@@ -33,7 +33,9 @@ pub fn split_hi_lo(
             .zip(hi.chunks_exact_mut(2))
             .zip(lo.chunks_exact_mut(6))
         {
-            let be = u64::from_le_bytes(elem.try_into().unwrap()).to_be_bytes();
+            let mut a = [0u8; 8];
+            a.copy_from_slice(elem); // chunks_exact(8) guarantees the length
+            let be = u64::from_le_bytes(a).to_be_bytes();
             h.copy_from_slice(&be[0..2]);
             l.copy_from_slice(&be[2..8]);
         }
@@ -103,6 +105,7 @@ pub fn hi_key(hi: &[u8], i: usize, hi_bytes: usize) -> u16 {
     match hi_bytes {
         1 => u16::from(hi[i]),
         2 => u16::from(hi[i * 2]) << 8 | u16::from(hi[i * 2 + 1]),
+        // lint: allow(panic) -- hi_bytes is validated to 1 or 2 at every config/header boundary
         _ => unreachable!("validated: hi_bytes is 1 or 2"),
     }
 }
@@ -116,6 +119,7 @@ pub fn write_hi_key(out: &mut [u8], i: usize, hi_bytes: usize, key: u16) {
             out[i * 2] = (key >> 8) as u8;
             out[i * 2 + 1] = key as u8;
         }
+        // lint: allow(panic) -- hi_bytes is validated to 1 or 2 at every config/header boundary
         _ => unreachable!("validated: hi_bytes is 1 or 2"),
     }
 }

@@ -43,7 +43,13 @@ impl<'a> ElementReader<'a> {
         let decoded: u64 = (0..self.next_chunk)
             .map(|i| self.archive.entry(i).map(|e| e.elements).unwrap_or(0))
             .sum();
-        self.archive.element_count() * es - decoded * es + (self.buffer.len() - self.offset) as u64
+        // Saturating: the count is informational, and a hostile directory
+        // must not be able to turn it into an overflow panic.
+        self.archive
+            .element_count()
+            .saturating_mul(es)
+            .saturating_sub(decoded.saturating_mul(es))
+            .saturating_add((self.buffer.len() - self.offset) as u64)
     }
 
     fn refill(&mut self) -> Result<bool> {
@@ -66,8 +72,11 @@ impl Read for ElementReader<'_> {
                 Err(e) => return Err(std::io::Error::new(std::io::ErrorKind::InvalidData, e)),
             }
         }
-        let n = buf.len().min(self.buffer.len() - self.offset);
-        buf[..n].copy_from_slice(&self.buffer[self.offset..self.offset + n]);
+        let avail = self.buffer.get(self.offset..).unwrap_or(&[]);
+        let n = buf.len().min(avail.len());
+        if let (Some(dst), Some(src)) = (buf.get_mut(..n), avail.get(..n)) {
+            dst.copy_from_slice(src);
+        }
         self.offset += n;
         Ok(n)
     }

@@ -125,7 +125,7 @@ pub fn simulate(cfg: &SimConfig) -> SimResult {
                         step_start + t
                     })
                     .collect();
-                ready.sort_by(|a, b| a.partial_cmp(b).unwrap());
+                ready.sort_by(f64::total_cmp);
                 compute_busy += step_compute;
                 for r in ready {
                     let xfer = cfg.compressed_bytes / cfg.theta * jitter.next();

@@ -1,0 +1,55 @@
+//! `primacy-lint` — the workspace's in-tree panic-safety static analyzer.
+//!
+//! PRIMACY's containers cross staging I/O nodes, so every decode path must
+//! degrade to `Err`, never abort the process. Since PR 1 made the
+//! workspace hermetic and zero-dependency, that invariant is enforced with
+//! this hand-rolled analyzer rather than external tooling: [`lexer`]
+//! tokenizes Rust source just deeply enough to be trustworthy around
+//! strings, comments, and lifetimes, and [`rules`] scans the token stream
+//! for the three project rules (`panic`, `index`, `decode-result`) while
+//! honoring counted `// lint: allow(...)` escape hatches.
+//!
+//! Run it with `cargo run -p primacy-lint` from the workspace root; the
+//! binary exits non-zero if any violation survives. DESIGN.md ("Panic
+//! policy & lint rules") documents the rules and the allow grammar.
+
+pub mod lexer;
+pub mod rules;
+
+/// Source files (workspace-relative, `/`-separated) and directories whose
+/// contents decode *untrusted* external bytes: the `index` rule is
+/// enforced there in addition to the workspace-wide rules. Entries ending
+/// in `/` match whole directories.
+pub const UNTRUSTED_MODULES: [&str; 7] = [
+    "crates/codecs/src/deflate/decode.rs",
+    "crates/codecs/src/lzr/",
+    "crates/codecs/src/bwt/",
+    "crates/codecs/src/fpz/",
+    "crates/core/src/format.rs",
+    "crates/core/src/archive.rs",
+    "crates/core/src/stream.rs",
+];
+
+/// Is the file at `rel_path` (workspace-relative, `/`-separated) inside a
+/// designated untrusted-input module?
+pub fn is_untrusted_module(rel_path: &str) -> bool {
+    UNTRUSTED_MODULES
+        .iter()
+        .any(|m| rel_path == *m || (m.ends_with('/') && rel_path.starts_with(m)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn untrusted_matching_covers_files_and_directories() {
+        assert!(is_untrusted_module("crates/codecs/src/deflate/decode.rs"));
+        assert!(is_untrusted_module("crates/codecs/src/lzr/mod.rs"));
+        assert!(is_untrusted_module("crates/codecs/src/fpz/range.rs"));
+        assert!(is_untrusted_module("crates/core/src/archive.rs"));
+        assert!(!is_untrusted_module("crates/codecs/src/deflate/encode.rs"));
+        assert!(!is_untrusted_module("crates/codecs/src/checksum.rs"));
+        assert!(!is_untrusted_module("crates/core/src/pipeline.rs"));
+    }
+}

@@ -1,0 +1,141 @@
+//! Workspace walker and report front-end for `primacy-lint`.
+//!
+//! Usage: `primacy-lint [workspace-root]` (default: current directory).
+//! Scans library sources under `crates/*/src` and the root `src/`,
+//! skipping binaries (`src/bin/`, `main.rs`) — the rules target library
+//! code that can end up in another process's address space. Exits 0 when
+//! clean, 1 when any violation survives, and prints per-rule violation
+//! and allow counts either way.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+use primacy_lint::is_untrusted_module;
+use primacy_lint::rules::{check_source, FileReport};
+
+fn main() -> ExitCode {
+    let root = std::env::args()
+        .nth(1)
+        .map(PathBuf::from)
+        .unwrap_or_else(|| PathBuf::from("."));
+
+    let mut files = Vec::new();
+    collect_sources(&root, &mut files);
+    if files.is_empty() {
+        eprintln!(
+            "primacy-lint: no library sources found under {}",
+            root.display()
+        );
+        return ExitCode::FAILURE;
+    }
+    files.sort();
+
+    let mut total_findings = 0usize;
+    let mut total_allows = 0usize;
+    let mut per_rule: Vec<(&'static str, usize)> = Vec::new();
+    let mut suppressed: Vec<(&'static str, usize)> = Vec::new();
+
+    for path in &files {
+        let rel = relative_unix(&root, path);
+        let src = match fs::read_to_string(path) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("primacy-lint: cannot read {rel}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let report: FileReport = check_source(&src, is_untrusted_module(&rel));
+        total_allows += report.allow_count;
+        for (name, n) in &report.suppressed {
+            bump(&mut suppressed, name, *n);
+        }
+        for f in &report.findings {
+            println!("{rel}:{}: [{}] {}", f.line, f.rule.name(), f.message);
+            bump(&mut per_rule, f.rule.name(), 1);
+            total_findings += 1;
+        }
+    }
+
+    println!(
+        "primacy-lint: {} file(s) scanned, {} violation(s), {} allow directive(s)",
+        files.len(),
+        total_findings,
+        total_allows
+    );
+    for (name, n) in &per_rule {
+        println!("  violations[{name}] = {n}");
+    }
+    for (name, n) in &suppressed {
+        println!("  suppressed[{name}] = {n}");
+    }
+
+    if total_findings > 0 {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+fn bump(counts: &mut Vec<(&'static str, usize)>, name: &str, by: usize) {
+    match counts.iter_mut().find(|(n, _)| *n == name) {
+        Some((_, n)) => *n += by,
+        None => {
+            // The rule names are the only strings that reach here; map
+            // them back to 'static so the counter stays allocation-free.
+            for known in ["panic", "index", "decode-result", "bad-allow"] {
+                if known == name {
+                    counts.push((known, by));
+                    return;
+                }
+            }
+        }
+    }
+}
+
+/// Gather every library `.rs` under `crates/*/src` and the root `src/`.
+fn collect_sources(root: &Path, out: &mut Vec<PathBuf>) {
+    let crates_dir = root.join("crates");
+    if let Ok(entries) = fs::read_dir(&crates_dir) {
+        for entry in entries.flatten() {
+            let src = entry.path().join("src");
+            if src.is_dir() {
+                walk_rs(&src, out);
+            }
+        }
+    }
+    let root_src = root.join("src");
+    if root_src.is_dir() {
+        walk_rs(&root_src, out);
+    }
+}
+
+fn walk_rs(dir: &Path, out: &mut Vec<PathBuf>) {
+    let Ok(entries) = fs::read_dir(dir) else {
+        return;
+    };
+    for entry in entries.flatten() {
+        let path = entry.path();
+        if path.is_dir() {
+            // Binary sources are exempt: aborting on bad CLI input is
+            // acceptable there, and they never run in-process elsewhere.
+            if path.file_name().is_some_and(|n| n == "bin") {
+                continue;
+            }
+            walk_rs(&path, out);
+        } else if path.extension().is_some_and(|e| e == "rs")
+            && path.file_name().is_some_and(|n| n != "main.rs")
+        {
+            out.push(path);
+        }
+    }
+}
+
+/// `path` relative to `root`, `/`-separated regardless of platform.
+fn relative_unix(root: &Path, path: &Path) -> String {
+    let rel = path.strip_prefix(root).unwrap_or(path);
+    rel.components()
+        .map(|c| c.as_os_str().to_string_lossy())
+        .collect::<Vec<_>>()
+        .join("/")
+}

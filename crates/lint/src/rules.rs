@@ -1,0 +1,685 @@
+//! Rule engine: scans a lexed token stream for project-invariant
+//! violations and reconciles them with `// lint: allow` directives.
+//!
+//! Rules:
+//! - `panic` — no `.unwrap()`, `.expect()`, `panic!`, `unreachable!`,
+//!   `todo!`, or `unimplemented!` in non-test library code. Plain
+//!   `assert!`/`assert_eq!`/`debug_assert!` are deliberately permitted:
+//!   they express invariants, not error handling.
+//! - `index` — no unchecked slice indexing (`buf[i]`, `&buf[a..b]`) in
+//!   designated untrusted-input modules (decode paths fed by external
+//!   bytes). Only enforced when the caller marks the file untrusted.
+//! - `decode-result` — every `pub fn` whose name is `open` or starts with
+//!   `read_`/`decode`/`decompress`/`inflate` must return a `Result`.
+//!
+//! Escape hatches, counted and reported:
+//! - `// lint: allow(<rule>) -- <justification>` on the flagged line or
+//!   the line directly above it;
+//! - `// lint: allow-file(<rule>) -- <justification>` anywhere in the file.
+//!
+//! The justification is mandatory; a directive without one (or naming an
+//! unknown rule) is itself a violation that no directive can suppress.
+
+use crate::lexer::{lex, LineComment, Tok, Token};
+
+/// Which invariant a finding violates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Rule {
+    /// Panicking construct in non-test library code.
+    Panic,
+    /// Unchecked slice indexing in an untrusted-input module.
+    Index,
+    /// Public decode entry point that does not return `Result`.
+    DecodeResult,
+    /// Malformed `// lint:` directive.
+    BadAllow,
+}
+
+impl Rule {
+    /// The name used inside `allow(...)` directives and reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            Rule::Panic => "panic",
+            Rule::Index => "index",
+            Rule::DecodeResult => "decode-result",
+            Rule::BadAllow => "bad-allow",
+        }
+    }
+
+    fn from_name(name: &str) -> Option<Self> {
+        match name {
+            "panic" => Some(Rule::Panic),
+            "index" => Some(Rule::Index),
+            "decode-result" => Some(Rule::DecodeResult),
+            _ => None,
+        }
+    }
+}
+
+/// One rule violation.
+#[derive(Debug, Clone)]
+pub struct Finding {
+    /// 1-based source line.
+    pub line: u32,
+    /// The violated rule.
+    pub rule: Rule,
+    /// Human-readable description.
+    pub message: String,
+}
+
+/// Result of checking one file.
+#[derive(Debug, Default)]
+pub struct FileReport {
+    /// Violations that survived directive reconciliation.
+    pub findings: Vec<Finding>,
+    /// Count of findings suppressed by an allow directive, per rule name.
+    pub suppressed: Vec<(&'static str, usize)>,
+    /// Total well-formed allow directives seen in the file.
+    pub allow_count: usize,
+}
+
+#[derive(Debug)]
+struct Allow {
+    line: u32,
+    rule: Rule,
+    whole_file: bool,
+}
+
+/// Check one source file. `untrusted` enables the `index` rule.
+pub fn check_source(src: &str, untrusted: bool) -> FileReport {
+    let lexed = lex(src);
+    let tokens = &lexed.tokens;
+    let test_mask = test_region_mask(tokens);
+
+    let mut raw: Vec<Finding> = Vec::new();
+    scan_panics(tokens, &test_mask, &mut raw);
+    if untrusted {
+        scan_indexing(tokens, &test_mask, &mut raw);
+    }
+    scan_decode_signatures(tokens, &test_mask, &mut raw);
+
+    let (allows, mut bad) = parse_directives(&lexed.comments);
+    reconcile(raw, &allows, &mut bad)
+}
+
+/// Mark every token that lives inside `#[cfg(test)]`-gated items or
+/// `#[test]`/`#[bench]` functions, so rules skip test code.
+fn test_region_mask(tokens: &[Token]) -> Vec<bool> {
+    let mut mask = vec![false; tokens.len()];
+    let mut i = 0usize;
+    while i < tokens.len() {
+        if !is_attr_start(tokens, i) {
+            i += 1;
+            continue;
+        }
+        // Consume a run of attributes, remembering whether any is a
+        // test gate.
+        let mut gated = false;
+        while is_attr_start(tokens, i) {
+            let end = match matching_close(tokens, i + 1, '[') {
+                Some(e) => e,
+                None => return mask,
+            };
+            if attr_is_test_gate(&tokens[i + 2..end]) {
+                gated = true;
+            }
+            i = end + 1;
+        }
+        if !gated {
+            continue;
+        }
+        // Skip the gated item: everything up to and including its brace
+        // block (or a terminating `;` for body-less items).
+        let start = i;
+        while i < tokens.len() {
+            match &tokens[i].tok {
+                Tok::Open('{') => {
+                    let end = matching_close(tokens, i, '{').unwrap_or(tokens.len() - 1);
+                    for m in mask.iter_mut().take(end + 1).skip(start) {
+                        *m = true;
+                    }
+                    i = end + 1;
+                    break;
+                }
+                Tok::Punct(';') => {
+                    i += 1;
+                    break;
+                }
+                _ => i += 1,
+            }
+        }
+    }
+    mask
+}
+
+/// Is `tokens[i]` the `#` of an outer attribute `#[...]`?
+fn is_attr_start(tokens: &[Token], i: usize) -> bool {
+    matches!(tokens.get(i), Some(t) if t.tok == Tok::Punct('#'))
+        && matches!(tokens.get(i + 1), Some(t) if t.tok == Tok::Open('['))
+}
+
+/// Index of the close delimiter matching the open delimiter at `open_idx`.
+fn matching_close(tokens: &[Token], open_idx: usize, open: char) -> Option<usize> {
+    let close = match open {
+        '(' => ')',
+        '[' => ']',
+        '{' => '}',
+        _ => return None,
+    };
+    let mut depth = 0usize;
+    for (j, t) in tokens.iter().enumerate().skip(open_idx) {
+        match t.tok {
+            Tok::Open(c) if c == open => depth += 1,
+            Tok::Close(c) if c == close => {
+                depth = depth.saturating_sub(1);
+                if depth == 0 {
+                    return Some(j);
+                }
+            }
+            _ => {}
+        }
+    }
+    None
+}
+
+/// Does this attribute body gate test code? True for `test`, `bench`, and
+/// `cfg(...)` whose predicate can only be satisfied under `cfg(test)` —
+/// i.e. it mentions `test` outside any `not(...)` group.
+fn attr_is_test_gate(body: &[Token]) -> bool {
+    match body.first().map(|t| &t.tok) {
+        Some(Tok::Ident(name)) if name == "test" || name == "bench" => body.len() == 1,
+        Some(Tok::Ident(name)) if name == "cfg" => cfg_mentions_test(body),
+        _ => false,
+    }
+}
+
+fn cfg_mentions_test(body: &[Token]) -> bool {
+    // Track group heads (`any`, `all`, `not`, ...) so `cfg(not(test))`
+    // does not count as a test gate.
+    let mut not_depth = 0usize;
+    let mut paren_not_levels: Vec<bool> = Vec::new();
+    let mut last_ident: Option<&str> = None;
+    for t in body {
+        match &t.tok {
+            Tok::Ident(name) => {
+                if name == "test" && not_depth == 0 && last_ident != Some("not") {
+                    return true;
+                }
+                last_ident = Some(name);
+            }
+            Tok::Open('(') => {
+                let is_not = last_ident == Some("not");
+                paren_not_levels.push(is_not);
+                if is_not {
+                    not_depth += 1;
+                }
+                last_ident = None;
+            }
+            Tok::Close(')') => {
+                if paren_not_levels.pop() == Some(true) {
+                    not_depth = not_depth.saturating_sub(1);
+                }
+                last_ident = None;
+            }
+            _ => last_ident = None,
+        }
+    }
+    false
+}
+
+const PANIC_MACROS: [&str; 4] = ["panic", "unreachable", "todo", "unimplemented"];
+const PANIC_METHODS: [&str; 2] = ["unwrap", "expect"];
+
+fn scan_panics(tokens: &[Token], test_mask: &[bool], out: &mut Vec<Finding>) {
+    for (i, t) in tokens.iter().enumerate() {
+        if test_mask.get(i).copied().unwrap_or(false) {
+            continue;
+        }
+        let Tok::Ident(name) = &t.tok else { continue };
+        let next = tokens.get(i + 1).map(|t| &t.tok);
+        if PANIC_MACROS.contains(&name.as_str()) && next == Some(&Tok::Punct('!')) {
+            out.push(Finding {
+                line: t.line,
+                rule: Rule::Panic,
+                message: format!("`{name}!` in non-test library code"),
+            });
+            continue;
+        }
+        let prev = i.checked_sub(1).and_then(|p| tokens.get(p)).map(|t| &t.tok);
+        if PANIC_METHODS.contains(&name.as_str())
+            && prev == Some(&Tok::Punct('.'))
+            && next == Some(&Tok::Open('('))
+        {
+            out.push(Finding {
+                line: t.line,
+                rule: Rule::Panic,
+                message: format!("`.{name}()` in non-test library code"),
+            });
+        }
+    }
+}
+
+/// Keywords after which a `[` starts an array literal or pattern, never an
+/// index expression.
+const NON_INDEX_KEYWORDS: [&str; 16] = [
+    "return", "in", "if", "else", "match", "break", "loop", "while", "for", "as", "mut", "ref",
+    "move", "let", "const", "static",
+];
+
+fn scan_indexing(tokens: &[Token], test_mask: &[bool], out: &mut Vec<Finding>) {
+    for (i, t) in tokens.iter().enumerate() {
+        if test_mask.get(i).copied().unwrap_or(false) {
+            continue;
+        }
+        if t.tok != Tok::Open('[') {
+            continue;
+        }
+        let indexes = match i.checked_sub(1).and_then(|p| tokens.get(p)).map(|t| &t.tok) {
+            Some(Tok::Ident(name)) => !NON_INDEX_KEYWORDS.contains(&name.as_str()),
+            Some(Tok::Close(')')) | Some(Tok::Close(']')) => true,
+            _ => false,
+        };
+        if indexes {
+            out.push(Finding {
+                line: t.line,
+                rule: Rule::Index,
+                message: "unchecked slice indexing in untrusted-input module".to_string(),
+            });
+        }
+    }
+}
+
+/// Does `name` mark a public decode entry point?
+fn is_decode_entry_name(name: &str) -> bool {
+    name == "open"
+        || name.starts_with("read_")
+        || name.starts_with("decode")
+        || name.starts_with("decompress")
+        || name.starts_with("inflate")
+}
+
+fn scan_decode_signatures(tokens: &[Token], test_mask: &[bool], out: &mut Vec<Finding>) {
+    for (i, t) in tokens.iter().enumerate() {
+        if test_mask.get(i).copied().unwrap_or(false) {
+            continue;
+        }
+        // Match `pub fn <name>`. Restricted visibility (`pub(crate)`,
+        // `pub(super)`) is not a public entry point and is exempt.
+        if t.tok != Tok::Ident("pub".to_string()) {
+            continue;
+        }
+        let j = i + 1;
+        if matches!(tokens.get(j), Some(t) if t.tok == Tok::Open('(')) {
+            continue;
+        }
+        if !matches!(tokens.get(j), Some(t) if t.tok == Tok::Ident("fn".to_string())) {
+            continue;
+        }
+        let Some(name_tok) = tokens.get(j + 1) else {
+            continue;
+        };
+        let Tok::Ident(name) = &name_tok.tok else {
+            continue;
+        };
+        if !is_decode_entry_name(name) {
+            continue;
+        }
+        if !signature_returns_result(tokens, j + 2) {
+            out.push(Finding {
+                line: name_tok.line,
+                rule: Rule::DecodeResult,
+                message: format!("public decode entry point `{name}` does not return `Result`"),
+            });
+        }
+    }
+}
+
+/// From just past the fn name, skip generics and the parameter list, then
+/// look for `Result` between `->` and the body `{` (or a trailing `;`).
+fn signature_returns_result(tokens: &[Token], mut j: usize) -> bool {
+    // Skip generics `<...>`; `<` nests but never contains parens or braces
+    // at signature level.
+    if matches!(tokens.get(j), Some(t) if t.tok == Tok::Punct('<')) {
+        let mut depth = 0i32;
+        while let Some(t) = tokens.get(j) {
+            match t.tok {
+                Tok::Punct('<') => depth += 1,
+                Tok::Punct('>') => {
+                    depth -= 1;
+                    if depth <= 0 {
+                        j += 1;
+                        break;
+                    }
+                }
+                _ => {}
+            }
+            j += 1;
+        }
+    }
+    // Parameter list.
+    if !matches!(tokens.get(j), Some(t) if t.tok == Tok::Open('(')) {
+        return false;
+    }
+    let Some(params_end) = matching_close(tokens, j, '(') else {
+        return false;
+    };
+    j = params_end + 1;
+    // Return type and where clause run until the body opens.
+    let mut saw_arrow = false;
+    let mut saw_result = false;
+    while let Some(t) = tokens.get(j) {
+        match &t.tok {
+            Tok::Open('{') | Tok::Punct(';') => break,
+            Tok::Punct('-') if matches!(tokens.get(j + 1), Some(t) if t.tok == Tok::Punct('>')) => {
+                saw_arrow = true;
+                j += 1;
+            }
+            Tok::Ident(name) if name == "where" => break,
+            Tok::Ident(name) if name.ends_with("Result") => saw_result = true,
+            _ => {}
+        }
+        j += 1;
+    }
+    saw_arrow && saw_result
+}
+
+/// Parse every `lint:` directive out of the file's line comments.
+fn parse_directives(comments: &[LineComment]) -> (Vec<Allow>, Vec<Finding>) {
+    let mut allows = Vec::new();
+    let mut bad = Vec::new();
+    for c in comments {
+        let text = c.text.trim();
+        let Some(rest) = text.strip_prefix("lint:") else {
+            continue;
+        };
+        match parse_allow(rest.trim()) {
+            Some((rule, whole_file)) => allows.push(Allow {
+                line: c.line,
+                rule,
+                whole_file,
+            }),
+            None => bad.push(Finding {
+                line: c.line,
+                rule: Rule::BadAllow,
+                message: "malformed lint directive; expected \
+                          `lint: allow(<rule>) -- <justification>`"
+                    .to_string(),
+            }),
+        }
+    }
+    (allows, bad)
+}
+
+/// Parse `allow(<rule>) -- <justification>` / `allow-file(<rule>) -- ...`.
+fn parse_allow(s: &str) -> Option<(Rule, bool)> {
+    let (head, tail) = s.split_once("--")?;
+    if tail.trim().is_empty() {
+        return None; // the justification is mandatory
+    }
+    let head = head.trim();
+    let (whole_file, args) = if let Some(rest) = head.strip_prefix("allow-file") {
+        (true, rest)
+    } else if let Some(rest) = head.strip_prefix("allow") {
+        (false, rest)
+    } else {
+        return None;
+    };
+    let args = args.trim();
+    let inner = args.strip_prefix('(')?.strip_suffix(')')?;
+    let rule = Rule::from_name(inner.trim())?;
+    Some((rule, whole_file))
+}
+
+/// Apply allow directives to raw findings; malformed directives join the
+/// surviving findings.
+fn reconcile(raw: Vec<Finding>, allows: &[Allow], bad: &mut Vec<Finding>) -> FileReport {
+    let mut report = FileReport {
+        allow_count: allows.len(),
+        ..FileReport::default()
+    };
+    let mut suppressed: Vec<(&'static str, usize)> = Vec::new();
+    for f in raw {
+        let covered = allows.iter().any(|a| {
+            a.rule == f.rule && (a.whole_file || a.line == f.line || a.line + 1 == f.line)
+        });
+        if covered {
+            match suppressed
+                .iter_mut()
+                .find(|(name, _)| *name == f.rule.name())
+            {
+                Some((_, n)) => *n += 1,
+                None => suppressed.push((f.rule.name(), 1)),
+            }
+        } else {
+            report.findings.push(f);
+        }
+    }
+    report.findings.append(bad);
+    report.findings.sort_by_key(|f| f.line);
+    report.suppressed = suppressed;
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lines_of(report: &FileReport, rule: Rule) -> Vec<u32> {
+        report
+            .findings
+            .iter()
+            .filter(|f| f.rule == rule)
+            .map(|f| f.line)
+            .collect()
+    }
+
+    #[test]
+    fn flags_unwrap_expect_and_panic_macros() {
+        let src = "fn f(x: Option<u8>) -> u8 {\n\
+                   let a = x.unwrap();\n\
+                   let b = x.expect(\"msg\");\n\
+                   panic!(\"boom\");\n\
+                   unreachable!();\n\
+                   todo!()\n\
+                   }";
+        let r = check_source(src, false);
+        assert_eq!(lines_of(&r, Rule::Panic), vec![2, 3, 4, 5, 6]);
+    }
+
+    #[test]
+    fn asserts_are_not_flagged() {
+        let src = "fn f(x: usize) {\nassert!(x > 0);\nassert_eq!(x, 1);\ndebug_assert!(x < 9);\n}";
+        assert!(check_source(src, false).findings.is_empty());
+    }
+
+    #[test]
+    fn unwrap_or_family_is_not_flagged() {
+        let src = "fn f(x: Option<u8>) -> u8 {\nx.unwrap_or(0).min(x.unwrap_or_default())\n}";
+        assert!(check_source(src, false).findings.is_empty());
+    }
+
+    #[test]
+    fn test_code_is_exempt() {
+        let src = "fn lib() -> u8 { 1 }\n\
+                   #[cfg(test)]\n\
+                   mod tests {\n\
+                   #[test]\n\
+                   fn t() { None::<u8>.unwrap(); panic!(); }\n\
+                   }";
+        assert!(check_source(src, false).findings.is_empty());
+    }
+
+    #[test]
+    fn test_attr_fn_is_exempt_but_neighbors_are_not() {
+        let src = "#[test]\n\
+                   fn t() { None::<u8>.unwrap(); }\n\
+                   fn lib() { None::<u8>.unwrap(); }";
+        let r = check_source(src, false);
+        assert_eq!(lines_of(&r, Rule::Panic), vec![3]);
+    }
+
+    #[test]
+    fn cfg_not_test_is_not_a_test_gate() {
+        let src = "#[cfg(not(test))]\nfn lib() { None::<u8>.unwrap(); }";
+        let r = check_source(src, false);
+        assert_eq!(lines_of(&r, Rule::Panic), vec![2]);
+    }
+
+    #[test]
+    fn cfg_any_test_is_a_test_gate() {
+        let src = "#[cfg(any(test, feature = \"x\"))]\nfn helper() { None::<u8>.unwrap(); }";
+        assert!(check_source(src, false).findings.is_empty());
+    }
+
+    #[test]
+    fn allow_on_same_line_suppresses_and_is_counted() {
+        let src = "fn f(x: Option<u8>) -> u8 {\n\
+                   x.unwrap() // lint: allow(panic) -- documented invariant\n\
+                   }";
+        let r = check_source(src, false);
+        assert!(r.findings.is_empty());
+        assert_eq!(r.allow_count, 1);
+        assert_eq!(r.suppressed, vec![("panic", 1)]);
+    }
+
+    #[test]
+    fn allow_on_line_above_suppresses() {
+        let src = "fn f(x: Option<u8>) -> u8 {\n\
+                   // lint: allow(panic) -- checked two lines up\n\
+                   x.unwrap()\n\
+                   }";
+        assert!(check_source(src, false).findings.is_empty());
+    }
+
+    #[test]
+    fn allow_does_not_leak_to_other_lines_or_rules() {
+        let src = "fn f(x: Option<u8>) -> u8 {\n\
+                   // lint: allow(panic) -- only covers the next line\n\
+                   let a = x.unwrap();\n\
+                   let b = x.unwrap();\n\
+                   a + b\n\
+                   }";
+        let r = check_source(src, false);
+        assert_eq!(lines_of(&r, Rule::Panic), vec![4]);
+    }
+
+    #[test]
+    fn allow_file_covers_whole_file() {
+        let src = "// lint: allow-file(panic) -- generated table module\n\
+                   fn f(x: Option<u8>) -> u8 { x.unwrap() }\n\
+                   fn g(x: Option<u8>) -> u8 { x.unwrap() }";
+        let r = check_source(src, false);
+        assert!(r.findings.is_empty());
+        assert_eq!(r.suppressed, vec![("panic", 2)]);
+    }
+
+    #[test]
+    fn allow_without_justification_is_a_violation() {
+        let src = "fn f(x: Option<u8>) -> u8 {\n\
+                   x.unwrap() // lint: allow(panic)\n\
+                   }";
+        let r = check_source(src, false);
+        assert_eq!(lines_of(&r, Rule::BadAllow), vec![2]);
+        // The unwrap itself is also still reported.
+        assert_eq!(lines_of(&r, Rule::Panic), vec![2]);
+    }
+
+    #[test]
+    fn allow_with_unknown_rule_is_a_violation() {
+        let src = "// lint: allow(everything) -- please\nfn f() {}";
+        let r = check_source(src, false);
+        assert_eq!(lines_of(&r, Rule::BadAllow), vec![1]);
+    }
+
+    #[test]
+    fn indexing_flagged_only_in_untrusted_modules() {
+        let src = "fn f(buf: &[u8], i: usize) -> u8 {\nbuf[i]\n}";
+        assert!(check_source(src, false).findings.is_empty());
+        let r = check_source(src, true);
+        assert_eq!(lines_of(&r, Rule::Index), vec![2]);
+    }
+
+    #[test]
+    fn slicing_is_indexing_too() {
+        let src = "fn f(buf: &[u8]) -> &[u8] {\n&buf[1..4]\n}";
+        let r = check_source(src, true);
+        assert_eq!(lines_of(&r, Rule::Index), vec![2]);
+    }
+
+    #[test]
+    fn array_literals_types_and_attributes_are_not_indexing() {
+        let src = "#[derive(Debug)]\n\
+                   struct S { a: [u8; 4] }\n\
+                   fn f() -> [u8; 2] {\n\
+                   let x: Vec<[u8; 8]> = vec![[0u8; 8]];\n\
+                   let y = [0u8, 1u8];\n\
+                   let [p, q] = y;\n\
+                   for _v in [1, 2] {}\n\
+                   if let [a, b] = y { let _ = (a, b); }\n\
+                   let _ = (x, p, q);\n\
+                   y\n\
+                   }";
+        let r = check_source(src, true);
+        assert!(
+            lines_of(&r, Rule::Index).is_empty(),
+            "false positives: {:?}",
+            r.findings
+        );
+    }
+
+    #[test]
+    fn chained_and_call_result_indexing_flagged() {
+        let src = "fn f(m: &[Vec<u8>]) -> u8 {\nm[0][1] + helper()[2]\n}\nfn helper() -> Vec<u8> { vec![] }";
+        let r = check_source(src, true);
+        assert_eq!(lines_of(&r, Rule::Index), vec![2, 2, 2]);
+    }
+
+    #[test]
+    fn get_based_access_is_clean() {
+        let src = "fn f(buf: &[u8]) -> u8 {\nbuf.get(3).copied().unwrap_or(0)\n}";
+        assert!(check_source(src, true).findings.is_empty());
+    }
+
+    #[test]
+    fn decode_entry_without_result_is_flagged() {
+        let src = "pub fn decompress_fast(input: &[u8]) -> Vec<u8> { input.to_vec() }";
+        let r = check_source(src, false);
+        assert_eq!(lines_of(&r, Rule::DecodeResult), vec![1]);
+        // With Result it is clean.
+        let ok =
+            "pub fn decompress_fast(input: &[u8]) -> Result<Vec<u8>, E> { Ok(input.to_vec()) }";
+        assert!(check_source(ok, false).findings.is_empty());
+    }
+
+    #[test]
+    fn decode_rule_covers_open_and_inflate_but_not_pub_crate() {
+        let bad = "pub fn open(b: &[u8]) -> usize { b.len() }\n\
+                   pub(crate) fn read_header(b: &[u8]) -> usize { b.len() }\n\
+                   pub fn inflate_all(b: &[u8]) {}";
+        let r = check_source(bad, false);
+        assert_eq!(lines_of(&r, Rule::DecodeResult), vec![1, 3]);
+    }
+
+    #[test]
+    fn decode_rule_ignores_private_fns_and_other_names() {
+        let src = "fn decompress_impl(b: &[u8]) -> Vec<u8> { b.to_vec() }\n\
+                   pub fn compress(b: &[u8]) -> Vec<u8> { b.to_vec() }\n\
+                   pub fn reader(b: &[u8]) -> usize { b.len() }";
+        assert!(check_source(src, false).findings.is_empty());
+    }
+
+    #[test]
+    fn decode_rule_handles_generics_and_where_clauses() {
+        let src = "pub fn read_array<const N: usize>(buf: &[u8]) -> Option<[u8; N]> { None }";
+        let r = check_source(src, false);
+        assert_eq!(lines_of(&r, Rule::DecodeResult), vec![1]);
+        let ok = "pub fn read_into<R>(r: R) -> io::Result<Vec<u8>> where R: Sized { todo()\n}\nfn todo() -> io::Result<Vec<u8>> { unimplemented() }\nfn unimplemented() -> io::Result<Vec<u8>> { Ok(vec![]) }";
+        assert!(check_source(ok, false).findings.is_empty());
+    }
+
+    #[test]
+    fn panic_site_in_string_literal_is_not_flagged() {
+        let src = "fn f() -> &'static str { \"do not call .unwrap() or panic!\" }";
+        assert!(check_source(src, false).findings.is_empty());
+    }
+}

@@ -305,6 +305,106 @@ fn compressed_stream_smaller_or_bounded() {
     });
 }
 
+/// Mutate a valid compressed stream the way a faulty transport would:
+/// truncate it, flip a bit, or zero-fill a window.
+fn mutate_stream(rng: &mut Rng, stream: &[u8]) -> Vec<u8> {
+    let mut bad = stream.to_vec();
+    match rng.gen_range(0..3usize) {
+        0 => {
+            let keep = rng.gen_range(0..bad.len().max(1));
+            bad.truncate(keep);
+        }
+        1 => {
+            if !bad.is_empty() {
+                let pos = rng.gen_range(0..bad.len());
+                bad[pos] ^= 1 << rng.gen_range(0..8usize);
+            }
+        }
+        _ => {
+            if !bad.is_empty() {
+                let start = rng.gen_range(0..bad.len());
+                let len = rng.gen_range(1..33usize).min(bad.len() - start);
+                bad[start..start + len].fill(0);
+            }
+        }
+    }
+    bad
+}
+
+#[test]
+fn mutated_zlib_streams_error_or_roundtrip() {
+    check("mutated_zlib_streams_error_or_roundtrip", |rng| {
+        let data = structured_bytes(rng);
+        let codec = CodecKind::Zlib.build();
+        let stream = codec.compress(&data).unwrap();
+        for _ in 0..8 {
+            let bad = mutate_stream(rng, &stream);
+            if let Ok(out) = codec.decompress(&bad) {
+                // A mutation can legitimately rewrite the stream into the
+                // canonical empty-payload encoding (e.g. zero-filling the
+                // length varint and checksum); any other Ok must roundtrip.
+                assert!(
+                    out == data || out.is_empty(),
+                    "mutated zlib stream silently corrupted"
+                );
+            }
+        }
+    });
+}
+
+#[test]
+fn mutated_lzr_frames_error_or_roundtrip() {
+    check("mutated_lzr_frames_error_or_roundtrip", |rng| {
+        let data = structured_bytes(rng);
+        let codec = CodecKind::Lzr.build();
+        let stream = codec.compress(&data).unwrap();
+        for _ in 0..8 {
+            let bad = mutate_stream(rng, &stream);
+            if let Ok(out) = codec.decompress(&bad) {
+                // Same degenerate-rewrite caveat as the zlib property above.
+                assert!(
+                    out == data || out.is_empty(),
+                    "mutated lzr frame silently corrupted"
+                );
+            }
+        }
+    });
+}
+
+#[test]
+fn mutated_archives_error_or_roundtrip() {
+    check("mutated_archives_error_or_roundtrip", |rng| {
+        use primacy_suite::core::{ArchiveReader, ArchiveWriter};
+        let values: Vec<f64> = (0..rng.gen_range(1..200usize))
+            .map(|_| rng.gen_range(-1e6..1e6))
+            .collect();
+        let mut w = ArchiveWriter::new(
+            Vec::new(),
+            PrimacyConfig {
+                chunk_bytes: 512,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        w.append_f64(&values).unwrap();
+        let archive = w.finish().unwrap();
+        for _ in 0..8 {
+            let bad = mutate_stream(rng, &archive);
+            let Ok(r) = ArchiveReader::open(&bad) else {
+                continue;
+            };
+            let total = (r.element_count() as usize).min(1 << 20);
+            if let Ok(out) = r.read_elements_f64(0, total) {
+                assert_eq!(
+                    bits(&out),
+                    bits(&values[..total.min(values.len())]),
+                    "mutated archive silently corrupted"
+                );
+            }
+        }
+    });
+}
+
 #[test]
 fn harness_seeds_are_stable() {
     // The harness itself must stay deterministic: same property name, same
