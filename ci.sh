@@ -25,5 +25,11 @@ run cargo test -q --workspace --offline
 # The adversarial-decode corpus is part of the workspace test run above;
 # re-run it by name so a corpus failure is unmissable in the CI log.
 run cargo test -q --offline --test adversarial_decode
+# Format-conformance gate: golden vectors and parallel determinism, once
+# serialized (RUST_TEST_THREADS=1) and once at default test parallelism —
+# thread-scheduling effects must never change container bytes.
+run env RUST_TEST_THREADS=1 cargo test -q --offline \
+    --test golden_format --test parallel_determinism
+run cargo test -q --offline --test golden_format --test parallel_determinism
 
 echo "==> ci.sh: all gates green"

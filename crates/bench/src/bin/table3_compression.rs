@@ -37,16 +37,26 @@ fn measure_codec(codec: &dyn Codec, bytes: &[u8]) -> (f64, f64, f64) {
     (n / comp.len() as f64, n / 1e6 / c_secs, n / 1e6 / d_secs)
 }
 
-fn measure_primacy(compressor: &PrimacyCompressor, bytes: &[u8]) -> (f64, f64, f64) {
+fn measure_primacy(
+    compressor: &PrimacyCompressor,
+    bytes: &[u8],
+) -> (f64, f64, f64, primacy_core::StageTimings) {
     let t0 = Instant::now();
-    let comp = compressor.compress_bytes(bytes).expect("compress");
+    let (comp, stats) = compressor
+        .compress_bytes_with_stats(bytes)
+        .expect("compress");
     let c_secs = t0.elapsed().as_secs_f64();
     let t0 = Instant::now();
     let back = compressor.decompress_bytes(&comp).expect("decompress");
     let d_secs = t0.elapsed().as_secs_f64();
     assert_eq!(back, bytes, "primacy roundtrip failed");
     let n = bytes.len() as f64;
-    (n / comp.len() as f64, n / 1e6 / c_secs, n / 1e6 / d_secs)
+    (
+        n / comp.len() as f64,
+        n / 1e6 / c_secs,
+        n / 1e6 / d_secs,
+        stats.timings,
+    )
 }
 
 fn main() {
@@ -72,9 +82,10 @@ fn main() {
         let perm_bytes: Vec<u8> = permuted.iter().flat_map(|v| v.to_le_bytes()).collect();
 
         let (zcr, zctp, zdtp) = measure_codec(zlib.as_ref(), &bytes);
-        let (pcr, pctp, pdtp) = measure_primacy(&primacy, &bytes);
+        let (pcr, pctp, pdtp, timings) = measure_primacy(&primacy, &bytes);
         let (zlcr, _, _) = measure_codec(zlib.as_ref(), &perm_bytes);
-        let (plcr, _, _) = measure_primacy(&primacy, &perm_bytes);
+        let (plcr, _, _, _) = measure_primacy(&primacy, &perm_bytes);
+        report.push_stages(&format!("table3/{}", id.name()), &timings);
 
         let row = Row {
             name: id.name(),

@@ -8,6 +8,7 @@ pub mod harness;
 pub mod json;
 
 use json::Value;
+use primacy_core::StageTimings;
 use primacy_datagen::DatasetId;
 
 /// Number of doubles per dataset used by the bench binaries. 2²¹ elements =
@@ -99,6 +100,20 @@ impl Report {
         self.records.push(c.to_value());
     }
 
+    /// Record a per-stage timing breakdown: one `{prefix}/stage/{name}`
+    /// record per pipeline stage (seconds), in canonical stage order, plus
+    /// `{prefix}/stage_total_s`. This is how `BENCH_*.json` gains a
+    /// per-stage trajectory across runs.
+    pub fn push_stages(&mut self, prefix: &str, timings: &StageTimings) {
+        for (stage, d) in timings.by_stage() {
+            self.push(format!("{prefix}/stage/{stage}"), d.as_secs_f64());
+        }
+        self.push(
+            format!("{prefix}/stage_total_s"),
+            timings.total().as_secs_f64(),
+        );
+    }
+
     /// The full report as a JSON value.
     pub fn to_value(&self) -> Value {
         Value::object([
@@ -170,6 +185,36 @@ mod tests {
         assert_eq!(bar(20.0, 10.0, 10).len(), 10);
         assert_eq!(bar(0.0, 10.0, 10), "");
         assert_eq!(bar(f64::NAN, 10.0, 10), "");
+    }
+
+    #[test]
+    fn push_stages_emits_canonical_records() {
+        use std::time::Duration;
+        let mut r = Report::new("test");
+        let timings = StageTimings {
+            split: Duration::from_millis(1),
+            codec: Duration::from_millis(2),
+            ..Default::default()
+        };
+        r.push_stages("table3/demo", &timings);
+        let v = r.to_value();
+        let records = v.get("records").and_then(Value::as_array).unwrap();
+        // Six stages + the total.
+        assert_eq!(records.len(), 7);
+        let keys: Vec<&str> = records
+            .iter()
+            .map(|rec| rec.get("key").and_then(Value::as_str).unwrap())
+            .collect();
+        assert!(keys.contains(&"table3/demo/stage/split"));
+        assert!(keys.contains(&"table3/demo/stage/deflate"));
+        assert!(keys.contains(&"table3/demo/stage_total_s"));
+        let total = records
+            .iter()
+            .find(|rec| rec.get("key").and_then(Value::as_str) == Some("table3/demo/stage_total_s"))
+            .and_then(|rec| rec.get("value"))
+            .and_then(Value::as_f64)
+            .unwrap();
+        assert!((total - 0.003).abs() < 1e-9);
     }
 
     #[test]

@@ -10,21 +10,25 @@
 //! primacy list                               # list synthetic datasets
 //! ```
 
+use primacy_bench::json::Value;
 use primacy_codecs::CodecKind;
 use primacy_core::analysis;
 use primacy_core::{
     ArchiveReader, ArchiveWriter, ElementReader, IndexPolicy, Linearization, PrimacyCompressor,
-    PrimacyConfig,
+    PrimacyConfig, STAGES,
 };
 use primacy_datagen::DatasetId;
+use primacy_trace as trace;
+use primacy_trace::Collector;
 use std::process::ExitCode;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 fn usage() -> ExitCode {
     eprintln!(
         "usage:\n  primacy compress <input> <output> [--codec zlib|lzr|bwt|fpc|fpz] \
-         [--chunk-kb N] [--row-linear] [--no-isobar] [--reuse-index T] [--threads N]\n  \
-         primacy decompress <input> <output>\n  \
+         [--chunk-kb N] [--row-linear] [--no-isobar] [--reuse-index T] \
+         [--threads N (0 = auto-detect)] [--trace]\n  \
+         primacy decompress <input> <output> [--trace]\n  \
          primacy stats <input>\n  \
          primacy gen <dataset> <output> [--elems N]\n  \
          primacy bench <input>\n  \
@@ -43,6 +47,56 @@ fn parse_flag<T: std::str::FromStr>(args: &[String], flag: &str) -> Option<T> {
         .position(|a| a == flag)
         .and_then(|i| args.get(i + 1))
         .and_then(|v| v.parse().ok())
+}
+
+/// Resolve a `--threads` request: 0 means auto-detect from the machine
+/// (`std::thread::available_parallelism`), anything else is taken verbatim.
+fn resolve_threads(requested: usize) -> usize {
+    if requested == 0 {
+        std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1)
+    } else {
+        requested
+    }
+}
+
+/// The `--trace` sink: one process-wide collector the pipeline's per-thread
+/// aggregates merge into.
+static TRACE_COLLECTOR: Collector = Collector::new();
+
+/// Install the trace collector when `--trace` was passed. Returns whether
+/// tracing is on.
+fn setup_trace(args: &[String]) -> Result<bool, String> {
+    if !args.iter().any(|a| a == "--trace") {
+        return Ok(false);
+    }
+    trace::install(&TRACE_COLLECTOR).map_err(|e| e.to_string())?;
+    Ok(true)
+}
+
+/// Print the `--trace` report: the human stage table, then the same
+/// breakdown as one line of JSON (stage seconds, counters, wall seconds).
+fn report_trace(wall: Duration) {
+    trace::flush_thread();
+    let agg = TRACE_COLLECTOR.snapshot();
+    print!("{}", trace::render_table(&agg, &STAGES, wall));
+    let stages = Value::object(
+        STAGES
+            .iter()
+            .map(|&s| (s, Value::Number(agg.span_total(s).as_secs_f64()))),
+    );
+    let counters = Value::object(
+        agg.counters
+            .iter()
+            .map(|(&k, &v)| (k, Value::Number(v as f64))),
+    );
+    let doc = Value::object([
+        ("wall_s", Value::Number(wall.as_secs_f64())),
+        ("stages", stages),
+        ("counters", counters),
+    ]);
+    println!("{}", doc.to_json());
 }
 
 fn build_config(args: &[String]) -> Result<PrimacyConfig, String> {
@@ -96,10 +150,11 @@ fn run() -> Result<(), String> {
                 ));
             }
             let compressor = PrimacyCompressor::try_new(cfg).map_err(|e| e.to_string())?;
+            let tracing = setup_trace(&args)?;
             let t0 = Instant::now();
             let (out, stats) = if let Some(threads) = parse_flag::<usize>(&args, "--threads") {
                 let out = compressor
-                    .compress_bytes_parallel(&data, threads)
+                    .compress_bytes_parallel(&data, resolve_threads(threads))
                     .map_err(|e| e.to_string())?;
                 (out, None)
             } else {
@@ -108,7 +163,11 @@ fn run() -> Result<(), String> {
                     .map_err(|e| e.to_string())?;
                 (out, Some(stats))
             };
-            let secs = t0.elapsed().as_secs_f64();
+            let wall = t0.elapsed();
+            let secs = wall.as_secs_f64();
+            if tracing {
+                report_trace(wall);
+            }
             std::fs::write(output, &out).map_err(|e| format!("write {output}: {e}"))?;
             println!(
                 "{} -> {} bytes (CR {:.3}) in {:.2}s ({:.1} MB/s)",
@@ -136,11 +195,16 @@ fn run() -> Result<(), String> {
             let output = args.get(2).ok_or("missing output path")?;
             let data = std::fs::read(input).map_err(|e| format!("read {input}: {e}"))?;
             let compressor = PrimacyCompressor::new(PrimacyConfig::default());
+            let tracing = setup_trace(&args)?;
             let t0 = Instant::now();
             let out = compressor
                 .decompress_bytes(&data)
                 .map_err(|e| e.to_string())?;
-            let secs = t0.elapsed().as_secs_f64();
+            let wall = t0.elapsed();
+            let secs = wall.as_secs_f64();
+            if tracing {
+                report_trace(wall);
+            }
             std::fs::write(output, &out).map_err(|e| format!("write {output}: {e}"))?;
             println!(
                 "{} -> {} bytes in {:.2}s ({:.1} MB/s)",
@@ -435,5 +499,26 @@ mod tests {
     fn build_config_rejects_unknown_codec() {
         let r = build_config(&args(&["compress", "in", "out", "--codec", "lz4"]));
         assert!(r.is_err());
+    }
+
+    #[test]
+    fn threads_zero_auto_detects() {
+        // 0 must become the machine's parallelism (>= 1), never 0.
+        let auto = resolve_threads(0);
+        assert!(auto >= 1);
+        let expected = std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1);
+        assert_eq!(auto, expected);
+        // Explicit requests pass through untouched.
+        assert_eq!(resolve_threads(1), 1);
+        assert_eq!(resolve_threads(7), 7);
+        assert_eq!(resolve_threads(64), 64);
+    }
+
+    #[test]
+    fn setup_trace_is_off_without_flag() {
+        assert_eq!(setup_trace(&args(&["compress", "in", "out"])), Ok(false));
+        assert!(!trace::enabled());
     }
 }

@@ -21,12 +21,17 @@ pub fn inflate_into(input: &[u8], out: &mut Vec<u8>) -> Result<()> {
         let bfinal = r.read_bits(1)?;
         let btype = r.read_bits(2)?;
         match btype {
-            0b00 => inflate_stored(&mut r, out)?,
+            0b00 => {
+                primacy_trace::counter("inflate.blocks_stored", 1);
+                inflate_stored(&mut r, out)?;
+            }
             0b01 => {
+                primacy_trace::counter("inflate.blocks_fixed", 1);
                 let (lit, dist) = fixed_decoders()?;
                 inflate_block(&mut r, lit, dist, out)?;
             }
             0b10 => {
+                primacy_trace::counter("inflate.blocks_dynamic", 1);
                 let (lit, dist) = read_dynamic_tables(&mut r)?;
                 inflate_block(&mut r, &lit, &dist, out)?;
             }

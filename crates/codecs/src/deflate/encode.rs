@@ -241,17 +241,21 @@ fn emit_one_block(w: &mut BitWriter, tokens: &[Token], bytes: &[u8], is_final: b
     let pieces = bytes.len().div_ceil(MAX_STORED).max(1);
     let stored_bits = (3 + 7) * pieces as u64 + (4 * pieces + bytes.len()) as u64 * 8;
 
+    primacy_trace::observe("deflate.block_bytes", bytes.len() as u64);
     if stored_bits < dynamic_bits && stored_bits < fixed_bits {
+        primacy_trace::counter("deflate.blocks_stored", 1);
         emit_stored(w, bytes, is_final);
         return;
     }
 
     let final_bit = u64::from(is_final);
     if fixed_bits <= dynamic_bits {
+        primacy_trace::counter("deflate.blocks_fixed", 1);
         w.write_bits(final_bit, 1);
         w.write_bits(0b01, 2);
         write_body(w, tokens, fixed_lit, fixed_dist);
     } else {
+        primacy_trace::counter("deflate.blocks_dynamic", 1);
         w.write_bits(final_bit, 1);
         w.write_bits(0b10, 2);
         w.write_bits(hlit as u64 - 257, 5);

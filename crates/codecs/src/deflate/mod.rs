@@ -123,13 +123,25 @@ impl Level {
 
 /// Compress `input` into a raw DEFLATE stream (no container).
 pub fn deflate(input: &[u8], level: Level) -> Vec<u8> {
+    // Spans are named `deflate.encode`/`deflate.decode` — distinct from the
+    // pipeline-level "deflate" stage span so the CLI stage table never
+    // counts codec time twice.
+    let _span = primacy_trace::span("deflate.encode");
     let tokens = lz77::tokenize(input, level);
-    encode::emit_blocks(input, &tokens)
+    primacy_trace::counter("deflate.tokens", tokens.len() as u64);
+    let out = encode::emit_blocks(input, &tokens);
+    primacy_trace::counter("deflate.encode_bytes_in", input.len() as u64);
+    primacy_trace::counter("deflate.encode_bytes_out", out.len() as u64);
+    out
 }
 
 /// Decompress a raw DEFLATE stream.
 pub fn inflate(input: &[u8]) -> Result<Vec<u8>> {
-    decode::inflate(input)
+    let _span = primacy_trace::span("deflate.decode");
+    let out = decode::inflate(input)?;
+    primacy_trace::counter("deflate.decode_bytes_in", input.len() as u64);
+    primacy_trace::counter("deflate.decode_bytes_out", out.len() as u64);
+    Ok(out)
 }
 
 #[cfg(test)]

@@ -25,6 +25,7 @@ use crate::format::{self, Header, Reader};
 use crate::pipeline::{self, PrimacyCompressor};
 use primacy_codecs::checksum::crc32;
 use primacy_codecs::Codec;
+use primacy_trace as trace;
 use std::io::Write;
 
 const MAGIC: &[u8; 4] = b"PRMA";
@@ -122,6 +123,7 @@ impl<W: Write> ArchiveWriter<W> {
 
     fn flush_chunk(&mut self, chunk: &[u8]) -> Result<()> {
         debug_assert!(!chunk.is_empty());
+        let _span = trace::span("archive.write_chunk");
         let cfg = self.compressor.config();
         if !chunk.len().is_multiple_of(cfg.element_size) {
             return Err(PrimacyError::InvalidInput(
@@ -142,6 +144,8 @@ impl<W: Write> ArchiveWriter<W> {
             .write_all(&section)
             .map_err(|_| PrimacyError::Format("archive sink write failed"))?;
         self.offset += section.len() as u64;
+        trace::counter("archive.chunks_written", 1);
+        trace::observe("archive.section_bytes", section.len() as u64);
         Ok(())
     }
 
@@ -334,6 +338,8 @@ impl<'a> ArchiveReader<'a> {
 
     /// Decompress chunk `i`, verifying its CRC.
     pub fn read_chunk(&self, i: usize) -> Result<Vec<u8>> {
+        let _span = trace::span("archive.read_chunk");
+        trace::counter("archive.chunks_read", 1);
         let entry = self
             .directory
             .get(i)
@@ -439,24 +445,28 @@ impl<'a> ArchiveReader<'a> {
         let slices = std::sync::Mutex::new(slices);
         std::thread::scope(|scope| {
             for _ in 0..threads.max(1).min(self.directory.len().max(1)) {
-                scope.spawn(|| loop {
-                    let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                    if i >= self.directory.len() {
-                        break;
-                    }
-                    // Take this chunk's output slice out of the shared list.
-                    // Workers never panic while holding the lock, but recover
-                    // from poison anyway: the data is a plain slice list.
-                    let slot = {
-                        let mut guard = slices.lock().unwrap_or_else(|e| e.into_inner());
-                        guard.get_mut(i).map(std::mem::take)
-                    };
-                    let result = slot
-                        .ok_or(PrimacyError::Truncated)
-                        .and_then(|slot| self.read_chunk(i).map(|chunk| (slot, chunk)));
-                    match result {
-                        Ok((slot, chunk)) => slot.copy_from_slice(&chunk),
-                        Err(e) => failures.lock().unwrap_or_else(|e| e.into_inner()).push(e),
+                scope.spawn(|| {
+                    // One trace merge per worker when it runs out of chunks.
+                    let _trace_scope = trace::thread_scope();
+                    loop {
+                        let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                        if i >= self.directory.len() {
+                            break;
+                        }
+                        // Take this chunk's output slice out of the shared list.
+                        // Workers never panic while holding the lock, but recover
+                        // from poison anyway: the data is a plain slice list.
+                        let slot = {
+                            let mut guard = slices.lock().unwrap_or_else(|e| e.into_inner());
+                            guard.get_mut(i).map(std::mem::take)
+                        };
+                        let result = slot
+                            .ok_or(PrimacyError::Truncated)
+                            .and_then(|slot| self.read_chunk(i).map(|chunk| (slot, chunk)));
+                        match result {
+                            Ok((slot, chunk)) => slot.copy_from_slice(&chunk),
+                            Err(e) => failures.lock().unwrap_or_else(|e| e.into_inner()).push(e),
+                        }
                     }
                 });
             }

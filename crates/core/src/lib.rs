@@ -56,7 +56,7 @@ pub use archive::{ArchiveReader, ArchiveWriter};
 pub use config::{IndexPolicy, IsobarClassifier, IsobarConfig, Linearization, PrimacyConfig};
 pub use error::{PrimacyError, Result};
 pub use pipeline::PrimacyCompressor;
-pub use stats::{CompressionStats, StageTimings};
+pub use stats::{CompressionStats, StageTimings, STAGES};
 pub use stream::ElementReader;
 
 #[cfg(test)]

@@ -8,10 +8,24 @@ use crate::idmap::IdMap;
 use crate::isobar;
 use crate::linearize::{to_columns, to_rows};
 use crate::split::{join_hi_lo, split_hi_lo};
-use crate::stats::{CompressionStats, StageTimings};
+use crate::stats::{
+    CompressionStats, StageTimings, STAGE_DEFLATE, STAGE_FREQ, STAGE_IDMAP, STAGE_ISOBAR,
+    STAGE_LINEARIZE, STAGE_SPLIT,
+};
 use primacy_codecs::checksum::crc32;
 use primacy_codecs::Codec;
-use std::time::Instant;
+use primacy_trace as trace;
+use std::time::{Duration, Instant};
+
+/// Close one stage measurement: fold the elapsed time into the matching
+/// `StageTimings` field and record it as a trace span under the canonical
+/// stage name. One `Instant::now` serves both consumers.
+#[inline]
+fn stage(total: &mut Duration, name: &'static str, since: Instant) {
+    let dt = since.elapsed();
+    *total += dt;
+    trace::span_duration(name, dt);
+}
 
 /// A configured PRIMACY compressor/decompressor.
 ///
@@ -121,7 +135,16 @@ impl PrimacyCompressor {
             weighted_alpha2 += info.alpha2 * chunk.len() as f64;
         }
 
+        // The container CRC is integrity-trailer work of the backend/container
+        // stage, exactly like the Adler-32 the zlib container already counts
+        // under codec time — so it accrues to the deflate stage, with a
+        // dedicated span so the breakdown stays visible.
+        let t = Instant::now();
         out.extend_from_slice(&crc32(input).to_le_bytes());
+        let dt = t.elapsed();
+        timings.codec += dt;
+        trace::span_duration(STAGE_DEFLATE, dt);
+        trace::span_duration("container.crc", dt);
         let stats = CompressionStats {
             original_bytes: input.len(),
             compressed_bytes: out.len(),
@@ -160,18 +183,23 @@ impl PrimacyCompressor {
         let sections_mutex = std::sync::Mutex::new(&mut sections);
         std::thread::scope(|scope| {
             for _ in 0..threads.min(chunks.len().max(1)) {
-                scope.spawn(|| loop {
-                    let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                    if i >= chunks.len() {
-                        break;
+                scope.spawn(|| {
+                    // Merge this worker's trace aggregate into the sink in
+                    // one call when the thread finishes its share.
+                    let _trace_scope = trace::thread_scope();
+                    loop {
+                        let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                        if i >= chunks.len() {
+                            break;
+                        }
+                        let mut buf = Vec::new();
+                        let mut no_prev = None;
+                        let r = self
+                            .compress_chunk(chunks[i], &mut no_prev, &mut buf)
+                            .map(|_| buf);
+                        let mut guard = sections_mutex.lock().unwrap_or_else(|e| e.into_inner());
+                        guard[i] = r;
                     }
-                    let mut buf = Vec::new();
-                    let mut no_prev = None;
-                    let r = self
-                        .compress_chunk(chunks[i], &mut no_prev, &mut buf)
-                        .map(|_| buf);
-                    let mut guard = sections_mutex.lock().unwrap_or_else(|e| e.into_inner());
-                    guard[i] = r;
                 });
             }
         });
@@ -190,7 +218,11 @@ impl PrimacyCompressor {
         for section in sections {
             out.extend_from_slice(&section?);
         }
+        let t = Instant::now();
         out.extend_from_slice(&crc32(input).to_le_bytes());
+        let dt = t.elapsed();
+        trace::span_duration(STAGE_DEFLATE, dt);
+        trace::span_duration("container.crc", dt);
         Ok(out)
     }
 
@@ -205,10 +237,11 @@ impl PrimacyCompressor {
         let n = chunk.len() / cfg.element_size;
         let lo_cols = cfg.lo_bytes();
         let mut timings = StageTimings::default();
+        let section_start = out.len();
 
         let t = Instant::now();
         let (mut hi, lo) = split_hi_lo(chunk, cfg.element_size, cfg.hi_bytes)?;
-        timings.split += t.elapsed();
+        stage(&mut timings.split, STAGE_SPLIT, t);
 
         // Frequency analysis + index decision (§II-C, §II-F).
         let t = Instant::now();
@@ -227,12 +260,12 @@ impl PrimacyCompressor {
                 (true, IndexState { freq, map })
             }
         };
-        timings.frequency_analysis += t.elapsed();
+        stage(&mut timings.frequency_analysis, STAGE_FREQ, t);
 
         // ID mapping (§II-C).
         let t = Instant::now();
         state.map.encode_hi(&mut hi)?;
-        timings.id_mapping += t.elapsed();
+        stage(&mut timings.id_mapping, STAGE_IDMAP, t);
 
         // Linearization (§II-D).
         let t = Instant::now();
@@ -240,18 +273,18 @@ impl PrimacyCompressor {
             Linearization::Row => hi,
             Linearization::Column => to_columns(&hi, n, cfg.hi_bytes),
         };
-        timings.linearization += t.elapsed();
+        stage(&mut timings.linearization, STAGE_LINEARIZE, t);
 
         // Backend compression of the ID bytes (§II-E).
         let t = Instant::now();
         let hi_comp = self.codec.compress(&hi_lin)?;
-        timings.codec += t.elapsed();
+        stage(&mut timings.codec, STAGE_DEFLATE, t);
 
         // ISOBAR on the mantissa bytes (§II-G).
         let t = Instant::now();
         let report = isobar::analyze(&lo, n, lo_cols, &cfg.isobar);
         let (compressible, incompressible) = isobar::partition(&lo, n, lo_cols, report.mask);
-        timings.isobar += t.elapsed();
+        stage(&mut timings.isobar, STAGE_ISOBAR, t);
 
         let t = Instant::now();
         let lo_comp = if compressible.is_empty() {
@@ -259,9 +292,10 @@ impl PrimacyCompressor {
         } else {
             self.codec.compress(&compressible)?
         };
-        timings.codec += t.elapsed();
+        stage(&mut timings.codec, STAGE_DEFLATE, t);
 
         // Emit the chunk section.
+        let t = Instant::now();
         format::write_varint(out, n as u64);
         let flags = if own_index { format::FLAG_OWN_INDEX } else { 0 };
         out.push(flags);
@@ -275,6 +309,16 @@ impl PrimacyCompressor {
         format::write_varint(out, lo_comp.len() as u64);
         out.extend_from_slice(&lo_comp);
         out.extend_from_slice(&incompressible);
+        trace::span_duration("container.emit", t.elapsed());
+
+        trace::counter("chunk.compress", 1);
+        if own_index {
+            trace::counter("chunk.own_index", 1);
+        }
+        trace::counter("compress.bytes_in", chunk.len() as u64);
+        let section_len = (out.len() - section_start) as u64;
+        trace::counter("compress.bytes_out", section_len);
+        trace::observe("chunk.section_bytes", section_len);
 
         let alpha2 = report.compressible_fraction();
         *prev_index = Some(state);
@@ -344,7 +388,12 @@ impl PrimacyCompressor {
         }
         let stored =
             u32::from_le_bytes(format::read_array(input, body_end).ok_or(PrimacyError::Truncated)?);
+        let t = Instant::now();
         let actual = crc32(&out);
+        let dt = t.elapsed();
+        timings.codec += dt;
+        trace::span_duration(STAGE_DEFLATE, dt);
+        trace::span_duration("container.crc", dt);
         if stored != actual {
             return Err(PrimacyError::Codec(
                 primacy_codecs::CodecError::ChecksumMismatch {
@@ -431,7 +480,7 @@ pub(crate) fn decompress_chunk_timed(
     // Reverse the hi pipeline.
     let t = Instant::now();
     let hi_lin = codec.decompress(hi_comp)?;
-    timings.codec += t.elapsed();
+    stage(&mut timings.codec, STAGE_DEFLATE, t);
     if n.checked_mul(header.hi_bytes) != Some(hi_lin.len()) {
         return Err(PrimacyError::Format("hi section has wrong size"));
     }
@@ -440,10 +489,10 @@ pub(crate) fn decompress_chunk_timed(
         Linearization::Row => hi_lin,
         Linearization::Column => to_rows(&hi_lin, n, header.hi_bytes),
     };
-    timings.linearization += t.elapsed();
+    stage(&mut timings.linearization, STAGE_LINEARIZE, t);
     let t = Instant::now();
     map.decode_hi(&mut hi)?;
-    timings.id_mapping += t.elapsed();
+    stage(&mut timings.id_mapping, STAGE_IDMAP, t);
 
     // Reverse the lo pipeline.
     let t = Instant::now();
@@ -452,17 +501,19 @@ pub(crate) fn decompress_chunk_timed(
     } else {
         codec.decompress(lo_comp)?
     };
-    timings.codec += t.elapsed();
+    stage(&mut timings.codec, STAGE_DEFLATE, t);
     if n.checked_mul(mask.count_ones() as usize) != Some(compressible.len()) {
         return Err(PrimacyError::Format("lo section has wrong size"));
     }
     let t = Instant::now();
     let lo = isobar::unpartition(&compressible, incompressible, n, lo_cols, mask);
-    timings.isobar += t.elapsed();
+    stage(&mut timings.isobar, STAGE_ISOBAR, t);
 
     let t = Instant::now();
     let chunk = join_hi_lo(&hi, &lo, header.element_size, header.hi_bytes)?;
-    timings.split += t.elapsed();
+    stage(&mut timings.split, STAGE_SPLIT, t);
+    trace::counter("chunk.decompress", 1);
+    trace::counter("decompress.bytes_out", chunk.len() as u64);
     Ok((chunk, map))
 }
 

@@ -2,6 +2,32 @@
 
 use std::time::Duration;
 
+/// Canonical trace-span name of the hi/lo split (and re-join) stage.
+pub const STAGE_SPLIT: &str = "split";
+/// Canonical trace-span name of frequency analysis + index generation.
+pub const STAGE_FREQ: &str = "freq";
+/// Canonical trace-span name of ID encode/decode.
+pub const STAGE_IDMAP: &str = "idmap";
+/// Canonical trace-span name of row↔column linearization.
+pub const STAGE_LINEARIZE: &str = "linearize";
+/// Canonical trace-span name of the backend codec (named after the default
+/// deflate backend; other backends record under the same span so the stage
+/// table keeps one column per pipeline position).
+pub const STAGE_DEFLATE: &str = "deflate";
+/// Canonical trace-span name of ISOBAR analysis + partitioning.
+pub const STAGE_ISOBAR: &str = "isobar";
+
+/// The six pipeline stages in paper order (Fig. 2) — the row order of the
+/// `--trace` stage table and the key order of its JSON emission.
+pub const STAGES: [&str; 6] = [
+    STAGE_SPLIT,
+    STAGE_FREQ,
+    STAGE_IDMAP,
+    STAGE_LINEARIZE,
+    STAGE_DEFLATE,
+    STAGE_ISOBAR,
+];
+
 /// Wall-clock time spent in each pipeline stage during one compress or
 /// decompress call. Stage names follow the paper's workflow (Fig. 2).
 #[derive(Debug, Clone, Copy, Default, PartialEq)]
@@ -16,7 +42,9 @@ pub struct StageTimings {
     pub linearization: Duration,
     /// ISOBAR analysis + partitioning of the low-order bytes.
     pub isobar: Duration,
-    /// Backend codec time (both hi and lo sections).
+    /// Backend codec + container time: both hi and lo sections plus the
+    /// stream's CRC-32 integrity trailer (the container-level analogue of
+    /// the Adler-32 the zlib wrapper already counts here).
     pub codec: Duration,
 }
 
@@ -30,6 +58,19 @@ impl StageTimings {
     /// Total pipeline time.
     pub fn total(&self) -> Duration {
         self.preconditioner() + self.codec
+    }
+
+    /// The timings as `(stage name, duration)` pairs in [`STAGES`] order —
+    /// the bridge from this struct to trace tables and JSON reports.
+    pub fn by_stage(&self) -> [(&'static str, Duration); 6] {
+        [
+            (STAGE_SPLIT, self.split),
+            (STAGE_FREQ, self.frequency_analysis),
+            (STAGE_IDMAP, self.id_mapping),
+            (STAGE_LINEARIZE, self.linearization),
+            (STAGE_DEFLATE, self.codec),
+            (STAGE_ISOBAR, self.isobar),
+        ]
     }
 
     /// Accumulate another timing record (e.g. across chunks).
@@ -141,6 +182,23 @@ mod tests {
         assert_eq!(a.isobar, Duration::from_millis(7));
         assert_eq!(a.preconditioner(), Duration::from_millis(22));
         assert_eq!(a.total(), Duration::from_millis(42));
+    }
+
+    #[test]
+    fn by_stage_covers_every_field_in_canonical_order() {
+        let t = StageTimings {
+            split: Duration::from_nanos(1),
+            frequency_analysis: Duration::from_nanos(2),
+            id_mapping: Duration::from_nanos(4),
+            linearization: Duration::from_nanos(8),
+            isobar: Duration::from_nanos(16),
+            codec: Duration::from_nanos(32),
+        };
+        let pairs = t.by_stage();
+        let names: Vec<&str> = pairs.iter().map(|(n, _)| *n).collect();
+        assert_eq!(names, STAGES);
+        let sum: Duration = pairs.iter().map(|(_, d)| *d).sum();
+        assert_eq!(sum, t.total(), "by_stage must cover every timed field");
     }
 
     #[test]

@@ -1,0 +1,193 @@
+//! Golden-vector conformance suite: pins the PRIMACY container format
+//! (ISSUE 3 satellite).
+//!
+//! Each vector in `tests/golden/` is the hex dump of a full container —
+//! stream form (`compress_bytes`) or archive form (`ArchiveWriter`) — built
+//! from a seeded `primacy-datagen` input under a pinned configuration. The
+//! tests assert two directions:
+//!
+//! * **encode**: compressing the regenerated input today produces the
+//!   committed bytes exactly — any format drift (header layout, section
+//!   framing, index encoding, deflate token choices, CRC placement) fails
+//!   loudly instead of silently breaking old archives;
+//! * **decode**: the committed bytes decode back to the exact input — the
+//!   decoder keeps accepting containers written by every build since the
+//!   vectors were recorded.
+//!
+//! Two independent seeds are pinned (acceptance criterion): `gts_phi_l` and
+//! `obs_error` draw from different generator recipes with different seeds.
+//!
+//! To regenerate after an *intentional* format change:
+//! `PRIMACY_REGEN_GOLDEN=1 cargo test --test golden_format` — then commit
+//! the updated hex files and call out the format break in the PR.
+
+use primacy_suite::core::{ArchiveWriter, PrimacyCompressor, PrimacyConfig};
+use primacy_suite::datagen::DatasetId;
+use std::fmt::Write as _;
+use std::path::PathBuf;
+
+/// Chunk size pinned for the vectors: 1 KiB = 128 doubles, so the 300-element
+/// inputs span two full chunks plus a 44-element tail — the vectors cover
+/// multi-chunk framing and the non-divisible final chunk.
+const GOLDEN_CHUNK_BYTES: usize = 1024;
+/// Elements per vector (2400 bytes of input).
+const GOLDEN_ELEMENTS: usize = 300;
+
+/// The two independently seeded datasets pinned by the suite.
+const GOLDEN_DATASETS: [DatasetId; 2] = [DatasetId::GtsPhiL, DatasetId::ObsError];
+
+fn golden_config() -> PrimacyConfig {
+    PrimacyConfig {
+        chunk_bytes: GOLDEN_CHUNK_BYTES,
+        ..Default::default()
+    }
+}
+
+fn golden_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests")
+        .join("golden")
+}
+
+fn to_hex(bytes: &[u8]) -> String {
+    let mut s = String::with_capacity(bytes.len() * 2 + bytes.len() / 32 + 1);
+    for (i, b) in bytes.iter().enumerate() {
+        if i > 0 && i % 32 == 0 {
+            s.push('\n');
+        }
+        let _ = write!(s, "{b:02x}");
+    }
+    s.push('\n');
+    s
+}
+
+fn from_hex(text: &str) -> Vec<u8> {
+    let digits: Vec<u32> = text
+        .lines()
+        .filter(|line| !line.trim_start().starts_with('#'))
+        .flat_map(|line| line.chars())
+        .filter(|c| !c.is_whitespace())
+        .map(|c| c.to_digit(16).expect("golden files contain only hex"))
+        .collect();
+    assert!(
+        digits.len().is_multiple_of(2),
+        "odd number of hex digits in golden file"
+    );
+    digits
+        .chunks_exact(2)
+        .map(|pair| (pair[0] * 16 + pair[1]) as u8)
+        .collect()
+}
+
+/// Render one golden file: a provenance header (comment lines) plus the hex
+/// body. The header is informational; `from_hex` skips `#` lines.
+fn render_golden(id: DatasetId, container: &str, bytes: &[u8]) -> String {
+    format!(
+        "# PRIMACY golden vector — do not edit by hand.\n\
+         # container: {container}\n\
+         # dataset:   {} ({GOLDEN_ELEMENTS} doubles, seeded primacy-datagen)\n\
+         # config:    chunk_bytes={GOLDEN_CHUNK_BYTES}, defaults otherwise\n\
+         # regen:     PRIMACY_REGEN_GOLDEN=1 cargo test --test golden_format\n\
+         {}",
+        id.name(),
+        to_hex(bytes)
+    )
+}
+
+fn stream_vector(id: DatasetId) -> (Vec<u8>, Vec<u8>) {
+    let input = id.generate_bytes(GOLDEN_ELEMENTS);
+    let compressor = PrimacyCompressor::new(golden_config());
+    let container = compressor.compress_bytes(&input).expect("compress");
+    (input, container)
+}
+
+fn archive_vector(id: DatasetId) -> (Vec<u8>, Vec<u8>) {
+    let input = id.generate_bytes(GOLDEN_ELEMENTS);
+    let mut w = ArchiveWriter::new(Vec::new(), golden_config()).expect("valid config");
+    w.append(&input).expect("element-aligned");
+    let container = w.finish().expect("finishes");
+    (input, container)
+}
+
+fn check_vector(id: DatasetId, container_kind: &str, input: &[u8], produced: &[u8]) {
+    let path = golden_dir().join(format!("{}_{container_kind}.hex", id.name()));
+    if std::env::var_os("PRIMACY_REGEN_GOLDEN").is_some() {
+        std::fs::create_dir_all(golden_dir()).expect("create tests/golden");
+        std::fs::write(&path, render_golden(id, container_kind, produced))
+            .expect("write golden vector");
+    }
+    let text = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("missing golden vector {}: {e}", path.display()));
+    let golden = from_hex(&text);
+
+    // Encode direction: today's encoder reproduces the committed bytes.
+    assert_eq!(
+        produced,
+        golden.as_slice(),
+        "{} {container_kind}: encoder output drifted from the golden vector \
+         ({} bytes produced vs {} committed). If the format change is \
+         intentional, regenerate with PRIMACY_REGEN_GOLDEN=1 and document it.",
+        id.name(),
+        produced.len(),
+        golden.len(),
+    );
+
+    // Decode direction: the committed bytes (not the freshly produced ones)
+    // still decode to the exact input.
+    let decoded = match container_kind {
+        "stream" => PrimacyCompressor::new(golden_config())
+            .decompress_bytes(&golden)
+            .expect("golden stream decodes"),
+        "archive" => {
+            let r =
+                primacy_suite::core::ArchiveReader::open(&golden).expect("golden archive opens");
+            r.read_elements(0, r.element_count() as usize)
+                .expect("golden archive reads")
+        }
+        other => panic!("unknown container kind {other}"),
+    };
+    assert_eq!(
+        decoded,
+        input,
+        "{} {container_kind}: golden bytes did not round-trip to the input",
+        id.name()
+    );
+}
+
+#[test]
+fn stream_vectors_are_byte_exact() {
+    for id in GOLDEN_DATASETS {
+        let (input, container) = stream_vector(id);
+        // Multi-chunk by construction: 300 elements over 128-element chunks.
+        check_vector(id, "stream", &input, &container);
+    }
+}
+
+#[test]
+fn archive_vectors_are_byte_exact() {
+    for id in GOLDEN_DATASETS {
+        let (input, container) = archive_vector(id);
+        check_vector(id, "archive", &input, &container);
+    }
+}
+
+#[test]
+fn golden_inputs_are_deterministic() {
+    // The vectors are only as stable as the generator: two independent calls
+    // must agree bit-for-bit, or the suite would pin noise.
+    for id in GOLDEN_DATASETS {
+        assert_eq!(
+            id.generate_bytes(GOLDEN_ELEMENTS),
+            id.generate_bytes(GOLDEN_ELEMENTS),
+            "{} generator is not deterministic",
+            id.name()
+        );
+    }
+}
+
+#[test]
+fn hex_helpers_round_trip() {
+    let bytes: Vec<u8> = (0u16..=255).map(|b| b as u8).collect();
+    let text = format!("# comment line\n{}", to_hex(&bytes));
+    assert_eq!(from_hex(&text), bytes);
+}
