@@ -17,11 +17,17 @@ run() {
 run cargo fmt --check
 run cargo clippy --workspace --all-targets --offline -- -D warnings
 run cargo build --release --workspace --offline
-# Panic-safety static analysis (DESIGN.md "Panic policy & lint rules"):
-# non-zero exit on any unjustified unwrap/expect/panic!, unchecked
-# indexing in untrusted-input modules, or non-Result decode entry point.
-run cargo run --release --offline -p primacy-lint
+# Static analysis gate (DESIGN.md "Static analysis"): non-zero exit on
+# any rule violation — panic safety, untrusted-length taint, overflow,
+# allocation sizing, SAFETY comments, pub docs — and on any *regression*
+# against the checked-in diagnostics baseline: a new finding, a new
+# suppression, or a new allow directive all fail; improvements pass.
+# Refresh intentionally with: primacy-lint --write-baseline lint-baseline.json
+run cargo run --release --offline -p primacy-lint -- --baseline lint-baseline.json
 run cargo test -q --workspace --offline
+# Second test pass with overflow checks compiled in (profile.release-checked):
+# arithmetic wraps that plain release would mask abort the suite here.
+run cargo test -q --workspace --offline --profile release-checked
 # The adversarial-decode corpus is part of the workspace test run above;
 # re-run it by name so a corpus failure is unmissable in the CI log.
 run cargo test -q --offline --test adversarial_decode

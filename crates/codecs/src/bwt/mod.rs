@@ -15,6 +15,7 @@
 //! block is `varint block_len | varint primary | 4-bit code lengths × 258 |
 //! huffman bitstream (EOB-terminated, byte aligned)`.
 
+/// Suffix-array construction for the forward transform.
 pub mod suffix;
 
 use crate::bitio::{BitReader, BitWriter};
@@ -120,14 +121,16 @@ pub fn bwt_inverse(bwt: &[u8], primary: usize) -> Result<Vec<u8>> {
     for (c, &cnt) in count.iter().enumerate() {
         // lint: allow(index) -- c enumerates the same fixed-size table
         starts[c] = sum;
-        sum += cnt;
+        // Counts sum to n+1, which fits u32 for any in-bounds block;
+        // saturating keeps the table monotonic even on corrupt input.
+        sum = sum.saturating_add(cnt);
     }
     let mut occ = [0u32; 258];
     let mut lf = vec![0u32; n + 1];
     for (p, lf_slot) in lf.iter_mut().enumerate() {
         let s = sym_at(p);
         // lint: allow(index) -- sym_at returns 0..=256 against fixed [u32; 258] tables
-        *lf_slot = starts[s] + occ[s];
+        *lf_slot = starts[s].saturating_add(occ[s]);
         occ[s] += 1; // lint: allow(index) -- same bound as the line above
     }
     // Walk the LF mapping backwards, building the output back-to-front.
@@ -466,7 +469,7 @@ impl Codec for BwtCodec {
         let body_end = input.len() - 4;
         let mut pos = 4usize;
         let (total_len, used) = read_varint(input.get(pos..body_end).unwrap_or(&[]))?;
-        pos += used;
+        pos = pos.checked_add(used).ok_or(CodecError::Truncated)?;
         let mut out = Vec::with_capacity(crate::clamped_capacity(total_len));
         while (out.len() as u64) < total_len {
             if pos >= body_end {

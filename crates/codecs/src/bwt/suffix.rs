@@ -115,14 +115,16 @@ fn induce(s: &[u32], is_s: &[bool], bucket: &[u32], lms: &[u32]) -> Vec<u32> {
         let mut sum = 0u32;
         for &b in bucket {
             out.push(sum);
-            sum += b;
+            // Bucket counts sum to n, which fits u32 for any block the
+            // encoder accepts.
+            sum = sum.saturating_add(b);
         }
     };
     let tails = |out: &mut Vec<u32>| {
         out.clear();
         let mut sum = 0u32;
         for &b in bucket {
-            sum += b;
+            sum = sum.saturating_add(b);
             out.push(sum);
         }
     };
@@ -182,7 +184,7 @@ fn lms_substrings_equal(s: &[u32], is_s: &[bool], a: usize, b: usize) -> bool {
     }
     let mut i = 0usize;
     loop {
-        let (pa, pb) = (a + i, b + i);
+        let (pa, pb) = (a.saturating_add(i), b.saturating_add(i));
         let a_end = i > 0 && pa < n && is_s[pa] && !is_s[pa - 1];
         let b_end = i > 0 && pb < n && is_s[pb] && !is_s[pb - 1];
         if a_end && b_end {

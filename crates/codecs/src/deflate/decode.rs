@@ -84,7 +84,7 @@ fn read_dynamic_tables(r: &mut BitReader<'_>) -> Result<(Decoder, Decoder)> {
     }
     let cl_dec = Decoder::from_lengths(&cl_lengths)?;
 
-    let total = hlit + hdist;
+    let total = hlit.saturating_add(hdist); // <= 316 after the guards above
     let mut lengths = Vec::with_capacity(total);
     while lengths.len() < total {
         let sym = cl_dec.decode(r)?;
@@ -95,21 +95,21 @@ fn read_dynamic_tables(r: &mut BitReader<'_>) -> Result<(Decoder, Decoder)> {
                     .last()
                     .ok_or(CodecError::Corrupt("repeat with no previous length"))?;
                 let n = r.read_bits(2)? as usize + 3;
-                if lengths.len() + n > total {
+                if n > total - lengths.len() {
                     return Err(CodecError::Corrupt("length repeat overflows table"));
                 }
                 lengths.extend(std::iter::repeat_n(prev, n));
             }
             17 => {
                 let n = r.read_bits(3)? as usize + 3;
-                if lengths.len() + n > total {
+                if n > total - lengths.len() {
                     return Err(CodecError::Corrupt("zero run overflows table"));
                 }
                 lengths.extend(std::iter::repeat_n(0u8, n));
             }
             18 => {
                 let n = r.read_bits(7)? as usize + 11;
-                if lengths.len() + n > total {
+                if n > total - lengths.len() {
                     return Err(CodecError::Corrupt("zero run overflows table"));
                 }
                 lengths.extend(std::iter::repeat_n(0u8, n));
@@ -137,17 +137,24 @@ fn inflate_block(
             0..=255 => out.push(sym as u8),
             END_OF_BLOCK => return Ok(()),
             257..=285 => {
+                // li <= 28 always (sym <= 285 indexes the 29-entry RFC 1951
+                // tables); `get` keeps the lookup total anyway.
                 let li = (sym - 257) as usize;
-                let len =
-                    // lint: allow(index) -- li <= 28 indexes the 29-entry RFC 1951 length tables
-                    LENGTH_BASE[li] as usize + r.read_bits(u32::from(LENGTH_EXTRA[li]))? as usize;
+                let base = *LENGTH_BASE
+                    .get(li)
+                    .ok_or(CodecError::Corrupt("invalid length code"))?;
+                let ebits = *LENGTH_EXTRA
+                    .get(li)
+                    .ok_or(CodecError::Corrupt("invalid length code"))?;
+                let len = (base as usize).saturating_add(r.read_bits(u32::from(ebits))? as usize);
                 let dsym = dist.decode(r)? as usize;
-                if dsym >= 30 {
-                    return Err(CodecError::Corrupt("invalid distance code"));
-                }
-                let d =
-                    // lint: allow(index) -- dsym < 30 (checked above) indexes the 30-entry tables
-                    DIST_BASE[dsym] as usize + r.read_bits(u32::from(DIST_EXTRA[dsym]))? as usize;
+                let base = *DIST_BASE
+                    .get(dsym)
+                    .ok_or(CodecError::Corrupt("invalid distance code"))?;
+                let ebits = *DIST_EXTRA
+                    .get(dsym)
+                    .ok_or(CodecError::Corrupt("invalid distance code"))?;
+                let d = (base as usize).saturating_add(r.read_bits(u32::from(ebits))? as usize);
                 if d > out.len() {
                     return Err(CodecError::Corrupt("distance reaches before output start"));
                 }
@@ -159,19 +166,24 @@ fn inflate_block(
 }
 
 /// Copy `len` bytes from `dist` back, handling the self-overlapping case
-/// (dist < len) that RLE-style references rely on.
+/// (dist < len) that RLE-style references rely on: each pass copies as
+/// much as the already-materialized suffix allows, so the copied span
+/// doubles per pass instead of moving byte by byte.
 #[inline]
 fn copy_match(out: &mut Vec<u8>, dist: usize, len: usize) {
+    // The caller checks 1 <= dist <= out.len() (DIST_BASE starts at 1);
+    // a zero dist would stall the loop, so bail out defensively.
+    if dist == 0 {
+        return;
+    }
     let start = out.len() - dist;
-    if dist >= len {
-        out.extend_from_within(start..start + len);
-    } else {
-        out.reserve(len);
-        for k in 0..len {
-            // lint: allow(index) -- start + k < out.len(): start = len - dist and one byte is pushed per k
-            let b = out[start + k];
-            out.push(b);
-        }
+    let mut remaining = len;
+    out.reserve(len);
+    while remaining > 0 {
+        let avail = out.len() - start;
+        let chunk = avail.min(remaining);
+        out.extend_from_within(start..start.saturating_add(chunk));
+        remaining -= chunk;
     }
 }
 

@@ -9,9 +9,12 @@
 //! baseline of the PRIMACY paper and the default solver behind the
 //! preconditioner.
 
+/// Inflate: block and stream decoding.
 pub mod decode;
+/// Deflate: block and stream encoding.
 pub mod encode;
 mod gzip;
+/// LZ77 match finding shared by the encoder.
 pub mod lz77;
 mod zlib;
 

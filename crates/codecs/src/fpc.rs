@@ -180,7 +180,7 @@ impl Fpc {
         }
         let (count, used) = read_varint(&input[5..])?;
         let count = count as usize;
-        let mut pos = 5 + used;
+        let mut pos = 5usize.saturating_add(used);
         let header_bytes = count.div_ceil(2);
         let body_end = input.len() - 4;
         // `count` is an attacker-controllable varint: checked arithmetic only.

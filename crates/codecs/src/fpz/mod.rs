@@ -14,6 +14,7 @@
 //! Stream layout: `magic "FPZ1" | u8 rank | varint dims… | varint count |
 //! range-coded payload | crc32(raw doubles)`.
 
+/// Adaptive binary range coder backing the residual stream.
 pub mod range;
 
 use crate::checksum::crc32;
@@ -22,6 +23,16 @@ use crate::{read_varint, write_varint, Codec};
 use range::{BitTreeModel, RangeDecoder, RangeEncoder};
 
 const MAGIC: &[u8; 4] = b"FPZ1";
+/// Decompression-bomb bound: an adaptive range-coded payload of `B` bytes
+/// cannot encode more than `B * MAX_ELEMENTS_PER_BYTE` doubles. The coder's
+/// saturated cost per constant element is ~0.02 bits (≈370 elements/byte);
+/// 4096 leaves an order of magnitude of margin while rejecting forged counts
+/// before any per-element work happens.
+pub const MAX_ELEMENTS_PER_BYTE: usize = 4096;
+/// Slack allowed between the decoder cursor and the end of the payload. The
+/// encoder flushes 5 bytes, so a valid stream never overruns by more than
+/// that; past this bound every decoded bit comes from synthesized zeros.
+pub const MAX_RANGE_OVERRUN: usize = 16;
 
 /// Grid shape the Lorenzo predictor runs over.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -126,14 +137,20 @@ fn lorenzo_predict(prev: &[u64], i: usize, grid: Grid) -> u64 {
             get(west).wrapping_add(get(south)).wrapping_sub(get(sw))
         }
         Grid::D3(nx, ny, _) => {
+            // Validated grids satisfy nx * ny <= element count, so the
+            // saturating product is exact (and nonzero whenever i exists).
+            let plane = nx.saturating_mul(ny);
             let x = i % nx;
             let y = (i / nx) % ny;
-            let z = i / (nx * ny);
+            let z = i / plane;
             let at = |dx: usize, dy: usize, dz: usize| -> Option<usize> {
                 if (dx == 1 && x == 0) || (dy == 1 && y == 0) || (dz == 1 && z == 0) {
                     None
                 } else {
-                    Some(i - dx - dy * nx - dz * nx * ny)
+                    let back = dx
+                        .saturating_add(dy.saturating_mul(nx))
+                        .saturating_add(dz.saturating_mul(plane));
+                    i.checked_sub(back)
                 }
             };
             // Third-order Lorenzo: +face neighbours, −edge, +corner.
@@ -223,7 +240,7 @@ impl Fpz {
         }
         let (count, used) = read_varint(input.get(pos..).ok_or(CodecError::Truncated)?)?;
         let count = count as usize;
-        pos += used;
+        pos = pos.checked_add(used).ok_or(CodecError::Truncated)?;
         let [d0, d1, d2] = dims;
         let grid = match rank {
             1 => Grid::D1,
@@ -240,10 +257,16 @@ impl Fpz {
         }
         let body_end = input.len() - 4;
         let body = input.get(pos..body_end).ok_or(CodecError::Truncated)?;
+        if count > body.len().saturating_mul(MAX_ELEMENTS_PER_BYTE) {
+            return Err(CodecError::Corrupt("fpz count implausible for payload"));
+        }
         let mut dec = RangeDecoder::new(body)?;
         let mut class_model = BitTreeModel::new(7);
         let mut mapped = Vec::with_capacity(crate::clamped_capacity(count as u64));
         for i in 0..count {
+            if dec.overrun() > MAX_RANGE_OVERRUN {
+                return Err(CodecError::Truncated);
+            }
             let class = class_model.decode(&mut dec);
             if class > 64 {
                 return Err(CodecError::Corrupt("fpz residual class exceeds 64"));

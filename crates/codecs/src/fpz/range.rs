@@ -82,11 +82,13 @@ impl RangeEncoder {
     /// Encode one modeled bit.
     #[inline]
     pub fn encode_bit(&mut self, prob: &mut Prob, bit: u32) {
-        let bound = (self.range >> PROB_BITS) * u32::from(prob.0);
+        // range>>11 < 2^21 times an 11-bit probability stays under 2^32,
+        // and low < 2^33 plus a u32 stays far under 2^64: wrap-free.
+        let bound = (self.range >> PROB_BITS).wrapping_mul(u32::from(prob.0));
         if bit == 0 {
             self.range = bound;
         } else {
-            self.low += u64::from(bound);
+            self.low = self.low.wrapping_add(u64::from(bound));
             self.range -= bound;
         }
         prob.update(bit);
@@ -102,7 +104,8 @@ impl RangeEncoder {
             let bit = ((value >> i) & 1) as u32;
             self.range >>= 1;
             if bit != 0 {
-                self.low += u64::from(self.range);
+                // low < 2^33 plus a u32 cannot wrap a u64.
+                self.low = self.low.wrapping_add(u64::from(self.range));
             }
             if self.range < TOP {
                 self.range <<= 8;
@@ -147,6 +150,14 @@ impl<'a> RangeDecoder<'a> {
         })
     }
 
+    /// Bytes consumed beyond the end of the input. A well-formed stream
+    /// never overruns by more than the coder's flush slack; a growing
+    /// overrun means the decoder is pulling synthesized zeros — callers
+    /// bound it to cap decompression work on forged element counts.
+    pub fn overrun(&self) -> usize {
+        self.pos.saturating_sub(self.input.len())
+    }
+
     #[inline]
     fn next_byte(&mut self) -> u8 {
         // Reading past the end yields zeros; a truncated stream will fail
@@ -160,7 +171,8 @@ impl<'a> RangeDecoder<'a> {
     #[inline]
     // lint: allow(decode-result) -- coder primitive: zero-fills past end by design; the container CRC rejects truncation
     pub fn decode_bit(&mut self, prob: &mut Prob) -> u32 {
-        let bound = (self.range >> PROB_BITS) * u32::from(prob.0);
+        // Same bound proof as `encode_bit`: the product stays under 2^32.
+        let bound = (self.range >> PROB_BITS).wrapping_mul(u32::from(prob.0));
         let bit = if self.code < bound {
             self.range = bound;
             0

@@ -23,14 +23,23 @@
 //! All codecs implement the common [`Codec`] trait and produce self-framed
 //! streams: `decompress(compress(x)) == x` with no out-of-band metadata.
 
+/// Bit-granular readers and writers shared by the entropy coders.
 pub mod bitio;
+/// Burrows–Wheeler codec (the paper's `bzip2` analogue).
 pub mod bwt;
+/// CRC-32 and Adler-32 checksums used by the stream trailers.
 pub mod checksum;
+/// DEFLATE codec and its zlib/gzip wrappers (the paper's `zlib` baseline).
 pub mod deflate;
+/// Codec error type and result alias.
 pub mod error;
+/// FPC: hash-predictor floating-point codec.
 pub mod fpc;
+/// FPZ: Lorenzo-predicted, range-coded floating-point codec.
 pub mod fpz;
+/// Canonical Huffman coding primitives.
 pub mod huffman;
+/// LZR: byte-oriented LZ codec (the paper's `lzo` speed class).
 pub mod lzr;
 
 pub use error::{CodecError, Result};

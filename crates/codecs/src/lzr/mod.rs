@@ -57,7 +57,7 @@ impl Lzr {
         // A varint long enough to overlap the CRC trailer inverts this
         // range; `get` turns that into a typed error instead of a panic.
         let body = input
-            .get(4 + used..input.len() - 4)
+            .get(4usize.saturating_add(used)..input.len() - 4)
             .ok_or(CodecError::Truncated)?;
         let out = decompress_body(body, orig_len as usize)?;
         let stored = u32::from_le_bytes(
@@ -109,15 +109,19 @@ fn compress_body(input: &[u8], out: &mut Vec<u8>) {
             continue;
         }
         let c = cand as usize;
-        // Extend the match forward.
-        let mut len = MIN_MATCH;
-        // lint: allow(index) -- encoder-owned input; c + len < i + len < n by the loop condition
-        while i + len < n && input[c + len] == input[i + len] {
-            len += 1;
-        }
+        // Extend the match forward: count the equal prefix beyond the
+        // verified MIN_MATCH bytes (the candidate side may overlap `i`).
+        let extra = input
+            .get(c + MIN_MATCH..)
+            .unwrap_or(&[])
+            .iter()
+            .zip(input.get(i + MIN_MATCH..).unwrap_or(&[]))
+            .take_while(|(a, b)| a == b)
+            .count();
+        let len = MIN_MATCH + extra;
         // lint: allow(index) -- encoder-owned input; literal_start <= i <= n by construction
         emit_sequence(out, &input[literal_start..i], len - MIN_MATCH, i - c);
-        i += len;
+        i = i.saturating_add(len);
         literal_start = i;
     }
     // Trailing literals: token with match nibble 0 and no offset.
@@ -158,7 +162,9 @@ fn read_extended(body: &[u8], pos: &mut usize) -> Result<usize> {
     loop {
         let b = *body.get(*pos).ok_or(CodecError::Truncated)?;
         *pos += 1;
-        total += b as usize;
+        // The byte run is attacker-length: saturate rather than wrap; an
+        // absurd total then fails the downstream range checks.
+        total = total.saturating_add(b as usize);
         if b != 255 {
             return Ok(total);
         }
@@ -176,7 +182,7 @@ fn decompress_body(body: &[u8], orig_len: usize) -> Result<Vec<u8>> {
         pos += 1;
         let mut lit_len = (token >> 4) as usize;
         if lit_len == 15 {
-            lit_len += read_extended(body, &mut pos)?;
+            lit_len = lit_len.saturating_add(read_extended(body, &mut pos)?);
         }
         let lit_end = pos.checked_add(lit_len).ok_or(CodecError::Truncated)?;
         let literals = body.get(pos..lit_end).ok_or(CodecError::Truncated)?;
@@ -192,21 +198,21 @@ fn decompress_body(body: &[u8], orig_len: usize) -> Result<Vec<u8>> {
         pos += 2;
         let mut match_len = match_code - 1 + MIN_MATCH;
         if match_code == 15 {
-            match_len += read_extended(body, &mut pos)?;
+            match_len = match_len.saturating_add(read_extended(body, &mut pos)?);
         }
         if offset == 0 || offset > out.len() {
             return Err(CodecError::Corrupt("lzr offset out of range"));
         }
+        // Copy in doubling passes so the self-overlapping case
+        // (offset < match_len) needs no per-byte indexing.
         let start = out.len() - offset;
-        if offset >= match_len {
-            out.extend_from_within(start..start + match_len);
-        } else {
-            out.reserve(match_len);
-            for k in 0..match_len {
-                // lint: allow(index) -- start + k < out.len(): start = len - offset and one byte is pushed per k
-                let b = out[start + k];
-                out.push(b);
-            }
+        out.reserve(match_len);
+        let mut remaining = match_len;
+        while remaining > 0 {
+            let avail = out.len() - start;
+            let chunk = avail.min(remaining);
+            out.extend_from_within(start..start.saturating_add(chunk));
+            remaining -= chunk;
         }
         if out.len() > orig_len {
             return Err(CodecError::LengthMismatch {

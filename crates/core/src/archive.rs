@@ -32,6 +32,12 @@ const MAGIC: &[u8; 4] = b"PRMA";
 const VERSION: u8 = 1;
 /// Fixed footer size: offset + count + crc + magic.
 const FOOTER_LEN: usize = 8 + 4 + 4 + 4;
+/// Decompression-bomb bound: a chunk section of `S` stored bytes may not
+/// claim to decode to more than `S * MAX_CHUNK_EXPANSION` plaintext bytes.
+/// Adaptive coding tops out near 500:1 on constant data; 65536:1 leaves two
+/// orders of margin while keeping a forged directory from forcing huge
+/// allocations out of a tiny file.
+pub const MAX_CHUNK_EXPANSION: u64 = 1 << 16;
 
 /// One directory entry.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -101,7 +107,12 @@ impl<W: Write> ArchiveWriter<W> {
         assert!(!self.finished, "append after finish");
         self.pending.extend_from_slice(bytes);
         let cfg = self.compressor.config();
-        let chunk_bytes = (cfg.chunk_elements() * cfg.element_size).max(cfg.element_size);
+        // Validated configs keep this product far below usize::MAX; saturate
+        // so even a pathological config degrades to one huge chunk.
+        let chunk_bytes = cfg
+            .chunk_elements()
+            .saturating_mul(cfg.element_size)
+            .max(cfg.element_size);
         while self.pending.len() >= chunk_bytes {
             let rest = self.pending.split_off(chunk_bytes);
             let chunk = std::mem::replace(&mut self.pending, rest);
@@ -143,7 +154,7 @@ impl<W: Write> ArchiveWriter<W> {
         self.sink
             .write_all(&section)
             .map_err(|_| PrimacyError::Format("archive sink write failed"))?;
-        self.offset += section.len() as u64;
+        self.offset = self.offset.saturating_add(section.len() as u64);
         trace::counter("archive.chunks_written", 1);
         trace::observe("archive.section_bytes", section.len() as u64);
         Ok(())
@@ -152,8 +163,8 @@ impl<W: Write> ArchiveWriter<W> {
     /// Total elements appended so far (flushed + pending).
     pub fn elements_written(&self) -> u64 {
         let cfg = self.compressor.config();
-        self.directory.iter().map(|e| e.elements).sum::<u64>()
-            + (self.pending.len() / cfg.element_size) as u64
+        let flushed: u64 = self.directory.iter().map(|e| e.elements).sum();
+        flushed.saturating_add((self.pending.len() / cfg.element_size) as u64)
     }
 
     /// Flush the tail chunk, write the directory and footer, and return the
@@ -300,6 +311,21 @@ impl<'a> ArchiveReader<'a> {
                 .ok_or(PrimacyError::Truncated)?;
             directory.push(entry);
         }
+        // Decompression-bomb guard: every chunk's claimed plaintext size must
+        // be plausible against the stored bytes backing it.
+        for (k, entry) in directory.iter().enumerate() {
+            let section_end = directory
+                .get(k + 1)
+                .map(|e| e.offset)
+                .unwrap_or(directory_offset as u64);
+            let section_len = section_end.saturating_sub(entry.offset);
+            let plain = entry.elements.saturating_mul(element_size as u64);
+            if plain > section_len.saturating_mul(MAX_CHUNK_EXPANSION) {
+                return Err(PrimacyError::Format(
+                    "archive chunk claims implausible expansion",
+                ));
+            }
+        }
         let header = Header {
             element_size,
             hi_bytes,
@@ -404,13 +430,13 @@ impl<'a> ArchiveReader<'a> {
             let skip = (cursor - chunk_start) as usize;
             let take = remaining.min(chunk_elements - skip);
             // `read_chunk` verified chunk.len() == elements * es, so both
-            // products stay within the decoded buffer.
+            // products stay within the decoded buffer (saturation is exact).
             let section = chunk
-                .get(skip * es..(skip + take) * es)
+                .get(skip.saturating_mul(es)..skip.saturating_add(take).saturating_mul(es))
                 .ok_or(PrimacyError::Truncated)?;
             out.extend_from_slice(section);
             remaining -= take;
-            cursor += take as u64;
+            cursor = cursor.saturating_add(take as u64);
             i += 1;
         }
         Ok(out)
@@ -434,8 +460,10 @@ impl<'a> ArchiveReader<'a> {
         let mut slices: Vec<&mut [u8]> = Vec::with_capacity(self.directory.len());
         let mut rest = out.as_mut_slice();
         for entry in &self.directory {
+            // Entry products sum to `total` (checked above), so the
+            // saturating product is exact.
             let (head, tail) = rest
-                .split_at_mut_checked(entry.elements as usize * es)
+                .split_at_mut_checked((entry.elements as usize).saturating_mul(es))
                 .ok_or(PrimacyError::Truncated)?;
             slices.push(head);
             rest = tail;

@@ -139,7 +139,8 @@ pub fn read_header(input: &[u8]) -> Result<(Header, usize)> {
             codec,
             total_elements,
         },
-        9 + used,
+        // A varint never exceeds 10 bytes, so the sum is exact.
+        9usize.saturating_add(used),
     ))
 }
 
@@ -164,7 +165,8 @@ pub fn read_varint(input: &[u8]) -> Result<(u64, usize)> {
         if shift >= 64 {
             return Err(PrimacyError::Format("varint overflow"));
         }
-        v |= u64::from(b & 0x7f) << shift;
+        // The guard above keeps shift < 64; wrapping_shl makes that explicit.
+        v |= u64::from(b & 0x7f).wrapping_shl(shift);
         if b & 0x80 == 0 {
             return Ok((v, i + 1));
         }
@@ -201,7 +203,8 @@ impl<'a> Reader<'a> {
     pub fn varint(&mut self) -> Result<u64> {
         let window = self.input.get(self.pos..self.end).unwrap_or(&[]);
         let (v, used) = read_varint(window)?;
-        self.pos += used;
+        // used is bounded by the window length, so pos stays within end.
+        self.pos = self.pos.saturating_add(used);
         Ok(v)
     }
 

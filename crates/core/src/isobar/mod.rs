@@ -13,6 +13,7 @@
 //! column, which captures the same signal (a column of p≈0.5 bits has ≈8
 //! bits of byte entropy) with one interpretable knob.
 
+/// Per-column entropy measurements behind the classifier.
 pub mod analysis;
 
 use crate::config::IsobarConfig;

@@ -38,18 +38,31 @@
 //! assert_eq!(restored, values);
 //! ```
 
+/// Compressibility diagnostics over raw element buffers.
 pub mod analysis;
+/// Seekable chunked archives with random element access.
 pub mod archive;
+/// Compressor configuration and tuning knobs.
 pub mod config;
+/// Error type and result alias for the whole pipeline.
 pub mod error;
+/// Streaming container layout, varints, and the chunk cursor.
 pub mod format;
+/// Frequency tables feeding the ID-mapper.
 pub mod freq;
+/// The preconditioning ID-mapper itself.
 pub mod idmap;
+/// Isobaric column classification (compressible vs. incompressible).
 pub mod isobar;
+/// Row/column linearization of the hi-byte matrix.
 pub mod linearize;
+/// The end-to-end compression pipeline.
 pub mod pipeline;
+/// Hi/lo byte-plane splitting.
 pub mod split;
+/// Order statistics shared by analysis and the mapper.
 pub mod stats;
+/// `std::io` adapters over archives.
 pub mod stream;
 
 pub use archive::{ArchiveReader, ArchiveWriter};

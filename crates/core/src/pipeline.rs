@@ -469,7 +469,8 @@ pub(crate) fn decompress_chunk_timed(
     }
     let lo_len = reader.varint()? as usize;
     let lo_comp = reader.bytes(lo_len)?;
-    let incompressible_cols = lo_cols - mask.count_ones() as usize;
+    // Exact after the mask-width guard above; saturation documents the bound.
+    let incompressible_cols = lo_cols.saturating_sub(mask.count_ones() as usize);
     // `n` comes straight from an attacker-controllable varint; every product
     // involving it must be checked or an over-claim wraps into a panic.
     let raw_len = n

@@ -77,7 +77,7 @@ impl Read for ElementReader<'_> {
         if let (Some(dst), Some(src)) = (buf.get_mut(..n), avail.get(..n)) {
             dst.copy_from_slice(src);
         }
-        self.offset += n;
+        self.offset = self.offset.saturating_add(n);
         Ok(n)
     }
 }

@@ -1,0 +1,54 @@
+//! Archive-level decompression-bomb regression: a forged directory entry
+//! claiming an implausible plaintext size for its stored bytes must be
+//! rejected at `open`, before any chunk is decoded or output allocated.
+
+use primacy_codecs::checksum::crc32;
+use primacy_core::{ArchiveReader, ArchiveWriter, PrimacyConfig};
+
+fn build_archive(n: usize) -> Vec<u8> {
+    let values: Vec<f64> = (0..n).map(|i| 1.0 + (i as f64 * 0.01).sin()).collect();
+    let cfg = PrimacyConfig {
+        chunk_bytes: 4096,
+        ..Default::default()
+    };
+    let mut w = ArchiveWriter::new(Vec::new(), cfg).unwrap();
+    w.append_f64(&values).unwrap();
+    w.finish().unwrap()
+}
+
+#[test]
+fn forged_chunk_expansion_rejected_at_open() {
+    let mut archive = build_archive(1024);
+    assert!(ArchiveReader::open(&archive).is_ok(), "baseline must parse");
+
+    // Footer layout: u64 directory_offset | u32 chunk_count | u32 dir_crc |
+    // 4-byte magic. Patch the first directory entry's element count to 2^40
+    // and re-sign the directory so only the expansion guard can object.
+    let n = archive.len();
+    let footer_at = n - 20;
+    let chunk_count =
+        u32::from_le_bytes(archive[footer_at + 8..footer_at + 12].try_into().unwrap()) as usize;
+    let dir_start = footer_at - chunk_count * 20;
+    archive[dir_start + 8..dir_start + 16].copy_from_slice(&(1u64 << 40).to_le_bytes());
+    let dir_crc = crc32(&archive[dir_start..footer_at]);
+    archive[footer_at + 12..footer_at + 16].copy_from_slice(&dir_crc.to_le_bytes());
+
+    let err = ArchiveReader::open(&archive);
+    assert!(err.is_err(), "2^40-element chunk claim must be rejected");
+}
+
+#[test]
+fn honest_high_ratio_archives_still_open() {
+    // Constant data compresses extremely well; the expansion bound must not
+    // reject a genuinely high-ratio archive.
+    let values = vec![0.0f64; 100_000];
+    let cfg = PrimacyConfig {
+        chunk_bytes: 65_536,
+        ..Default::default()
+    };
+    let mut w = ArchiveWriter::new(Vec::new(), cfg).unwrap();
+    w.append_f64(&values).unwrap();
+    let archive = w.finish().unwrap();
+    let r = ArchiveReader::open(&archive).unwrap();
+    assert_eq!(r.read_elements_f64(0, 100_000).unwrap(), values);
+}

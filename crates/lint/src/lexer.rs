@@ -38,6 +38,18 @@ pub struct Token {
     pub line: u32,
 }
 
+/// What flavor of `//` comment a [`LineComment`] is. The pub-doc rule
+/// needs to tell documentation apart from plain commentary.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CommentKind {
+    /// A plain `//` comment (including `////` ruler lines).
+    Plain,
+    /// An outer doc comment, `/// ...`.
+    DocOuter,
+    /// An inner doc comment, `//! ...`.
+    DocInner,
+}
+
 /// A `//` comment (doc comments included), with its text after the slashes.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct LineComment {
@@ -45,6 +57,8 @@ pub struct LineComment {
     pub line: u32,
     /// Comment body with the leading `//`, `///`, or `//!` stripped.
     pub text: String,
+    /// Plain comment vs outer/inner doc comment.
+    pub kind: CommentKind,
 }
 
 /// Full lexer output for one source file.
@@ -144,18 +158,30 @@ fn eat_block_comment(cur: &mut Cursor) {
     }
 }
 
-/// Consume a numeric literal. The first digit has already been bumped.
-/// Handles hex/octal/binary prefixes, underscores, type suffixes, and a
-/// fractional dot — but never swallows the `..` of a range expression.
-fn eat_number(cur: &mut Cursor) {
+/// Consume a numeric literal. The first digit has already been bumped and
+/// is passed as `first`. Handles hex/octal/binary prefixes, underscores,
+/// type suffixes, and a fractional dot — but never swallows the `..` of a
+/// range expression, the `+`/`-` after a hex digit `E` (`0xE+2` is an
+/// addition, not an exponent), or the operator after a suffix that happens
+/// to end in `e` (`1usize+2`).
+fn eat_number(cur: &mut Cursor, first: char) {
+    // A radix prefix (0x/0o/0b) rules out a decimal exponent entirely.
+    let radix_prefixed =
+        first == '0' && matches!(cur.peek(), Some('x') | Some('X') | Some('o') | Some('b'));
     let mut seen_dot = false;
+    let mut prev = first;
     loop {
         match cur.peek() {
             Some(c) if c.is_alphanumeric() || c == '_' => {
-                let was_exp = c == 'e' || c == 'E';
+                // An exponent sign is only valid in a decimal literal and
+                // only when the `e`/`E` directly follows a digit (not a
+                // type-suffix letter as in `1usize`).
+                let was_exp = (c == 'e' || c == 'E') && !radix_prefixed && prev.is_ascii_digit();
                 cur.bump();
+                prev = c;
                 if was_exp && matches!(cur.peek(), Some('+') | Some('-')) {
                     cur.bump();
+                    prev = '+';
                 }
             }
             Some('.') if !seen_dot => {
@@ -163,6 +189,7 @@ fn eat_number(cur: &mut Cursor) {
                 if cur.peek_at(1).is_some_and(|c| c.is_ascii_digit()) {
                     seen_dot = true;
                     cur.bump();
+                    prev = '.';
                 } else {
                     break;
                 }
@@ -181,6 +208,14 @@ pub fn lex(src: &str) -> LexOutput {
     };
     let mut out = LexOutput::default();
 
+    // A shebang line (`#!/usr/bin/env ...`) is trivia, but `#![...]` at the
+    // top of a file is an inner attribute and must reach the token stream.
+    if cur.peek() == Some('#') && cur.peek_at(1) == Some('!') && cur.peek_at(2) != Some('[') {
+        while cur.peek().is_some_and(|c| c != '\n') {
+            cur.bump();
+        }
+    }
+
     while let Some(c) = cur.peek() {
         let line = cur.line;
         match c {
@@ -190,11 +225,20 @@ pub fn lex(src: &str) -> LexOutput {
             '/' if cur.peek_at(1) == Some('/') => {
                 cur.bump();
                 cur.bump();
-                // Strip doc-comment markers so `/// text` and `//! text`
-                // both yield ` text`.
-                if matches!(cur.peek(), Some('/') | Some('!')) {
-                    cur.bump();
-                }
+                // Classify and strip the doc-comment marker: `/// text`
+                // and `//! text` both yield ` text`. Four-plus slashes
+                // (`////`) is a plain ruler comment, not documentation.
+                let kind = match (cur.peek(), cur.peek_at(1)) {
+                    (Some('/'), next) if next != Some('/') => {
+                        cur.bump();
+                        CommentKind::DocOuter
+                    }
+                    (Some('!'), _) => {
+                        cur.bump();
+                        CommentKind::DocInner
+                    }
+                    _ => CommentKind::Plain,
+                };
                 let mut text = String::new();
                 while let Some(c) = cur.peek() {
                     if c == '\n' {
@@ -203,7 +247,7 @@ pub fn lex(src: &str) -> LexOutput {
                     text.push(c);
                     cur.bump();
                 }
-                out.comments.push(LineComment { line, text });
+                out.comments.push(LineComment { line, text, kind });
             }
             '/' if cur.peek_at(1) == Some('*') => {
                 cur.bump();
@@ -253,7 +297,7 @@ pub fn lex(src: &str) -> LexOutput {
             }
             c if c.is_ascii_digit() => {
                 cur.bump();
-                eat_number(&mut cur);
+                eat_number(&mut cur, c);
                 out.tokens.push(Token {
                     tok: Tok::Num,
                     line,
@@ -498,10 +542,47 @@ mod tests {
 
     #[test]
     fn doc_comments_collected_with_marker_stripped() {
-        let out = lex("/// summary line\n//! inner doc\nfn f() {}");
-        assert_eq!(out.comments.len(), 2);
+        let out = lex("/// summary line\n//! inner doc\n// plain\n//// ruler\nfn f() {}");
+        assert_eq!(out.comments.len(), 4);
         assert_eq!(out.comments[0].text, " summary line");
+        assert_eq!(out.comments[0].kind, CommentKind::DocOuter);
         assert_eq!(out.comments[1].text, " inner doc");
+        assert_eq!(out.comments[1].kind, CommentKind::DocInner);
+        assert_eq!(out.comments[2].kind, CommentKind::Plain);
+        // Four or more slashes is a ruler, not documentation.
+        assert_eq!(out.comments[3].kind, CommentKind::Plain);
+    }
+
+    #[test]
+    fn shebang_is_trivia_but_inner_attrs_are_not() {
+        let out = lex("#!/usr/bin/env run-cargo-script\nfn f() {}");
+        assert_eq!(
+            out.tokens.first().map(|t| t.tok.clone()),
+            Some(Tok::Ident("fn".into()))
+        );
+        assert_eq!(out.tokens[0].line, 2);
+        // `#![...]` at file start is an inner attribute, not a shebang.
+        let attr = lex("#![deny(missing_docs)]\nfn f() {}");
+        assert_eq!(attr.tokens[0].tok, Tok::Punct('#'));
+        assert_eq!(attr.tokens[1].tok, Tok::Punct('!'));
+    }
+
+    #[test]
+    fn hex_digits_and_suffixes_do_not_swallow_operators() {
+        // `0xE+2` is `0xE + 2`, never a malformed exponent.
+        let out = lex("let x = 0xE+2;");
+        let nums = out.tokens.iter().filter(|t| t.tok == Tok::Num).count();
+        assert_eq!(nums, 2);
+        assert!(out.tokens.iter().any(|t| t.tok == Tok::Punct('+')));
+        // A type suffix ending in `e` is not an exponent either.
+        let out = lex("let y = 1usize+2;");
+        let nums = out.tokens.iter().filter(|t| t.tok == Tok::Num).count();
+        assert_eq!(nums, 2);
+        assert!(out.tokens.iter().any(|t| t.tok == Tok::Punct('+')));
+        // Real exponents still lex as one number.
+        let out = lex("let z = 1.5e-3 + 2E+6;");
+        let nums = out.tokens.iter().filter(|t| t.tok == Tok::Num).count();
+        assert_eq!(nums, 2);
     }
 
     #[test]

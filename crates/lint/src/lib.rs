@@ -5,16 +5,24 @@
 //! workspace hermetic and zero-dependency, that invariant is enforced with
 //! this hand-rolled analyzer rather than external tooling: [`lexer`]
 //! tokenizes Rust source just deeply enough to be trustworthy around
-//! strings, comments, and lifetimes, and [`rules`] scans the token stream
-//! for the three project rules (`panic`, `index`, `decode-result`) while
-//! honoring counted `// lint: allow(...)` escape hatches.
+//! strings, comments, and lifetimes; [`parser`] recovers a shallow item
+//! tree and function-body spans; [`taint`] runs an intraprocedural
+//! untrusted-length taint pass over those spans; and [`rules`] scans for
+//! the project rules (`panic`, `index`, `decode-result`, `taint`,
+//! `overflow`, `safety-comment`, `pub-doc`) while honoring counted
+//! `// lint: allow(...)` escape hatches. [`report`] renders JSON
+//! diagnostics and gates against the checked-in `lint-baseline.json`.
 //!
 //! Run it with `cargo run -p primacy-lint` from the workspace root; the
-//! binary exits non-zero if any violation survives. DESIGN.md ("Panic
-//! policy & lint rules") documents the rules and the allow grammar.
+//! binary exits non-zero if any violation survives or any count exceeds
+//! the baseline. DESIGN.md ("Static analysis") documents the rules, the
+//! taint model, and the allow grammar.
 
 pub mod lexer;
+pub mod parser;
+pub mod report;
 pub mod rules;
+pub mod taint;
 
 /// Source files (workspace-relative, `/`-separated) and directories whose
 /// contents decode *untrusted* external bytes: the `index` rule is
@@ -38,6 +46,15 @@ pub fn is_untrusted_module(rel_path: &str) -> bool {
         .any(|m| rel_path == *m || (m.ends_with('/') && rel_path.starts_with(m)))
 }
 
+/// Crates whose `pub` items must carry doc comments (the `pub-doc` rule):
+/// the two crates forming the published API surface.
+pub const DOC_CRATES: [&str; 2] = ["crates/core/src/", "crates/codecs/src/"];
+
+/// Does the file at `rel_path` require documented `pub` items?
+pub fn requires_docs(rel_path: &str) -> bool {
+    DOC_CRATES.iter().any(|c| rel_path.starts_with(c))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -51,5 +68,13 @@ mod tests {
         assert!(!is_untrusted_module("crates/codecs/src/deflate/encode.rs"));
         assert!(!is_untrusted_module("crates/codecs/src/checksum.rs"));
         assert!(!is_untrusted_module("crates/core/src/pipeline.rs"));
+    }
+
+    #[test]
+    fn doc_requirement_covers_api_crates_only() {
+        assert!(requires_docs("crates/core/src/pipeline.rs"));
+        assert!(requires_docs("crates/codecs/src/fpz/mod.rs"));
+        assert!(!requires_docs("crates/bench/src/json.rs"));
+        assert!(!requires_docs("crates/lint/src/rules.rs"));
     }
 }

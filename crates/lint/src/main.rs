@@ -1,43 +1,99 @@
 //! Workspace walker and report front-end for `primacy-lint`.
 //!
-//! Usage: `primacy-lint [workspace-root]` (default: current directory).
+//! Usage:
+//!
+//! ```text
+//! primacy-lint [workspace-root] [--json] [--baseline FILE] [--write-baseline FILE]
+//! ```
+//!
 //! Scans library sources under `crates/*/src` and the root `src/`,
 //! skipping binaries (`src/bin/`, `main.rs`) — the rules target library
-//! code that can end up in another process's address space. Exits 0 when
-//! clean, 1 when any violation survives, and prints per-rule violation
-//! and allow counts either way.
+//! code that can end up in another process's address space.
+//!
+//! - `--json` prints the full diagnostics document instead of the human
+//!   report;
+//! - `--baseline FILE` additionally gates against a checked-in snapshot:
+//!   any `(file, rule)` pair with more findings, more suppressions, or
+//!   more allow directives than the snapshot fails the run;
+//! - `--write-baseline FILE` regenerates the snapshot from this run.
+//!
+//! Exits 0 when clean (and within baseline), 1 otherwise.
 
 use std::fs;
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
-use primacy_lint::is_untrusted_module;
-use primacy_lint::rules::{check_source, FileReport};
+use primacy_lint::report::{compare, FileEntry, WorkspaceReport};
+use primacy_lint::rules::{check_file, FileContext, Rule};
+use primacy_lint::{is_untrusted_module, requires_docs};
+
+struct Options {
+    root: PathBuf,
+    json: bool,
+    baseline: Option<PathBuf>,
+    write_baseline: Option<PathBuf>,
+}
+
+fn parse_args() -> Result<Options, String> {
+    let mut opts = Options {
+        root: PathBuf::from("."),
+        json: false,
+        baseline: None,
+        write_baseline: None,
+    };
+    let mut args = std::env::args().skip(1);
+    let mut saw_root = false;
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--json" => opts.json = true,
+            "--baseline" => {
+                let path = args.next().ok_or("--baseline needs a file argument")?;
+                opts.baseline = Some(PathBuf::from(path));
+            }
+            "--write-baseline" => {
+                let path = args
+                    .next()
+                    .ok_or("--write-baseline needs a file argument")?;
+                opts.write_baseline = Some(PathBuf::from(path));
+            }
+            flag if flag.starts_with("--") => {
+                return Err(format!("unknown flag {flag}"));
+            }
+            root => {
+                if saw_root {
+                    return Err(format!("unexpected extra argument {root}"));
+                }
+                saw_root = true;
+                opts.root = PathBuf::from(root);
+            }
+        }
+    }
+    Ok(opts)
+}
 
 fn main() -> ExitCode {
-    let root = std::env::args()
-        .nth(1)
-        .map(PathBuf::from)
-        .unwrap_or_else(|| PathBuf::from("."));
+    let opts = match parse_args() {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("primacy-lint: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
 
     let mut files = Vec::new();
-    collect_sources(&root, &mut files);
+    collect_sources(&opts.root, &mut files);
     if files.is_empty() {
         eprintln!(
             "primacy-lint: no library sources found under {}",
-            root.display()
+            opts.root.display()
         );
         return ExitCode::FAILURE;
     }
     files.sort();
 
-    let mut total_findings = 0usize;
-    let mut total_allows = 0usize;
-    let mut per_rule: Vec<(&'static str, usize)> = Vec::new();
-    let mut suppressed: Vec<(&'static str, usize)> = Vec::new();
-
+    let mut ws = WorkspaceReport::default();
     for path in &files {
-        let rel = relative_unix(&root, path);
+        let rel = relative_unix(&opts.root, path);
         let src = match fs::read_to_string(path) {
             Ok(s) => s,
             Err(e) => {
@@ -45,35 +101,96 @@ fn main() -> ExitCode {
                 return ExitCode::FAILURE;
             }
         };
-        let report: FileReport = check_source(&src, is_untrusted_module(&rel));
-        total_allows += report.allow_count;
-        for (name, n) in &report.suppressed {
-            bump(&mut suppressed, name, *n);
+        let ctx = FileContext {
+            untrusted: is_untrusted_module(&rel),
+            require_docs: requires_docs(&rel),
+        };
+        ws.files.push(FileEntry {
+            rel,
+            report: check_file(&src, ctx),
+        });
+    }
+
+    if let Some(path) = &opts.write_baseline {
+        let text = ws.baseline().to_json();
+        if let Err(e) = fs::write(path, text + "\n") {
+            eprintln!("primacy-lint: cannot write {}: {e}", path.display());
+            return ExitCode::FAILURE;
         }
-        for f in &report.findings {
-            println!("{rel}:{}: [{}] {}", f.line, f.rule.name(), f.message);
-            bump(&mut per_rule, f.rule.name(), 1);
-            total_findings += 1;
+        eprintln!("primacy-lint: baseline written to {}", path.display());
+    }
+
+    if opts.json {
+        println!("{}", ws.to_json().to_json());
+    } else {
+        print_human(&ws, files.len());
+    }
+
+    let mut failed = ws.total_findings() > 0;
+
+    if let Some(path) = &opts.baseline {
+        match load_baseline(path) {
+            Ok(baseline) => {
+                let regressions = compare(&ws.baseline(), &baseline);
+                for r in &regressions {
+                    eprintln!("primacy-lint: baseline regression: {r}");
+                }
+                if !regressions.is_empty() {
+                    failed = true;
+                } else {
+                    eprintln!("primacy-lint: baseline gate passed ({})", path.display());
+                }
+            }
+            Err(e) => {
+                eprintln!("primacy-lint: {e}");
+                failed = true;
+            }
         }
     }
 
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+fn load_baseline(path: &Path) -> Result<primacy_bench::json::Value, String> {
+    let text = fs::read_to_string(path)
+        .map_err(|e| format!("cannot read baseline {}: {e}", path.display()))?;
+    primacy_bench::json::parse(&text)
+        .map_err(|e| format!("malformed baseline {}: {e}", path.display()))
+}
+
+fn print_human(ws: &WorkspaceReport, scanned: usize) {
+    let mut per_rule: Vec<(&'static str, usize)> = Vec::new();
+    let mut suppressed: Vec<(&'static str, usize)> = Vec::new();
+    for entry in &ws.files {
+        for (name, n) in &entry.report.suppressed {
+            bump(&mut suppressed, name, *n);
+        }
+        for f in &entry.report.findings {
+            println!(
+                "{}:{}: [{}] {}",
+                entry.rel,
+                f.line,
+                f.rule.name(),
+                f.message
+            );
+            bump(&mut per_rule, f.rule.name(), 1);
+        }
+    }
     println!(
         "primacy-lint: {} file(s) scanned, {} violation(s), {} allow directive(s)",
-        files.len(),
-        total_findings,
-        total_allows
+        scanned,
+        ws.total_findings(),
+        ws.total_allows()
     );
     for (name, n) in &per_rule {
         println!("  violations[{name}] = {n}");
     }
     for (name, n) in &suppressed {
         println!("  suppressed[{name}] = {n}");
-    }
-
-    if total_findings > 0 {
-        ExitCode::FAILURE
-    } else {
-        ExitCode::SUCCESS
     }
 }
 
@@ -83,7 +200,7 @@ fn bump(counts: &mut Vec<(&'static str, usize)>, name: &str, by: usize) {
         None => {
             // The rule names are the only strings that reach here; map
             // them back to 'static so the counter stays allocation-free.
-            for known in ["panic", "index", "decode-result", "bad-allow"] {
+            for known in Rule::ALL_NAMES {
                 if known == name {
                     counts.push((known, by));
                     return;

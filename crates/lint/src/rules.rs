@@ -11,6 +11,15 @@
 //!   bytes). Only enforced when the caller marks the file untrusted.
 //! - `decode-result` — every `pub fn` whose name is `open` or starts with
 //!   `read_`/`decode`/`decompress`/`inflate` must return a `Result`.
+//! - `taint` — untrusted-length data flow (see [`crate::taint`]): a value
+//!   from a designated untrusted-read primitive must pass a sanitizer
+//!   before it reaches arithmetic, an allocation site, or a slice index.
+//! - `overflow` — unchecked `+ * <<` arithmetic anywhere in the
+//!   untrusted-module list (literal operands exempt).
+//! - `safety-comment` — every `unsafe` keyword needs a `// SAFETY:`
+//!   comment on the same line or directly above.
+//! - `pub-doc` — `pub` items in the designated API crates need doc
+//!   comments.
 //!
 //! Escape hatches, counted and reported:
 //! - `// lint: allow(<rule>) -- <justification>` on the flagged line or
@@ -20,7 +29,9 @@
 //! The justification is mandatory; a directive without one (or naming an
 //! unknown rule) is itself a violation that no directive can suppress.
 
-use crate::lexer::{lex, LineComment, Tok, Token};
+use crate::lexer::{lex, CommentKind, LineComment, Tok, Token};
+use crate::parser::{self, matching_close, Item, ItemKind, Vis};
+use crate::taint;
 
 /// Which invariant a finding violates.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -33,6 +44,14 @@ pub enum Rule {
     DecodeResult,
     /// Malformed `// lint:` directive.
     BadAllow,
+    /// Untrusted value reaches arithmetic/allocation/indexing unsanitized.
+    Taint,
+    /// Unchecked arithmetic in an untrusted-input module.
+    Overflow,
+    /// `unsafe` without a `// SAFETY:` comment.
+    SafetyComment,
+    /// Undocumented `pub` item in an API crate.
+    PubDoc,
 }
 
 impl Rule {
@@ -43,6 +62,10 @@ impl Rule {
             Rule::Index => "index",
             Rule::DecodeResult => "decode-result",
             Rule::BadAllow => "bad-allow",
+            Rule::Taint => "taint",
+            Rule::Overflow => "overflow",
+            Rule::SafetyComment => "safety-comment",
+            Rule::PubDoc => "pub-doc",
         }
     }
 
@@ -51,9 +74,25 @@ impl Rule {
             "panic" => Some(Rule::Panic),
             "index" => Some(Rule::Index),
             "decode-result" => Some(Rule::DecodeResult),
+            "taint" => Some(Rule::Taint),
+            "overflow" => Some(Rule::Overflow),
+            "safety-comment" => Some(Rule::SafetyComment),
+            "pub-doc" => Some(Rule::PubDoc),
             _ => None,
         }
     }
+
+    /// Every rule name, for reporting.
+    pub const ALL_NAMES: [&'static str; 8] = [
+        "panic",
+        "index",
+        "decode-result",
+        "bad-allow",
+        "taint",
+        "overflow",
+        "safety-comment",
+        "pub-doc",
+    ];
 }
 
 /// One rule violation.
@@ -85,18 +124,47 @@ struct Allow {
     whole_file: bool,
 }
 
-/// Check one source file. `untrusted` enables the `index` rule.
+/// Per-file rule configuration.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct FileContext {
+    /// The file decodes untrusted external bytes: enables the `index`
+    /// and `overflow` rules.
+    pub untrusted: bool,
+    /// The file belongs to a published-API crate: enables `pub-doc`.
+    pub require_docs: bool,
+}
+
+/// Check one source file. `untrusted` enables the `index` and `overflow`
+/// rules; `pub-doc` stays off. Kept as the minimal entry point for tests
+/// and embedding — the binary uses [`check_file`].
 pub fn check_source(src: &str, untrusted: bool) -> FileReport {
+    check_file(
+        src,
+        FileContext {
+            untrusted,
+            require_docs: false,
+        },
+    )
+}
+
+/// Check one source file with full per-file configuration.
+pub fn check_file(src: &str, ctx: FileContext) -> FileReport {
     let lexed = lex(src);
     let tokens = &lexed.tokens;
     let test_mask = test_region_mask(tokens);
 
     let mut raw: Vec<Finding> = Vec::new();
     scan_panics(tokens, &test_mask, &mut raw);
-    if untrusted {
+    if ctx.untrusted {
         scan_indexing(tokens, &test_mask, &mut raw);
+        taint::scan_overflow(tokens, &test_mask, &mut raw);
     }
     scan_decode_signatures(tokens, &test_mask, &mut raw);
+    taint::scan_taint(tokens, &test_mask, &mut raw);
+    scan_safety_comments(tokens, &lexed.comments, &test_mask, &mut raw);
+    if ctx.require_docs {
+        scan_pub_docs(tokens, &lexed.comments, &mut raw);
+    }
 
     let (allows, mut bad) = parse_directives(&lexed.comments);
     reconcile(raw, &allows, &mut bad)
@@ -156,30 +224,6 @@ fn test_region_mask(tokens: &[Token]) -> Vec<bool> {
 fn is_attr_start(tokens: &[Token], i: usize) -> bool {
     matches!(tokens.get(i), Some(t) if t.tok == Tok::Punct('#'))
         && matches!(tokens.get(i + 1), Some(t) if t.tok == Tok::Open('['))
-}
-
-/// Index of the close delimiter matching the open delimiter at `open_idx`.
-fn matching_close(tokens: &[Token], open_idx: usize, open: char) -> Option<usize> {
-    let close = match open {
-        '(' => ')',
-        '[' => ']',
-        '{' => '}',
-        _ => return None,
-    };
-    let mut depth = 0usize;
-    for (j, t) in tokens.iter().enumerate().skip(open_idx) {
-        match t.tok {
-            Tok::Open(c) if c == open => depth += 1,
-            Tok::Close(c) if c == close => {
-                depth = depth.saturating_sub(1);
-                if depth == 0 {
-                    return Some(j);
-                }
-            }
-            _ => {}
-        }
-    }
-    None
 }
 
 /// Does this attribute body gate test code? True for `test`, `bench`, and
@@ -381,6 +425,99 @@ fn signature_returns_result(tokens: &[Token], mut j: usize) -> bool {
         j += 1;
     }
     saw_arrow && saw_result
+}
+
+/// `unsafe` requires a `// SAFETY:` comment on the same line or within
+/// the two lines above (the comment may sit above an attribute).
+fn scan_safety_comments(
+    tokens: &[Token],
+    comments: &[LineComment],
+    test_mask: &[bool],
+    out: &mut Vec<Finding>,
+) {
+    for (i, t) in tokens.iter().enumerate() {
+        if test_mask.get(i).copied().unwrap_or(false) {
+            continue;
+        }
+        if !matches!(&t.tok, Tok::Ident(w) if w == "unsafe") {
+            continue;
+        }
+        let justified = comments.iter().any(|c| {
+            c.text.trim_start().starts_with("SAFETY:") && c.line <= t.line && t.line - c.line <= 2
+        });
+        if !justified {
+            out.push(Finding {
+                line: t.line,
+                rule: Rule::SafetyComment,
+                message: "`unsafe` without a `// SAFETY:` comment".to_string(),
+            });
+        }
+    }
+}
+
+/// Item kinds the `pub-doc` rule covers. `use` re-exports and `impl`
+/// blocks themselves are exempt (the items inside an impl are checked).
+fn pub_doc_applies(kind: ItemKind) -> bool {
+    !matches!(kind, ItemKind::Use | ItemKind::Impl)
+}
+
+/// `pub` items in API crates need an outer doc comment directly above the
+/// item (above its attributes when it has any).
+fn scan_pub_docs(tokens: &[Token], comments: &[LineComment], out: &mut Vec<Finding>) {
+    let items = parser::parse_items(tokens);
+    scan_pub_docs_in(&items, comments, out);
+}
+
+fn scan_pub_docs_in(items: &[Item], comments: &[LineComment], out: &mut Vec<Finding>) {
+    for item in items {
+        match item.kind {
+            ItemKind::Impl => {
+                // Trait impls document nothing new: the trait's docs
+                // apply. Inherent-impl methods are API surface.
+                if !item.trait_impl {
+                    scan_pub_docs_in(&item.children, comments, out);
+                }
+                continue;
+            }
+            ItemKind::Mod => {
+                if item.vis == Vis::Pub {
+                    check_item_doc(item, comments, out);
+                    scan_pub_docs_in(&item.children, comments, out);
+                }
+                continue;
+            }
+            _ => {}
+        }
+        if item.vis == Vis::Pub && pub_doc_applies(item.kind) {
+            check_item_doc(item, comments, out);
+        }
+    }
+}
+
+fn check_item_doc(item: &Item, comments: &[LineComment], out: &mut Vec<Finding>) {
+    // Walk upward from the item through its attribute lines and any plain
+    // comments (e.g. `// lint:` directives) until a doc comment or a
+    // non-comment line is hit.
+    let mut ln = item.line.saturating_sub(1);
+    let documented = loop {
+        if ln == 0 {
+            break false;
+        }
+        match comments.iter().find(|c| c.line == ln) {
+            Some(c) if c.kind == CommentKind::DocOuter => break true,
+            Some(_) => ln -= 1,
+            None if ln >= item.start_line => ln -= 1, // an attribute line
+            None => break false,
+        }
+    };
+    if !documented {
+        let name = item.name.as_deref().unwrap_or("<unnamed>");
+        out.push(Finding {
+            line: item.line,
+            rule: Rule::PubDoc,
+            message: format!("public item `{name}` has no doc comment"),
+        });
+    }
 }
 
 /// Parse every `lint:` directive out of the file's line comments.
@@ -681,5 +818,80 @@ mod tests {
     fn panic_site_in_string_literal_is_not_flagged() {
         let src = "fn f() -> &'static str { \"do not call .unwrap() or panic!\" }";
         assert!(check_source(src, false).findings.is_empty());
+    }
+
+    #[test]
+    fn unsafe_without_safety_comment_is_flagged() {
+        let src = "fn f(p: *const u8) -> u8 {\nunsafe { *p }\n}";
+        let r = check_source(src, false);
+        assert_eq!(lines_of(&r, Rule::SafetyComment), vec![2]);
+    }
+
+    #[test]
+    fn unsafe_with_safety_comment_is_clean() {
+        let src = "fn f(p: *const u8) -> u8 {\n\
+                   // SAFETY: caller guarantees p is valid\n\
+                   unsafe { *p }\n}";
+        assert!(check_source(src, false).findings.is_empty());
+        let attr = "// SAFETY: no interior mutability\n\
+                    #[allow(dead_code)]\n\
+                    unsafe fn g() {}";
+        let r = check_source(attr, false);
+        assert!(lines_of(&r, Rule::SafetyComment).is_empty());
+    }
+
+    fn doc_report(src: &str) -> FileReport {
+        check_file(
+            src,
+            FileContext {
+                untrusted: false,
+                require_docs: true,
+            },
+        )
+    }
+
+    #[test]
+    fn undocumented_pub_items_are_flagged() {
+        let src = "pub fn f() {}\n\
+                   /// Documented.\n\
+                   pub fn g() {}\n\
+                   pub(crate) fn h() {}\n\
+                   fn i() {}";
+        let r = doc_report(src);
+        assert_eq!(lines_of(&r, Rule::PubDoc), vec![1]);
+    }
+
+    #[test]
+    fn doc_comment_above_attributes_counts() {
+        let src = "/// Documented struct.\n\
+                   #[derive(Debug)]\n\
+                   pub struct S { pub a: u8 }";
+        assert!(doc_report(src).findings.is_empty());
+    }
+
+    #[test]
+    fn inherent_impl_methods_need_docs_but_trait_impls_do_not() {
+        let src = "/// A type.\npub struct S;\n\
+                   impl S {\n    pub fn m(&self) {}\n}\n\
+                   impl Default for S {\n    fn default() -> Self { S }\n}";
+        let r = doc_report(src);
+        assert_eq!(lines_of(&r, Rule::PubDoc), vec![4]);
+    }
+
+    #[test]
+    fn private_mod_contents_are_not_public_api() {
+        let src = "mod detail {\n    pub fn helper() {}\n}";
+        assert!(doc_report(src).findings.is_empty());
+    }
+
+    #[test]
+    fn new_rules_are_suppressible() {
+        let src = "pub fn f() {} // lint: allow(pub-doc) -- internal shim\n\
+                   fn g(p: *const u8) -> u8 {\n\
+                   // lint: allow(safety-comment) -- justified elsewhere\n\
+                   unsafe { *p }\n}";
+        let r = doc_report(src);
+        assert!(r.findings.is_empty(), "{:?}", r.findings);
+        assert_eq!(r.allow_count, 2);
     }
 }

@@ -1,0 +1,1046 @@
+//! Untrusted-length taint analysis and the arithmetic-operator scanner.
+//!
+//! The model is intraprocedural and deliberately small. Within each
+//! function body:
+//!
+//! - a value returned by one of the designated untrusted-read primitives
+//!   ([`SOURCES`]: the varint/field readers of the container formats) is
+//!   *tainted*;
+//! - taint propagates through `let` bindings and assignments whose
+//!   initializer mentions a tainted name or a source call;
+//! - a binding whose initializer passes through a *sanitizer* is clean:
+//!   `checked_*`/`saturating_*` methods, `min`/`clamp` against a named
+//!   `MAX_*` bound, or an explicit validation function ([`VALIDATORS`]);
+//! - an `if <name> > ... { ... return/Err ... }` guard also cleans `name`
+//!   for the code after the guard block — the idiomatic bounds check;
+//! - a diagnostic fires when a tainted name reaches unchecked binary
+//!   `+ - * <<` arithmetic, an allocation site (`Vec::with_capacity`,
+//!   `vec![_; n]`, `reserve`, `resize`), or a slice index.
+//!
+//! Known limits, by design: taint does not cross function calls (callee
+//! parameters start clean — each decoder validates at its own boundary),
+//! does not track struct fields, and treats `for`-loop variables as clean
+//! (they are bounded by their range). The arithmetic-operator scanner in
+//! this module is shared with the blanket `overflow` rule.
+
+use crate::lexer::{Tok, Token};
+use crate::parser::{fn_body_spans, matching_close};
+use crate::rules::{Finding, Rule};
+
+/// Method/function names whose return value is untrusted external data:
+/// the varint/header/field readers of `core/format`, `core/archive`,
+/// `core/stream` and the codec decoders. Matched by name at call sites —
+/// the analysis has no type information, so these names are reserved for
+/// untrusted reads across the workspace.
+pub const SOURCES: [&str; 7] = [
+    "varint",
+    "read_varint",
+    "byte",
+    "u16_le",
+    "u32_le",
+    "u64_le",
+    "read_bits",
+];
+
+/// Explicit validation functions: passing a value through one launders it.
+pub const VALIDATORS: [&str; 1] = ["clamped_capacity"];
+
+/// Allocation sinks: a tainted value inside the argument list sizes memory.
+const ALLOC_SINKS: [&str; 5] = [
+    "with_capacity",
+    "reserve",
+    "reserve_exact",
+    "resize",
+    "resize_with",
+];
+
+/// Macros whose arguments are diagnostics, not data flow: arithmetic inside
+/// them cannot corrupt an allocation and is exempt from both rules.
+const ASSERT_MACROS: [&str; 6] = [
+    "assert",
+    "assert_eq",
+    "assert_ne",
+    "debug_assert",
+    "debug_assert_eq",
+    "debug_assert_ne",
+];
+
+/// Keywords that terminate an operand walk (they cannot be part of an
+/// expression chain around a binary operator).
+const STOP_KEYWORDS: [&str; 24] = [
+    "return", "if", "else", "match", "while", "for", "in", "let", "mut", "ref", "move", "break",
+    "continue", "where", "dyn", "impl", "fn", "pub", "use", "struct", "enum", "trait", "mod",
+    "unsafe",
+];
+
+/// The binary operators both rules care about.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum BinOp {
+    /// `+` or `+=`
+    Add,
+    /// `-` (taint rule only; subtraction underflow panics too)
+    Sub,
+    /// `*` or `*=`
+    Mul,
+    /// `<<` or `<<=`
+    Shl,
+}
+
+impl BinOp {
+    fn symbol(self) -> &'static str {
+        match self {
+            BinOp::Add => "+",
+            BinOp::Sub => "-",
+            BinOp::Mul => "*",
+            BinOp::Shl => "<<",
+        }
+    }
+}
+
+/// One detected binary-arithmetic site.
+#[derive(Debug)]
+pub(crate) struct OpSite {
+    /// Index of the operator's (first) token.
+    pub idx: usize,
+    /// Which operator.
+    pub op: BinOp,
+    /// Index where the right operand begins (past any `=` of a compound).
+    pub rhs_start: usize,
+    /// Either operand is a bare numeric literal.
+    pub literal_operand: bool,
+}
+
+/// An operand's contents, flattened: every identifier mentioned plus
+/// whether a sanitizer appears in the chain.
+#[derive(Debug, Default)]
+struct Operand {
+    idents: Vec<(usize, String)>,
+    sanitized: bool,
+}
+
+/// Mark every token inside the argument list of an assert-family macro.
+pub(crate) fn assert_arg_mask(tokens: &[Token]) -> Vec<bool> {
+    let mut mask = vec![false; tokens.len()];
+    for i in 0..tokens.len() {
+        let Tok::Ident(name) = &tokens[i].tok else {
+            continue;
+        };
+        if !ASSERT_MACROS.contains(&name.as_str()) {
+            continue;
+        }
+        if !matches!(tokens.get(i + 1), Some(t) if t.tok == Tok::Punct('!')) {
+            continue;
+        }
+        let Some(open) = tokens.get(i + 2) else {
+            continue;
+        };
+        let (Tok::Open(c), open_idx) = (&open.tok, i + 2) else {
+            continue;
+        };
+        if let Some(close) = matching_close(tokens, open_idx, *c) {
+            for m in mask.iter_mut().take(close + 1).skip(open_idx) {
+                *m = true;
+            }
+        }
+    }
+    mask
+}
+
+fn is_stop_keyword(name: &str) -> bool {
+    STOP_KEYWORDS.contains(&name)
+}
+
+/// Find the open delimiter matching the close delimiter at `close_idx`,
+/// scanning backwards. Returns `close_idx` itself if unmatched.
+fn backward_match(tokens: &[Token], close_idx: usize, lo: usize) -> usize {
+    let close = match tokens[close_idx].tok {
+        Tok::Close(c) => c,
+        _ => return close_idx,
+    };
+    let open = match close {
+        ')' => '(',
+        ']' => '[',
+        '}' => '{',
+        _ => return close_idx,
+    };
+    let mut depth = 0usize;
+    let mut j = close_idx;
+    loop {
+        match tokens[j].tok {
+            Tok::Close(c) if c == close => depth += 1,
+            Tok::Open(c) if c == open => {
+                depth -= 1;
+                if depth == 0 {
+                    return j;
+                }
+            }
+            _ => {}
+        }
+        if j == lo {
+            return close_idx;
+        }
+        j -= 1;
+    }
+}
+
+fn push_span_idents(tokens: &[Token], from: usize, to: usize, out: &mut Operand) {
+    for (k, t) in tokens.iter().enumerate().take(to + 1).skip(from) {
+        if let Tok::Ident(w) = &t.tok {
+            if is_sanitizer_name(w) {
+                out.sanitized = true;
+            }
+            out.idents.push((k, w.clone()));
+        }
+    }
+}
+
+/// Does this name, appearing in an expression chain, sanitize the chain?
+/// `min`/`clamp` count only together with a `MAX_*` bound, which the
+/// caller checks via [`Operand::sanitized`] pairing below.
+fn is_sanitizer_name(name: &str) -> bool {
+    name.starts_with("checked_")
+        || name.starts_with("saturating_")
+        || name.starts_with("wrapping_")
+        || name.starts_with("overflowing_")
+        || VALIDATORS.contains(&name)
+}
+
+/// After flattening, upgrade `min`/`clamp`-against-`MAX_*` to a sanitizer:
+/// both the method and a `MAX_`-prefixed bound must appear in the chain.
+fn finish_operand(mut op: Operand) -> Operand {
+    let has_bound_method = op.idents.iter().any(|(_, w)| w == "min" || w == "clamp");
+    let has_named_bound = op.idents.iter().any(|(_, w)| w.starts_with("MAX_"));
+    if has_bound_method && has_named_bound {
+        op.sanitized = true;
+    }
+    op
+}
+
+/// Walk backwards from `op_idx` over one postfix-expression chain.
+fn left_operand(tokens: &[Token], lo: usize, op_idx: usize) -> Operand {
+    let mut out = Operand::default();
+    let mut j = op_idx;
+    while j > lo {
+        let t = &tokens[j - 1];
+        match &t.tok {
+            Tok::Close(_) => {
+                let open = backward_match(tokens, j - 1, lo);
+                push_span_idents(tokens, open, j - 1, &mut out);
+                if open == j - 1 {
+                    break; // unmatched; give up on this chain
+                }
+                j = open;
+            }
+            Tok::Ident(w) if is_stop_keyword(w) => break,
+            Tok::Ident(w) => {
+                if w != "as" {
+                    if is_sanitizer_name(w) {
+                        out.sanitized = true;
+                    }
+                    out.idents.push((j - 1, w.clone()));
+                }
+                j -= 1;
+            }
+            Tok::Num | Tok::Str | Tok::Lifetime => j -= 1,
+            Tok::Punct('.') | Tok::Punct('?') | Tok::Punct(':') => j -= 1,
+            _ => break,
+        }
+    }
+    finish_operand(out)
+}
+
+/// Walk forwards from `start` over one postfix-expression chain.
+fn right_operand(tokens: &[Token], hi: usize, start: usize) -> Operand {
+    let mut out = Operand::default();
+    let mut j = start;
+    // A leading `&` or unary `-`/`*` prefixes the operand.
+    while j < hi
+        && matches!(
+            tokens[j].tok,
+            Tok::Punct('&') | Tok::Punct('-') | Tok::Punct('*')
+        )
+    {
+        j += 1;
+    }
+    while j < hi {
+        match &tokens[j].tok {
+            Tok::Open('{') => break, // don't enter blocks
+            Tok::Open(c) => {
+                let close = matching_close(tokens, j, *c).unwrap_or(j);
+                push_span_idents(tokens, j, close, &mut out);
+                if close == j {
+                    break;
+                }
+                j = close + 1;
+            }
+            Tok::Ident(w) if is_stop_keyword(w) => break,
+            Tok::Ident(w) => {
+                if w != "as" {
+                    if is_sanitizer_name(w) {
+                        out.sanitized = true;
+                    }
+                    out.idents.push((j, w.clone()));
+                }
+                j += 1;
+            }
+            Tok::Num | Tok::Str | Tok::Lifetime => j += 1,
+            Tok::Punct('.') | Tok::Punct('?') | Tok::Punct(':') => j += 1,
+            _ => break,
+        }
+    }
+    finish_operand(out)
+}
+
+/// Is the token at `i` a plausible end of a left operand (so an operator
+/// after it is binary rather than unary/prefix)?
+fn ends_expression(tokens: &[Token], i: usize) -> bool {
+    match tokens.get(i).map(|t| &t.tok) {
+        Some(Tok::Ident(w)) => !is_stop_keyword(w) && w != "as",
+        Some(Tok::Num) | Some(Tok::Str) => true,
+        // `}` is a statement boundary, not an operand: `*p = 0;` after a
+        // block close is a deref assignment, not multiplication.
+        Some(Tok::Close(')')) | Some(Tok::Close(']')) => true,
+        Some(Tok::Punct('?')) => true,
+        _ => false,
+    }
+}
+
+fn uppercase_ident_at(tokens: &[Token], i: usize) -> bool {
+    matches!(tokens.get(i).map(|t| &t.tok),
+        Some(Tok::Ident(w)) if w.chars().next().is_some_and(|c| c.is_ascii_uppercase()))
+}
+
+/// Scan `span` for binary `+ - * <<` sites (including compound `+=` etc.).
+pub(crate) fn binary_ops(tokens: &[Token], lo: usize, hi: usize) -> Vec<OpSite> {
+    let mut out = Vec::new();
+    let mut k = lo;
+    while k < hi {
+        let Tok::Punct(p) = tokens[k].tok else {
+            k += 1;
+            continue;
+        };
+        let prev_ok = k > lo && ends_expression(tokens, k - 1);
+        let next_tok = tokens.get(k + 1).map(|t| &t.tok);
+        match p {
+            '+' | '*' if prev_ok => {
+                // Type-position `+` (trait bounds: `dyn Codec + Send`,
+                // `impl Iterator + '_`) and `+ MAX_*` const bounds are
+                // exempt: flagged arithmetic must involve runtime values
+                // on both sides.
+                if p == '+'
+                    && (uppercase_ident_at(tokens, k - 1)
+                        || uppercase_ident_at(tokens, k + 1)
+                        || matches!(next_tok, Some(Tok::Lifetime)))
+                {
+                    k += 1;
+                    continue;
+                }
+                let rhs_start = if next_tok == Some(&Tok::Punct('=')) {
+                    k + 2
+                } else {
+                    k + 1
+                };
+                let literal = matches!(tokens.get(k - 1).map(|t| &t.tok), Some(Tok::Num))
+                    || matches!(tokens.get(rhs_start).map(|t| &t.tok), Some(Tok::Num));
+                out.push(OpSite {
+                    idx: k,
+                    op: if p == '+' { BinOp::Add } else { BinOp::Mul },
+                    rhs_start,
+                    literal_operand: literal,
+                });
+                k = rhs_start;
+            }
+            '-' if prev_ok && next_tok != Some(&Tok::Punct('>')) => {
+                let rhs_start = if next_tok == Some(&Tok::Punct('=')) {
+                    k + 2
+                } else {
+                    k + 1
+                };
+                let literal = matches!(tokens.get(k - 1).map(|t| &t.tok), Some(Tok::Num))
+                    || matches!(tokens.get(rhs_start).map(|t| &t.tok), Some(Tok::Num));
+                out.push(OpSite {
+                    idx: k,
+                    op: BinOp::Sub,
+                    rhs_start,
+                    literal_operand: literal,
+                });
+                k = rhs_start;
+            }
+            '<' if prev_ok && next_tok == Some(&Tok::Punct('<')) => {
+                let rhs_start = if tokens.get(k + 2).map(|t| &t.tok) == Some(&Tok::Punct('=')) {
+                    k + 3
+                } else {
+                    k + 2
+                };
+                let literal = matches!(tokens.get(k - 1).map(|t| &t.tok), Some(Tok::Num))
+                    || matches!(tokens.get(rhs_start).map(|t| &t.tok), Some(Tok::Num));
+                out.push(OpSite {
+                    idx: k,
+                    op: BinOp::Shl,
+                    rhs_start,
+                    literal_operand: literal,
+                });
+                k = rhs_start;
+            }
+            _ => k += 1,
+        }
+    }
+    out
+}
+
+/// A taint-state change for one name at one point in the token stream.
+#[derive(Debug)]
+struct Event {
+    idx: usize,
+    name: String,
+    tainted: bool,
+}
+
+/// The per-function taint engine state.
+struct Engine<'a> {
+    tokens: &'a [Token],
+    lo: usize,
+    hi: usize,
+    events: Vec<Event>,
+}
+
+impl<'a> Engine<'a> {
+    fn tainted_at(&self, name: &str, idx: usize) -> bool {
+        self.events
+            .iter()
+            .rev()
+            .find(|e| e.idx <= idx && e.name == name)
+            .is_some_and(|e| e.tainted)
+    }
+
+    /// Does `span` mention a source call (`name(` with `name` in SOURCES)?
+    fn span_has_source(&self, from: usize, to: usize) -> bool {
+        (from..=to.min(self.hi.saturating_sub(1))).any(|k| {
+            matches!(&self.tokens[k].tok, Tok::Ident(w)
+                if SOURCES.contains(&w.as_str())
+                    && matches!(self.tokens.get(k + 1), Some(t) if t.tok == Tok::Open('(')))
+        })
+    }
+
+    /// Is the expression span tainted (mentions a source call or a name
+    /// tainted at that point) and not sanitized?
+    fn span_taint(&self, from: usize, to: usize) -> bool {
+        let mut op = Operand::default();
+        push_span_idents(
+            self.tokens,
+            from,
+            to.min(self.hi.saturating_sub(1)),
+            &mut op,
+        );
+        let op = finish_operand(op);
+        if op.sanitized {
+            return false;
+        }
+        self.span_has_source(from, to) || op.idents.iter().any(|(k, w)| self.tainted_at(w, *k))
+    }
+
+    /// Collect binding/assignment/guard events in statement order.
+    fn collect_events(&mut self) {
+        let mut k = self.lo;
+        while k < self.hi {
+            match &self.tokens[k].tok {
+                Tok::Ident(w) if w == "let" => {
+                    k = self.let_binding(k);
+                }
+                Tok::Ident(w) if w == "if" => {
+                    self.guard(k);
+                    k += 1;
+                }
+                Tok::Ident(name) if !is_stop_keyword(name) => {
+                    // `name = expr;` / `name += expr;` reassignment. Field
+                    // or deref assignments (`s.f = x`, `*p = x`) are not
+                    // tracked — only simple names are.
+                    let prev = k
+                        .checked_sub(1)
+                        .filter(|p| *p >= self.lo)
+                        .map(|p| &self.tokens[p].tok);
+                    let simple = !matches!(
+                        prev,
+                        Some(Tok::Punct('.')) | Some(Tok::Punct(':')) | Some(Tok::Punct('*'))
+                    );
+                    if simple {
+                        if let Some((rhs_start, compound)) = assignment_rhs(self.tokens, k + 1) {
+                            let end = statement_end(self.tokens, rhs_start, self.hi);
+                            let rhs_tainted = self.span_taint(rhs_start, end);
+                            let old = self.tainted_at(name, k);
+                            let tainted = if compound {
+                                old || rhs_tainted
+                            } else {
+                                rhs_tainted
+                            };
+                            self.events.push(Event {
+                                idx: end,
+                                name: name.clone(),
+                                tainted,
+                            });
+                            k = end;
+                            continue;
+                        }
+                    }
+                    k += 1;
+                }
+                _ => k += 1,
+            }
+        }
+        self.events.sort_by_key(|e| e.idx);
+    }
+
+    /// Handle `let [mut] <pattern> [: ty] = <init>;` starting at `let_idx`.
+    /// Returns the index to resume scanning from.
+    fn let_binding(&mut self, let_idx: usize) -> usize {
+        // Find the binding `=` at delimiter depth 0, stopping at `;`.
+        let mut depth = 0usize;
+        let mut eq = None;
+        let mut j = let_idx + 1;
+        while j < self.hi {
+            match self.tokens[j].tok {
+                Tok::Open(_) => depth += 1,
+                Tok::Close(_) => depth = depth.saturating_sub(1),
+                Tok::Punct(';') if depth == 0 => break,
+                Tok::Punct('=') if depth == 0 => {
+                    // `==`, `<=`, `>=`, `!=` never appear before the
+                    // binding `=` of a let; a lone `=` is it.
+                    if self.tokens.get(j + 1).map(|t| &t.tok) != Some(&Tok::Punct('=')) {
+                        eq = Some(j);
+                        break;
+                    }
+                    j += 1;
+                }
+                _ => {}
+            }
+            j += 1;
+        }
+        let Some(eq) = eq else {
+            return let_idx + 1;
+        };
+        // Names: lowercase idents in the pattern, up to a top-level `:`
+        // type annotation; skip `mut`/`ref` and path segments (uppercase).
+        let mut names = Vec::new();
+        let mut depth = 0usize;
+        for t in &self.tokens[let_idx + 1..eq] {
+            match &t.tok {
+                Tok::Open(_) => depth += 1,
+                Tok::Close(_) => depth = depth.saturating_sub(1),
+                Tok::Punct(':') if depth == 0 => break,
+                Tok::Ident(w)
+                    if w != "mut"
+                        && w != "ref"
+                        && w.chars()
+                            .next()
+                            .is_some_and(|c| c.is_ascii_lowercase() || c == '_') =>
+                {
+                    names.push(w.clone());
+                }
+                _ => {}
+            }
+        }
+        let end = statement_end(self.tokens, eq + 1, self.hi);
+        let tainted = self.span_taint(eq + 1, end);
+        for name in names {
+            self.events.push(Event {
+                idx: end,
+                name,
+                tainted,
+            });
+        }
+        end
+    }
+
+    /// Recognize `if <name> >(=) ... { ... return/Err ... }` bounds guards
+    /// and clean `name` after the block: rejecting the out-of-range side
+    /// is the idiomatic validation the sanitizer list can't express.
+    fn guard(&mut self, if_idx: usize) {
+        // Condition runs to the block `{` at depth 0.
+        let mut depth = 0usize;
+        let mut block_open = None;
+        for j in if_idx + 1..self.hi {
+            match self.tokens[j].tok {
+                Tok::Open('{') if depth == 0 => {
+                    block_open = Some(j);
+                    break;
+                }
+                Tok::Open(_) => depth += 1,
+                Tok::Close(_) => depth = depth.saturating_sub(1),
+                _ => {}
+            }
+        }
+        let Some(open) = block_open else { return };
+        let Some(close) = matching_close(self.tokens, open, '{') else {
+            return;
+        };
+        // The block must reject: a `return` or an `Err` inside.
+        let rejects = (open..=close)
+            .any(|j| matches!(&self.tokens[j].tok, Tok::Ident(w) if w == "return" || w == "Err"));
+        if !rejects {
+            return;
+        }
+        // Guarded names: `name >` / `name >=` inside the condition.
+        for j in if_idx + 1..open {
+            let Tok::Ident(name) = &self.tokens[j].tok else {
+                continue;
+            };
+            if self.tokens.get(j + 1).map(|t| &t.tok) == Some(&Tok::Punct('>'))
+                && self.tokens.get(j + 2).map(|t| &t.tok) != Some(&Tok::Punct('>'))
+            {
+                self.events.push(Event {
+                    idx: close,
+                    name: name.clone(),
+                    tainted: false,
+                });
+            }
+        }
+    }
+}
+
+/// `tokens[at..]` starts an assignment tail? Returns the index where the
+/// right-hand side begins and whether it is a compound assignment.
+fn assignment_rhs(tokens: &[Token], at: usize) -> Option<(usize, bool)> {
+    match tokens.get(at).map(|t| &t.tok) {
+        Some(Tok::Punct('=')) => {
+            // Exclude `==` and `=>`.
+            match tokens.get(at + 1).map(|t| &t.tok) {
+                Some(Tok::Punct('=')) | Some(Tok::Punct('>')) => None,
+                _ => Some((at + 1, false)),
+            }
+        }
+        Some(Tok::Punct('+' | '-' | '*' | '/' | '%' | '&' | '|' | '^')) => {
+            if tokens.get(at + 1).map(|t| &t.tok) == Some(&Tok::Punct('=')) {
+                Some((at + 2, true))
+            } else {
+                None
+            }
+        }
+        Some(Tok::Punct('<')) | Some(Tok::Punct('>')) => {
+            // `<<=` / `>>=`
+            let same = tokens.get(at).map(|t| &t.tok) == tokens.get(at + 1).map(|t| &t.tok);
+            if same && tokens.get(at + 2).map(|t| &t.tok) == Some(&Tok::Punct('=')) {
+                Some((at + 3, true))
+            } else {
+                None
+            }
+        }
+        _ => None,
+    }
+}
+
+/// End of the statement starting at `from`: the `;` at delimiter depth 0,
+/// or `hi` if none (expression tail).
+fn statement_end(tokens: &[Token], from: usize, hi: usize) -> usize {
+    let mut depth = 0usize;
+    for (j, t) in tokens.iter().enumerate().take(hi).skip(from) {
+        match t.tok {
+            Tok::Open(_) => depth += 1,
+            Tok::Close(_) => depth = depth.saturating_sub(1),
+            Tok::Punct(';') if depth == 0 => return j,
+            _ => {}
+        }
+    }
+    hi
+}
+
+/// Run the taint pass over every function body; append findings.
+pub(crate) fn scan_taint(tokens: &[Token], test_mask: &[bool], out: &mut Vec<Finding>) {
+    let assert_mask = assert_arg_mask(tokens);
+    let mut found: Vec<(u32, String)> = Vec::new();
+    for (lo, hi) in fn_body_spans(tokens) {
+        let mut engine = Engine {
+            tokens,
+            lo,
+            hi: hi + 1,
+            events: Vec::new(),
+        };
+        engine.collect_events();
+        scan_arith_sinks(&engine, test_mask, &assert_mask, &mut found);
+        scan_alloc_sinks(&engine, test_mask, &mut found);
+        scan_index_sinks(&engine, test_mask, &mut found);
+    }
+    // Nested fn bodies are walked twice (once inside their parent's span);
+    // dedup identical findings.
+    found.sort();
+    found.dedup();
+    for (line, message) in found {
+        out.push(Finding {
+            line,
+            rule: Rule::Taint,
+            message,
+        });
+    }
+}
+
+fn first_tainted(engine: &Engine<'_>, op: &Operand) -> Option<String> {
+    if op.sanitized {
+        return None;
+    }
+    op.idents
+        .iter()
+        .find(|(k, w)| engine.tainted_at(w, *k))
+        .map(|(_, w)| w.clone())
+}
+
+fn scan_arith_sinks(
+    engine: &Engine<'_>,
+    test_mask: &[bool],
+    assert_mask: &[bool],
+    out: &mut Vec<(u32, String)>,
+) {
+    for site in binary_ops(engine.tokens, engine.lo, engine.hi) {
+        if test_mask.get(site.idx).copied().unwrap_or(false)
+            || assert_mask.get(site.idx).copied().unwrap_or(false)
+        {
+            continue;
+        }
+        let left = left_operand(engine.tokens, engine.lo, site.idx);
+        let right = right_operand(engine.tokens, engine.hi, site.rhs_start);
+        let hit = first_tainted(engine, &left).or_else(|| first_tainted(engine, &right));
+        if let Some(name) = hit {
+            out.push((
+                engine.tokens[site.idx].line,
+                format!(
+                    "untrusted value `{name}` reaches unchecked `{}`",
+                    site.op.symbol()
+                ),
+            ));
+        }
+    }
+}
+
+fn scan_alloc_sinks(engine: &Engine<'_>, test_mask: &[bool], out: &mut Vec<(u32, String)>) {
+    let tokens = engine.tokens;
+    for i in engine.lo..engine.hi {
+        if test_mask.get(i).copied().unwrap_or(false) {
+            continue;
+        }
+        let Tok::Ident(name) = &tokens[i].tok else {
+            continue;
+        };
+        // `vec![elem; n]` sized-macro form.
+        let (open_idx, open_char) = if name == "vec"
+            && matches!(tokens.get(i + 1), Some(t) if t.tok == Tok::Punct('!'))
+            && matches!(tokens.get(i + 2), Some(t) if t.tok == Tok::Open('['))
+        {
+            (i + 2, '[')
+        } else if ALLOC_SINKS.contains(&name.as_str())
+            && matches!(tokens.get(i + 1), Some(t) if t.tok == Tok::Open('('))
+        {
+            (i + 1, '(')
+        } else {
+            continue;
+        };
+        let Some(close) = matching_close(tokens, open_idx, open_char) else {
+            continue;
+        };
+        if open_idx + 1 > close.saturating_sub(1) {
+            continue; // empty argument list
+        }
+        let mut op = Operand::default();
+        push_span_idents(tokens, open_idx + 1, close - 1, &mut op);
+        let op = finish_operand(op);
+        if op.span_has_source_call(tokens) {
+            out.push((
+                tokens[i].line,
+                format!("untrusted value sizes allocation via `{name}`"),
+            ));
+            continue;
+        }
+        if let Some(tainted) = first_tainted(engine, &op) {
+            out.push((
+                tokens[i].line,
+                format!("untrusted value `{tainted}` sizes allocation via `{name}`"),
+            ));
+        }
+    }
+}
+
+impl Operand {
+    /// Does the flattened operand include a direct source call?
+    fn span_has_source_call(&self, tokens: &[Token]) -> bool {
+        self.idents.iter().any(|(k, w)| {
+            SOURCES.contains(&w.as_str())
+                && matches!(tokens.get(k + 1), Some(t) if t.tok == Tok::Open('('))
+        })
+    }
+}
+
+fn scan_index_sinks(engine: &Engine<'_>, test_mask: &[bool], out: &mut Vec<(u32, String)>) {
+    let tokens = engine.tokens;
+    for i in engine.lo..engine.hi {
+        if test_mask.get(i).copied().unwrap_or(false) {
+            continue;
+        }
+        if tokens[i].tok != Tok::Open('[') {
+            continue;
+        }
+        // Same "is this an index expression" shape as the index rule.
+        let indexes = match i.checked_sub(1).and_then(|p| tokens.get(p)).map(|t| &t.tok) {
+            Some(Tok::Ident(name)) => !is_stop_keyword(name) && name != "as",
+            Some(Tok::Close(')')) | Some(Tok::Close(']')) => true,
+            _ => false,
+        };
+        if !indexes {
+            continue;
+        }
+        let Some(close) = matching_close(tokens, i, '[') else {
+            continue;
+        };
+        if i + 1 > close.saturating_sub(1) {
+            continue;
+        }
+        let mut op = Operand::default();
+        push_span_idents(tokens, i + 1, close - 1, &mut op);
+        let op = finish_operand(op);
+        if let Some(tainted) = first_tainted(engine, &op) {
+            out.push((
+                tokens[i].line,
+                format!("untrusted value `{tainted}` used as slice index"),
+            ));
+        }
+    }
+}
+
+/// The blanket `overflow` rule: unchecked `+ * <<` (and compound forms)
+/// inside function bodies of untrusted-input modules, unless one operand
+/// is a numeric literal or the site sits in test/assert code. `-` is left
+/// to the taint rule: subtraction against a checked upper bound is the
+/// dominant safe idiom and flagging it everywhere would be noise.
+pub(crate) fn scan_overflow(tokens: &[Token], test_mask: &[bool], out: &mut Vec<Finding>) {
+    let assert_mask = assert_arg_mask(tokens);
+    let mut found: Vec<(u32, String)> = Vec::new();
+    for (lo, hi) in fn_body_spans(tokens) {
+        for site in binary_ops(tokens, lo, hi + 1) {
+            if site.op == BinOp::Sub || site.literal_operand {
+                continue;
+            }
+            if test_mask.get(site.idx).copied().unwrap_or(false)
+                || assert_mask.get(site.idx).copied().unwrap_or(false)
+            {
+                continue;
+            }
+            found.push((
+                tokens[site.idx].line,
+                format!(
+                    "unchecked `{}` in untrusted-input module (use checked_/saturating_ math)",
+                    site.op.symbol()
+                ),
+            ));
+        }
+    }
+    found.sort();
+    found.dedup();
+    for (line, message) in found {
+        out.push(Finding {
+            line,
+            rule: Rule::Overflow,
+            message,
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn taint_findings(src: &str) -> Vec<(u32, String)> {
+        let lexed = lex(src);
+        let mask = vec![false; lexed.tokens.len()];
+        let mut out = Vec::new();
+        scan_taint(&lexed.tokens, &mask, &mut out);
+        out.into_iter().map(|f| (f.line, f.message)).collect()
+    }
+
+    fn overflow_lines(src: &str) -> Vec<u32> {
+        let lexed = lex(src);
+        let mask = vec![false; lexed.tokens.len()];
+        let mut out = Vec::new();
+        scan_overflow(&lexed.tokens, &mask, &mut out);
+        out.into_iter().map(|f| f.line).collect()
+    }
+
+    #[test]
+    fn source_binding_taints_and_arith_fires() {
+        let src = "fn f(r: &mut Reader) -> Result<usize> {\n\
+                   let n = r.varint()? as usize;\n\
+                   let m = n * es;\n\
+                   Ok(m)\n}";
+        let found = taint_findings(src);
+        assert_eq!(found.len(), 1);
+        assert_eq!(found[0].0, 3);
+        assert!(found[0].1.contains('n'), "{}", found[0].1);
+    }
+
+    #[test]
+    fn sanitized_bindings_are_clean() {
+        let src = "fn f(r: &mut Reader) -> usize {\n\
+                   let n = (r.varint() as usize).min(MAX_ELEMENTS);\n\
+                   let a = n * es;\n\
+                   let m = r.varint() as usize;\n\
+                   let b = m.checked_mul(es).unwrap_or(0);\n\
+                   let c = m.saturating_add(1);\n\
+                   a + b + c\n}";
+        assert!(taint_findings(src).is_empty());
+    }
+
+    #[test]
+    fn min_without_named_bound_does_not_sanitize() {
+        let src = "fn f(r: &mut Reader) -> usize {\n\
+                   let n = (r.varint() as usize).min(other);\n\
+                   n * es\n}";
+        assert_eq!(taint_findings(src).len(), 1);
+    }
+
+    #[test]
+    fn taint_propagates_through_bindings() {
+        let src = "fn f(r: &mut Reader) -> usize {\n\
+                   let n = r.varint() as usize;\n\
+                   let doubled = n;\n\
+                   doubled * es\n}";
+        assert_eq!(taint_findings(src).len(), 1);
+    }
+
+    #[test]
+    fn rebinding_clears_taint() {
+        let src = "fn f(r: &mut Reader) -> usize {\n\
+                   let n = r.varint() as usize;\n\
+                   let n = n.min(MAX_ELEMENTS);\n\
+                   n * es\n}";
+        assert!(taint_findings(src).is_empty());
+    }
+
+    #[test]
+    fn guard_with_return_clears_taint() {
+        let src = "fn f(r: &mut Reader) -> Result<usize> {\n\
+                   let k = r.varint()? as usize;\n\
+                   if k > MAX_TABLE {\n\
+                   return Err(Error::Corrupt);\n\
+                   }\n\
+                   Ok(k * es)\n}";
+        assert!(taint_findings(src).is_empty());
+    }
+
+    #[test]
+    fn guard_without_reject_does_not_clear() {
+        let src = "fn f(r: &mut Reader) -> usize {\n\
+                   let k = r.varint() as usize;\n\
+                   if k > 10 { log(k); }\n\
+                   k * es\n}";
+        assert_eq!(taint_findings(src).len(), 1);
+    }
+
+    #[test]
+    fn allocation_sinks_fire() {
+        let src = "fn f(r: &mut Reader) -> Vec<u8> {\n\
+                   let n = r.varint() as usize;\n\
+                   let mut v = Vec::with_capacity(n);\n\
+                   v.resize(n, 0);\n\
+                   let w = vec![0u8; n];\n\
+                   v\n}";
+        let found = taint_findings(src);
+        assert_eq!(found.len(), 3, "{found:?}");
+    }
+
+    #[test]
+    fn validated_allocation_is_clean() {
+        let src = "fn f(r: &mut Reader) -> Vec<u8> {\n\
+                   let n = r.varint() as u64;\n\
+                   Vec::with_capacity(clamped_capacity(n))\n}";
+        assert!(taint_findings(src).is_empty());
+    }
+
+    #[test]
+    fn tainted_index_fires() {
+        let src = "fn f(r: &mut Reader, buf: &[u8]) -> u8 {\n\
+                   let i = r.varint() as usize;\n\
+                   buf[i]\n}";
+        let found = taint_findings(src);
+        assert_eq!(found.len(), 1);
+        assert!(found[0].1.contains("slice index"));
+    }
+
+    #[test]
+    fn compound_assignment_taints_target() {
+        let src = "fn f(r: &mut Reader) -> usize {\n\
+                   let mut pos = 0usize;\n\
+                   let used = r.varint() as usize;\n\
+                   pos += used;\n\
+                   pos\n}";
+        let found = taint_findings(src);
+        // `pos += used` itself is the tainted-arithmetic sink.
+        assert_eq!(found.len(), 1);
+        assert_eq!(found[0].0, 4);
+    }
+
+    #[test]
+    fn checked_compound_fix_is_clean() {
+        let src = "fn f(r: &mut Reader) -> Result<usize> {\n\
+                   let mut pos = 0usize;\n\
+                   let used = r.varint()? as usize;\n\
+                   pos = pos.checked_add(used).ok_or(Error::Truncated)?;\n\
+                   Ok(pos)\n}";
+        assert!(taint_findings(src).is_empty());
+    }
+
+    #[test]
+    fn for_loop_variables_are_not_tainted() {
+        let src = "fn f(r: &mut Reader) -> usize {\n\
+                   let n = (r.varint() as usize).min(MAX_ELEMENTS);\n\
+                   let mut acc = 0;\n\
+                   for i in 0..n { acc = i + acc; }\n\
+                   acc\n}";
+        assert!(taint_findings(src).is_empty());
+    }
+
+    #[test]
+    fn tuple_bindings_taint_all_names() {
+        let src = "fn f(input: &[u8]) -> usize {\n\
+                   let (v, used) = read_varint(input);\n\
+                   used + base\n}";
+        assert_eq!(taint_findings(src).len(), 1);
+    }
+
+    #[test]
+    fn asserts_are_exempt_from_taint_arith() {
+        let src = "fn f(r: &mut Reader) {\n\
+                   let n = r.varint() as usize;\n\
+                   debug_assert!(n + 1 > n);\n}";
+        assert!(taint_findings(src).is_empty());
+    }
+
+    #[test]
+    fn overflow_flags_nonliteral_ops_only() {
+        let src = "fn f(a: usize, b: usize) -> usize {\n\
+                   let x = a + b;\n\
+                   let y = a + 1;\n\
+                   let z = 1 << b;\n\
+                   let w = a << b;\n\
+                   let v = a * b;\n\
+                   x + y + z + w + v\n}";
+        // a+b, a<<b, a*b, and the two sums on the return line.
+        let lines = overflow_lines(src);
+        assert!(lines.contains(&2));
+        assert!(!lines.contains(&3));
+        assert!(!lines.contains(&4));
+        assert!(lines.contains(&5));
+        assert!(lines.contains(&6));
+    }
+
+    #[test]
+    fn overflow_ignores_sub_traits_and_asserts() {
+        let src = "fn f(a: usize, b: usize) -> usize {\n\
+                   let d: Box<dyn Codec + Send> = make();\n\
+                   assert!(a * b < 100);\n\
+                   a - b\n}";
+        assert!(overflow_lines(src).is_empty());
+    }
+
+    #[test]
+    fn overflow_skips_checked_method_chains() {
+        let src = "fn f(a: usize, b: usize) -> Option<usize> {\n\
+                   a.checked_mul(b)\n}";
+        assert!(overflow_lines(src).is_empty());
+    }
+}

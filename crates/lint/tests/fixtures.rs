@@ -1,0 +1,118 @@
+//! Fixture-corpus conformance: every rule has a firing fixture and a clean
+//! fixture under `tests/fixtures/`, and the diagnostics are pinned down to
+//! exact `(file, line, rule)` tuples. A change to a rule that shifts any
+//! diagnostic must update this table deliberately.
+
+use primacy_lint::rules::{check_file, FileContext};
+
+fn fixture(name: &str) -> String {
+    let path = format!("{}/tests/fixtures/{name}", env!("CARGO_MANIFEST_DIR"));
+    std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("reading {path}: {e}"))
+}
+
+/// Run one fixture and return its diagnostics as `(line, rule-name)`.
+fn diagnostics(name: &str, ctx: FileContext) -> Vec<(u32, &'static str)> {
+    let report = check_file(&fixture(name), ctx);
+    assert_eq!(
+        report.allow_count, 0,
+        "{name}: fixtures must not carry allow directives"
+    );
+    let mut out: Vec<(u32, &'static str)> = report
+        .findings
+        .iter()
+        .map(|f| (f.line, f.rule.name()))
+        .collect();
+    out.sort();
+    out
+}
+
+const TRUSTED: FileContext = FileContext {
+    untrusted: false,
+    require_docs: false,
+};
+const UNTRUSTED: FileContext = FileContext {
+    untrusted: true,
+    require_docs: false,
+};
+const API: FileContext = FileContext {
+    untrusted: false,
+    require_docs: true,
+};
+
+#[test]
+fn taint_fixture_fires_at_exact_sites() {
+    assert_eq!(
+        diagnostics("taint_fire.rs", TRUSTED),
+        vec![(6, "taint"), (7, "taint"), (8, "taint")]
+    );
+}
+
+#[test]
+fn taint_fixture_clean_when_sanitized() {
+    assert_eq!(diagnostics("taint_clean.rs", TRUSTED), vec![]);
+}
+
+#[test]
+fn overflow_fixture_fires_at_exact_sites() {
+    assert_eq!(
+        diagnostics("overflow_fire.rs", UNTRUSTED),
+        vec![(5, "overflow"), (6, "overflow"), (7, "overflow")]
+    );
+}
+
+#[test]
+fn overflow_fixture_clean_with_checked_forms() {
+    assert_eq!(diagnostics("overflow_clean.rs", UNTRUSTED), vec![]);
+}
+
+#[test]
+fn safety_fixture_fires_without_comment() {
+    assert_eq!(
+        diagnostics("safety_fire.rs", TRUSTED),
+        vec![(5, "safety-comment")]
+    );
+}
+
+#[test]
+fn safety_fixture_clean_with_comment() {
+    assert_eq!(diagnostics("safety_clean.rs", TRUSTED), vec![]);
+}
+
+#[test]
+fn pubdoc_fixture_fires_on_undocumented_items() {
+    assert_eq!(
+        diagnostics("pubdoc_fire.rs", API),
+        vec![(4, "pub-doc"), (8, "pub-doc")]
+    );
+}
+
+#[test]
+fn pubdoc_fixture_clean_when_documented() {
+    assert_eq!(diagnostics("pubdoc_clean.rs", API), vec![]);
+}
+
+#[test]
+fn firing_fixtures_are_suppressible() {
+    // The directive machinery must cover the new rules: a whole-file allow
+    // silences each firing fixture and is accounted as suppression.
+    for (file, ctx, rule) in [
+        ("taint_fire.rs", TRUSTED, "taint"),
+        ("overflow_fire.rs", UNTRUSTED, "overflow"),
+        ("safety_fire.rs", TRUSTED, "safety-comment"),
+        ("pubdoc_fire.rs", API, "pub-doc"),
+    ] {
+        let src = format!(
+            "// lint: allow-file({rule}) -- fixture test\n{}",
+            fixture(file)
+        );
+        let report = check_file(&src, ctx);
+        assert!(report.findings.is_empty(), "{file}: {:?}", report.findings);
+        let suppressed: usize = report
+            .suppressed
+            .iter()
+            .filter(|(name, _)| *name == rule)
+            .map(|(_, n)| *n)
+            .sum();
+        assert!(suppressed > 0, "{file}: nothing suppressed");
+    }
+}

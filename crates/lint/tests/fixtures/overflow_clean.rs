@@ -1,0 +1,12 @@
+//! Fixture: the overflow rule must accept all of these — checked/saturating
+//! method forms, literal operands, and named `MAX_*` bounds. Test data only,
+//! never compiled.
+
+fn mix(a: usize, b: usize) -> usize {
+    let x = a.saturating_add(b);
+    let y = a.checked_mul(b).unwrap_or(0);
+    let z = a.wrapping_shl(2);
+    let w = a + 1;
+    let v = b + MAX_LIMIT;
+    x ^ y ^ z ^ w ^ v
+}

@@ -1,0 +1,9 @@
+//! Fixture: the overflow rule (untrusted-module context) must fire on every
+//! commented line. Test data only, never compiled.
+
+fn mix(a: usize, b: usize) -> usize {
+    let x = a + b; // overflow: unchecked `+`
+    let y = a * b; // overflow: unchecked `*`
+    let z = a << b; // overflow: unchecked `<<`
+    x ^ y ^ z
+}

@@ -1,0 +1,14 @@
+//! Fixture: documented `pub` items — including one whose doc comment is
+//! separated from the item by an attribute line — must be accepted. Test
+//! data only, never compiled.
+
+/// A documented widget.
+pub struct Widget {
+    field: u8,
+}
+
+/// Documented even through the attribute below.
+#[inline]
+pub fn run() {}
+
+fn private_needs_no_docs() {}

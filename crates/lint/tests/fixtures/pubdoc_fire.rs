@@ -1,0 +1,11 @@
+//! Fixture: undocumented `pub` items in an API crate must fire. Test data
+//! only, never compiled.
+
+pub struct Widget {
+    field: u8,
+}
+
+pub fn run() {}
+
+/// Documented, so silent.
+pub fn ok() {}

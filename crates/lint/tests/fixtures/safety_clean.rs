@@ -1,0 +1,7 @@
+//! Fixture: `unsafe` justified by an adjacent `// SAFETY:` comment must be
+//! accepted. Test data only, never compiled.
+
+fn read(p: *const u8) -> u8 {
+    // SAFETY: the caller guarantees `p` is valid for one byte.
+    unsafe { *p }
+}

@@ -1,0 +1,6 @@
+//! Fixture: `unsafe` without a `// SAFETY:` comment must fire. Test data
+//! only, never compiled.
+
+fn read(p: *const u8) -> u8 {
+    unsafe { *p } // safety-comment: no SAFETY justification above
+}

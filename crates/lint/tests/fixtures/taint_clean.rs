@@ -1,0 +1,16 @@
+//! Fixture: the same shape as `taint_fire.rs` with every sink sanitized —
+//! the taint rule must stay silent. Test data only, never compiled.
+
+fn decode(r: &mut Reader, buf: &[u8]) -> Result<Vec<u8>, Error> {
+    let n = (r.varint()? as usize).min(MAX_ELEMENTS);
+    let raw = r.varint()? as usize;
+    let total = raw.checked_mul(elem_size).ok_or(Error::Truncated)?;
+    let mut out = Vec::with_capacity(clamped_capacity(total as u64));
+    let k = r.varint()? as usize;
+    if k > buf.len() {
+        return Err(Error::Truncated);
+    }
+    out.push(buf[k]);
+    let _ = n;
+    Ok(out)
+}

@@ -1,0 +1,11 @@
+//! Fixture: the taint rule must fire on every commented line. This file is
+//! test data for `tests/fixtures.rs`, never compiled.
+
+fn decode(r: &mut Reader, buf: &[u8]) -> Result<Vec<u8>, Error> {
+    let n = r.varint()? as usize;
+    let total = n * elem_size; // taint: unchecked `*`
+    let mut out = Vec::with_capacity(n); // taint: allocation sized by `n`
+    out.push(buf[n]); // taint: slice index
+    let _ = total;
+    Ok(out)
+}
