@@ -37,5 +37,10 @@ run cargo test -q --offline --test adversarial_decode
 run env RUST_TEST_THREADS=1 cargo test -q --offline \
     --test golden_format --test parallel_determinism
 run cargo test -q --offline --test golden_format --test parallel_determinism
+# Throughput benchmark in smoke mode: validates the BENCH_throughput.json
+# schema and asserts every per-stage/per-codec rate is a finite positive
+# number. Absolute MB/s figures are report-only — CI machines vary — the
+# full-size trajectory lives in EXPERIMENTS.md.
+run cargo run --release --offline -p primacy-bench --bin throughput -- --smoke
 
 echo "==> ci.sh: all gates green"

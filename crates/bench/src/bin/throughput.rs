@@ -1,0 +1,220 @@
+//! End-to-end compression/decompression throughput in MB/s — per pipeline
+//! stage and per backend codec — on a corpus set spanning the compressibility
+//! spectrum.
+//!
+//! This is the throughput trajectory the ROADMAP's "as fast as the hardware
+//! allows" goal is measured against: `BENCH_throughput.json` (written when
+//! `PRIMACY_BENCH_JSON` is set) records one `throughput/...` key per metric so
+//! successive runs can be diffed. The paper sells PRIMACY on compression
+//! *speed* as much as ratio (§III, Table III); ISOBAR's premise is that
+//! hard-to-compress bytes should cost near-zero CPU — the `random` corpus row
+//! is the direct probe of that claim.
+//!
+//! Run with `cargo run --release -p primacy-bench --bin throughput`.
+//! `-- --smoke` runs a tiny-input self-check (used by ci.sh): it validates the
+//! report schema and asserts every throughput is a sane positive number, but
+//! makes no claims about absolute speed.
+//!
+//! Stage MB/s figures divide the corpus size by that stage's wall time, so
+//! they read as "the throughput the pipeline would have if only this stage
+//! existed" — the bottleneck stage is the one closest to the end-to-end row.
+
+use primacy_bench::json::Value;
+use primacy_bench::{dataset_elements, harness, mbps, rule, Report};
+use primacy_codecs::CodecKind;
+use primacy_core::{PrimacyCompressor, PrimacyConfig, StageTimings, STAGES};
+use primacy_datagen::{DatasetId, Rng};
+
+/// One benchmark corpus: a name for report keys plus its raw element bytes.
+struct Corpus {
+    name: &'static str,
+    bytes: Vec<u8>,
+}
+
+/// Corpus set: two dataset stand-ins with structure for the preconditioner to
+/// exploit, one quantized-tail dataset, and a fully random corpus — the
+/// "incompressible-heavy" case where every low-order byte is noise and the
+/// encoder's only winning move is to get out of the way quickly.
+fn corpora(elements: usize) -> Vec<Corpus> {
+    let mut rng = Rng::seed_from_u64(0x7470_5f72_616e_646f); // "tp_rando"
+    let mut random = vec![0u8; elements * 8];
+    rng.fill_bytes(&mut random);
+    vec![
+        Corpus {
+            name: "gts_phi_l",
+            bytes: DatasetId::GtsPhiL.generate_bytes(elements),
+        },
+        Corpus {
+            name: "num_plasma",
+            bytes: DatasetId::NumPlasma.generate_bytes(elements),
+        },
+        Corpus {
+            name: "obs_error",
+            bytes: DatasetId::ObsError.generate_bytes(elements),
+        },
+        Corpus {
+            name: "random",
+            bytes: random,
+        },
+    ]
+}
+
+/// Codecs measured standalone (fed the raw corpus, no preconditioner).
+const CODECS: [CodecKind; 3] = [CodecKind::Zlib, CodecKind::Lzr, CodecKind::Bwt];
+
+fn per_stage_mbps(report: &mut Report, corpus: &str, dir: &str, bytes: usize, t: &StageTimings) {
+    for (stage, d) in t.by_stage() {
+        let secs = d.as_secs_f64();
+        // A stage that took no measurable time reports its throughput as the
+        // whole-corpus-per-tick sentinel rather than infinity.
+        let rate = bytes as f64 / 1e6 / secs.max(1e-9);
+        report.push(
+            format!("throughput/{corpus}/stage/{stage}/{dir}_mbps"),
+            rate,
+        );
+    }
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let elements = if smoke {
+        // Small enough for CI, large enough to span several deflate blocks
+        // and exercise every stage.
+        1 << 14
+    } else {
+        dataset_elements()
+    };
+    if std::env::var_os("PRIMACY_BENCH_SAMPLES").is_none() {
+        // Throughput rows are medians; a handful of samples is plenty and
+        // keeps the full 16 MiB × 4-corpus sweep in CI-friendly time.
+        std::env::set_var("PRIMACY_BENCH_SAMPLES", if smoke { "1" } else { "5" });
+    }
+
+    let primacy = PrimacyCompressor::new(PrimacyConfig::default());
+    let mut report = Report::new("throughput");
+
+    println!("End-to-end throughput, MB/s of uncompressed bytes ({elements} doubles per corpus)");
+    println!("primacy = full pipeline (split/freq/idmap/linearize/deflate/isobar + CRC)\n");
+    println!(
+        "{:<11} {:>7} | {:>9} {:>9} | {:>9} {:>9} | {:>9} {:>9}",
+        "corpus", "ratio", "p.comp", "p.decomp", "zlib.c", "zlib.d", "lzr.c", "lzr.d"
+    );
+    rule(84);
+
+    for corpus in corpora(elements) {
+        let bytes = &corpus.bytes;
+        let n = bytes.len() as u64;
+
+        // End-to-end pipeline throughput (median over samples).
+        let c_stats = harness::measure(|| primacy.compress_bytes(bytes).expect("compress"));
+        let compressed = primacy.compress_bytes(bytes).expect("compress");
+        let d_stats =
+            harness::measure(|| primacy.decompress_bytes(&compressed).expect("decompress"));
+        assert_eq!(
+            primacy.decompress_bytes(&compressed).expect("decompress"),
+            *bytes,
+            "pipeline roundtrip failed on {}",
+            corpus.name
+        );
+        let ratio = n as f64 / compressed.len() as f64;
+        let name = corpus.name;
+        report.push(
+            format!("throughput/{name}/primacy/compress_mbps"),
+            c_stats.mbps(n),
+        );
+        report.push(
+            format!("throughput/{name}/primacy/decompress_mbps"),
+            d_stats.mbps(n),
+        );
+        report.push(format!("throughput/{name}/primacy/ratio"), ratio);
+
+        // Per-stage breakdown from one instrumented pass in each direction.
+        let (_, cs) = primacy.compress_bytes_with_stats(bytes).expect("compress");
+        per_stage_mbps(&mut report, name, "compress", bytes.len(), &cs.timings);
+        let (_, ds) = primacy
+            .decompress_bytes_with_stats(&compressed)
+            .expect("decompress");
+        per_stage_mbps(&mut report, name, "decompress", bytes.len(), &ds.timings);
+
+        // Standalone backend codecs on the same raw bytes.
+        let mut codec_cells: Vec<(f64, f64)> = Vec::new();
+        for kind in CODECS {
+            let codec = kind.build();
+            let cc = harness::measure(|| codec.compress(bytes).expect("compress"));
+            let comp = codec.compress(bytes).expect("compress");
+            let dc = harness::measure(|| codec.decompress(&comp).expect("decompress"));
+            report.push(
+                format!("throughput/{name}/codec/{kind}/compress_mbps"),
+                cc.mbps(n),
+            );
+            report.push(
+                format!("throughput/{name}/codec/{kind}/decompress_mbps"),
+                dc.mbps(n),
+            );
+            report.push(
+                format!("throughput/{name}/codec/{kind}/ratio"),
+                n as f64 / comp.len() as f64,
+            );
+            if codec_cells.len() < 2 {
+                codec_cells.push((cc.mbps(n), dc.mbps(n)));
+            }
+        }
+
+        println!(
+            "{:<11} {:>7.3} | {} {} | {} {} | {} {}",
+            name,
+            ratio,
+            mbps(c_stats.mbps(n)),
+            mbps(d_stats.mbps(n)),
+            mbps(codec_cells[0].0),
+            mbps(codec_cells[0].1),
+            mbps(codec_cells[1].0),
+            mbps(codec_cells[1].1),
+        );
+    }
+
+    let value = report.to_value();
+    if smoke {
+        validate(&value);
+        println!("\nsmoke: schema and throughput floors OK");
+    }
+    report.finish();
+}
+
+/// Smoke-mode gate: the JSON document has the expected shape and every
+/// throughput is a positive finite number. Absolute numbers are report-only.
+fn validate(v: &Value) {
+    assert_eq!(
+        v.get("experiment").and_then(Value::as_str),
+        Some("throughput"),
+        "report is missing its experiment name"
+    );
+    let records = v
+        .get("records")
+        .and_then(Value::as_array)
+        .expect("report has a records array");
+    let mut mbps_keys = 0usize;
+    for rec in records {
+        let key = rec
+            .get("key")
+            .and_then(Value::as_str)
+            .expect("record has a key");
+        let value = rec
+            .get("value")
+            .and_then(Value::as_f64)
+            .expect("record has a numeric value");
+        assert!(
+            value.is_finite() && value > 0.0,
+            "{key} = {value} violates the >0 floor"
+        );
+        if key.ends_with("_mbps") {
+            mbps_keys += 1;
+        }
+    }
+    // 4 corpora × (2 end-to-end + 12 stage + 6 codec) MB/s records.
+    let expected = 4 * (2 + 2 * STAGES.len() + 2 * CODECS.len());
+    assert_eq!(
+        mbps_keys, expected,
+        "expected {expected} *_mbps records, found {mbps_keys}"
+    );
+}

@@ -176,7 +176,20 @@ fn copy_match(out: &mut Vec<u8>, dist: usize, len: usize) {
     if dist == 0 {
         return;
     }
+    if dist == 1 {
+        // Run of the final byte: one memset-class fill instead of log2(len)
+        // doubling copies.
+        if let Some(&b) = out.last() {
+            out.resize(out.len().saturating_add(len), b);
+        }
+        return;
+    }
     let start = out.len() - dist;
+    if dist >= len {
+        // Source and destination cannot overlap: one wide copy.
+        out.extend_from_within(start..start.saturating_add(len));
+        return;
+    }
     let mut remaining = len;
     out.reserve(len);
     while remaining > 0 {

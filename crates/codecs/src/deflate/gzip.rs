@@ -7,10 +7,10 @@
 //! FCOMMENT parsing included), mtime, CRC-32 and ISIZE — and rejects the
 //! rest loudly.
 
-use super::{decode, deflate as deflate_raw, Level};
+use super::{decode, deflate_with, EncoderScratch, Level};
 use crate::checksum::crc32;
 use crate::error::{CodecError, Result};
-use crate::Codec;
+use crate::{Codec, CodecScratch};
 
 const MAGIC: [u8; 2] = [0x1f, 0x8b];
 const METHOD_DEFLATE: u8 = 8;
@@ -42,6 +42,15 @@ impl Gzip {
 
     /// Compress into a gzip member.
     pub fn compress_bytes(&self, input: &[u8]) -> Result<Vec<u8>> {
+        self.compress_bytes_with(input, &mut EncoderScratch::new())
+    }
+
+    /// Compress into a gzip member, reusing `scratch` for match-finder state.
+    pub fn compress_bytes_with(
+        &self,
+        input: &[u8],
+        scratch: &mut EncoderScratch,
+    ) -> Result<Vec<u8>> {
         let mut out = Vec::with_capacity(input.len() / 2 + 32);
         out.extend_from_slice(&MAGIC);
         out.push(METHOD_DEFLATE);
@@ -67,7 +76,7 @@ impl Gzip {
             out.extend_from_slice(name);
             out.push(0);
         }
-        out.extend_from_slice(&deflate_raw(input, self.level));
+        out.extend_from_slice(&deflate_with(input, self.level, scratch));
         out.extend_from_slice(&crc32(input).to_le_bytes());
         out.extend_from_slice(&(input.len() as u32).to_le_bytes());
         Ok(out)
@@ -171,6 +180,10 @@ impl Codec for Gzip {
 
     fn compress(&self, input: &[u8]) -> Result<Vec<u8>> {
         self.compress_bytes(input)
+    }
+
+    fn compress_with(&self, input: &[u8], scratch: &mut CodecScratch) -> Result<Vec<u8>> {
+        self.compress_bytes_with(input, &mut scratch.deflate)
     }
 
     fn decompress(&self, input: &[u8]) -> Result<Vec<u8>> {

@@ -1,10 +1,29 @@
 //! LZ77 match finding with hash chains and lazy evaluation.
 //!
-//! This mirrors zlib's deflate strategy: a 15-bit hash over the next three
+//! This mirrors zlib's deflate strategy — a 15-bit hash over the next three
 //! bytes indexes chains of previous positions; the searcher walks at most
 //! `max_chain` links, stops early once a match of `nice_length` is found, and
 //! (at higher levels) defers emitting a match by one position if the next
-//! position starts a longer one ("lazy matching").
+//! position starts a longer one ("lazy matching") — with two libdeflate-style
+//! throughput upgrades on top:
+//!
+//! * **word-at-a-time match extension**: candidate comparisons proceed eight
+//!   bytes per step via `u64` loads and `trailing_zeros` on the XOR, with a
+//!   scalar tail, instead of byte-by-byte;
+//! * **adaptive skip-ahead**: after a run of consecutive literals (no match
+//!   found), the scanner starts stepping over positions — the step grows with
+//!   the run and is capped at [`MAX_SKIP`] — inserting hash entries only at
+//!   the positions it actually visits. ISOBAR-classified-incompressible
+//!   low-order bytes therefore fall through at near-`memcpy` speed instead of
+//!   paying a hash insert + chain walk per byte. The trade-off: a match whose
+//!   start lands on a skipped position is missed, costing a few literals of
+//!   ratio on data that alternates incompressible stretches with sudden
+//!   repetition (see `Level::params` for the per-level trigger; `Best`
+//!   disables skipping entirely).
+//!
+//! All per-input state (hash heads, chain links, the token buffer) lives in a
+//! reusable [`EncoderScratch`] so steady-state encoding performs no heap
+//! allocation per chunk — the pipeline keeps one scratch per worker thread.
 
 use super::{Level, MAX_MATCH, MIN_MATCH, WINDOW_SIZE};
 
@@ -25,6 +44,12 @@ pub enum Token {
 const HASH_BITS: u32 = 15;
 const HASH_SIZE: usize = 1 << HASH_BITS;
 const NO_POS: u32 = u32::MAX;
+/// Upper bound on the skip-ahead step: at most one position in `MAX_SKIP` is
+/// hashed/searched once a literal run has fully ramped up.
+const MAX_SKIP: usize = 32;
+/// The skip step grows by one every `2^SKIP_RAMP_SHIFT` literals past the
+/// trigger, so ratio degrades gradually at the start of a literal run.
+const SKIP_RAMP_SHIFT: u32 = 5;
 
 #[inline]
 fn hash3(data: &[u8], i: usize) -> usize {
@@ -32,18 +57,87 @@ fn hash3(data: &[u8], i: usize) -> usize {
     (v.wrapping_mul(0x9E37_79B1) >> (32 - HASH_BITS)) as usize
 }
 
-/// Hash-chain dictionary over the input.
-struct Chains {
-    head: Vec<u32>,
-    prev: Vec<u32>,
+/// Load eight little-endian bytes starting at `i` (caller guarantees
+/// `i + 8 <= data.len()`).
+#[inline]
+fn load_u64(data: &[u8], i: usize) -> u64 {
+    let mut a = [0u8; 8];
+    a.copy_from_slice(&data[i..i + 8]);
+    u64::from_le_bytes(a)
 }
 
-impl Chains {
-    fn new(len: usize) -> Self {
-        Self {
-            head: vec![NO_POS; HASH_SIZE],
-            prev: vec![NO_POS; len],
+/// Length of the common prefix of `data[a..]` and `data[b..]`, capped at
+/// `max_len`. Compares eight bytes per iteration; the first differing byte is
+/// located with `trailing_zeros` on the XOR of the two words. The caller
+/// guarantees `b + max_len <= data.len()` and `a < b`.
+#[inline]
+fn match_len(data: &[u8], a: usize, b: usize, max_len: usize) -> usize {
+    let mut l = 0;
+    while l + 8 <= max_len {
+        let x = load_u64(data, a + l) ^ load_u64(data, b + l);
+        if x != 0 {
+            return l + (x.trailing_zeros() >> 3) as usize;
         }
+        l += 8;
+    }
+    while l < max_len && data[a + l] == data[b + l] {
+        l += 1;
+    }
+    l
+}
+
+/// Skip-ahead step for the current literal run: 1 below the trigger, then a
+/// ramp that adds one position per `2^SKIP_RAMP_SHIFT` skipped literals,
+/// capped at [`MAX_SKIP`].
+#[inline]
+fn skip_step(lit_run: usize, trigger: usize) -> usize {
+    if lit_run < trigger {
+        1
+    } else {
+        (((lit_run - trigger) >> SKIP_RAMP_SHIFT) + 2).min(MAX_SKIP)
+    }
+}
+
+/// Reusable match-finder state: hash-chain arrays plus the token buffer.
+///
+/// Constructing the hash dictionary used to cost a fresh 128 KiB `head`
+/// allocation plus a 4-bytes-per-input-byte `prev` allocation per chunk; a
+/// scratch is allocated once and reused, so steady-state encoding (same or
+/// smaller chunk size) performs **zero** heap allocations in the tokenizer —
+/// `prepare` only memsets `head` and the token buffer keeps its capacity
+/// across [`tokenize_into`] calls. `prev` entries are never cleared: only
+/// positions inserted for the *current* input are reachable from `head`, so
+/// stale links from earlier chunks are dead by construction.
+#[derive(Debug, Default)]
+pub struct EncoderScratch {
+    head: Vec<u32>,
+    prev: Vec<u32>,
+    pub(crate) tokens: Vec<Token>,
+}
+
+impl EncoderScratch {
+    /// An empty scratch; arrays are allocated lazily on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The tokens produced by the most recent [`tokenize_into`] call.
+    pub fn tokens(&self) -> &[Token] {
+        &self.tokens
+    }
+
+    /// Reset the dictionary for a new input of `len` bytes. Allocates only
+    /// when `len` exceeds every previous input length.
+    fn prepare(&mut self, len: usize) {
+        if self.head.is_empty() {
+            self.head = vec![NO_POS; HASH_SIZE];
+        } else {
+            self.head.fill(NO_POS);
+        }
+        if self.prev.len() < len {
+            self.prev.resize(len, NO_POS);
+        }
+        self.tokens.clear();
     }
 
     /// Record position `i` in the chain for its 3-byte hash.
@@ -58,31 +152,38 @@ impl Chains {
     }
 
     /// Find the longest match for position `i`, walking at most `max_chain`
-    /// candidates. Returns `(len, dist)` with `len == 0` when nothing of at
-    /// least `MIN_MATCH` was found.
+    /// candidates. Returns `(len, dist, links_walked)` with `len == 0` when
+    /// nothing of at least `MIN_MATCH` was found.
     fn longest_match(
         &self,
         data: &[u8],
         i: usize,
         max_chain: usize,
         nice_length: usize,
-    ) -> (usize, usize) {
+    ) -> (usize, usize, u32) {
         let remaining = data.len() - i;
         if remaining < MIN_MATCH {
-            return (0, 0);
+            return (0, 0, 0);
         }
         let max_len = remaining.min(MAX_MATCH);
         let nice = nice_length.min(max_len);
         let h = hash3(data, i);
         let mut cand = self.head[h];
-        // The position itself may already be inserted; skip self-references.
         let mut best_len = MIN_MATCH - 1;
         let mut best_dist = 0usize;
+        // Every visited candidate spends search budget — including the
+        // position's own (self-referential) entry — so a pathological chain
+        // cannot exceed the configured budget.
         let mut chain_left = max_chain;
+        let mut links = 0u32;
         let window_floor = i.saturating_sub(WINDOW_SIZE);
         while cand != NO_POS && chain_left > 0 {
+            chain_left -= 1;
+            links += 1;
             let c = cand as usize;
             if c >= i {
+                // The position itself may already be inserted; skip
+                // self-references.
                 cand = self.prev[c];
                 continue;
             }
@@ -90,12 +191,11 @@ impl Chains {
                 break;
             }
             // Quick reject: the byte that would extend the best match must
-            // agree before we pay for a full comparison.
+            // agree before we pay for a full comparison. In-bounds because
+            // best_len < max_len here (a best_len == max_len match already
+            // hit `nice` and broke out).
             if data[c + best_len] == data[i + best_len] {
-                let mut l = 0;
-                while l < max_len && data[c + l] == data[i + l] {
-                    l += 1;
-                }
+                let l = match_len(data, c, i, max_len);
                 if l > best_len {
                     best_len = l;
                     best_dist = i - c;
@@ -105,119 +205,144 @@ impl Chains {
                 }
             }
             cand = self.prev[c];
-            chain_left -= 1;
         }
         if best_len >= MIN_MATCH {
-            (best_len, best_dist)
+            (best_len, best_dist, links)
         } else {
-            (0, 0)
+            (0, 0, links)
         }
     }
 }
 
-/// Run LZ77 over `input`, returning the token stream.
+/// Run LZ77 over `input`, returning a fresh token stream. Convenience wrapper
+/// over [`tokenize_into`] for one-shot callers; hot paths should hold an
+/// [`EncoderScratch`] and avoid the per-call allocations.
 pub fn tokenize(input: &[u8], level: Level) -> Vec<Token> {
-    let (max_chain, nice_length, lazy) = level.params();
-    let n = input.len();
-    let mut tokens = Vec::with_capacity(n / 3 + 16);
-    if n == 0 {
-        return tokens;
-    }
-    let mut chains = Chains::new(n);
-    if lazy {
-        tokenize_lazy(input, &mut chains, &mut tokens, max_chain, nice_length);
-    } else {
-        tokenize_greedy(input, &mut chains, &mut tokens, max_chain, nice_length);
-    }
-    tokens
+    let mut scratch = EncoderScratch::new();
+    tokenize_into(input, level, &mut scratch);
+    std::mem::take(&mut scratch.tokens)
 }
 
-fn tokenize_greedy(
-    data: &[u8],
-    chains: &mut Chains,
-    tokens: &mut Vec<Token>,
-    max_chain: usize,
-    nice_length: usize,
-) {
+/// Run LZ77 over `input`, leaving the token stream in `scratch.tokens()`.
+/// Reuses every buffer in `scratch`; steady state allocates nothing.
+pub fn tokenize_into(input: &[u8], level: Level, scratch: &mut EncoderScratch) {
+    let p = level.params();
+    let n = input.len();
+    scratch.prepare(n);
+    if n == 0 {
+        return;
+    }
+    scratch.tokens.reserve(n / 3 + 16);
+    if p.lazy {
+        tokenize_lazy(input, scratch, &p);
+    } else {
+        tokenize_greedy(input, scratch, &p);
+    }
+}
+
+/// Emit literals for `data[i..end]` (the skip-ahead fallthrough), observing
+/// the skip histogram when more than one position is covered.
+#[inline]
+fn push_literals(tokens: &mut Vec<Token>, data: &[u8], i: usize, end: usize) {
+    for &b in &data[i..end] {
+        tokens.push(Token::Literal(b));
+    }
+    if end - i > 1 {
+        primacy_trace::observe("deflate.skip", (end - i) as u64);
+    }
+}
+
+fn tokenize_greedy(data: &[u8], scratch: &mut EncoderScratch, p: &super::MatchParams) {
     let n = data.len();
     let mut i = 0;
+    let mut lit_run = 0usize;
     while i < n {
-        let (mlen, mdist) = chains.longest_match(data, i, max_chain, nice_length);
-        chains.insert(data, i);
+        let (mlen, mdist, links) = scratch.longest_match(data, i, p.max_chain, p.nice_length);
+        if links > 0 {
+            primacy_trace::observe("deflate.chain_len", u64::from(links));
+        }
+        scratch.insert(data, i);
         if mlen >= MIN_MATCH {
-            tokens.push(Token::Match {
+            scratch.tokens.push(Token::Match {
                 len: mlen as u16,
                 dist: mdist as u16,
             });
             for j in i + 1..i + mlen {
-                chains.insert(data, j);
+                scratch.insert(data, j);
             }
             i += mlen;
+            lit_run = 0;
         } else {
-            tokens.push(Token::Literal(data[i]));
-            i += 1;
+            let end = (i + skip_step(lit_run, p.skip_trigger)).min(n);
+            push_literals(&mut scratch.tokens, data, i, end);
+            lit_run += end - i;
+            i = end;
         }
     }
 }
 
-fn tokenize_lazy(
-    data: &[u8],
-    chains: &mut Chains,
-    tokens: &mut Vec<Token>,
-    max_chain: usize,
-    nice_length: usize,
-) {
+fn tokenize_lazy(data: &[u8], scratch: &mut EncoderScratch, p: &super::MatchParams) {
     let n = data.len();
     let mut i = 0;
+    let mut lit_run = 0usize;
     // A match found at position i-1 that we deferred by one byte.
     let mut pending: Option<(usize, usize)> = None;
     while i < n {
-        let (mlen, mdist) = chains.longest_match(data, i, max_chain, nice_length);
-        chains.insert(data, i);
+        let (mlen, mdist, links) = scratch.longest_match(data, i, p.max_chain, p.nice_length);
+        if links > 0 {
+            primacy_trace::observe("deflate.chain_len", u64::from(links));
+        }
+        scratch.insert(data, i);
         match pending {
             Some((plen, pdist)) if mlen <= plen => {
                 // The deferred match is at least as good: take it.
-                tokens.push(Token::Match {
+                scratch.tokens.push(Token::Match {
                     len: plen as u16,
                     dist: pdist as u16,
                 });
                 let end = i - 1 + plen;
                 for j in i + 1..end {
-                    chains.insert(data, j);
+                    scratch.insert(data, j);
                 }
                 i = end;
                 pending = None;
+                lit_run = 0;
             }
             Some(_) => {
                 // Current match is strictly longer: the byte at i-1 becomes a
                 // literal and the new match is deferred in turn.
-                tokens.push(Token::Literal(data[i - 1]));
+                scratch.tokens.push(Token::Literal(data[i - 1]));
                 pending = Some((mlen, mdist));
                 i += 1;
+                lit_run = 0;
             }
             None => {
-                if mlen >= nice_length {
+                if mlen >= p.nice_length {
                     // Good enough that lazy deferral cannot pay off.
-                    tokens.push(Token::Match {
+                    scratch.tokens.push(Token::Match {
                         len: mlen as u16,
                         dist: mdist as u16,
                     });
                     for j in i + 1..i + mlen {
-                        chains.insert(data, j);
+                        scratch.insert(data, j);
                     }
                     i += mlen;
+                    lit_run = 0;
                 } else if mlen >= MIN_MATCH {
                     pending = Some((mlen, mdist));
                     i += 1;
+                    lit_run = 0;
                 } else {
-                    tokens.push(Token::Literal(data[i]));
-                    i += 1;
+                    let end = (i + skip_step(lit_run, p.skip_trigger)).min(n);
+                    push_literals(&mut scratch.tokens, data, i, end);
+                    lit_run += end - i;
+                    i = end;
                 }
             }
         }
     }
     if let Some((plen, pdist)) = pending {
-        tokens.push(Token::Match {
+        scratch.tokens.push(Token::Match {
             len: plen as u16,
             dist: pdist as u16,
         });
@@ -225,7 +350,10 @@ fn tokenize_lazy(
 }
 
 /// Expand a token stream back to bytes (used by tests and by the encoder's
-/// internal consistency checks).
+/// internal consistency checks). Match copies proceed in overlap-safe wide
+/// chunks — each pass copies as much as the already-materialized suffix
+/// allows, so a `dist < len` RLE-style reference doubles its copied span per
+/// pass instead of moving byte by byte.
 pub fn expand(tokens: &[Token]) -> Vec<u8> {
     let mut out = Vec::new();
     for &t in tokens {
@@ -234,11 +362,18 @@ pub fn expand(tokens: &[Token]) -> Vec<u8> {
             Token::Match { len, dist } => {
                 let dist = dist as usize;
                 let len = len as usize;
-                assert!(dist <= out.len(), "match reaches before stream start");
+                assert!(
+                    dist >= 1 && dist <= out.len(),
+                    "match reaches before stream start"
+                );
                 let start = out.len() - dist;
-                for k in 0..len {
-                    let b = out[start + k];
-                    out.push(b);
+                out.reserve(len);
+                let mut remaining = len;
+                while remaining > 0 {
+                    let avail = out.len() - start;
+                    let chunk = avail.min(remaining);
+                    out.extend_from_within(start..start + chunk);
+                    remaining -= chunk;
                 }
             }
         }
@@ -352,5 +487,121 @@ mod tests {
         assert!(tokens
             .iter()
             .any(|t| matches!(t, Token::Match { dist: 1, .. })));
+    }
+
+    #[test]
+    fn match_len_agrees_with_scalar() {
+        // Pseudo-random buffer with planted agreements: the word-at-a-time
+        // path must agree with a byte-at-a-time reference at every offset
+        // and cap, including non-multiple-of-8 tails.
+        let mut x = 0xabcdef12u32;
+        let mut data: Vec<u8> = (0..600)
+            .map(|_| {
+                x ^= x << 13;
+                x ^= x >> 17;
+                x ^= x << 5;
+                (x >> 8) as u8
+            })
+            .collect();
+        // Plant a long identical stretch.
+        let copy: Vec<u8> = data[40..140].to_vec();
+        data[300..400].copy_from_slice(&copy);
+        for (a, b) in [(40usize, 300usize), (41, 301), (45, 305), (0, 300)] {
+            for max_len in [0usize, 1, 3, 7, 8, 9, 15, 16, 17, 63, 99, 100, 200] {
+                let max_len = max_len.min(data.len() - b);
+                let scalar = data[a..]
+                    .iter()
+                    .zip(&data[b..])
+                    .take(max_len)
+                    .take_while(|(p, q)| p == q)
+                    .count();
+                assert_eq!(
+                    match_len(&data, a, b, max_len),
+                    scalar,
+                    "a={a} b={b} max_len={max_len}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn scratch_reuse_is_equivalent_to_fresh_state() {
+        // Tokenizing B after A with a reused scratch must give exactly the
+        // tokens of a fresh tokenize(B): no stale chain state may leak.
+        let a = b"abcabcabcabcabcabc".repeat(40);
+        let mut x = 77u32;
+        let b: Vec<u8> = (0..3000)
+            .map(|_| {
+                x = x.wrapping_mul(1_664_525).wrapping_add(1_013_904_223);
+                (x >> 17) as u8
+            })
+            .collect();
+        for level in [Level::Fast, Level::Default, Level::Best] {
+            let mut scratch = EncoderScratch::new();
+            tokenize_into(&a, level, &mut scratch);
+            check_tokens_valid(&a, scratch.tokens());
+            tokenize_into(&b, level, &mut scratch);
+            assert_eq!(scratch.tokens(), tokenize(&b, level), "level {level:?}");
+            // And shrinking inputs (prev longer than the input) stay correct.
+            tokenize_into(&a[..100], level, &mut scratch);
+            assert_eq!(scratch.tokens(), tokenize(&a[..100], level));
+        }
+    }
+
+    #[test]
+    fn skip_ahead_still_finds_matches_after_literal_runs() {
+        // A long incompressible stretch (skip fully ramped) followed by a
+        // huge repeated block: the match region must still compress well
+        // even though its first few positions may fall on skipped offsets.
+        let mut x = 0x1234_5678u32;
+        let mut data: Vec<u8> = (0..8000)
+            .map(|_| {
+                x ^= x << 13;
+                x ^= x >> 17;
+                x ^= x << 5;
+                (x >> 13) as u8
+            })
+            .collect();
+        data.extend(b"the quick brown fox ".repeat(400));
+        for level in [Level::Fast, Level::Default] {
+            let tokens = tokenize(&data, level);
+            check_tokens_valid(&data, &tokens);
+            let matched: usize = tokens
+                .iter()
+                .map(|t| match t {
+                    Token::Match { len, .. } => *len as usize,
+                    Token::Literal(_) => 0,
+                })
+                .sum();
+            // The 8000-byte repeated region must be almost entirely matches.
+            assert!(matched > 7000, "level {level:?}: only {matched} matched");
+        }
+    }
+
+    #[test]
+    fn skip_step_ramps_and_caps() {
+        let trigger = 64;
+        assert_eq!(skip_step(0, trigger), 1);
+        assert_eq!(skip_step(63, trigger), 1);
+        assert_eq!(skip_step(64, trigger), 2);
+        assert_eq!(skip_step(64 + 32, trigger), 3);
+        assert!(skip_step(1 << 20, trigger) == MAX_SKIP);
+        // Best disables skipping outright.
+        assert_eq!(skip_step(1 << 20, usize::MAX), 1);
+    }
+
+    #[test]
+    fn chain_budget_counts_self_references() {
+        // Insert many positions with identical 3-byte hashes, then search
+        // with a tiny max_chain: the walk must visit at most max_chain links
+        // even though the head of the chain is a self-reference.
+        let data = vec![5u8; 4096];
+        let mut scratch = EncoderScratch::new();
+        scratch.prepare(data.len());
+        for i in 0..2048 {
+            scratch.insert(&data, i);
+        }
+        let (_, _, links) = scratch.longest_match(&data, 1000, 8, MAX_MATCH);
+        assert!(links <= 8, "walked {links} links with a budget of 8");
     }
 }

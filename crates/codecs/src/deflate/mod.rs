@@ -19,6 +19,7 @@ pub mod lz77;
 mod zlib;
 
 pub use gzip::Gzip;
+pub use lz77::EncoderScratch;
 pub use zlib::Zlib;
 
 use crate::error::Result;
@@ -113,26 +114,66 @@ pub enum Level {
     Best,
 }
 
+/// Per-level match-finder tuning knobs.
+pub(crate) struct MatchParams {
+    /// Chain links visited per search before giving up.
+    pub max_chain: usize,
+    /// A match at least this long stops the search ("good enough").
+    pub nice_length: usize,
+    /// Defer matches by one position when the next position matches longer.
+    pub lazy: bool,
+    /// Consecutive unmatched literals before skip-ahead engages
+    /// (`usize::MAX` disables skipping; see `lz77::skip_step`).
+    pub skip_trigger: usize,
+}
+
 impl Level {
-    /// (max_chain, nice_length, lazy) tuning parameters.
-    pub(crate) fn params(self) -> (usize, usize, bool) {
+    /// Match-finder tuning parameters for this level.
+    pub(crate) fn params(self) -> MatchParams {
         match self {
-            Level::Fast => (16, 16, false),
-            Level::Default => (128, 128, true),
-            Level::Best => (1024, MAX_MATCH, true),
+            Level::Fast => MatchParams {
+                max_chain: 16,
+                nice_length: 16,
+                lazy: false,
+                skip_trigger: 32,
+            },
+            Level::Default => MatchParams {
+                max_chain: 128,
+                nice_length: 128,
+                lazy: true,
+                skip_trigger: 64,
+            },
+            Level::Best => MatchParams {
+                max_chain: 1024,
+                nice_length: MAX_MATCH,
+                lazy: true,
+                skip_trigger: usize::MAX,
+            },
         }
     }
 }
 
 /// Compress `input` into a raw DEFLATE stream (no container).
+///
+/// One-shot convenience over [`deflate_with`]; allocates a fresh
+/// [`EncoderScratch`] per call. Hot paths (the pipeline's per-chunk loop)
+/// should hold a scratch and call [`deflate_with`] instead.
 pub fn deflate(input: &[u8], level: Level) -> Vec<u8> {
+    let mut scratch = EncoderScratch::new();
+    deflate_with(input, level, &mut scratch)
+}
+
+/// Compress `input` into a raw DEFLATE stream, reusing `scratch` for all
+/// match-finder state. Steady-state calls (same or smaller input length)
+/// perform no tokenizer heap allocation.
+pub fn deflate_with(input: &[u8], level: Level, scratch: &mut EncoderScratch) -> Vec<u8> {
     // Spans are named `deflate.encode`/`deflate.decode` — distinct from the
     // pipeline-level "deflate" stage span so the CLI stage table never
     // counts codec time twice.
     let _span = primacy_trace::span("deflate.encode");
-    let tokens = lz77::tokenize(input, level);
-    primacy_trace::counter("deflate.tokens", tokens.len() as u64);
-    let out = encode::emit_blocks(input, &tokens);
+    lz77::tokenize_into(input, level, scratch);
+    primacy_trace::counter("deflate.tokens", scratch.tokens().len() as u64);
+    let out = encode::emit_blocks(input, scratch.tokens());
     primacy_trace::counter("deflate.encode_bytes_in", input.len() as u64);
     primacy_trace::counter("deflate.encode_bytes_out", out.len() as u64);
     out

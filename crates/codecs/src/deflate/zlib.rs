@@ -1,10 +1,10 @@
 //! The zlib container (RFC 1950): a 2-byte header, a DEFLATE stream, and a
 //! big-endian Adler-32 of the uncompressed data.
 
-use super::{decode, deflate as deflate_raw, Level};
+use super::{decode, deflate_with, EncoderScratch, Level};
 use crate::checksum::adler32;
 use crate::error::{CodecError, Result};
-use crate::Codec;
+use crate::{Codec, CodecScratch};
 
 /// zlib-compatible codec: the paper's `zlib` baseline and PRIMACY's default
 /// backend "solver".
@@ -30,6 +30,11 @@ impl Zlib {
 
     /// Compress into a zlib stream.
     pub fn compress_bytes(&self, input: &[u8]) -> Vec<u8> {
+        self.compress_bytes_with(input, &mut EncoderScratch::new())
+    }
+
+    /// Compress into a zlib stream, reusing `scratch` for match-finder state.
+    pub fn compress_bytes_with(&self, input: &[u8], scratch: &mut EncoderScratch) -> Vec<u8> {
         let mut out = Vec::with_capacity(input.len() / 2 + 16);
         // CMF: CM=8 (deflate), CINFO=7 (32K window).
         let cmf: u8 = 0x78;
@@ -41,7 +46,7 @@ impl Zlib {
         }
         out.push(cmf);
         out.push(flg);
-        out.extend_from_slice(&deflate_raw(input, self.level));
+        out.extend_from_slice(&deflate_with(input, self.level, scratch));
         out.extend_from_slice(&adler32(input).to_be_bytes());
         out
     }
@@ -92,6 +97,10 @@ impl Codec for Zlib {
 
     fn compress(&self, input: &[u8]) -> Result<Vec<u8>> {
         Ok(self.compress_bytes(input))
+    }
+
+    fn compress_with(&self, input: &[u8], scratch: &mut CodecScratch) -> Result<Vec<u8>> {
+        Ok(self.compress_bytes_with(input, &mut scratch.deflate))
     }
 
     fn decompress(&self, input: &[u8]) -> Result<Vec<u8>> {

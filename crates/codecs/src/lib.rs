@@ -64,8 +64,41 @@ pub trait Codec: Send + Sync {
     /// Compress `input` into a fresh buffer.
     fn compress(&self, input: &[u8]) -> Result<Vec<u8>>;
 
+    /// Compress `input`, reusing per-call working memory from `scratch`.
+    ///
+    /// Produces bytes identical to [`Codec::compress`]; the only difference
+    /// is allocation behavior. Callers on a per-chunk hot path (the pipeline
+    /// keeps one [`CodecScratch`] per worker thread) should use this so
+    /// codecs that support scratch reuse (deflate-family) skip their
+    /// dictionary/token-buffer allocations after the first chunk. The default
+    /// implementation ignores `scratch` and defers to `compress`.
+    fn compress_with(&self, input: &[u8], scratch: &mut CodecScratch) -> Result<Vec<u8>> {
+        let _ = scratch;
+        self.compress(input)
+    }
+
     /// Reverse [`Codec::compress`].
     fn decompress(&self, input: &[u8]) -> Result<Vec<u8>>;
+}
+
+/// Reusable per-thread working memory for [`Codec::compress_with`].
+///
+/// A plain struct (not a trait object) so call sites can own one without
+/// knowing which codec will run; each codec family picks the field it needs.
+/// Currently only the deflate family carries reusable state — its hash-chain
+/// arrays and token buffer are the dominant per-chunk allocation in the
+/// pipeline (128 KiB of heads plus 4 bytes of chain links per input byte).
+#[derive(Debug, Default)]
+pub struct CodecScratch {
+    /// LZ77 match-finder state for deflate-family codecs (zlib, gzip).
+    pub deflate: deflate::EncoderScratch,
+}
+
+impl CodecScratch {
+    /// An empty scratch; buffers are allocated lazily on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
 }
 
 /// The codec families evaluated in the paper, used to select a backend.

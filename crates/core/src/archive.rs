@@ -75,6 +75,9 @@ pub struct ArchiveWriter<W: Write> {
     directory: Vec<ChunkEntry>,
     offset: u64,
     finished: bool,
+    /// Backend codec working memory, reused across every chunk this writer
+    /// flushes so steady-state appends allocate nothing in the encoder.
+    scratch: primacy_codecs::CodecScratch,
 }
 
 impl<W: Write> ArchiveWriter<W> {
@@ -98,6 +101,7 @@ impl<W: Write> ArchiveWriter<W> {
             directory: Vec::new(),
             offset: header.len() as u64,
             finished: false,
+            scratch: primacy_codecs::CodecScratch::new(),
         })
     }
 
@@ -145,7 +149,7 @@ impl<W: Write> ArchiveWriter<W> {
         // Random access requires a self-contained index per chunk.
         let mut no_prev = None;
         self.compressor
-            .compress_chunk(chunk, &mut no_prev, &mut section)?;
+            .compress_chunk(chunk, &mut no_prev, &mut self.scratch, &mut section)?;
         self.directory.push(ChunkEntry {
             offset: self.offset,
             elements: (chunk.len() / cfg.element_size) as u64,

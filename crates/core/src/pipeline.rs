@@ -13,7 +13,7 @@ use crate::stats::{
     STAGE_LINEARIZE, STAGE_SPLIT,
 };
 use primacy_codecs::checksum::crc32;
-use primacy_codecs::Codec;
+use primacy_codecs::{Codec, CodecScratch};
 use primacy_trace as trace;
 use std::time::{Duration, Instant};
 
@@ -120,13 +120,17 @@ impl PrimacyCompressor {
 
         let chunk_bytes = self.config.chunk_elements() * self.config.element_size;
         let mut prev_index: Option<IndexState> = None;
+        // One codec scratch for the whole stream: after the first chunk the
+        // encoder's hash-chain and token buffers are reused, so steady-state
+        // chunks allocate nothing in the tokenizer.
+        let mut scratch = CodecScratch::new();
         let mut timings = StageTimings::default();
         let mut chunks = 0usize;
         let mut own_index_chunks = 0usize;
         let mut weighted_alpha2 = 0f64;
 
         for chunk in input.chunks(chunk_bytes.max(self.config.element_size)) {
-            let info = self.compress_chunk(chunk, &mut prev_index, &mut out)?;
+            let info = self.compress_chunk(chunk, &mut prev_index, &mut scratch, &mut out)?;
             timings.add(&info.timings);
             chunks += 1;
             if info.own_index {
@@ -187,6 +191,9 @@ impl PrimacyCompressor {
                     // Merge this worker's trace aggregate into the sink in
                     // one call when the thread finishes its share.
                     let _trace_scope = trace::thread_scope();
+                    // One scratch per worker thread, reused across every
+                    // chunk this worker claims.
+                    let mut scratch = CodecScratch::new();
                     loop {
                         let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
                         if i >= chunks.len() {
@@ -195,7 +202,7 @@ impl PrimacyCompressor {
                         let mut buf = Vec::new();
                         let mut no_prev = None;
                         let r = self
-                            .compress_chunk(chunks[i], &mut no_prev, &mut buf)
+                            .compress_chunk(chunks[i], &mut no_prev, &mut scratch, &mut buf)
                             .map(|_| buf);
                         let mut guard = sections_mutex.lock().unwrap_or_else(|e| e.into_inner());
                         guard[i] = r;
@@ -226,11 +233,14 @@ impl PrimacyCompressor {
         Ok(out)
     }
 
-    /// Per-chunk info reported back to the stats aggregator.
+    /// Per-chunk info reported back to the stats aggregator. `scratch` holds
+    /// the backend codec's reusable working memory — the caller owns one per
+    /// thread and threads it through every chunk.
     pub(crate) fn compress_chunk(
         &self,
         chunk: &[u8],
         prev_index: &mut Option<IndexState>,
+        scratch: &mut CodecScratch,
         out: &mut Vec<u8>,
     ) -> Result<ChunkInfo> {
         let cfg = &self.config;
@@ -277,7 +287,7 @@ impl PrimacyCompressor {
 
         // Backend compression of the ID bytes (§II-E).
         let t = Instant::now();
-        let hi_comp = self.codec.compress(&hi_lin)?;
+        let hi_comp = self.codec.compress_with(&hi_lin, scratch)?;
         stage(&mut timings.codec, STAGE_DEFLATE, t);
 
         // ISOBAR on the mantissa bytes (§II-G).
@@ -290,7 +300,7 @@ impl PrimacyCompressor {
         let lo_comp = if compressible.is_empty() {
             Vec::new()
         } else {
-            self.codec.compress(&compressible)?
+            self.codec.compress_with(&compressible, scratch)?
         };
         stage(&mut timings.codec, STAGE_DEFLATE, t);
 

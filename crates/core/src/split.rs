@@ -26,18 +26,41 @@ pub fn split_hi_lo(
     let mut hi = vec![0u8; n * hi_bytes];
     let mut lo = vec![0u8; n * lo_bytes];
     if element_size == 8 && hi_bytes == 2 {
-        // Hot path for f64: one u64 load per element, big-endian byte order
-        // materialized with a byte swap.
-        for ((elem, h), l) in input
-            .chunks_exact(8)
-            .zip(hi.chunks_exact_mut(2))
-            .zip(lo.chunks_exact_mut(6))
-        {
+        // Hot path for f64: one u64 load per element, then exactly two wide
+        // stores — a u16 for the hi pair and a u64 for the six lo bytes. The
+        // lo store writes `(v << 16).to_be_bytes()`, whose last two bytes are
+        // zero and land in the *next* element's lo slot, to be overwritten by
+        // the next iteration; only the final element (whose slot has no
+        // successor to spill into) takes the exact-width path.
+        for i in 0..n.saturating_sub(1) {
             let mut a = [0u8; 8];
-            a.copy_from_slice(elem); // chunks_exact(8) guarantees the length
+            a.copy_from_slice(&input[i * 8..i * 8 + 8]);
+            let v = u64::from_le_bytes(a);
+            hi[i * 2..i * 2 + 2].copy_from_slice(&((v >> 48) as u16).to_be_bytes());
+            lo[i * 6..i * 6 + 8].copy_from_slice(&(v << 16).to_be_bytes());
+        }
+        if n > 0 {
+            let i = n - 1;
+            let mut a = [0u8; 8];
+            a.copy_from_slice(&input[i * 8..i * 8 + 8]);
             let be = u64::from_le_bytes(a).to_be_bytes();
-            h.copy_from_slice(&be[0..2]);
-            l.copy_from_slice(&be[2..8]);
+            hi[i * 2..i * 2 + 2].copy_from_slice(&be[0..2]);
+            lo[i * 6..i * 6 + 6].copy_from_slice(&be[2..8]);
+        }
+        return Ok((hi, lo));
+    }
+    if element_size == 4 && hi_bytes == 1 {
+        // Hot path for f32: one u32 load per element.
+        for ((elem, h), l) in input
+            .chunks_exact(4)
+            .zip(hi.iter_mut())
+            .zip(lo.chunks_exact_mut(3))
+        {
+            let mut a = [0u8; 4];
+            a.copy_from_slice(elem); // chunks_exact(4) guarantees the length
+            let be = u32::from_le_bytes(a).to_be_bytes();
+            *h = be[0];
+            l.copy_from_slice(&be[1..4]);
         }
         return Ok((hi, lo));
     }
@@ -69,17 +92,37 @@ pub fn join_hi_lo(hi: &[u8], lo: &[u8], element_size: usize, hi_bytes: usize) ->
     }
     let mut out = vec![0u8; n * element_size];
     if element_size == 8 && hi_bytes == 2 {
-        // Hot path for f64: assemble the big-endian element in a register
-        // and emit one u64 store (mirrors the split fast path).
-        for ((elem, h), l) in out
-            .chunks_exact_mut(8)
-            .zip(hi.chunks_exact(2))
-            .zip(lo.chunks_exact(6))
-        {
+        // Hot path for f64, mirroring the split fast path: a u16 load for the
+        // hi pair, one overlapping u64 load that grabs the six lo bytes (plus
+        // two bytes of the next row, shifted away), and a single u64 store.
+        for i in 0..n.saturating_sub(1) {
+            let mut h = [0u8; 2];
+            h.copy_from_slice(&hi[i * 2..i * 2 + 2]);
+            let mut l = [0u8; 8];
+            l.copy_from_slice(&lo[i * 6..i * 6 + 8]);
+            let v = u64::from(u16::from_be_bytes(h)) << 48 | u64::from_be_bytes(l) >> 16;
+            out[i * 8..i * 8 + 8].copy_from_slice(&v.to_le_bytes());
+        }
+        if n > 0 {
+            let i = n - 1;
             let mut be = [0u8; 8];
-            be[0..2].copy_from_slice(h);
-            be[2..8].copy_from_slice(l);
-            elem.copy_from_slice(&u64::from_be_bytes(be).to_le_bytes());
+            be[0..2].copy_from_slice(&hi[i * 2..i * 2 + 2]);
+            be[2..8].copy_from_slice(&lo[i * 6..i * 6 + 6]);
+            out[i * 8..i * 8 + 8].copy_from_slice(&u64::from_be_bytes(be).to_le_bytes());
+        }
+        return Ok(out);
+    }
+    if element_size == 4 && hi_bytes == 1 {
+        // Hot path for f32: assemble the big-endian element in a register.
+        for ((elem, &h), l) in out
+            .chunks_exact_mut(4)
+            .zip(hi.iter())
+            .zip(lo.chunks_exact(3))
+        {
+            let mut be = [0u8; 4];
+            be[0] = h;
+            be[1..4].copy_from_slice(l);
+            elem.copy_from_slice(&u32::from_be_bytes(be).to_le_bytes());
         }
         return Ok(out);
     }
@@ -178,6 +221,43 @@ mod tests {
         for (i, key) in [(0usize, 0x12u16), (1, 0xFF), (2, 1)] {
             write_hi_key(&mut buf, i, 1, key);
             assert_eq!(hi_key(&buf, i, 1), key);
+        }
+    }
+
+    #[test]
+    fn fast_paths_match_scalar_layout() {
+        // (8,2) and (4,1) take word-wise paths with an overlapping-store
+        // tail; (8,3) takes the generic loop. All must agree with the scalar
+        // big-endian layout definition, including n = 1 (tail only) and
+        // n = 2 (one overlapping store + tail).
+        for (es, hb, n) in [
+            (8usize, 2usize, 1usize),
+            (8, 2, 2),
+            (8, 2, 97),
+            (4, 1, 1),
+            (4, 1, 50),
+            (8, 3, 40),
+        ] {
+            let input: Vec<u8> = (0..n * es).map(|i| (i * 37 % 256) as u8).collect();
+            let (hi, lo) = split_hi_lo(&input, es, hb).unwrap();
+            for r in 0..n {
+                let elem = &input[r * es..(r + 1) * es];
+                for k in 0..hb {
+                    assert_eq!(hi[r * hb + k], elem[es - 1 - k], "{es},{hb} hi r={r} k={k}");
+                }
+                for k in 0..es - hb {
+                    assert_eq!(
+                        lo[r * (es - hb) + k],
+                        elem[es - 1 - hb - k],
+                        "{es},{hb} lo r={r} k={k}"
+                    );
+                }
+            }
+            assert_eq!(
+                join_hi_lo(&hi, &lo, es, hb).unwrap(),
+                input,
+                "{es},{hb},{n}"
+            );
         }
     }
 

@@ -17,9 +17,14 @@
 //! Two independent seeds are pinned (acceptance criterion): `gts_phi_l` and
 //! `obs_error` draw from different generator recipes with different seeds.
 //!
-//! To regenerate after an *intentional* format change:
-//! `PRIMACY_REGEN_GOLDEN=1 cargo test --test golden_format` — then commit
-//! the updated hex files and call out the format break in the PR.
+//! To rotate vectors after an *intentional* encoder change (see
+//! `tests/README.md` for the full workflow): first copy the current
+//! `tests/golden/*.hex` into `tests/golden/legacy/` with a `_vN` suffix so
+//! they keep gating the decoder, then regenerate the encode vectors with
+//! `PRIMACY_REGEN_GOLDEN=1 cargo test --test golden_format`, commit both, and
+//! call out the encoder change in the PR. Legacy vectors are decode-only:
+//! the encoder is free to emit different (better) bytes, but every container
+//! ever committed must keep decoding byte-exactly.
 
 use primacy_suite::core::{ArchiveWriter, PrimacyCompressor, PrimacyConfig};
 use primacy_suite::datagen::DatasetId;
@@ -169,6 +174,60 @@ fn archive_vectors_are_byte_exact() {
         let (input, container) = archive_vector(id);
         check_vector(id, "archive", &input, &container);
     }
+}
+
+/// Decode-only compatibility gate: every vector under `tests/golden/legacy/`
+/// was written by some previous build's encoder and must keep decoding to
+/// the exact seeded input, even though today's encoder produces different
+/// bytes (e.g. the skip-ahead match finder changed token choices). This is
+/// the format-stability half of the golden suite that vector rotation never
+/// retires.
+#[test]
+fn legacy_vectors_still_decode() {
+    let legacy = golden_dir().join("legacy");
+    let mut checked = 0usize;
+    for id in GOLDEN_DATASETS {
+        let input = id.generate_bytes(GOLDEN_ELEMENTS);
+        for kind in ["stream", "archive"] {
+            let mut entries: Vec<PathBuf> = std::fs::read_dir(&legacy)
+                .expect("tests/golden/legacy exists")
+                .filter_map(|e| e.ok().map(|e| e.path()))
+                .filter(|p| {
+                    p.file_name()
+                        .and_then(|n| n.to_str())
+                        .is_some_and(|n| n.starts_with(&format!("{}_{kind}_v", id.name())))
+                })
+                .collect();
+            entries.sort();
+            for path in entries {
+                let golden = from_hex(&std::fs::read_to_string(&path).expect("readable vector"));
+                let decoded = match kind {
+                    "stream" => PrimacyCompressor::new(golden_config())
+                        .decompress_bytes(&golden)
+                        .unwrap_or_else(|e| panic!("{} fails to decode: {e}", path.display())),
+                    _ => {
+                        let r = primacy_suite::core::ArchiveReader::open(&golden)
+                            .unwrap_or_else(|e| panic!("{} fails to open: {e}", path.display()));
+                        r.read_elements(0, r.element_count() as usize)
+                            .unwrap_or_else(|e| panic!("{} fails to read: {e}", path.display()))
+                    }
+                };
+                assert_eq!(
+                    decoded,
+                    input,
+                    "{}: legacy container no longer decodes to its input",
+                    path.display()
+                );
+                checked += 1;
+            }
+        }
+    }
+    // One generation of legacy vectors exists today (the pre-skip-ahead
+    // encoder); rotation only ever grows this.
+    assert!(
+        checked >= GOLDEN_DATASETS.len() * 2,
+        "legacy gate found only {checked} vectors — rotation must never delete them"
+    );
 }
 
 #[test]

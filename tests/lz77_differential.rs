@@ -1,0 +1,225 @@
+//! Differential test for the PR-5 LZ77 match-finder overhaul (ISSUE 5
+//! satellite): the word-at-a-time + skip-ahead + scratch-reuse finder must
+//! (a) round-trip byte-identically through the full DEFLATE encoder/decoder,
+//! and (b) produce encoded output no worse than the *old* byte-at-a-time
+//! greedy path — reimplemented here verbatim as a reference — on corpora
+//! spanning the compressibility spectrum, at all three `Level`s.
+//!
+//! "No worse" is measured on real encoded bytes (`emit_blocks`), not token
+//! counts, because skip-ahead deliberately trades a bounded amount of match
+//! discovery for speed: the tolerance is 1% + 64 bytes, mirroring the
+//! acceptance criterion that no corpus regresses by more than 1% at
+//! `Level::Default`.
+
+use primacy_suite::codecs::deflate::lz77::{self, Token};
+use primacy_suite::codecs::deflate::{encode, inflate, Level, MAX_MATCH, MIN_MATCH, WINDOW_SIZE};
+use primacy_suite::datagen::{DatasetId, Rng};
+
+/// The old greedy match finder, byte-at-a-time, exactly as shipped before
+/// the throughput overhaul: 15-bit hash over 3 bytes, chain walk with the
+/// historical semantics (self-references skipped *without* spending budget),
+/// scalar compare loop, no skip-ahead, fresh chains per call.
+fn old_greedy_tokens(data: &[u8], max_chain: usize, nice_length: usize) -> Vec<Token> {
+    const HASH_BITS: u32 = 15;
+    const NO_POS: u32 = u32::MAX;
+    let n = data.len();
+    let mut head = vec![NO_POS; 1 << HASH_BITS];
+    let mut prev = vec![NO_POS; n];
+    let hash3 = |i: usize| -> usize {
+        let v = u32::from(data[i]) << 16 | u32::from(data[i + 1]) << 8 | u32::from(data[i + 2]);
+        (v.wrapping_mul(0x9E37_79B1) >> (32 - HASH_BITS)) as usize
+    };
+    let insert = |head: &mut Vec<u32>, prev: &mut Vec<u32>, i: usize| {
+        if i + MIN_MATCH > n {
+            return;
+        }
+        let h = hash3(i);
+        prev[i] = head[h];
+        head[h] = i as u32;
+    };
+    let longest = |head: &Vec<u32>, prev: &Vec<u32>, i: usize| -> (usize, usize) {
+        let remaining = n - i;
+        if remaining < MIN_MATCH {
+            return (0, 0);
+        }
+        let max_len = remaining.min(MAX_MATCH);
+        let nice = nice_length.min(max_len);
+        let mut cand = head[hash3(i)];
+        let mut best_len = MIN_MATCH - 1;
+        let mut best_dist = 0usize;
+        let mut chain_left = max_chain;
+        let window_floor = i.saturating_sub(WINDOW_SIZE);
+        while cand != NO_POS && chain_left > 0 {
+            let c = cand as usize;
+            if c >= i {
+                cand = prev[c];
+                continue;
+            }
+            if c < window_floor {
+                break;
+            }
+            if data[c + best_len] == data[i + best_len] {
+                let mut l = 0usize;
+                while l < max_len && data[c + l] == data[i + l] {
+                    l += 1;
+                }
+                if l > best_len {
+                    best_len = l;
+                    best_dist = i - c;
+                    if l >= nice {
+                        break;
+                    }
+                }
+            }
+            chain_left -= 1;
+            cand = prev[c];
+        }
+        if best_len >= MIN_MATCH {
+            (best_len, best_dist)
+        } else {
+            (0, 0)
+        }
+    };
+
+    let mut tokens = Vec::new();
+    let mut i = 0;
+    while i < n {
+        let (mlen, mdist) = longest(&head, &prev, i);
+        insert(&mut head, &mut prev, i);
+        if mlen >= MIN_MATCH {
+            tokens.push(Token::Match {
+                len: mlen as u16,
+                dist: mdist as u16,
+            });
+            for j in i + 1..i + mlen {
+                insert(&mut head, &mut prev, j);
+            }
+            i += mlen;
+        } else {
+            tokens.push(Token::Literal(data[i]));
+            i += 1;
+        }
+    }
+    tokens
+}
+
+/// Corpora named by the issue: gts-like structured floats, pure random
+/// bytes, long byte runs, and ragged-tail sizes that exercise every scalar
+/// tail path (non-multiple-of-8 lengths around word boundaries).
+fn corpora() -> Vec<(String, Vec<u8>)> {
+    let mut out = Vec::new();
+
+    out.push((
+        "gts_like".to_string(),
+        DatasetId::GtsPhiL.generate_bytes(8192),
+    ));
+
+    let mut rng = Rng::seed_from_u64(0x6c7a_3737_5f64_6966); // "lz77_dif"
+    let mut random = vec![0u8; 48 * 1024];
+    rng.fill_bytes(&mut random);
+    out.push(("random".to_string(), random));
+
+    let mut runs = Vec::new();
+    for (byte, len) in [(0u8, 5000usize), (255, 1), (7, 9000), (7, 1), (0, 300)] {
+        runs.extend(std::iter::repeat_n(byte, len));
+    }
+    runs.extend(b"abcabcabc".repeat(500));
+    out.push(("runs".to_string(), runs));
+
+    let base = DatasetId::ObsError.generate_bytes(2048);
+    for tail in [0usize, 1, 3, 7, 8, 9, 15, 17] {
+        let cut = base.len() - tail;
+        out.push((format!("ragged_tail_{tail}"), base[..cut].to_vec()));
+    }
+
+    out
+}
+
+fn params(level: Level) -> (usize, usize) {
+    // (max_chain, nice_length) as they were before the overhaul — the same
+    // numbers the new finder uses, so the comparison isolates the inner-loop
+    // and skip-ahead changes.
+    match level {
+        Level::Fast => (16, 16),
+        Level::Default => (128, 128),
+        Level::Best => (1024, MAX_MATCH),
+    }
+}
+
+#[test]
+fn new_finder_roundtrips_and_costs_no_more_than_old_greedy() {
+    for (name, data) in corpora() {
+        for level in [Level::Fast, Level::Default, Level::Best] {
+            // Tokens reconstruct the input exactly.
+            let tokens = lz77::tokenize(&data, level);
+            assert_eq!(
+                lz77::expand(&tokens),
+                data,
+                "{name} {level:?}: token stream does not expand to the input"
+            );
+
+            // The full encoder round-trips byte-identically.
+            let comp = primacy_suite::codecs::deflate::deflate(&data, level);
+            assert_eq!(
+                inflate(&comp).expect("own stream inflates"),
+                data,
+                "{name} {level:?}: deflate/inflate round-trip failed"
+            );
+
+            // Real encoded cost vs the old greedy reference, same tuning.
+            let (max_chain, nice) = params(level);
+            let old_tokens = old_greedy_tokens(&data, max_chain, nice);
+            assert_eq!(lz77::expand(&old_tokens), data, "reference is broken");
+            let old_cost = encode::emit_blocks(&data, &old_tokens).len();
+            let budget = old_cost + old_cost / 100 + 64;
+            assert!(
+                comp.len() <= budget,
+                "{name} {level:?}: new encoder emits {} bytes vs old greedy {} \
+                 (budget {})",
+                comp.len(),
+                old_cost,
+                budget
+            );
+        }
+    }
+}
+
+#[test]
+fn lazy_levels_beat_old_greedy_on_structured_data() {
+    // Where lazy evaluation has room to work (structured, compressible
+    // data), Default and Best must strictly not lose to the old greedy path
+    // — the skip-ahead tolerance above exists only for incompressible data.
+    for (name, data) in corpora() {
+        if name.starts_with("random") {
+            continue;
+        }
+        for level in [Level::Default, Level::Best] {
+            let (max_chain, nice) = params(level);
+            let old_cost =
+                encode::emit_blocks(&data, &old_greedy_tokens(&data, max_chain, nice)).len();
+            let new_cost = primacy_suite::codecs::deflate::deflate(&data, level).len();
+            assert!(
+                new_cost <= old_cost,
+                "{name} {level:?}: lazy path emits {new_cost} bytes, old greedy {old_cost}"
+            );
+        }
+    }
+}
+
+#[test]
+fn scratch_reuse_across_corpora_is_stateless() {
+    // One scratch reused across wildly different inputs must give exactly
+    // the tokens of a fresh tokenize at every step — chunk N must not see
+    // chunk N-1's chains.
+    let mut scratch = lz77::EncoderScratch::new();
+    for level in [Level::Fast, Level::Default, Level::Best] {
+        for (name, data) in corpora() {
+            lz77::tokenize_into(&data, level, &mut scratch);
+            assert_eq!(
+                scratch.tokens(),
+                lz77::tokenize(&data, level).as_slice(),
+                "{name} {level:?}: reused scratch diverged from fresh state"
+            );
+        }
+    }
+}
