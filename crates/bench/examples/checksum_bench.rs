@@ -1,0 +1,28 @@
+//! Developer probe: standalone Adler-32 / CRC-32 throughput on 64 MiB of
+//! synthetic bytes, two passes (first warms the page cache and detects the
+//! SIMD path). Checksums ride inside the deflate stage numbers in the main
+//! throughput bench; this isolates them when tuning the folding kernels.
+//!
+//! ```text
+//! cargo run --release -p primacy-bench --example checksum_bench
+//! ```
+
+use primacy_codecs::checksum::{adler32, crc32};
+use std::time::Instant;
+
+fn main() {
+    let data: Vec<u8> = (0..(64 << 20)).map(|i| (i * 131 % 251) as u8).collect();
+    for _ in 0..2 {
+        let t = Instant::now();
+        let a = adler32(&data);
+        let da = t.elapsed().as_secs_f64();
+        let t = Instant::now();
+        let c = crc32(&data);
+        let dc = t.elapsed().as_secs_f64();
+        println!(
+            "adler {a:08x} {:.0} MB/s | crc {c:08x} {:.0} MB/s",
+            data.len() as f64 / 1e6 / da,
+            data.len() as f64 / 1e6 / dc
+        );
+    }
+}

@@ -12,14 +12,19 @@
 //!
 //! Run with `cargo run --release -p primacy-bench --bin throughput`.
 //! `-- --smoke` runs a tiny-input self-check (used by ci.sh): it validates the
-//! report schema and asserts every throughput is a sane positive number, but
-//! makes no claims about absolute speed.
+//! report schema, asserts every throughput is a sane positive number, and
+//! gates every per-corpus compression ratio against the checked-in
+//! `results/ratio-baseline.json` (±0.5% relative). Speed is machine-dependent
+//! and stays report-only; ratios are deterministic, so a drift means the
+//! encoder's output actually changed — refresh the baseline intentionally
+//! with `-- --write-ratio-baseline` when a ratio improvement is the point of
+//! a change.
 //!
 //! Stage MB/s figures divide the corpus size by that stage's wall time, so
 //! they read as "the throughput the pipeline would have if only this stage
 //! existed" — the bottleneck stage is the one closest to the end-to-end row.
 
-use primacy_bench::json::Value;
+use primacy_bench::json::{self, Value};
 use primacy_bench::{dataset_elements, harness, mbps, rule, Report};
 use primacy_codecs::CodecKind;
 use primacy_core::{PrimacyCompressor, PrimacyConfig, StageTimings, STAGES};
@@ -62,12 +67,34 @@ fn corpora(elements: usize) -> Vec<Corpus> {
 /// Codecs measured standalone (fed the raw corpus, no preconditioner).
 const CODECS: [CodecKind; 3] = [CodecKind::Zlib, CodecKind::Lzr, CodecKind::Bwt];
 
-fn per_stage_mbps(report: &mut Report, corpus: &str, dir: &str, bytes: usize, t: &StageTimings) {
-    for (stage, d) in t.by_stage() {
-        let secs = d.as_secs_f64();
+/// Checked-in per-corpus ratio baseline consumed by the `--smoke` gate.
+const RATIO_BASELINE: &str = "results/ratio-baseline.json";
+/// Relative drift allowed before the ratio gate fails. Compression is
+/// deterministic, so this only absorbs float formatting, not real variance.
+const RATIO_TOLERANCE: f64 = 0.005;
+
+fn per_stage_mbps(
+    report: &mut Report,
+    corpus: &str,
+    dir: &str,
+    bytes: usize,
+    runs: &[StageTimings],
+) {
+    // Per-stage MEDIAN over the instrumented passes: a single pass is at the
+    // mercy of frequency scaling and cache state, and the stage rows are what
+    // the throughput-regression comparisons read, so they get the same
+    // robustness treatment the end-to-end rows get from `harness::measure`.
+    let stages = runs[0].by_stage();
+    for (idx, (stage, _)) in stages.iter().enumerate() {
+        let mut secs: Vec<f64> = runs
+            .iter()
+            .map(|t| t.by_stage()[idx].1.as_secs_f64())
+            .collect();
+        secs.sort_by(f64::total_cmp);
+        let median = secs[secs.len() / 2];
         // A stage that took no measurable time reports its throughput as the
         // whole-corpus-per-tick sentinel rather than infinity.
-        let rate = bytes as f64 / 1e6 / secs.max(1e-9);
+        let rate = bytes as f64 / 1e6 / median.max(1e-9);
         report.push(
             format!("throughput/{corpus}/stage/{stage}/{dir}_mbps"),
             rate,
@@ -77,9 +104,11 @@ fn per_stage_mbps(report: &mut Report, corpus: &str, dir: &str, bytes: usize, t:
 
 fn main() {
     let smoke = std::env::args().any(|a| a == "--smoke");
-    let elements = if smoke {
+    let write_baseline = std::env::args().any(|a| a == "--write-ratio-baseline");
+    let elements = if smoke || write_baseline {
         // Small enough for CI, large enough to span several deflate blocks
-        // and exercise every stage.
+        // and exercise every stage. The baseline is written at the same size
+        // the smoke gate measures, so the two always compare like for like.
         1 << 14
     } else {
         dataset_elements()
@@ -87,11 +116,15 @@ fn main() {
     if std::env::var_os("PRIMACY_BENCH_SAMPLES").is_none() {
         // Throughput rows are medians; a handful of samples is plenty and
         // keeps the full 16 MiB × 4-corpus sweep in CI-friendly time.
-        std::env::set_var("PRIMACY_BENCH_SAMPLES", if smoke { "1" } else { "5" });
+        std::env::set_var(
+            "PRIMACY_BENCH_SAMPLES",
+            if smoke || write_baseline { "1" } else { "5" },
+        );
     }
 
     let primacy = PrimacyCompressor::new(PrimacyConfig::default());
     let mut report = Report::new("throughput");
+    let mut ratios: Vec<(String, f64)> = Vec::new();
 
     println!("End-to-end throughput, MB/s of uncompressed bytes ({elements} doubles per corpus)");
     println!("primacy = full pipeline (split/freq/idmap/linearize/deflate/isobar + CRC)\n");
@@ -127,14 +160,31 @@ fn main() {
             d_stats.mbps(n),
         );
         report.push(format!("throughput/{name}/primacy/ratio"), ratio);
+        ratios.push((format!("{name}/primacy"), ratio));
 
-        // Per-stage breakdown from one instrumented pass in each direction.
-        let (_, cs) = primacy.compress_bytes_with_stats(bytes).expect("compress");
-        per_stage_mbps(&mut report, name, "compress", bytes.len(), &cs.timings);
-        let (_, ds) = primacy
-            .decompress_bytes_with_stats(&compressed)
-            .expect("decompress");
-        per_stage_mbps(&mut report, name, "decompress", bytes.len(), &ds.timings);
+        // Per-stage breakdown from several instrumented passes per direction
+        // (same sample count as the end-to-end rows; medians in both).
+        let stage_samples = std::env::var("PRIMACY_BENCH_SAMPLES")
+            .ok()
+            .and_then(|v| v.parse::<usize>().ok())
+            .unwrap_or(1)
+            .max(1);
+        let c_runs: Vec<_> = (0..stage_samples)
+            .map(|_| {
+                let (_, cs) = primacy.compress_bytes_with_stats(bytes).expect("compress");
+                cs.timings
+            })
+            .collect();
+        per_stage_mbps(&mut report, name, "compress", bytes.len(), &c_runs);
+        let d_runs: Vec<_> = (0..stage_samples)
+            .map(|_| {
+                let (_, ds) = primacy
+                    .decompress_bytes_with_stats(&compressed)
+                    .expect("decompress");
+                ds.timings
+            })
+            .collect();
+        per_stage_mbps(&mut report, name, "decompress", bytes.len(), &d_runs);
 
         // Standalone backend codecs on the same raw bytes.
         let mut codec_cells: Vec<(f64, f64)> = Vec::new();
@@ -155,6 +205,7 @@ fn main() {
                 format!("throughput/{name}/codec/{kind}/ratio"),
                 n as f64 / comp.len() as f64,
             );
+            ratios.push((format!("{name}/codec/{kind}"), n as f64 / comp.len() as f64));
             if codec_cells.len() < 2 {
                 codec_cells.push((cc.mbps(n), dc.mbps(n)));
             }
@@ -174,11 +225,107 @@ fn main() {
     }
 
     let value = report.to_value();
-    if smoke {
+    if write_baseline {
+        write_ratio_baseline(elements, &ratios);
+        println!(
+            "\nratio baseline: wrote {} entries to {RATIO_BASELINE}",
+            ratios.len()
+        );
+    } else if smoke {
         validate(&value);
-        println!("\nsmoke: schema and throughput floors OK");
+        check_ratio_baseline(elements, &ratios);
+        println!("\nsmoke: schema, throughput floors and ratio baseline OK");
     }
     report.finish();
+}
+
+/// Serialize the measured ratios in the same `records` shape the bench
+/// reports use, so the baseline stays readable by [`Value::get`] alone.
+fn write_ratio_baseline(elements: usize, ratios: &[(String, f64)]) {
+    let records: Vec<Value> = ratios
+        .iter()
+        .map(|(key, ratio)| {
+            Value::object([
+                ("key", Value::from(key.as_str())),
+                ("value", Value::from(*ratio)),
+            ])
+        })
+        .collect();
+    let doc = Value::object([
+        ("experiment", Value::from("ratio-baseline")),
+        ("elements", Value::from(elements as f64)),
+        ("records", Value::Array(records)),
+    ]);
+    std::fs::write(RATIO_BASELINE, doc.to_json())
+        // lint: allow(panic) -- bench binary: an unwritable baseline must fail the refresh loudly
+        .unwrap_or_else(|e| panic!("writing {RATIO_BASELINE}: {e}"));
+}
+
+/// The `--smoke` ratio gate: every measured per-corpus ratio must sit within
+/// [`RATIO_TOLERANCE`] of the checked-in baseline, and the corpus/codec set
+/// itself must match — an added or removed corpus is a baseline refresh, not
+/// a silent pass.
+fn check_ratio_baseline(elements: usize, ratios: &[(String, f64)]) {
+    let refresh = "refresh with: cargo run --release -p primacy-bench --bin throughput -- --write-ratio-baseline";
+    let text = std::fs::read_to_string(RATIO_BASELINE)
+        .unwrap_or_else(|e| panic!("reading {RATIO_BASELINE}: {e}; {refresh}"));
+    let doc = json::parse(&text).unwrap_or_else(|e| panic!("parsing {RATIO_BASELINE}: {e}"));
+    let base_elems = doc.get("elements").and_then(Value::as_f64).unwrap_or(0.0);
+    assert_eq!(
+        base_elems as usize, elements,
+        "{RATIO_BASELINE} was written at {base_elems} elements, smoke runs {elements}; {refresh}"
+    );
+    let records = doc
+        .get("records")
+        .and_then(Value::as_array)
+        .unwrap_or_else(|| panic!("{RATIO_BASELINE} has no records array"));
+    let baseline: Vec<(&str, f64)> = records
+        .iter()
+        .map(|rec| {
+            let key = rec
+                .get("key")
+                .and_then(Value::as_str)
+                .unwrap_or_else(|| panic!("{RATIO_BASELINE}: record without a key"));
+            let value = rec
+                .get("value")
+                .and_then(Value::as_f64)
+                .unwrap_or_else(|| panic!("{RATIO_BASELINE}: {key} has no numeric value"));
+            (key, value)
+        })
+        .collect();
+
+    println!(
+        "\nratio gate vs {RATIO_BASELINE} (tolerance ±{:.1}%):",
+        RATIO_TOLERANCE * 100.0
+    );
+    let mut failures = 0usize;
+    for (key, measured) in ratios {
+        let Some(&(_, expected)) = baseline.iter().find(|(k, _)| k == key) else {
+            println!("  {key:<24} measured {measured:.4} | MISSING from baseline");
+            failures += 1;
+            continue;
+        };
+        let drift = (measured - expected) / expected;
+        let ok = drift.abs() <= RATIO_TOLERANCE;
+        println!(
+            "  {key:<24} measured {measured:.4} | baseline {expected:.4} | drift {:+.3}% {}",
+            drift * 100.0,
+            if ok { "ok" } else { "FAIL" }
+        );
+        if !ok {
+            failures += 1;
+        }
+    }
+    for (key, _) in &baseline {
+        if !ratios.iter().any(|(k, _)| k == key) {
+            println!("  {key:<24} in baseline but not measured");
+            failures += 1;
+        }
+    }
+    assert_eq!(
+        failures, 0,
+        "ratio gate failed on {failures} entries; {refresh}"
+    );
 }
 
 /// Smoke-mode gate: the JSON document has the expected shape and every

@@ -1,0 +1,114 @@
+//! Developer probe: sub-stage breakdown of the deflate pipeline stage.
+//!
+//! The throughput benchmark reports the deflate stage as one number, but that
+//! number folds together LZ77 match finding, entropy coding, inflate, and the
+//! container checksum. When the stage regresses (or an optimization
+//! under-delivers), this probe says which of the four moved. Ignored by
+//! default — it prints timings rather than asserting them; run it with
+//!
+//! ```text
+//! cargo test --release -p primacy-bench --test deflate_breakdown -- --ignored --nocapture
+//! ```
+
+use std::time::Instant;
+
+use primacy_codecs::checksum::adler32;
+use primacy_codecs::deflate::{encode, inflate, lz77, Level};
+use primacy_datagen::{DatasetId, Rng};
+
+fn mbps(bytes: usize, secs: f64) -> f64 {
+    bytes as f64 / 1e6 / secs.max(1e-9)
+}
+
+fn time<R>(f: impl FnOnce() -> R) -> (R, f64) {
+    let t0 = Instant::now();
+    let r = f();
+    (r, t0.elapsed().as_secs_f64())
+}
+
+fn breakdown(name: &str, data: &[u8]) {
+    let mut scratch = lz77::EncoderScratch::new();
+    // Warm the scratch allocations out of the measurement.
+    let _ = primacy_codecs::deflate::deflate_with(data, Level::Default, &mut scratch);
+
+    let (_, t_tok) = time(|| lz77::tokenize_into(data, Level::Default, &mut scratch));
+    let tokens = scratch.tokens().to_vec();
+    let (stream, t_emit) = time(|| encode::emit_blocks(data, &tokens));
+    let (out, t_inf) = time(|| inflate(&stream).expect("inflate"));
+    assert_eq!(out, data);
+    let (_, t_adler) = time(|| adler32(data));
+
+    let n = data.len();
+    println!(
+        "{name:<12} tokenize {:7.1} MB/s | emit {:7.1} MB/s | inflate {:7.1} MB/s | adler {:7.1} MB/s",
+        mbps(n, t_tok),
+        mbps(n, t_emit),
+        mbps(n, t_inf),
+        mbps(n, t_adler),
+    );
+    println!(
+        "{name:<12} compress = {:7.1} MB/s (tokenize+emit), decompress = {:7.1} MB/s (inflate+adler)",
+        mbps(n, t_tok + t_emit),
+        mbps(n, t_inf + t_adler),
+    );
+}
+
+#[test]
+#[ignore = "developer probe: prints token statistics, asserts only sanity"]
+fn deflate_token_stats() {
+    for (name, data) in [
+        ("obs_error", DatasetId::ObsError.generate_bytes(1 << 20)),
+        ("gts_phi_l", DatasetId::GtsPhiL.generate_bytes(1 << 20)),
+    ] {
+        let tokens = lz77::tokenize(&data, Level::Default);
+        let mut lits = 0u64;
+        let mut matches = 0u64;
+        let mut match_bytes = 0u64;
+        let mut len_hist = [0u64; 5]; // 3-4, 5-8, 9-16, 17-64, 65+
+        let mut dist_hist = [0u64; 5]; // 1, 2-7, 8-64, 65-4096, 4097+
+        for &t in &tokens {
+            match t {
+                lz77::Token::Literal(_) => lits += 1,
+                lz77::Token::Match { len, dist } => {
+                    matches += 1;
+                    match_bytes += u64::from(len);
+                    let lb = match len {
+                        3..=4 => 0,
+                        5..=8 => 1,
+                        9..=16 => 2,
+                        17..=64 => 3,
+                        _ => 4,
+                    };
+                    let db = match dist {
+                        1 => 0,
+                        2..=7 => 1,
+                        8..=64 => 2,
+                        65..=4096 => 3,
+                        _ => 4,
+                    };
+                    len_hist[lb] += 1;
+                    dist_hist[db] += 1;
+                }
+            }
+        }
+        assert_eq!(lits + match_bytes, data.len() as u64);
+        println!(
+            "{name}: {} tokens = {lits} literals + {matches} matches covering {match_bytes} bytes",
+            tokens.len()
+        );
+        println!("  len  3-4/5-8/9-16/17-64/65+: {len_hist:?}");
+        println!("  dist 1/2-7/8-64/65-4k/4k+:   {dist_hist:?}");
+    }
+}
+
+#[test]
+#[ignore = "developer probe: prints a timing breakdown, asserts only correctness"]
+fn deflate_substage_breakdown() {
+    let elements = 1 << 20;
+    let mut rng = Rng::seed_from_u64(0x7470_5f72_616e_646f);
+    let mut random = vec![0u8; elements * 8];
+    rng.fill_bytes(&mut random);
+    breakdown("obs_error", &DatasetId::ObsError.generate_bytes(elements));
+    breakdown("random", &random);
+    breakdown("gts_phi_l", &DatasetId::GtsPhiL.generate_bytes(elements));
+}

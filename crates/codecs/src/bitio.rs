@@ -35,17 +35,36 @@ impl BitWriter {
 
     /// Write the low `count` bits of `bits` (LSB first). `count` must be ≤ 57
     /// so the internal 64-bit buffer cannot overflow.
+    ///
+    /// Complete bytes are flushed as one little-endian `u64` store plus a
+    /// length adjustment (libdeflate-style), not a per-byte push loop — the
+    /// DEFLATE encoder emits merged code+extra-bit groups of up to 48 bits
+    /// per call, so the flush is the hot path of the whole entropy coder.
     #[inline]
     pub fn write_bits(&mut self, bits: u64, count: u32) {
         debug_assert!(count <= 57);
         debug_assert!(count == 64 || bits < (1u64 << count));
         self.bitbuf |= bits << self.bitcount;
         self.bitcount += count;
-        while self.bitcount >= 8 {
-            self.out.push((self.bitbuf & 0xff) as u8);
-            self.bitbuf >>= 8;
-            self.bitcount -= 8;
+        if self.bitcount >= 8 {
+            self.flush_whole_bytes();
         }
+    }
+
+    /// Move every complete byte of `bitbuf` into `out` with a single wide
+    /// store, leaving `bitcount < 8`.
+    #[inline]
+    fn flush_whole_bytes(&mut self) {
+        let nbytes = (self.bitcount >> 3) as usize;
+        let len = self.out.len();
+        // One unconditional 8-byte append, then trim to the bytes that are
+        // actually complete: the grow check is the only branch.
+        self.out.extend_from_slice(&self.bitbuf.to_le_bytes());
+        self.out.truncate(len + nbytes);
+        // nbytes == 8 (a shift of 64) only when bitcount hit exactly 64;
+        // checked_shr turns that into the zero buffer it should be.
+        self.bitbuf = self.bitbuf.checked_shr(self.bitcount & !7).unwrap_or(0);
+        self.bitcount &= 7;
     }
 
     /// Pad with zero bits to the next byte boundary.
@@ -103,8 +122,26 @@ impl<'a> BitReader<'a> {
 
     /// Pull bytes from the input until at least 56 bits are buffered or the
     /// input is exhausted.
+    ///
+    /// Away from the end of input this is branch-light: one unaligned 8-byte
+    /// little-endian load ORed above the pending bits tops the buffer up to
+    /// ≥ 56 valid bits in a single step (the bytes that do not fit are
+    /// reloaded by the next refill — loads are idempotent because `pos` only
+    /// advances by the bytes actually consumed into `bitbuf`).
     #[inline]
     fn refill(&mut self) {
+        if self.bitcount > 56 {
+            return;
+        }
+        if let Some(chunk) = self.input.get(self.pos..self.pos + 8) {
+            let mut a = [0u8; 8];
+            a.copy_from_slice(chunk);
+            self.bitbuf |= u64::from_le_bytes(a) << self.bitcount;
+            let loaded = (63 - self.bitcount) >> 3;
+            self.pos += loaded as usize;
+            self.bitcount += loaded * 8;
+            return;
+        }
         while self.bitcount <= 56 && self.pos < self.input.len() {
             self.bitbuf |= u64::from(self.input[self.pos]) << self.bitcount;
             self.pos += 1;
@@ -163,9 +200,18 @@ impl<'a> BitReader<'a> {
             self.bitcount -= 8;
             remaining -= 1;
         }
+        if remaining == 0 {
+            return Ok(());
+        }
         if self.pos + remaining > self.input.len() {
             return Err(CodecError::Truncated);
         }
+        // The drain stopped at bitcount == 0 (the caller is byte-aligned),
+        // but `bitbuf` may still hold uncounted look-ahead bits from a wide
+        // refill. Advancing `pos` past them would leave them describing
+        // bytes we are about to skip, so clear the buffer explicitly.
+        debug_assert_eq!(self.bitcount, 0);
+        self.bitbuf = 0;
         out.extend_from_slice(&self.input[self.pos..self.pos + remaining]);
         self.pos += remaining;
         Ok(())

@@ -6,8 +6,15 @@
 /// Largest prime smaller than 2^16, per RFC 1950.
 const ADLER_MOD: u32 = 65_521;
 /// Largest n such that 255·n·(n+1)/2 + (n+1)·(MOD−1) ≤ 2^32−1; allows
-/// deferring the modulo reduction (same constant zlib uses).
-const ADLER_NMAX: usize = 5552;
+/// deferring the modulo reduction (same constant zlib uses). Rounded down
+/// to a multiple of [`ADLER_GROUP`] so the vectorizable inner loop never
+/// straddles a reduction boundary.
+const ADLER_NMAX: usize = 5552 - 5552 % ADLER_GROUP;
+/// Bytes folded per inner-loop step of [`Adler32::update`]. The group is
+/// wide enough that the two per-group reductions (a plain sum and a
+/// position-weighted sum) auto-vectorize; 32 keeps the weight vector in one
+/// or two SIMD registers on any lane width LLVM picks.
+const ADLER_GROUP: usize = 32;
 
 /// Streaming Adler-32 state.
 #[derive(Debug, Clone)]
@@ -29,15 +36,57 @@ impl Adler32 {
     }
 
     /// Fold `data` into the checksum.
+    ///
+    /// The byte recurrence `a += x; b += a` serializes on `a`, so each
+    /// [`ADLER_NMAX`] window is restated per [`ADLER_GROUP`]-byte group in
+    /// closed form: `b' = b + G·a + Σ (G−i)·x_i` and `a' = a + Σ x_i`. Both
+    /// sums are independent element-wise reductions; on x86-64 with AVX2 the
+    /// whole window is folded by [`avx2::fold_window`] (~10× the scalar
+    /// loop), elsewhere the grouped scalar form still shortens the carried
+    /// dependency chain from every byte to every group.
     pub fn update(&mut self, data: &[u8]) {
         for chunk in data.chunks(ADLER_NMAX) {
-            for &byte in chunk {
+            let whole = chunk.len() - chunk.len() % ADLER_GROUP;
+            let (groups, tail) = chunk.split_at(whole);
+            if !self.fold_groups_simd(groups) {
+                for g in groups.chunks_exact(ADLER_GROUP) {
+                    let mut sum = 0u32;
+                    let mut weighted = 0u32;
+                    for (i, &byte) in g.iter().enumerate() {
+                        let x = u32::from(byte);
+                        sum += x;
+                        weighted += (ADLER_GROUP - i) as u32 * x;
+                    }
+                    self.b += ADLER_GROUP as u32 * self.a + weighted;
+                    self.a += sum;
+                }
+            }
+            for &byte in tail {
                 self.a += u32::from(byte);
                 self.b += self.a;
             }
             self.a %= ADLER_MOD;
             self.b %= ADLER_MOD;
         }
+    }
+
+    /// Fold a multiple-of-[`ADLER_GROUP`] slice (at most one [`ADLER_NMAX`]
+    /// window, unreduced) with SIMD when the host supports it. Returns false
+    /// when the caller must take the scalar path instead.
+    #[cfg(target_arch = "x86_64")]
+    fn fold_groups_simd(&mut self, groups: &[u8]) -> bool {
+        if groups.is_empty() || !std::arch::is_x86_feature_detected!("avx2") {
+            return false;
+        }
+        // SAFETY: AVX2 support was just verified, and `groups` is a whole
+        // number of 32-byte groups within one NMAX window by construction.
+        unsafe { avx2::fold_window(&mut self.a, &mut self.b, groups) };
+        true
+    }
+
+    #[cfg(not(target_arch = "x86_64"))]
+    fn fold_groups_simd(&mut self, _groups: &[u8]) -> bool {
+        false
     }
 
     /// Current checksum value.
@@ -53,11 +102,87 @@ pub fn adler32(data: &[u8]) -> u32 {
     state.finish()
 }
 
-/// Slice-by-8 CRC-32 tables for the reflected IEEE polynomial 0xEDB88320.
-/// Table 0 is the classic byte-at-a-time table; tables 1..7 fold 8 input
-/// bytes per iteration, which is ~4-8× faster than the scalar loop.
-const fn crc32_tables() -> [[u32; 256]; 8] {
-    let mut tables = [[0u32; 256]; 8];
+/// AVX2 Adler-32 kernel (the zlib-ng formulation).
+///
+/// Per 32-byte block `j` with running sums `(a, b)`, the scalar recurrence
+/// expands to `b += 32·a_{j-1} + Σ_i (32−i)·x_i` and `a += Σ_i x_i`. All
+/// three reductions are linear, so they accumulate in vector lanes across
+/// the whole window and reduce horizontally once at the end:
+///
+/// * `vs1` accumulates plain byte sums via `psadbw` (sum of absolute
+///   differences against zero — eight bytes collapse per u64 lane).
+/// * `vs2` accumulates the position-weighted sums via `pmaddubsw` against
+///   the constant weights `32..1`, plus `32 × vs1-before-this-block` for the
+///   `32·a_{j-1}` prefix term; the scalar `32·k·a₀` part stays outside.
+///
+/// Lane bounds over one NMAX window (≤ 173 blocks of all-0xFF input): `vs1`
+/// lanes ≤ 173·2040 < 2³², `vs2` lanes ≤ 32·2040·Σj + 173·2·16065 < 2³⁰, and
+/// the horizontally-summed totals obey the NMAX bound (< 2³²) by
+/// construction, so u64 accumulation of the lane sums is exact.
+#[cfg(target_arch = "x86_64")]
+mod avx2 {
+    use super::ADLER_GROUP;
+    use std::arch::x86_64::*;
+
+    /// Weights for `pmaddubsw`: byte `i` of a block contributes `(32−i)·x`.
+    const WEIGHTS: [i8; 32] = {
+        let mut w = [0i8; 32];
+        let mut i = 0;
+        while i < 32 {
+            w[i] = (32 - i) as i8;
+            i += 1;
+        }
+        w
+    };
+
+    /// Fold `groups` (a non-empty multiple of [`ADLER_GROUP`] bytes, at most
+    /// one NMAX window) into the running `(a, b)` state, without reducing.
+    ///
+    /// # Safety
+    /// Caller must ensure the host supports AVX2.
+    #[target_feature(enable = "avx2")]
+    // SAFETY: the caller contract is the `# Safety` section above.
+    pub unsafe fn fold_window(a: &mut u32, b: &mut u32, groups: &[u8]) {
+        // All intrinsics below are AVX2/SSE2 register operations on
+        // in-bounds loads; `loadu` variants have no alignment requirement.
+        // SAFETY: every 32-byte load stays inside `groups` because the
+        // slice length is a multiple of ADLER_GROUP.
+        unsafe {
+            let zero = _mm256_setzero_si256();
+            let ones = _mm256_set1_epi16(1);
+            let weights = _mm256_loadu_si256(WEIGHTS.as_ptr().cast());
+            let mut vs1 = zero;
+            let mut vs2 = zero;
+            let blocks = groups.len() / ADLER_GROUP;
+            for j in 0..blocks {
+                let block = _mm256_loadu_si256(groups.as_ptr().add(j * ADLER_GROUP).cast());
+                // b gains 32 × (byte sums accumulated before this block).
+                vs2 = _mm256_add_epi32(vs2, _mm256_slli_epi32(vs1, 5));
+                vs1 = _mm256_add_epi32(vs1, _mm256_sad_epu8(block, zero));
+                let mad = _mm256_maddubs_epi16(block, weights);
+                vs2 = _mm256_add_epi32(vs2, _mm256_madd_epi16(mad, ones));
+            }
+            let mut l1 = [0u32; 8];
+            let mut l2 = [0u32; 8];
+            _mm256_storeu_si256(l1.as_mut_ptr().cast(), vs1);
+            _mm256_storeu_si256(l2.as_mut_ptr().cast(), vs2);
+            let s1: u64 = l1.iter().map(|&v| u64::from(v)).sum();
+            let s2: u64 = l2.iter().map(|&v| u64::from(v)).sum();
+            // The NMAX bound keeps both window totals below 2^32.
+            *b += (blocks as u32) * ADLER_GROUP as u32 * *a + s2 as u32;
+            *a += s1 as u32;
+        }
+    }
+}
+
+/// Slice-by-16 CRC-32 tables for the reflected IEEE polynomial 0xEDB88320.
+/// Table 0 is the classic byte-at-a-time table; table `t` advances a byte
+/// `t` further positions through the polynomial, so sixteen table loads fold
+/// sixteen input bytes per iteration. Two independent 8-byte halves per
+/// iteration roughly double slice-by-8: the second half's XOR tree does not
+/// depend on the first's loads, hiding table-lookup latency.
+const fn crc32_tables() -> [[u32; 256]; 16] {
+    let mut tables = [[0u32; 256]; 16];
     let mut i = 0;
     while i < 256 {
         let mut crc = i as u32;
@@ -74,7 +199,7 @@ const fn crc32_tables() -> [[u32; 256]; 8] {
         i += 1;
     }
     let mut t = 1;
-    while t < 8 {
+    while t < 16 {
         let mut i = 0;
         while i < 256 {
             let prev = tables[t - 1][i];
@@ -86,7 +211,7 @@ const fn crc32_tables() -> [[u32; 256]; 8] {
     tables
 }
 
-static CRC_TABLES: [[u32; 256]; 8] = crc32_tables();
+static CRC_TABLES: [[u32; 256]; 16] = crc32_tables();
 
 /// Streaming CRC-32 state.
 #[derive(Debug, Clone)]
@@ -108,22 +233,36 @@ impl Crc32 {
 
     /// Fold `data` into the checksum.
     pub fn update(&mut self, data: &[u8]) {
+        let data = self.fold_simd(data);
         let mut crc = self.state;
-        let mut chunks = data.chunks_exact(8);
+        let mut chunks = data.chunks_exact(16);
         for chunk in &mut chunks {
-            let mut word = [0u8; 8];
-            word.copy_from_slice(chunk); // chunks_exact(8) guarantees the length
-            let v = u64::from_le_bytes(word);
-            let lo = (v as u32) ^ crc;
-            let hi = (v >> 32) as u32;
-            crc = CRC_TABLES[7][(lo & 0xff) as usize]
-                ^ CRC_TABLES[6][((lo >> 8) & 0xff) as usize]
-                ^ CRC_TABLES[5][((lo >> 16) & 0xff) as usize]
-                ^ CRC_TABLES[4][(lo >> 24) as usize]
-                ^ CRC_TABLES[3][(hi & 0xff) as usize]
-                ^ CRC_TABLES[2][((hi >> 8) & 0xff) as usize]
-                ^ CRC_TABLES[1][((hi >> 16) & 0xff) as usize]
-                ^ CRC_TABLES[0][(hi >> 24) as usize];
+            let mut w0 = [0u8; 8];
+            let mut w1 = [0u8; 8];
+            w0.copy_from_slice(&chunk[..8]); // chunks_exact(16) guarantees the length
+            w1.copy_from_slice(&chunk[8..]);
+            let v0 = u64::from_le_bytes(w0);
+            let v1 = u64::from_le_bytes(w1);
+            let lo = (v0 as u32) ^ crc;
+            let hi = (v0 >> 32) as u32;
+            let lo1 = v1 as u32;
+            let hi1 = (v1 >> 32) as u32;
+            crc = CRC_TABLES[15][(lo & 0xff) as usize]
+                ^ CRC_TABLES[14][((lo >> 8) & 0xff) as usize]
+                ^ CRC_TABLES[13][((lo >> 16) & 0xff) as usize]
+                ^ CRC_TABLES[12][(lo >> 24) as usize]
+                ^ CRC_TABLES[11][(hi & 0xff) as usize]
+                ^ CRC_TABLES[10][((hi >> 8) & 0xff) as usize]
+                ^ CRC_TABLES[9][((hi >> 16) & 0xff) as usize]
+                ^ CRC_TABLES[8][(hi >> 24) as usize]
+                ^ CRC_TABLES[7][(lo1 & 0xff) as usize]
+                ^ CRC_TABLES[6][((lo1 >> 8) & 0xff) as usize]
+                ^ CRC_TABLES[5][((lo1 >> 16) & 0xff) as usize]
+                ^ CRC_TABLES[4][(lo1 >> 24) as usize]
+                ^ CRC_TABLES[3][(hi1 & 0xff) as usize]
+                ^ CRC_TABLES[2][((hi1 >> 8) & 0xff) as usize]
+                ^ CRC_TABLES[1][((hi1 >> 16) & 0xff) as usize]
+                ^ CRC_TABLES[0][(hi1 >> 24) as usize];
         }
         for &byte in chunks.remainder() {
             let idx = ((crc ^ u32::from(byte)) & 0xff) as usize;
@@ -132,9 +271,131 @@ impl Crc32 {
         self.state = crc;
     }
 
+    /// Run the PCLMULQDQ folding kernel over as much of `data` as it
+    /// handles, updating `self.state`; returns the tail the table-driven
+    /// path must still consume. A no-op passthrough off x86-64, for short
+    /// inputs, or when the host lacks the carry-less multiply unit.
+    #[cfg(target_arch = "x86_64")]
+    fn fold_simd<'a>(&mut self, data: &'a [u8]) -> &'a [u8] {
+        if data.len() < 128
+            || !std::arch::is_x86_feature_detected!("pclmulqdq")
+            || !std::arch::is_x86_feature_detected!("sse4.1")
+        {
+            return data;
+        }
+        let whole = data.len() - data.len() % 16;
+        let (folded, tail) = data.split_at(whole);
+        // SAFETY: PCLMULQDQ and SSE4.1 support was just verified, and
+        // `folded` is a multiple of 16 bytes of at least 128.
+        self.state = unsafe { pclmul::crc32_fold(self.state, folded) };
+        tail
+    }
+
+    #[cfg(not(target_arch = "x86_64"))]
+    fn fold_simd<'a>(&mut self, data: &'a [u8]) -> &'a [u8] {
+        data
+    }
+
     /// Current checksum value.
     pub fn finish(&self) -> u32 {
         self.state ^ 0xffff_ffff
+    }
+}
+
+/// CRC-32 folding with carry-less multiplication (PCLMULQDQ), after Gopal et
+/// al., "Fast CRC Computation for Generic Polynomials Using PCLMULQDQ"
+/// (Intel, 2009), in the bit-reflected form every fast zlib uses.
+///
+/// Four 128-bit lanes fold 64 input bytes per step: appending 64 bytes
+/// multiplies the accumulated polynomial by x^512, and `K1 = x^(512+64) mod
+/// P` / `K2 = x^512 mod P` reduce that product back into 128 bits per lane.
+/// The lanes then fold into one with `K3/K4` (x^(128+64), x^128), the last
+/// 128 bits reduce to 64 with `K5 = x^64 mod P`, and a Barrett reduction
+/// (`U' = floor(x^64/P)`, `P'` the polynomial) produces the 32-bit remainder
+/// without any table walk.
+#[cfg(target_arch = "x86_64")]
+mod pclmul {
+    use std::arch::x86_64::*;
+
+    const K1: i64 = 0x0001_5444_2bd4;
+    const K2: i64 = 0x0001_c6e4_1596;
+    const K3: i64 = 0x0001_7519_97d0;
+    const K4: i64 = 0x0000_ccaa_009e;
+    const K5: i64 = 0x0001_63cd_6124;
+    const P_X: i64 = 0x0001_db71_0641;
+    const U_PRIME: i64 = 0x0001_f701_1641;
+
+    /// One 128-bit fold step: `b ⊕ lo(a)·keys.lo ⊕ hi(a)·keys.hi`.
+    #[inline]
+    #[target_feature(enable = "pclmulqdq", enable = "sse4.1")]
+    // SAFETY: callers guarantee the CPU features; the body is register-only.
+    unsafe fn fold16(a: __m128i, b: __m128i, keys: __m128i) -> __m128i {
+        // Register-only carry-less multiplies; the caller guarantees the
+        // required CPU features, and the `unsafe fn` body is already an
+        // unsafe context for these feature-gated intrinsics.
+        let lo = _mm_clmulepi64_si128(a, keys, 0x00);
+        let hi = _mm_clmulepi64_si128(a, keys, 0x11);
+        _mm_xor_si128(_mm_xor_si128(b, lo), hi)
+    }
+
+    /// Fold `data` (≥ 128 bytes, a multiple of 16) into `crc`.
+    ///
+    /// # Safety
+    /// Caller must ensure the host supports PCLMULQDQ and SSE4.1.
+    #[target_feature(enable = "pclmulqdq", enable = "sse4.1")]
+    // SAFETY: the caller contract is the `# Safety` section above.
+    pub unsafe fn crc32_fold(crc: u32, data: &[u8]) -> u32 {
+        debug_assert!(data.len() >= 128 && data.len().is_multiple_of(16));
+        // SAFETY: every 16-byte load below is kept in bounds by the length
+        // contract; all other intrinsics are register-only.
+        unsafe {
+            let mut chunks = data.chunks_exact(16);
+            let mut load = || -> __m128i {
+                // The length contract guarantees the iterator yields enough
+                // chunks; an empty default keeps the closure panic-free.
+                let c = chunks.next().unwrap_or(&[]);
+                _mm_loadu_si128(c.as_ptr().cast())
+            };
+            let mut x3 = load();
+            let mut x2 = load();
+            let mut x1 = load();
+            let mut x0 = load();
+            // XOR the running CRC into the lowest lane (reflected layout).
+            x3 = _mm_xor_si128(x3, _mm_cvtsi32_si128(crc as i32));
+
+            let k1k2 = _mm_set_epi64x(K2, K1);
+            let blocks64 = (data.len() - 64) / 64;
+            for _ in 0..blocks64 {
+                x3 = fold16(x3, load(), k1k2);
+                x2 = fold16(x2, load(), k1k2);
+                x1 = fold16(x1, load(), k1k2);
+                x0 = fold16(x0, load(), k1k2);
+            }
+            let k3k4 = _mm_set_epi64x(K4, K3);
+            let mut x = fold16(x3, x2, k3k4);
+            x = fold16(x, x1, k3k4);
+            x = fold16(x, x0, k3k4);
+            for c in chunks {
+                x = fold16(x, _mm_loadu_si128(c.as_ptr().cast()), k3k4);
+            }
+
+            // 128 → 96 → 64 bits.
+            let mask32 = _mm_set_epi32(0, 0, 0, !0);
+            x = _mm_xor_si128(
+                _mm_clmulepi64_si128(x, _mm_set_epi64x(0, K4), 0x00),
+                _mm_srli_si128(x, 8),
+            );
+            x = _mm_xor_si128(
+                _mm_clmulepi64_si128(_mm_and_si128(x, mask32), _mm_set_epi64x(0, K5), 0x00),
+                _mm_srli_si128(x, 4),
+            );
+
+            // Barrett reduction to the 32-bit remainder.
+            let pu = _mm_set_epi64x(U_PRIME, P_X);
+            let t1 = _mm_clmulepi64_si128(_mm_and_si128(x, mask32), pu, 0x10);
+            let t2 = _mm_xor_si128(_mm_clmulepi64_si128(_mm_and_si128(t1, mask32), pu, 0x00), x);
+            _mm_extract_epi32(t2, 1) as u32
+        }
     }
 }
 
@@ -186,6 +447,56 @@ mod tests {
             s.update(chunk);
         }
         assert_eq!(s.finish(), crc32(&data));
+    }
+
+    /// Bit-at-a-time CRC-32: the definitional form both the sliced table
+    /// path and the PCLMULQDQ fold must reproduce exactly.
+    fn crc32_reference(data: &[u8]) -> u32 {
+        let mut crc = 0xffff_ffffu32;
+        for &byte in data {
+            crc ^= u32::from(byte);
+            for _ in 0..8 {
+                crc = if crc & 1 != 0 {
+                    (crc >> 1) ^ 0xEDB8_8320
+                } else {
+                    crc >> 1
+                };
+            }
+        }
+        crc ^ 0xffff_ffff
+    }
+
+    /// Byte-at-a-time Adler-32, reduced every step: the definitional form
+    /// the grouped/SIMD windows must reproduce exactly.
+    fn adler32_reference(data: &[u8]) -> u32 {
+        let (mut a, mut b) = (1u32, 0u32);
+        for &byte in data {
+            a = (a + u32::from(byte)) % ADLER_MOD;
+            b = (b + a) % ADLER_MOD;
+        }
+        (b << 16) | a
+    }
+
+    #[test]
+    fn fast_paths_match_reference_at_every_boundary_length() {
+        // Cover: below the SIMD minimum, the 16/32-byte group boundaries,
+        // the PCLMUL 128-byte entry point, an NMAX window crossing, and
+        // misaligned tails on either side of each.
+        let data: Vec<u8> = (0..20_000u32)
+            .map(|i| (i.wrapping_mul(2_654_435_761) >> 13) as u8)
+            .collect();
+        for len in [
+            0, 1, 15, 16, 17, 31, 32, 33, 63, 64, 65, 127, 128, 129, 143, 144, 191, 192, 255, 256,
+            1024, 5551, 5552, 5553, 11104, 16384, 20_000,
+        ] {
+            let d = &data[..len];
+            assert_eq!(crc32(d), crc32_reference(d), "crc32 at len {len}");
+            assert_eq!(adler32(d), adler32_reference(d), "adler32 at len {len}");
+        }
+        // Worst-case bytes for Adler's deferred-modulo bounds.
+        let ff = vec![0xffu8; 3 * 5552 + 17];
+        assert_eq!(adler32(&ff), adler32_reference(&ff));
+        assert_eq!(crc32(&ff), crc32_reference(&ff));
     }
 
     #[test]

@@ -7,7 +7,7 @@
 //! FCOMMENT parsing included), mtime, CRC-32 and ISIZE — and rejects the
 //! rest loudly.
 
-use super::{decode, deflate_with, EncoderScratch, Level};
+use super::{decode, EncoderScratch, Level};
 use crate::checksum::crc32;
 use crate::error::{CodecError, Result};
 use crate::{Codec, CodecScratch};
@@ -76,7 +76,7 @@ impl Gzip {
             out.extend_from_slice(name);
             out.push(0);
         }
-        out.extend_from_slice(&deflate_with(input, self.level, scratch));
+        super::deflate_into(input, self.level, scratch, &mut out);
         out.extend_from_slice(&crc32(input).to_le_bytes());
         out.extend_from_slice(&(input.len() as u32).to_le_bytes());
         Ok(out)

@@ -1,12 +1,20 @@
 //! LZ77 match finding with hash chains and lazy evaluation.
 //!
-//! This mirrors zlib's deflate strategy — a 15-bit hash over the next three
-//! bytes indexes chains of previous positions; the searcher walks at most
-//! `max_chain` links, stops early once a match of `nice_length` is found, and
-//! (at higher levels) defers emitting a match by one position if the next
-//! position starts a longer one ("lazy matching") — with two libdeflate-style
-//! throughput upgrades on top:
+//! This mirrors zlib's deflate strategy — hashed candidate positions, a
+//! searcher that walks at most `max_chain` links and stops early once a match
+//! of `nice_length` is found, and (at higher levels) one-position deferral of
+//! a match when the next position starts a longer one ("lazy matching") —
+//! with three libdeflate-style throughput upgrades on top:
 //!
+//! * **split hash3/hash4 dictionary** (the `hc_matchfinder` layout): chains
+//!   are keyed by a 16-bit hash of the next *four* bytes, so every link in a
+//!   chain shares a 4-byte prefix with the search position and chains stay
+//!   short even when some 3-byte pattern saturates the input. Length-3
+//!   matches are still found — through a separate most-recent-occurrence
+//!   table keyed by a 15-bit 3-byte hash, probed once per search with no
+//!   chain behind it. On the hi-plane residual streams this replaces
+//!   budget-capped 128-link walks over 3-byte collision chains with a probe
+//!   plus a handful of genuine 4-byte-prefix candidates;
 //! * **word-at-a-time match extension**: candidate comparisons proceed eight
 //!   bytes per step via `u64` loads and `trailing_zeros` on the XOR, with a
 //!   scalar tail, instead of byte-by-byte;
@@ -41,8 +49,10 @@ pub enum Token {
     },
 }
 
-const HASH_BITS: u32 = 15;
-const HASH_SIZE: usize = 1 << HASH_BITS;
+const HASH3_BITS: u32 = 15;
+const HASH3_SIZE: usize = 1 << HASH3_BITS;
+const HASH4_BITS: u32 = 16;
+const HASH4_SIZE: usize = 1 << HASH4_BITS;
 const NO_POS: u32 = u32::MAX;
 /// Upper bound on the skip-ahead step: at most one position in `MAX_SKIP` is
 /// hashed/searched once a literal run has fully ramped up.
@@ -54,7 +64,15 @@ const SKIP_RAMP_SHIFT: u32 = 5;
 #[inline]
 fn hash3(data: &[u8], i: usize) -> usize {
     let v = u32::from(data[i]) << 16 | u32::from(data[i + 1]) << 8 | u32::from(data[i + 2]);
-    (v.wrapping_mul(0x9E37_79B1) >> (32 - HASH_BITS)) as usize
+    (v.wrapping_mul(0x9E37_79B1) >> (32 - HASH3_BITS)) as usize
+}
+
+/// Hash of the four bytes at `i` (caller guarantees `i + 4 <= data.len()`).
+#[inline]
+fn hash4(data: &[u8], i: usize) -> usize {
+    let mut a = [0u8; 4];
+    a.copy_from_slice(&data[i..i + 4]);
+    (u32::from_le_bytes(a).wrapping_mul(0x9E37_79B1) >> (32 - HASH4_BITS)) as usize
 }
 
 /// Load eight little-endian bytes starting at `i` (caller guarantees
@@ -98,21 +116,27 @@ fn skip_step(lit_run: usize, trigger: usize) -> usize {
     }
 }
 
-/// Reusable match-finder state: hash-chain arrays plus the token buffer.
+/// Reusable match-finder state: hash tables, chain links, the token buffer.
 ///
-/// Constructing the hash dictionary used to cost a fresh 128 KiB `head`
-/// allocation plus a 4-bytes-per-input-byte `prev` allocation per chunk; a
-/// scratch is allocated once and reused, so steady-state encoding (same or
-/// smaller chunk size) performs **zero** heap allocations in the tokenizer —
-/// `prepare` only memsets `head` and the token buffer keeps its capacity
-/// across [`tokenize_into`] calls. `prev` entries are never cleared: only
-/// positions inserted for the *current* input are reachable from `head`, so
-/// stale links from earlier chunks are dead by construction.
+/// Constructing the hash dictionary used to cost fresh head-table allocations
+/// plus a 4-bytes-per-input-byte `prev` allocation per chunk; a scratch is
+/// allocated once and reused, so steady-state encoding (same or smaller chunk
+/// size) performs **zero** heap allocations in the tokenizer — `prepare` only
+/// memsets the head tables and the token buffer keeps its capacity across
+/// [`tokenize_into`] calls. `prev` entries are never cleared: only positions
+/// inserted for the *current* input are reachable from `head4`, so stale
+/// links from earlier chunks are dead by construction.
 #[derive(Debug, Default)]
 pub struct EncoderScratch {
-    head: Vec<u32>,
+    /// Most recent position for each 3-byte hash — probed once, no chain.
+    head3: Vec<u32>,
+    /// Chain head for each 4-byte hash.
+    head4: Vec<u32>,
+    /// Chain links: `prev[i]` is the previous position sharing `i`'s hash4.
     prev: Vec<u32>,
     pub(crate) tokens: Vec<Token>,
+    /// Dynamic-header build buffers, reused by the block emitter.
+    pub(crate) header: super::encode::HeaderScratch,
 }
 
 impl EncoderScratch {
@@ -126,13 +150,21 @@ impl EncoderScratch {
         &self.tokens
     }
 
+    /// Split-borrow the token slice and the header scratch, so the block
+    /// emitter can read tokens while mutating its header buffers.
+    pub(crate) fn parts(&mut self) -> (&[Token], &mut super::encode::HeaderScratch) {
+        (&self.tokens, &mut self.header)
+    }
+
     /// Reset the dictionary for a new input of `len` bytes. Allocates only
     /// when `len` exceeds every previous input length.
     fn prepare(&mut self, len: usize) {
-        if self.head.is_empty() {
-            self.head = vec![NO_POS; HASH_SIZE];
+        if self.head3.is_empty() {
+            self.head3 = vec![NO_POS; HASH3_SIZE];
+            self.head4 = vec![NO_POS; HASH4_SIZE];
         } else {
-            self.head.fill(NO_POS);
+            self.head3.fill(NO_POS);
+            self.head4.fill(NO_POS);
         }
         if self.prev.len() < len {
             self.prev.resize(len, NO_POS);
@@ -140,20 +172,27 @@ impl EncoderScratch {
         self.tokens.clear();
     }
 
-    /// Record position `i` in the chain for its 3-byte hash.
+    /// Record position `i` in the dictionary: it becomes the most recent
+    /// occurrence of its 3-byte hash and (when four bytes remain) the head of
+    /// its hash4 chain.
     #[inline]
     fn insert(&mut self, data: &[u8], i: usize) {
         if i + MIN_MATCH > data.len() {
             return;
         }
-        let h = hash3(data, i);
-        self.prev[i] = self.head[h];
-        self.head[h] = i as u32;
+        self.head3[hash3(data, i)] = i as u32;
+        if i + 4 <= data.len() {
+            let h = hash4(data, i);
+            self.prev[i] = self.head4[h];
+            self.head4[h] = i as u32;
+        }
     }
 
-    /// Find the longest match for position `i`, walking at most `max_chain`
-    /// candidates. Returns `(len, dist, links_walked)` with `len == 0` when
-    /// nothing of at least `MIN_MATCH` was found.
+    /// Find the longest match for position `i`: one probe of the hash3
+    /// most-recent table (the only source of length-3 matches), then a walk
+    /// of at most `max_chain` hash4-chain candidates. Returns
+    /// `(len, dist, links_walked)` with `len == 0` when nothing of at least
+    /// `MIN_MATCH` was found.
     fn longest_match(
         &self,
         data: &[u8],
@@ -167,44 +206,65 @@ impl EncoderScratch {
         }
         let max_len = remaining.min(MAX_MATCH);
         let nice = nice_length.min(max_len);
-        let h = hash3(data, i);
-        let mut cand = self.head[h];
+        let window_floor = i.saturating_sub(WINDOW_SIZE);
         let mut best_len = MIN_MATCH - 1;
         let mut best_dist = 0usize;
-        // Every visited candidate spends search budget — including the
-        // position's own (self-referential) entry — so a pathological chain
-        // cannot exceed the configured budget.
-        let mut chain_left = max_chain;
         let mut links = 0u32;
-        let window_floor = i.saturating_sub(WINDOW_SIZE);
-        while cand != NO_POS && chain_left > 0 {
-            chain_left -= 1;
-            links += 1;
-            let c = cand as usize;
-            if c >= i {
-                // The position itself may already be inserted; skip
-                // self-references.
-                cand = self.prev[c];
-                continue;
-            }
-            if c < window_floor {
-                break;
-            }
-            // Quick reject: the byte that would extend the best match must
-            // agree before we pay for a full comparison. In-bounds because
-            // best_len < max_len here (a best_len == max_len match already
-            // hit `nice` and broke out).
-            if data[c + best_len] == data[i + best_len] {
+
+        // hash3 probe: the single most recent 3-byte-hash occurrence. The
+        // hash4 chains below can only yield 4-byte-prefix candidates, so this
+        // probe is what keeps length-3 matches representable.
+        let c3 = self.head3[hash3(data, i)];
+        if c3 != NO_POS {
+            let c = c3 as usize;
+            // `c >= i` would be a self-reference (possible when the caller
+            // pre-inserted positions); skip it rather than match in place.
+            if c < i && c >= window_floor {
+                links += 1;
                 let l = match_len(data, c, i, max_len);
-                if l > best_len {
+                if l >= MIN_MATCH {
                     best_len = l;
                     best_dist = i - c;
                     if l >= nice {
-                        break;
+                        return (best_len, best_dist, links);
                     }
                 }
             }
-            cand = self.prev[c];
+        }
+
+        if remaining >= 4 {
+            let mut cand = self.head4[hash4(data, i)];
+            // Every visited candidate spends search budget — including
+            // self-referential entries — so a pathological chain cannot
+            // exceed the configured budget.
+            let mut chain_left = max_chain;
+            while cand != NO_POS && chain_left > 0 {
+                chain_left -= 1;
+                links += 1;
+                let c = cand as usize;
+                if c >= i {
+                    cand = self.prev[c];
+                    continue;
+                }
+                if c < window_floor {
+                    break;
+                }
+                // Quick reject: the byte that would extend the best match
+                // must agree before we pay for a full comparison. In-bounds
+                // because best_len < max_len here (a best_len == max_len
+                // match already hit `nice` and returned/broke out).
+                if data[c + best_len] == data[i + best_len] {
+                    let l = match_len(data, c, i, max_len);
+                    if l > best_len {
+                        best_len = l;
+                        best_dist = i - c;
+                        if l >= nice {
+                            break;
+                        }
+                    }
+                }
+                cand = self.prev[c];
+            }
         }
         if best_len >= MIN_MATCH {
             (best_len, best_dist, links)
@@ -244,9 +304,11 @@ pub fn tokenize_into(input: &[u8], level: Level, scratch: &mut EncoderScratch) {
 /// the skip histogram when more than one position is covered.
 #[inline]
 fn push_literals(tokens: &mut Vec<Token>, data: &[u8], i: usize, end: usize) {
-    for &b in &data[i..end] {
-        tokens.push(Token::Literal(b));
-    }
+    // Slice-iterator `extend` hits the `TrustedLen` specialization: one
+    // reservation and no per-element capacity check. On incompressible
+    // planes nearly every input byte passes through here, so the per-push
+    // branch is a measurable share of tokenize time.
+    tokens.extend(data[i..end].iter().map(|&b| Token::Literal(b)));
     if end - i > 1 {
         primacy_trace::observe("deflate.skip", (end - i) as u64);
     }

@@ -138,8 +138,8 @@ impl Level {
                 skip_trigger: 32,
             },
             Level::Default => MatchParams {
-                max_chain: 128,
-                nice_length: 128,
+                max_chain: 16,
+                nice_length: 65,
                 lazy: true,
                 skip_trigger: 64,
             },
@@ -167,16 +167,33 @@ pub fn deflate(input: &[u8], level: Level) -> Vec<u8> {
 /// match-finder state. Steady-state calls (same or smaller input length)
 /// perform no tokenizer heap allocation.
 pub fn deflate_with(input: &[u8], level: Level, scratch: &mut EncoderScratch) -> Vec<u8> {
+    let mut out = Vec::with_capacity(input.len() + input.len() / 250 + 64);
+    deflate_into(input, level, scratch, &mut out);
+    out
+}
+
+/// [`deflate_with`], appending the stream to `out` (which must be
+/// byte-aligned). The containers (zlib, gzip) use this so the multi-megabyte
+/// DEFLATE body lands directly in the container buffer instead of being
+/// produced in a temporary and copied across.
+pub fn deflate_into(input: &[u8], level: Level, scratch: &mut EncoderScratch, out: &mut Vec<u8>) {
     // Spans are named `deflate.encode`/`deflate.decode` — distinct from the
     // pipeline-level "deflate" stage span so the CLI stage table never
     // counts codec time twice.
     let _span = primacy_trace::span("deflate.encode");
-    lz77::tokenize_into(input, level, scratch);
-    primacy_trace::counter("deflate.tokens", scratch.tokens().len() as u64);
-    let out = encode::emit_blocks(input, scratch.tokens());
+    {
+        let _tok_span = primacy_trace::span("deflate.tokenize");
+        lz77::tokenize_into(input, level, scratch);
+    }
+    let (tokens, header) = scratch.parts();
+    primacy_trace::counter("deflate.tokens", tokens.len() as u64);
+    let _emit_span = primacy_trace::span("deflate.emit");
+    let before = out.len();
+    let buf = std::mem::take(out);
+    *out = encode::emit_blocks_into(input, tokens, header, buf);
+    drop(_emit_span);
     primacy_trace::counter("deflate.encode_bytes_in", input.len() as u64);
-    primacy_trace::counter("deflate.encode_bytes_out", out.len() as u64);
-    out
+    primacy_trace::counter("deflate.encode_bytes_out", (out.len() - before) as u64);
 }
 
 /// Decompress a raw DEFLATE stream.

@@ -1,7 +1,7 @@
 //! The zlib container (RFC 1950): a 2-byte header, a DEFLATE stream, and a
 //! big-endian Adler-32 of the uncompressed data.
 
-use super::{decode, deflate_with, EncoderScratch, Level};
+use super::{decode, EncoderScratch, Level};
 use crate::checksum::adler32;
 use crate::error::{CodecError, Result};
 use crate::{Codec, CodecScratch};
@@ -35,7 +35,10 @@ impl Zlib {
 
     /// Compress into a zlib stream, reusing `scratch` for match-finder state.
     pub fn compress_bytes_with(&self, input: &[u8], scratch: &mut EncoderScratch) -> Vec<u8> {
-        let mut out = Vec::with_capacity(input.len() / 2 + 16);
+        // Header + worst-case stored-block expansion + trailer, reserved up
+        // front; the encoder appends the body directly (no finished-stream
+        // copy, no doubling growth while it is written).
+        let mut out = Vec::with_capacity(input.len() + input.len() / 250 + 70);
         // CMF: CM=8 (deflate), CINFO=7 (32K window).
         let cmf: u8 = 0x78;
         // FLG: FLEVEL=2 (default), FDICT=0, FCHECK makes (CMF<<8|FLG) % 31 == 0.
@@ -46,7 +49,7 @@ impl Zlib {
         }
         out.push(cmf);
         out.push(flg);
-        out.extend_from_slice(&deflate_with(input, self.level, scratch));
+        super::deflate_into(input, self.level, scratch, &mut out);
         out.extend_from_slice(&adler32(input).to_be_bytes());
         out
     }

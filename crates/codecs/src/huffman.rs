@@ -18,14 +18,36 @@ use crate::error::{CodecError, Result};
 /// nonzero frequency it is assigned length 1, as DEFLATE requires every coded
 /// symbol to have at least one bit.
 pub fn package_merge_lengths(freqs: &[u64], max_len: u32) -> Vec<u8> {
+    let mut lengths = vec![0u8; freqs.len()];
+    package_merge_into(freqs, max_len, &mut lengths);
+    lengths
+}
+
+/// Tag bit marking a package-merge item as a leaf (low bits carry the
+/// active-symbol index); items without it are packages (low bits carry the
+/// package index into the previous level).
+const PM_LEAF: u32 = 1 << 31;
+
+/// [`package_merge_lengths`] writing into a caller-owned buffer, so per-block
+/// encoder calls reuse one allocation.
+///
+/// The merge schedule is the textbook one (packages of adjacent pairs merged
+/// against the sorted leaves, ties taking the leaf), but items carry a
+/// 32-bit *tag* — leaf symbol or package index into the previous level —
+/// instead of materializing each item's leaf multiset. Selected items are
+/// expanded by walking tags level by level at the end. That turns the
+/// dominant per-block header cost from thousands of small `Vec` clones into
+/// flat array traffic while producing bit-identical code lengths.
+pub fn package_merge_into(freqs: &[u64], max_len: u32, lengths: &mut Vec<u8>) {
     let n = freqs.len();
-    let mut lengths = vec![0u8; n];
+    lengths.clear();
+    lengths.resize(n, 0);
     let active: Vec<usize> = (0..n).filter(|&i| freqs[i] > 0).collect();
     match active.len() {
-        0 => return lengths,
+        0 => return,
         1 => {
             lengths[active[0]] = 1;
-            return lengths;
+            return;
         }
         _ => {}
     }
@@ -35,83 +57,70 @@ pub fn package_merge_lengths(freqs: &[u64], max_len: u32) -> Vec<u8> {
         active.len()
     );
 
-    // Package-merge over `max_len` levels. Each item is (weight, symbol list
-    // index bitset represented as counts per symbol). Tracking full symbol
-    // lists is O(n^2); instead we use the standard "count how many times each
-    // original coin is selected" formulation: each level's items remember
-    // which leaf symbols they contain via index ranges into a tree. For the
-    // alphabet sizes here (≤ 65536 once, typically ≤ 288) a simple
-    // representation is fine: store for each item the set of leaves as a
-    // sorted Vec<u32> of active-symbol indices.
-    #[derive(Clone)]
-    struct Item {
-        weight: u64,
-        leaves: Vec<u32>,
-    }
-
-    let leaf_items: Vec<Item> = {
-        let mut items: Vec<Item> = active
+    // Leaves sorted by weight; the sort is stable so ties keep symbol order.
+    let leaves: Vec<(u64, u32)> = {
+        let mut items: Vec<(u64, u32)> = active
             .iter()
             .enumerate()
-            .map(|(ai, &sym)| Item {
-                weight: freqs[sym],
-                leaves: vec![ai as u32],
-            })
+            .map(|(ai, &sym)| (freqs[sym], PM_LEAF | ai as u32))
             .collect();
-        items.sort_by_key(|it| it.weight);
+        items.sort_by_key(|it| it.0);
         items
     };
 
-    let mut prev: Vec<Item> = Vec::new();
+    // One merged item list per level; each item is (weight, tag).
+    let mut levels: Vec<Vec<(u64, u32)>> = Vec::with_capacity(max_len as usize);
     for _level in 0..max_len {
-        // Package: pair up adjacent items of the previous level.
-        let mut packages: Vec<Item> = Vec::with_capacity(prev.len() / 2);
-        let mut iter = prev.chunks_exact(2);
-        for pair in &mut iter {
-            let mut leaves = pair[0].leaves.clone();
-            leaves.extend_from_slice(&pair[1].leaves);
-            packages.push(Item {
-                weight: pair[0].weight + pair[1].weight,
-                leaves,
-            });
-        }
-        // Merge with the original leaves (both sorted by weight).
-        let mut merged = Vec::with_capacity(leaf_items.len() + packages.len());
-        let (mut i, mut j) = (0, 0);
-        while i < leaf_items.len() || j < packages.len() {
-            let take_leaf = match (leaf_items.get(i), packages.get(j)) {
-                (Some(l), Some(p)) => l.weight <= p.weight,
-                (Some(_), None) => true,
-                (None, Some(_)) => false,
-                // lint: allow(panic) -- loop condition guarantees at least one side is non-empty
-                (None, None) => unreachable!(),
+        let prev: &[(u64, u32)] = levels.last().map_or(&[], Vec::as_slice);
+        let num_pkg = prev.len() / 2;
+        let mut merged: Vec<(u64, u32)> = Vec::with_capacity(leaves.len() + num_pkg);
+        let (mut i, mut j) = (0usize, 0usize);
+        while i < leaves.len() || j < num_pkg {
+            let take_leaf = if i >= leaves.len() {
+                false
+            } else if j >= num_pkg {
+                true
+            } else {
+                leaves[i].0 <= prev[2 * j].0 + prev[2 * j + 1].0
             };
             if take_leaf {
-                merged.push(leaf_items[i].clone());
+                merged.push(leaves[i]);
                 i += 1;
             } else {
-                merged.push(packages[j].clone());
+                merged.push((prev[2 * j].0 + prev[2 * j + 1].0, j as u32));
                 j += 1;
             }
         }
-        prev = merged;
+        levels.push(merged);
     }
 
     // Select the cheapest 2·(m−1) items of the final level; each time a leaf
-    // appears in the selection its code length grows by one.
+    // appears in the selection (directly or inside a package) its code length
+    // grows by one. Packages exist only at level ≥ 1, so `level - 1` below
+    // cannot underflow.
     let m = active.len();
     let mut depth = vec![0u32; m];
-    for item in prev.iter().take(2 * (m - 1)) {
-        for &leaf in &item.leaves {
-            depth[leaf as usize] += 1;
+    let top = levels.len() - 1;
+    let mut stack: Vec<(usize, u32)> = levels[top]
+        .iter()
+        .take(2 * (m - 1))
+        .map(|&(_, tag)| (top, tag))
+        .collect();
+    while let Some((level, tag)) = stack.pop() {
+        if tag & PM_LEAF != 0 {
+            depth[(tag & !PM_LEAF) as usize] += 1;
+        } else {
+            let child = &levels[level - 1];
+            let k = tag as usize;
+            stack.push((level - 1, child[2 * k].1));
+            stack.push((level - 1, child[2 * k + 1].1));
         }
     }
     for (ai, &sym) in active.iter().enumerate() {
         debug_assert!(depth[ai] >= 1 && depth[ai] <= max_len);
         lengths[sym] = depth[ai] as u8;
     }
-    debug_assert!(kraft_ok(&lengths));
-    lengths
+    debug_assert!(kraft_ok(lengths));
 }
 
 /// Kraft sum in units of 2^-60 (exact for lengths ≤ 60). A complete prefix
@@ -129,6 +138,33 @@ fn kraft_sum(lengths: &[u8]) -> u64 {
 
 fn kraft_ok(lengths: &[u8]) -> bool {
     kraft_sum(lengths) <= KRAFT_FULL
+}
+
+/// Validate that `lengths` describe a *complete* prefix code and return the
+/// maximum code length. An over-subscribed Kraft sum makes decoding
+/// ambiguous; an under-subscribed one leaves bit patterns that decode to
+/// nothing — both are accepted by naive decoders and are classic
+/// malformed-stream attack surface. The single exception, per RFC 1951
+/// §3.2.7, is a degenerate alphabet with exactly one symbol, which must be
+/// coded with one bit. Shared by [`Decoder::from_lengths`] and the DEFLATE
+/// multi-symbol table builder so both enforce identical stream hygiene.
+pub(crate) fn validate_prefix_code(lengths: &[u8]) -> Result<u32> {
+    let max_len = u32::from(lengths.iter().copied().max().unwrap_or(0));
+    if max_len == 0 {
+        return Err(CodecError::InvalidHuffmanTable("table has no symbols"));
+    }
+    if max_len > 15 {
+        return Err(CodecError::InvalidHuffmanTable("code length exceeds 15"));
+    }
+    let sum = kraft_sum(lengths);
+    if sum > KRAFT_FULL {
+        return Err(CodecError::InvalidHuffmanTable("over-subscribed code"));
+    }
+    let coded = lengths.iter().filter(|&&l| l > 0).count();
+    if sum < KRAFT_FULL && !(coded == 1 && max_len == 1) {
+        return Err(CodecError::InvalidHuffmanTable("under-subscribed code"));
+    }
+    Ok(max_len)
 }
 
 /// Assign canonical codes (MSB-first integers) to `lengths`.
@@ -211,28 +247,10 @@ pub struct Decoder {
 
 impl Decoder {
     /// Build a decoder from canonical code lengths. Fails unless the lengths
-    /// describe a *complete* prefix code: an over-subscribed Kraft sum makes
-    /// decoding ambiguous, and an under-subscribed one leaves bit patterns
-    /// that decode to nothing — both are accepted by naive decoders and are
-    /// classic malformed-stream attack surface. The single exception, per
-    /// RFC 1951 §3.2.7, is a degenerate alphabet with exactly one symbol,
-    /// which must be coded with one bit.
+    /// pass [`validate_prefix_code`] (complete prefix code, or the RFC 1951
+    /// §3.2.7 degenerate single-symbol exception).
     pub fn from_lengths(lengths: &[u8]) -> Result<Self> {
-        let max_len = u32::from(lengths.iter().copied().max().unwrap_or(0));
-        if max_len == 0 {
-            return Err(CodecError::InvalidHuffmanTable("table has no symbols"));
-        }
-        if max_len > 15 {
-            return Err(CodecError::InvalidHuffmanTable("code length exceeds 15"));
-        }
-        let sum = kraft_sum(lengths);
-        if sum > KRAFT_FULL {
-            return Err(CodecError::InvalidHuffmanTable("over-subscribed code"));
-        }
-        let coded = lengths.iter().filter(|&&l| l > 0).count();
-        if sum < KRAFT_FULL && !(coded == 1 && max_len == 1) {
-            return Err(CodecError::InvalidHuffmanTable("under-subscribed code"));
-        }
+        let max_len = validate_prefix_code(lengths)?;
         let canonical = canonical_codes(lengths);
         let size = 1usize << max_len;
         let mut table = vec![(u16::MAX, 0u8); size];

@@ -220,6 +220,17 @@ pub fn observe(name: &'static str, value: u64) {
     }
 }
 
+/// Record `count` identical observations of `value` into the log2 histogram
+/// `name`. Hot loops tally locally and flush once per batch through this,
+/// so per-event record overhead stays out of the loop; a zero `count` is a
+/// no-op and leaves the histogram untouched.
+#[inline]
+pub fn observe_many(name: &'static str, value: u64, count: u64) {
+    if enabled() && count > 0 {
+        with_local(|agg| agg.record_observation_n(name, value, count));
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -178,3 +178,194 @@ fn mutations_are_deterministic() {
         assert_eq!(mutate(&mut a, &stream), mutate(&mut b, &stream));
     }
 }
+
+// ---------------------------------------------------------------------------
+// Hand-crafted dynamic-header vectors
+//
+// The assault corpus above mutates *valid* encoder output, which rarely
+// lands on the interesting header pathologies. These vectors construct the
+// pathologies directly with the shared bit-stream builder.
+// ---------------------------------------------------------------------------
+
+mod common;
+
+use common::{comb_litlen, put_dynamic_header, BitSink};
+
+/// A valid dynamic stream whose litlen code reaches depth 12 (subtable
+/// territory), used as the truncation donor below.
+fn subtable_donor_stream() -> (Vec<u8>, Vec<u8>) {
+    let (lit_lengths, fillers) = comb_litlen(b'A'.into(), 12);
+    let mut s = BitSink::new();
+    let (lit, _) = put_dynamic_header(&mut s, true, &lit_lengths, &[1]);
+    let mut expected = Vec::new();
+    for &f in &fillers {
+        s.put_code(lit[usize::from(f)], u32::from(lit_lengths[usize::from(f)]));
+        expected.push(f as u8);
+    }
+    s.put_code(lit[usize::from(b'A')], 12);
+    expected.push(b'A');
+    s.put_code(lit[256], 12);
+    (s.finish(), expected)
+}
+
+#[test]
+fn every_strict_prefix_of_a_dynamic_stream_errors() {
+    let (stream, expected) = subtable_donor_stream();
+    assert_eq!(inflate(&stream).expect("donor must decode"), expected);
+    // Every strict byte-prefix cuts the stream mid-header or mid-body; all
+    // must fail cleanly — no panic, no silent success.
+    for keep in 0..stream.len() {
+        assert!(
+            inflate(&stream[..keep]).is_err(),
+            "prefix of {keep}/{} bytes decoded",
+            stream.len()
+        );
+    }
+}
+
+#[test]
+fn oversubscribed_litlen_header_rejected() {
+    // Kraft sum 1/2 + 1/4 + 1/4 + 1/4 = 5/4.
+    let mut lit_lengths = vec![0u8; 257];
+    lit_lengths[0] = 1;
+    lit_lengths[1] = 2;
+    lit_lengths[2] = 2;
+    lit_lengths[256] = 2;
+    let mut s = BitSink::new();
+    put_dynamic_header(&mut s, true, &lit_lengths, &[1]);
+    let err = inflate(&s.finish()).expect_err("over-subscribed litlen accepted");
+    assert!(err.to_string().contains("over-subscribed"), "{err}");
+}
+
+#[test]
+fn oversubscribed_dist_header_rejected() {
+    // Five distance codes of length 2: Kraft sum 5/4.
+    let mut lit_lengths = vec![0u8; 257];
+    lit_lengths[b'x' as usize] = 1;
+    lit_lengths[256] = 1;
+    let mut s = BitSink::new();
+    put_dynamic_header(&mut s, true, &lit_lengths, &[2, 2, 2, 2, 2]);
+    let err = inflate(&s.finish()).expect_err("over-subscribed dist accepted");
+    assert!(err.to_string().contains("over-subscribed"), "{err}");
+}
+
+#[test]
+fn undersubscribed_litlen_header_rejected() {
+    // Kraft sum 3/4: a quarter of the code space decodes to nothing.
+    let mut lit_lengths = vec![0u8; 257];
+    lit_lengths[0] = 2;
+    lit_lengths[1] = 2;
+    lit_lengths[256] = 2;
+    let mut s = BitSink::new();
+    put_dynamic_header(&mut s, true, &lit_lengths, &[1]);
+    let err = inflate(&s.finish()).expect_err("under-subscribed litlen accepted");
+    assert!(err.to_string().contains("under-subscribed"), "{err}");
+}
+
+#[test]
+fn hlit_hdist_overflow_rejected() {
+    // HLIT field 30 → 287 symbols (max is 286).
+    let mut s = BitSink::new();
+    s.put(1, 1);
+    s.put(0b10, 2);
+    s.put(30, 5); // HLIT
+    s.put(0, 5); // HDIST
+    s.put(0, 4); // HCLEN
+    s.put(0, 40); // plausible continuation
+    let err = inflate(&s.finish()).expect_err("HLIT=287 accepted");
+    assert!(err.to_string().contains("HLIT exceeds 286"), "{err}");
+
+    // HDIST field 30 → 31 distance codes (max is 30).
+    for hdist in [30u64, 31] {
+        let mut s = BitSink::new();
+        s.put(1, 1);
+        s.put(0b10, 2);
+        s.put(0, 5);
+        s.put(hdist, 5);
+        s.put(0, 4);
+        s.put(0, 40);
+        let err = inflate(&s.finish()).expect_err("HDIST>29 accepted");
+        assert!(err.to_string().contains("HDIST exceeds 30"), "{err}");
+    }
+}
+
+/// Raw header whose code-length code contains only symbols 0 and 16, then
+/// opens the length stream with 16 (copy-previous) — there is no previous.
+#[test]
+fn repeat_with_no_previous_length_rejected() {
+    let mut s = BitSink::new();
+    s.put(1, 1);
+    s.put(0b10, 2);
+    s.put(0, 5); // HLIT: 257
+    s.put(0, 5); // HDIST: 1
+    s.put(15, 4); // HCLEN: all 19
+    let mut cl_lengths = [0u8; 19];
+    cl_lengths[0] = 1;
+    cl_lengths[16] = 1;
+    for &ord in &common::CODELEN_ORDER {
+        s.put(u64::from(cl_lengths[ord]), 3);
+    }
+    // Canonical: symbol 0 → code 0, symbol 16 → code 1. Open with 16.
+    s.put_code(1, 1);
+    s.put(0, 2); // repeat count bits
+    s.put(0, 40);
+    let err = inflate(&s.finish()).expect_err("leading repeat accepted");
+    assert!(
+        err.to_string().contains("repeat with no previous length"),
+        "{err}"
+    );
+}
+
+/// Zero-run (symbol 18) and copy-run (symbol 16) encodings that run past the
+/// HLIT+HDIST table size must be rejected, not clamped.
+#[test]
+fn runlength_overflow_rejected() {
+    // Symbol 18 twice: 138 + 138 = 276 entries > 257 + 1.
+    let mut s = BitSink::new();
+    s.put(1, 1);
+    s.put(0b10, 2);
+    s.put(0, 5);
+    s.put(0, 5);
+    s.put(15, 4);
+    let mut cl_lengths = [0u8; 19];
+    cl_lengths[0] = 1;
+    cl_lengths[18] = 1;
+    for &ord in &common::CODELEN_ORDER {
+        s.put(u64::from(cl_lengths[ord]), 3);
+    }
+    for _ in 0..2 {
+        s.put_code(1, 1); // symbol 18
+        s.put(127, 7); // run of 138 zeros
+    }
+    s.put(0, 40);
+    let err = inflate(&s.finish()).expect_err("zero-run overflow accepted");
+    assert!(
+        err.to_string().contains("zero run overflows table"),
+        "{err}"
+    );
+
+    // One real length then symbol 16 repeats marching past the table end.
+    let mut s = BitSink::new();
+    s.put(1, 1);
+    s.put(0b10, 2);
+    s.put(0, 5);
+    s.put(0, 5);
+    s.put(15, 4);
+    let mut cl_lengths = [0u8; 19];
+    cl_lengths[1] = 1;
+    cl_lengths[16] = 1;
+    for &ord in &common::CODELEN_ORDER {
+        s.put(u64::from(cl_lengths[ord]), 3);
+    }
+    s.put_code(0, 1); // symbol 1: one length-1 entry
+    for _ in 0..50 {
+        s.put_code(1, 1); // symbol 16
+        s.put(3, 2); // repeat 6
+    }
+    s.put(0, 40);
+    let err = inflate(&s.finish()).expect_err("copy-run overflow accepted");
+    assert!(
+        err.to_string().contains("length repeat overflows table"),
+        "{err}"
+    );
+}

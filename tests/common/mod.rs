@@ -1,0 +1,227 @@
+//! Hand-rolled DEFLATE bit-stream construction, shared by the decode-table
+//! conformance suite (`decode_tables.rs`) and the adversarial header vectors
+//! (`adversarial_decode.rs`).
+//!
+//! The encoder under test only ever emits streams its own tokenizer chooses,
+//! so exercising *every* symbol of both alphabets at *every* code length —
+//! and deliberately malformed headers — requires writing raw dynamic-block
+//! headers bit by bit. Everything here follows RFC 1951 §3.2 exactly:
+//! fields pack LSB-first, Huffman codes are emitted most-significant bit
+//! first (i.e. bit-reversed into the LSB-first stream), and dynamic headers
+//! transmit the code-length code in `CODELEN_ORDER`.
+
+#![allow(dead_code)]
+
+/// Transmission order of the code-length code lengths (RFC 1951 §3.2.7).
+pub const CODELEN_ORDER: [usize; 19] = [
+    16, 17, 18, 0, 8, 7, 9, 6, 10, 5, 11, 4, 12, 3, 13, 2, 14, 1, 15,
+];
+
+/// Base match length / extra bits per length code `257 + i` (RFC 1951).
+pub const LENGTH_BASE: [u16; 29] = [
+    3, 4, 5, 6, 7, 8, 9, 10, 11, 13, 15, 17, 19, 23, 27, 31, 35, 43, 51, 59, 67, 83, 99, 115, 131,
+    163, 195, 227, 258,
+];
+pub const LENGTH_EXTRA: [u8; 29] = [
+    0, 0, 0, 0, 0, 0, 0, 0, 1, 1, 1, 1, 2, 2, 2, 2, 3, 3, 3, 3, 4, 4, 4, 4, 5, 5, 5, 5, 0,
+];
+
+/// Base distance / extra bits per distance code (RFC 1951).
+pub const DIST_BASE: [u16; 30] = [
+    1, 2, 3, 4, 5, 7, 9, 13, 17, 25, 33, 49, 65, 97, 129, 193, 257, 385, 513, 769, 1025, 1537,
+    2049, 3073, 4097, 6145, 8193, 12289, 16385, 24577,
+];
+pub const DIST_EXTRA: [u8; 30] = [
+    0, 0, 0, 0, 1, 1, 2, 2, 3, 3, 4, 4, 5, 5, 6, 6, 7, 7, 8, 8, 9, 9, 10, 10, 11, 11, 12, 12, 13,
+    13,
+];
+
+/// LSB-first bit accumulator (the DEFLATE packing convention).
+#[derive(Default)]
+pub struct BitSink {
+    bytes: Vec<u8>,
+    bitbuf: u64,
+    bitcount: u32,
+}
+
+impl BitSink {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Append the low `count` bits of `bits`, LSB first.
+    pub fn put(&mut self, bits: u64, count: u32) {
+        assert!(count <= 57 && (count == 64 || bits < (1u64 << count)));
+        self.bitbuf |= bits << self.bitcount;
+        self.bitcount += count;
+        while self.bitcount >= 8 {
+            self.bytes.push(self.bitbuf as u8);
+            self.bitbuf >>= 8;
+            self.bitcount -= 8;
+        }
+    }
+
+    /// Append a Huffman code: RFC 1951 stores codes MSB first, so the
+    /// canonical code value is bit-reversed into the LSB-first stream.
+    pub fn put_code(&mut self, code: u32, len: u32) {
+        assert!(len >= 1);
+        self.put(u64::from(reverse_bits(code, len)), len);
+    }
+
+    /// Zero-pad the final partial byte and return the stream.
+    pub fn finish(mut self) -> Vec<u8> {
+        if self.bitcount > 0 {
+            self.bytes.push(self.bitbuf as u8);
+        }
+        self.bytes
+    }
+}
+
+/// Reverse the low `len` bits of `code`.
+pub fn reverse_bits(code: u32, len: u32) -> u32 {
+    code.reverse_bits() >> (32 - len)
+}
+
+/// Canonical code values for `lengths` (RFC 1951 §3.2.2): symbols of equal
+/// length are ordered by symbol index; zero-length symbols get code 0.
+pub fn canonical_codes(lengths: &[u8]) -> Vec<u32> {
+    let max_len = lengths.iter().copied().max().unwrap_or(0) as usize;
+    let mut bl_count = vec![0u32; max_len + 1];
+    for &l in lengths {
+        if l > 0 {
+            bl_count[l as usize] += 1;
+        }
+    }
+    let mut next_code = vec![0u32; max_len + 2];
+    let mut code = 0u32;
+    for bits in 1..=max_len {
+        code = (code + bl_count[bits - 1]) << 1;
+        next_code[bits] = code;
+    }
+    lengths
+        .iter()
+        .map(|&l| {
+            if l == 0 {
+                0
+            } else {
+                let c = next_code[l as usize];
+                next_code[l as usize] += 1;
+                c
+            }
+        })
+        .collect()
+}
+
+/// A balanced, complete code-length code over the set of used CL symbols:
+/// with `n` used symbols and `k = ceil(log2 n)`, the first `2^k - n` get
+/// length `k-1` and the rest length `k` (Kraft sum exactly 1, depth ≤ 5).
+fn cl_code_lengths(used: &[bool; 19]) -> [u8; 19] {
+    let n = used.iter().filter(|&&u| u).count();
+    assert!(n >= 2, "need at least two code-length symbols");
+    let k = usize::BITS - (n - 1).leading_zeros();
+    let short = (1usize << k) - n;
+    let mut lengths = [0u8; 19];
+    let mut seen = 0usize;
+    for (sym, &u) in used.iter().enumerate() {
+        if u {
+            lengths[sym] = if seen < short { (k - 1) as u8 } else { k as u8 };
+            seen += 1;
+        }
+    }
+    lengths
+}
+
+/// Emit a complete dynamic-block header (BFINAL, BTYPE=10, HLIT/HDIST/HCLEN,
+/// the code-length code, and both length arrays — transmitted verbatim, no
+/// 16/17/18 run-length compression). Returns the canonical litlen and dist
+/// codes so the caller can emit the block body.
+///
+/// `lit_lengths.len()` must be in `257..=286` and `dist_lengths.len()` in
+/// `1..=30`; both arrays are transmitted in full.
+pub fn put_dynamic_header(
+    s: &mut BitSink,
+    final_block: bool,
+    lit_lengths: &[u8],
+    dist_lengths: &[u8],
+) -> (Vec<u32>, Vec<u32>) {
+    assert!((257..=286).contains(&lit_lengths.len()));
+    assert!((1..=30).contains(&dist_lengths.len()));
+    s.put(u64::from(final_block), 1);
+    s.put(0b10, 2);
+    s.put((lit_lengths.len() - 257) as u64, 5);
+    s.put((dist_lengths.len() - 1) as u64, 5);
+
+    let mut used = [false; 19];
+    for &l in lit_lengths.iter().chain(dist_lengths) {
+        used[l as usize] = true;
+    }
+    // A complete CL code needs at least two leaves; pad with a phantom
+    // symbol that is never transmitted if only one length value occurs.
+    if used.iter().filter(|&&u| u).count() < 2 {
+        let pad = if used[0] { 1 } else { 0 };
+        used[pad] = true;
+    }
+    let cl_lengths = cl_code_lengths(&used);
+    s.put(15, 4); // HCLEN = 19 - 4: transmit all 19 CL entries.
+    for &ord in &CODELEN_ORDER {
+        s.put(u64::from(cl_lengths[ord]), 3);
+    }
+    let cl_codes = canonical_codes(&cl_lengths);
+    for &l in lit_lengths.iter().chain(dist_lengths) {
+        s.put_code(cl_codes[l as usize], u32::from(cl_lengths[l as usize]));
+    }
+    (canonical_codes(lit_lengths), canonical_codes(dist_lengths))
+}
+
+/// Litlen code lengths shaped as a "comb": filler literals at depths
+/// `1..depth`, then `target` and the end-of-block symbol both at `depth`
+/// (Kraft sum exactly 1). Returns `(lengths, fillers)` where `fillers[i]`
+/// is the literal symbol sitting at depth `i + 1`.
+///
+/// `depth` must be in `1..=15`; `depth == 1` yields just `{target, EOB}`.
+/// `target` must not be 256 and, for `depth == 1`, fillers are empty.
+pub fn comb_litlen(target: u16, depth: u8) -> (Vec<u8>, Vec<u16>) {
+    assert!((1..=15).contains(&depth));
+    assert_ne!(target, 256);
+    let hlit = 257.max(usize::from(target) + 1);
+    let mut lengths = vec![0u8; hlit];
+    let mut fillers = Vec::new();
+    let mut next_filler = 0u16;
+    for d in 1..depth {
+        while next_filler == target || next_filler == 256 {
+            next_filler += 1;
+        }
+        lengths[usize::from(next_filler)] = d;
+        fillers.push(next_filler);
+        next_filler += 1;
+    }
+    lengths[usize::from(target)] = depth;
+    lengths[256] = depth;
+    (lengths, fillers)
+}
+
+/// Distance code lengths shaped as a comb with `target` at `depth`: filler
+/// distance symbols occupy depths `1..depth` and one extra symbol joins
+/// `target` at `depth` so the code is complete. `depth == 1` yields two
+/// symbols at depth 1. Panics if the alphabet (30 symbols) cannot host the
+/// comb — callers keep `depth <= 15`, which needs at most 16 symbols.
+pub fn comb_dist(target: u16, depth: u8) -> Vec<u8> {
+    assert!((1..=15).contains(&depth));
+    assert!(target < 30);
+    let mut lengths = vec![0u8; 30];
+    let mut next_filler = 0u16;
+    let mut take_filler = |lengths: &mut Vec<u8>, d: u8| {
+        while next_filler == target {
+            next_filler += 1;
+        }
+        assert!(next_filler < 30);
+        lengths[usize::from(next_filler)] = d;
+        next_filler += 1;
+    };
+    for d in 1..depth {
+        take_filler(&mut lengths, d);
+    }
+    take_filler(&mut lengths, depth);
+    lengths[usize::from(target)] = depth;
+    lengths
+}

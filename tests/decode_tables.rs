@@ -1,0 +1,303 @@
+//! Exhaustive conformance suite for the multi-symbol DEFLATE decode tables.
+//!
+//! The table-driven inflater routes every lookup through one of three entry
+//! classes — primary-table hits (code length ≤ table bits), packed LIT2
+//! pairs, and subtable indirections (code length > table bits) — and the
+//! encoder's own output only exercises a thin slice of that space. These
+//! tests hand-craft fixed and dynamic blocks (via `common::BitSink`) so that
+//! every literal/length symbol and every distance symbol is decoded at every
+//! RFC-achievable code length, including the depths that straddle the
+//! primary/subtable boundary (litlen table bits = 11, distance = 10).
+
+mod common;
+
+use common::{
+    canonical_codes, comb_dist, comb_litlen, put_dynamic_header, BitSink, DIST_BASE, DIST_EXTRA,
+    LENGTH_BASE, LENGTH_EXTRA,
+};
+use primacy_suite::codecs::deflate::inflate;
+
+/// Fixed litlen code lengths (RFC 1951 §3.2.6), including the two reserved
+/// symbols 286/287 that participate in code construction but must never
+/// decode successfully.
+fn fixed_litlen_lengths() -> Vec<u8> {
+    let mut lengths = vec![8u8; 288];
+    for l in &mut lengths[144..256] {
+        *l = 9;
+    }
+    for l in &mut lengths[256..280] {
+        *l = 7;
+    }
+    lengths
+}
+
+/// Start a fixed-Huffman block and return the litlen/dist code values.
+fn begin_fixed_block(s: &mut BitSink) -> (Vec<u32>, Vec<u32>) {
+    s.put(1, 1); // BFINAL
+    s.put(0b01, 2); // BTYPE: fixed
+    let lit = canonical_codes(&fixed_litlen_lengths());
+    // Fixed distance codes are 5-bit indices 0..=31.
+    let dist = (0..32).collect();
+    (lit, dist)
+}
+
+fn put_fixed_lit(s: &mut BitSink, codes: &[u32], sym: usize) {
+    let len = u32::from(fixed_litlen_lengths()[sym]);
+    s.put_code(codes[sym], len);
+}
+
+/// Emit `len`/`dist` as a fixed-block match using the canonical symbol
+/// choice (the longest base not exceeding the value).
+fn put_fixed_match(s: &mut BitSink, lit: &[u32], len: u16, dist: u16) {
+    let lc = LENGTH_BASE.iter().rposition(|&b| b <= len).unwrap();
+    put_fixed_lit(s, lit, 257 + lc);
+    s.put(
+        u64::from(len - LENGTH_BASE[lc]),
+        u32::from(LENGTH_EXTRA[lc]),
+    );
+    let dc = DIST_BASE.iter().rposition(|&b| b <= dist).unwrap();
+    s.put_code(dc as u32, 5);
+    s.put(u64::from(dist - DIST_BASE[dc]), u32::from(DIST_EXTRA[dc]));
+}
+
+/// Reference LZ77 back-reference copy (overlap-correct by construction).
+fn model_copy(out: &mut Vec<u8>, len: usize, dist: usize) {
+    for _ in 0..len {
+        let b = out[out.len() - dist];
+        out.push(b);
+    }
+}
+
+/// Every match length 3..=258 against every zero-extra distance-code base,
+/// in one fixed block, checked byte-for-byte against a reference model.
+#[test]
+fn fixed_block_all_lengths_times_all_distance_codes() {
+    let mut s = BitSink::new();
+    let (lit, _) = begin_fixed_block(&mut s);
+    let mut model = Vec::new();
+
+    // A 32 KiB non-repeating window so every distance base is reachable and
+    // each copy has distinctive source bytes.
+    for i in 0..32_768usize {
+        let b = (i.wrapping_mul(131).wrapping_add(i >> 7) & 0xff) as u8;
+        put_fixed_lit(&mut s, &lit, b as usize);
+        model.push(b);
+    }
+    for &dist in &DIST_BASE {
+        for len in 3u16..=258 {
+            put_fixed_match(&mut s, &lit, len, dist);
+            model_copy(&mut model, usize::from(len), usize::from(dist));
+        }
+    }
+    put_fixed_lit(&mut s, &lit, 256);
+    let out = inflate(&s.finish()).expect("exhaustive fixed block must decode");
+    assert_eq!(out, model);
+}
+
+/// Distances that are *not* a code base (max-extra offsets), including the
+/// maximum 32 768, exercise the extra-bits path of every distance code.
+#[test]
+fn fixed_block_distance_extra_bits_extremes() {
+    let mut s = BitSink::new();
+    let (lit, _) = begin_fixed_block(&mut s);
+    let mut model = Vec::new();
+    for i in 0..32_768usize {
+        let b = (i.wrapping_mul(197) & 0xff) as u8;
+        put_fixed_lit(&mut s, &lit, b as usize);
+        model.push(b);
+    }
+    for d in 0..30usize {
+        // Top of each code's range: base + 2^extra - 1.
+        let dist = DIST_BASE[d] + (1u16 << DIST_EXTRA[d]) - 1;
+        put_fixed_match(&mut s, &lit, 258, dist);
+        model_copy(&mut model, 258, usize::from(dist));
+    }
+    put_fixed_lit(&mut s, &lit, 256);
+    let out = inflate(&s.finish()).expect("max-extra distances must decode");
+    assert_eq!(out, model);
+}
+
+/// The reserved fixed-code symbols 286 and 287 are part of the 288-symbol
+/// code but invalid in a stream; the decoder must reject them without
+/// panicking.
+#[test]
+fn fixed_block_reserved_litlen_symbols_rejected() {
+    for sym in [286usize, 287] {
+        let mut s = BitSink::new();
+        let (lit, _) = begin_fixed_block(&mut s);
+        put_fixed_lit(&mut s, &lit, b'x' as usize);
+        put_fixed_lit(&mut s, &lit, sym);
+        // Plausible continuation bits so failure is the symbol, not EOF.
+        s.put(0, 20);
+        let err = inflate(&s.finish()).expect_err("reserved symbol must fail");
+        assert!(
+            err.to_string().contains("invalid literal/length code"),
+            "symbol {sym}: {err}"
+        );
+    }
+}
+
+/// Fixed distance codes 30 and 31 exist in the 5-bit space but are reserved;
+/// both must be rejected.
+#[test]
+fn fixed_block_reserved_distance_codes_rejected() {
+    for dc in [30u32, 31] {
+        let mut s = BitSink::new();
+        let (lit, _) = begin_fixed_block(&mut s);
+        put_fixed_lit(&mut s, &lit, b'x' as usize);
+        put_fixed_lit(&mut s, &lit, 257); // length 3
+        s.put_code(dc, 5);
+        s.put(0, 20);
+        let err = inflate(&s.finish()).expect_err("reserved distance must fail");
+        assert!(
+            err.to_string().contains("invalid distance code"),
+            "distance code {dc}: {err}"
+        );
+    }
+}
+
+/// Every literal symbol decoded at every code length 1..=15. The comb code
+/// places filler literals at depths 1..d, so a single stream walks primary
+/// entries (≤ 11 bits) and subtable entries (12..=15 bits) for each target.
+#[test]
+fn dynamic_every_literal_at_every_depth() {
+    for target in 0u16..=255 {
+        for depth in 1u8..=15 {
+            let (lit_lengths, fillers) = comb_litlen(target, depth);
+            let mut s = BitSink::new();
+            // Single distance code of length 1: the RFC-sanctioned
+            // degenerate code for blocks that contain no matches.
+            let (lit, _) = put_dynamic_header(&mut s, true, &lit_lengths, &[1]);
+            let mut model = Vec::new();
+            for &f in &fillers {
+                s.put_code(lit[usize::from(f)], u32::from(lit_lengths[usize::from(f)]));
+                model.push(f as u8);
+            }
+            s.put_code(lit[usize::from(target)], u32::from(depth));
+            model.push(target as u8);
+            s.put_code(lit[256], u32::from(depth));
+            let out = inflate(&s.finish())
+                .unwrap_or_else(|e| panic!("literal {target} depth {depth}: {e}"));
+            assert_eq!(out, model, "literal {target} depth {depth}");
+        }
+    }
+}
+
+/// Every length symbol 257..=285 decoded at every achievable depth. Depth 1
+/// is impossible for a match (the block would have no literal to copy from),
+/// so the sweep starts at 2 with a depth-1 filler literal seeding the window.
+#[test]
+fn dynamic_every_length_symbol_at_every_depth() {
+    for target in 257u16..=285 {
+        for depth in 2u8..=15 {
+            let (lit_lengths, fillers) = comb_litlen(target, depth);
+            let mut s = BitSink::new();
+            let (lit, dist) = put_dynamic_header(&mut s, true, &lit_lengths, &[1]);
+            let mut model = Vec::new();
+            for &f in &fillers {
+                s.put_code(lit[usize::from(f)], u32::from(lit_lengths[usize::from(f)]));
+                model.push(f as u8);
+            }
+            s.put_code(lit[usize::from(target)], u32::from(depth));
+            let lc = usize::from(target) - 257;
+            s.put(0, u32::from(LENGTH_EXTRA[lc])); // extra bits: base length
+            s.put_code(dist[0], 1); // distance 1
+            model_copy(&mut model, usize::from(LENGTH_BASE[lc]), 1);
+            s.put_code(lit[256], u32::from(depth));
+            let out = inflate(&s.finish())
+                .unwrap_or_else(|e| panic!("length sym {target} depth {depth}: {e}"));
+            assert_eq!(out, model, "length sym {target} depth {depth}");
+        }
+    }
+}
+
+/// Every distance symbol 0..=29 decoded at every code length 1..=15. The
+/// block first emits enough literals that the back-reference is in range.
+#[test]
+fn dynamic_every_distance_symbol_at_every_depth() {
+    // Two literals + one length code + EOB, all at depth 2 (complete code).
+    let mut lit_lengths = vec![0u8; 258];
+    lit_lengths[b'A' as usize] = 2;
+    lit_lengths[b'B' as usize] = 2;
+    lit_lengths[256] = 2;
+    lit_lengths[257] = 2; // match length 3
+
+    for target in 0u16..=29 {
+        for depth in 1u8..=15 {
+            let dist_lengths = comb_dist(target, depth);
+            let mut s = BitSink::new();
+            let (lit, dist) = put_dynamic_header(&mut s, true, &lit_lengths, &dist_lengths);
+            let mut model = Vec::new();
+            // Seed the window: an A/B pattern as long as the distance base.
+            for i in 0..usize::from(DIST_BASE[usize::from(target)]) {
+                let sym = if i % 2 == 0 { b'A' } else { b'B' };
+                s.put_code(lit[usize::from(sym)], 2);
+                model.push(sym);
+            }
+            s.put_code(lit[257], 2);
+            s.put_code(dist[usize::from(target)], u32::from(depth));
+            s.put(0, u32::from(DIST_EXTRA[usize::from(target)]));
+            model_copy(&mut model, 3, usize::from(DIST_BASE[usize::from(target)]));
+            s.put_code(lit[256], 2);
+            let out = inflate(&s.finish())
+                .unwrap_or_else(|e| panic!("dist sym {target} depth {depth}: {e}"));
+            assert_eq!(out, model, "dist sym {target} depth {depth}");
+        }
+    }
+}
+
+/// Codes that sit exactly on either side of the primary-table boundary in
+/// one tree: depths 11 (last primary litlen) and 12 (first litlen subtable),
+/// 10/11 for distances. The sweeps above cover these depths individually;
+/// this vector packs both sides plus a match into a single block so the
+/// decoder transitions primary → subtable → primary within one fast-loop run.
+#[test]
+fn subtable_boundary_straddling_block() {
+    // Litlen comb at depth 12: fillers at 1..=11 (primary), target + EOB at
+    // 12 (subtable).
+    let (lit_lengths, fillers) = comb_litlen(b'Z'.into(), 12);
+    // Distance comb at depth 11: fillers at 1..=10 (primary), target + one
+    // filler at 11 (subtable). Target distance code 0 → distance 1.
+    let dist_lengths = comb_dist(0, 11);
+    let mut lit_lengths = lit_lengths;
+    lit_lengths.resize(258, 0);
+    lit_lengths[257] = lit_lengths[usize::from(fillers[0])];
+    lit_lengths[usize::from(fillers[0])] = 0;
+    // Swapping filler depth 1 onto the length code keeps Kraft intact but
+    // costs the depth-1 literal; re-derive the emission plan accordingly.
+    let mut s = BitSink::new();
+    let (lit, dist) = put_dynamic_header(&mut s, true, &lit_lengths, &dist_lengths);
+    let mut model = Vec::new();
+    for &f in &fillers[1..] {
+        s.put_code(lit[usize::from(f)], u32::from(lit_lengths[usize::from(f)]));
+        model.push(f as u8);
+    }
+    s.put_code(lit[usize::from(b'Z')], 12); // subtable literal
+    model.push(b'Z');
+    s.put_code(lit[257], 1); // primary length code, len 3
+    s.put_code(dist[0], 11); // subtable distance, dist 1
+    model_copy(&mut model, 3, 1);
+    s.put_code(lit[256], 12); // subtable EOB
+    let out = inflate(&s.finish()).expect("boundary block must decode");
+    assert_eq!(out, model);
+}
+
+/// Deep subtable stress: a full-depth (15) comb decoded repeatedly in one
+/// block, so consecutive subtable lookups follow each other in the fast loop.
+#[test]
+fn repeated_deep_subtable_lookups() {
+    let (lit_lengths, fillers) = comb_litlen(b'q'.into(), 15);
+    let mut s = BitSink::new();
+    let (lit, _) = put_dynamic_header(&mut s, true, &lit_lengths, &[1]);
+    let mut model = Vec::new();
+    for _ in 0..64 {
+        s.put_code(lit[usize::from(b'q')], 15);
+        model.push(b'q');
+        let f = fillers[13]; // depth-14 filler: also a subtable entry
+        s.put_code(lit[usize::from(f)], 14);
+        model.push(f as u8);
+    }
+    s.put_code(lit[256], 15);
+    let out = inflate(&s.finish()).expect("deep comb must decode");
+    assert_eq!(out, model);
+}
