@@ -31,7 +31,7 @@ fn main() {
     let rates: Vec<(&str, f64, f64)> = methods
         .iter()
         .map(|(name, m)| {
-            let e = scenario.evaluate(m, &data);
+            let e = scenario.evaluate(m, &data).expect("measurement failed");
             (
                 *name,
                 e.write_empirical_mbps * 1e6,

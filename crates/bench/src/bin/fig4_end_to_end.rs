@@ -52,7 +52,7 @@ fn main() {
         let mut null_read = 0.0;
         let mut rows = Vec::new();
         for m in &methods {
-            let e = scenario.evaluate(m, &data);
+            let e = scenario.evaluate(m, &data).expect("measurement failed");
             if matches!(m, CompressionMethod::Null) {
                 null_write = e.write_empirical_mbps;
                 null_read = e.read_empirical_mbps;

@@ -59,18 +59,23 @@ fn main() {
 
         // Vanilla zlib.
         let zlib = CodecKind::Zlib.build();
-        let (z_sigma, z_cbps, _) = measure_vanilla(zlib.as_ref(), &data);
+        let (z_sigma, z_cbps, _) =
+            measure_vanilla(zlib.as_ref(), &data).expect("measurement failed");
         let z_free = welton_write(&inputs, z_sigma);
         let z_model = vanilla_write(&inputs, z_sigma, z_cbps);
-        let z_sim = scenario.evaluate(&CompressionMethod::Vanilla(CodecKind::Zlib), &data);
+        let z_sim = scenario
+            .evaluate(&CompressionMethod::Vanilla(CodecKind::Zlib), &data)
+            .expect("measurement failed");
 
         // PRIMACY.
-        let rates = measure_primacy(&PrimacyConfig::default(), &data);
+        let rates = measure_primacy(&PrimacyConfig::default(), &data).expect("measurement failed");
         let p_sigma = 1.0 / rates.ratio;
         let p_free = welton_write(&inputs, p_sigma);
         let p_inputs = rates.to_model_inputs(scenario.cluster, chunk, 2048.0);
         let p_model = primacy_hpcsim::model::primacy_write(&p_inputs);
-        let p_sim = scenario.evaluate(&CompressionMethod::Primacy(PrimacyConfig::default()), &data);
+        let p_sim = scenario
+            .evaluate(&CompressionMethod::Primacy(PrimacyConfig::default()), &data)
+            .expect("measurement failed");
 
         report.push(
             format!("{}/zlib_overprediction", id.name()),

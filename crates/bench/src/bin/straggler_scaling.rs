@@ -16,7 +16,7 @@ use primacy_hpcsim::sim::{simulate_multi_group, Direction, SimConfig};
 fn main() {
     let mut report = Report::new("straggler_scaling");
     let data = dataset_bytes(DatasetId::FlashVelx);
-    let rates = measure_primacy(&PrimacyConfig::default(), &data);
+    let rates = measure_primacy(&PrimacyConfig::default(), &data).expect("measurement failed");
     let chunk = 3.0 * 1024.0 * 1024.0;
 
     let base = SimConfig {

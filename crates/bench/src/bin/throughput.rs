@@ -257,7 +257,6 @@ fn write_ratio_baseline(elements: usize, ratios: &[(String, f64)]) {
         ("records", Value::Array(records)),
     ]);
     std::fs::write(RATIO_BASELINE, doc.to_json())
-        // lint: allow(panic) -- bench binary: an unwritable baseline must fail the refresh loudly
         .unwrap_or_else(|e| panic!("writing {RATIO_BASELINE}: {e}"));
 }
 

@@ -71,17 +71,18 @@ pub fn bwt_forward(data: &[u8]) -> (Vec<u8>, usize) {
     let mut bwt = Vec::with_capacity(n);
     // Conceptual row 0 is the sentinel suffix, whose preceding char is the
     // last byte of the data.
-    // lint: allow(index) -- encoder-owned data; n > 0 checked above
-    bwt.push(data[n - 1]);
+    if let Some(&last) = data.last() {
+        bwt.push(last);
+    }
     let mut primary = 0usize;
     for (i, &p) in sa.iter().enumerate() {
         if p == 0 {
             // This row's preceding char is the sentinel; remember where it
             // belongs instead of storing it.
             primary = i + 1;
-        } else {
-            // lint: allow(index) -- encoder-owned data; suffix-array entries are < n
-            bwt.push(data[p as usize - 1]);
+        } else if let Some(&b) = data.get(p as usize - 1) {
+            // Suffix-array entries are < n, so the lookup always succeeds.
+            bwt.push(b);
         }
     }
     debug_assert!(primary >= 1);
@@ -110,17 +111,17 @@ pub fn bwt_inverse(bwt: &[u8], primary: usize) -> Result<Vec<u8>> {
         }
     };
     let mut count = [0u32; 258];
-    // lint: allow(index) -- symbols are 0..=256 against fixed [u32; 258] tables
     count[0] = 1;
     for &b in bwt {
-        // lint: allow(index) -- symbols are 0..=256 against fixed [u32; 258] tables
-        count[b as usize + 2 - 1] += 1; // symbol b+1
+        // A byte's symbol b+1 is at most 256, inside the 258-entry table.
+        if let Some(slot) = count.get_mut(b as usize + 1) {
+            *slot += 1;
+        }
     }
     let mut starts = [0u32; 258];
     let mut sum = 0u32;
-    for (c, &cnt) in count.iter().enumerate() {
-        // lint: allow(index) -- c enumerates the same fixed-size table
-        starts[c] = sum;
+    for (start, &cnt) in starts.iter_mut().zip(count.iter()) {
+        *start = sum;
         // Counts sum to n+1, which fits u32 for any in-bounds block;
         // saturating keeps the table monotonic even on corrupt input.
         sum = sum.saturating_add(cnt);
@@ -129,9 +130,11 @@ pub fn bwt_inverse(bwt: &[u8], primary: usize) -> Result<Vec<u8>> {
     let mut lf = vec![0u32; n + 1];
     for (p, lf_slot) in lf.iter_mut().enumerate() {
         let s = sym_at(p);
-        // lint: allow(index) -- sym_at returns 0..=256 against fixed [u32; 258] tables
-        *lf_slot = starts[s].saturating_add(occ[s]);
-        occ[s] += 1; // lint: allow(index) -- same bound as the line above
+        let start = starts.get(s).copied().unwrap_or(0);
+        if let Some(o) = occ.get_mut(s) {
+            *lf_slot = start.saturating_add(*o);
+            *o += 1;
+        }
     }
     // Walk the LF mapping backwards, building the output back-to-front.
     let mut out = Vec::with_capacity(n);
@@ -162,7 +165,9 @@ pub fn mtf_forward(data: &[u8]) -> Vec<u8> {
         let pos = order.iter().position(|&x| x == b).unwrap_or(0);
         out.push(pos as u8);
         order.copy_within(0..pos, 1);
-        order[0] = b; // lint: allow(index) -- order always holds all 256 byte values
+        if let Some(front) = order.first_mut() {
+            *front = b;
+        }
     }
     out
 }
@@ -177,7 +182,9 @@ pub fn mtf_inverse(ranks: &[u8]) -> Vec<u8> {
         let b = order.get(pos).copied().unwrap_or(0);
         out.push(b);
         order.copy_within(0..pos, 1);
-        order[0] = b; // lint: allow(index) -- order always holds all 256 byte values
+        if let Some(front) = order.first_mut() {
+            *front = b;
+        }
     }
     out
 }
@@ -292,18 +299,19 @@ fn fit_tables(symbols: &[u16], n_tables: usize) -> (Vec<Vec<u8>>, Vec<u8>) {
 
     let refit = |selectors: &[u8], lengths: &mut Vec<Vec<u8>>| {
         let mut freqs = vec![[0u64; ALPHABET]; n_tables];
-        for (g, group) in symbols.chunks(GROUP).enumerate() {
-            // lint: allow(index) -- encoder state: one selector per group, all < n_tables
-            let t = selectors[g] as usize;
-            for &sym in group {
-                // lint: allow(index) -- encoder state: rle2 symbols are < ALPHABET
-                freqs[t][sym as usize] += 1;
+        // One selector per group by construction: zip instead of indexing.
+        for (group, &sel) in symbols.chunks(GROUP).zip(selectors.iter()) {
+            if let Some(freq) = freqs.get_mut(sel as usize) {
+                for &sym in group {
+                    if let Some(f) = freq.get_mut(sym as usize) {
+                        *f += 1;
+                    }
+                }
             }
         }
-        for (t, freq) in freqs.iter().enumerate() {
+        for (table, freq) in lengths.iter_mut().zip(freqs.iter()) {
             if freq.iter().any(|&f| f > 0) {
-                // lint: allow(index) -- encoder state: t enumerates the n_tables entries
-                lengths[t] = package_merge_lengths(freq, 15);
+                *table = package_merge_lengths(freq, 15);
             }
         }
     };
@@ -312,23 +320,25 @@ fn fit_tables(symbols: &[u16], n_tables: usize) -> (Vec<Vec<u8>>, Vec<u8>) {
     for _ in 0..ITERS {
         // Assign: cheapest table per group. Symbols absent from a table cost
         // an effective 16 bits so that table is avoided, not chosen blindly.
-        for (g, group) in symbols.chunks(GROUP).enumerate() {
-            let mut best = (u64::MAX, 0usize);
-            for (t, table) in lengths.iter().enumerate() {
-                let cost: u64 = group
-                    .iter()
-                    // lint: allow(index) -- encoder state: rle2 symbols are < ALPHABET
-                    .map(|&sym| match table[sym as usize] {
-                        0 => 16,
-                        l => u64::from(l),
-                    })
-                    .sum();
-                if cost < best.0 {
-                    best = (cost, t);
+        selectors = symbols
+            .chunks(GROUP)
+            .map(|group| {
+                let mut best = (u64::MAX, 0usize);
+                for (t, table) in lengths.iter().enumerate() {
+                    let cost: u64 = group
+                        .iter()
+                        .map(|&sym| match table.get(sym as usize).copied().unwrap_or(0) {
+                            0 => 16,
+                            l => u64::from(l),
+                        })
+                        .sum();
+                    if cost < best.0 {
+                        best = (cost, t);
+                    }
                 }
-            }
-            selectors[g] = best.1 as u8; // lint: allow(index) -- encoder state: one selector per group
-        }
+                best.1 as u8
+            })
+            .collect();
         refit(&selectors, &mut lengths);
     }
     // Final safety refit so every selected table covers its symbols.
@@ -361,16 +371,18 @@ fn compress_block(block: &[u8], out: &mut Vec<u8>) {
             w.write_bits(u64::from(l), 4);
         }
     }
-    // Symbol stream, switching tables every GROUP symbols.
-    for (g, group) in symbols.chunks(GROUP).enumerate() {
-        // lint: allow(index) -- encoder state: fit_tables returns one selector per group, all < n_tables
-        let enc = &encoders[selectors[g] as usize];
+    // Symbol stream, switching tables every GROUP symbols. fit_tables
+    // returns one selector per group, all below n_tables: zip and look up.
+    for (group, &sel) in symbols.chunks(GROUP).zip(selectors.iter()) {
+        let Some(enc) = encoders.get(sel as usize) else {
+            continue;
+        };
         for &sym in group {
             let sym = sym as usize;
-            // lint: allow(index) -- encoder state: rle2 symbols index the ALPHABET-sized code tables
-            debug_assert!(enc.lengths[sym] > 0, "selected table misses symbol");
-            // lint: allow(index) -- encoder state: rle2 symbols index the ALPHABET-sized code tables
-            w.write_bits(u64::from(enc.codes[sym]), u32::from(enc.lengths[sym]));
+            let code = enc.codes.get(sym).copied().unwrap_or(0);
+            let len = enc.lengths.get(sym).copied().unwrap_or(0);
+            debug_assert!(len > 0, "selected table misses symbol");
+            w.write_bits(u64::from(code), u32::from(len));
         }
     }
     let payload = w.finish();

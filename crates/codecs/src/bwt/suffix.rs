@@ -5,9 +5,11 @@
 //! Wheeler layer gets well-defined suffix order for arbitrary binary data.
 //!
 //! SA-IS runs exclusively on the encode side, over an encoder-owned copy
-//! of the input; no untrusted bytes reach it, and its index arithmetic is
-//! the textbook algorithm's own invariants.
-// lint: allow-file(index) -- encode-only SA-IS over encoder-owned buffers; rewriting with checked access would obscure the algorithm
+//! of the input. Loops that scan a whole array use ranges the analyzer can
+//! prove in-bounds; the induced-sorting passes, whose positions come from
+//! the partially built suffix array itself, use checked access — every
+//! `get` succeeds by the algorithm's invariants, and a miss would only
+//! skip a placement rather than abort the process.
 
 const EMPTY: u32 = u32::MAX;
 
@@ -24,7 +26,7 @@ pub fn suffix_array(s: &[u8]) -> Vec<u32> {
     t.push(0);
     let sa = sais(&t, 257);
     // sa[0] is the sentinel suffix; the rest is the answer.
-    sa[1..].to_vec()
+    sa.get(1..).map(<[u32]>::to_vec).unwrap_or_default()
 }
 
 /// SA-IS over a u32 string whose alphabet is `0..k` and whose last character
@@ -42,21 +44,28 @@ fn sais(s: &[u32], k: usize) -> Vec<u32> {
 
     // Type classification: true = S-type. The sentinel is S.
     let mut is_s = vec![false; n];
-    is_s[n - 1] = true;
+    if let Some(last) = is_s.last_mut() {
+        *last = true;
+    }
     for i in (0..n - 1).rev() {
         is_s[i] = s[i] < s[i + 1] || (s[i] == s[i + 1] && is_s[i + 1]);
     }
 
     let mut bucket = vec![0u32; k];
     for &c in s {
-        bucket[c as usize] += 1;
+        // Every character is below the alphabet size by construction.
+        if let Some(count) = bucket.get_mut(c as usize) {
+            *count += 1;
+        }
     }
 
     // Left-most S positions, in text order.
-    let lms_positions: Vec<u32> = (1..n)
-        .filter(|&i| is_s[i] && !is_s[i - 1])
-        .map(|i| i as u32)
-        .collect();
+    let mut lms_positions: Vec<u32> = Vec::new();
+    for i in 1..n {
+        if is_s[i] && !is_s[i - 1] {
+            lms_positions.push(i as u32);
+        }
+    }
 
     // First pass: induce with LMS positions in arbitrary (text) order; this
     // sorts the LMS *substrings*.
@@ -68,20 +77,28 @@ fn sais(s: &[u32], k: usize) -> Vec<u32> {
         .copied()
         .filter(|&j| {
             let j = j as usize;
-            j > 0 && is_s[j] && !is_s[j - 1]
+            j > 0 && is_s.get(j) == Some(&true) && is_s.get(j - 1) == Some(&false)
         })
         .collect();
     debug_assert_eq!(sorted_lms.len(), lms_positions.len());
 
     let mut name_of = vec![EMPTY; n];
     let mut cur_name = 0u32;
-    name_of[sorted_lms[0] as usize] = 0;
+    if let Some(slot) = sorted_lms
+        .first()
+        .and_then(|&first| name_of.get_mut(first as usize))
+    {
+        *slot = 0;
+    }
     for w in sorted_lms.windows(2) {
-        let (a, b) = (w[0] as usize, w[1] as usize);
+        let &[a, b] = w else { continue };
+        let (a, b) = (a as usize, b as usize);
         if !lms_substrings_equal(s, &is_s, a, b) {
             cur_name += 1;
         }
-        name_of[b] = cur_name;
+        if let Some(slot) = name_of.get_mut(b) {
+            *slot = cur_name;
+        }
     }
     let num_names = cur_name as usize + 1;
 
@@ -91,11 +108,14 @@ fn sais(s: &[u32], k: usize) -> Vec<u32> {
         sorted_lms
     } else {
         // Recurse on the reduced string of names (in text order).
-        let reduced: Vec<u32> = lms_positions.iter().map(|&p| name_of[p as usize]).collect();
+        let reduced: Vec<u32> = lms_positions
+            .iter()
+            .filter_map(|&p| name_of.get(p as usize).copied())
+            .collect();
         let reduced_sa = sais(&reduced, num_names);
         reduced_sa
             .iter()
-            .map(|&r| lms_positions[r as usize])
+            .filter_map(|&r| lms_positions.get(r as usize).copied())
             .collect()
     };
 
@@ -135,9 +155,17 @@ fn induce(s: &[u32], is_s: &[bool], bucket: &[u32], lms: &[u32]) -> Vec<u32> {
     // order backwards so the first LMS lands closest to its bucket tail.
     tails(&mut ptr);
     for &j in lms.iter().rev() {
-        let c = s[j as usize] as usize;
-        ptr[c] -= 1;
-        sa[ptr[c] as usize] = j;
+        let Some(&c) = s.get(j as usize) else {
+            continue;
+        };
+        let Some(slot) = ptr.get_mut(c as usize) else {
+            continue;
+        };
+        *slot -= 1;
+        let at = *slot as usize;
+        if let Some(dst) = sa.get_mut(at) {
+            *dst = j;
+        }
     }
 
     // Induce L-type suffixes.
@@ -146,10 +174,18 @@ fn induce(s: &[u32], is_s: &[bool], bucket: &[u32], lms: &[u32]) -> Vec<u32> {
         let j = sa[i];
         if j != EMPTY && j > 0 {
             let p = (j - 1) as usize;
-            if !is_s[p] {
-                let c = s[p] as usize;
-                sa[ptr[c] as usize] = p as u32;
-                ptr[c] += 1;
+            if is_s.get(p) == Some(&false) {
+                let Some(&c) = s.get(p) else {
+                    continue;
+                };
+                let Some(slot) = ptr.get_mut(c as usize) else {
+                    continue;
+                };
+                let at = *slot as usize;
+                *slot += 1;
+                if let Some(dst) = sa.get_mut(at) {
+                    *dst = p as u32;
+                }
             }
         }
     }
@@ -161,10 +197,18 @@ fn induce(s: &[u32], is_s: &[bool], bucket: &[u32], lms: &[u32]) -> Vec<u32> {
         let j = sa[i];
         if j != EMPTY && j > 0 {
             let p = (j - 1) as usize;
-            if is_s[p] {
-                let c = s[p] as usize;
-                ptr[c] -= 1;
-                sa[ptr[c] as usize] = p as u32;
+            if is_s.get(p) == Some(&true) {
+                let Some(&c) = s.get(p) else {
+                    continue;
+                };
+                let Some(slot) = ptr.get_mut(c as usize) else {
+                    continue;
+                };
+                *slot -= 1;
+                let at = *slot as usize;
+                if let Some(dst) = sa.get_mut(at) {
+                    *dst = p as u32;
+                }
             }
         }
     }
@@ -182,19 +226,26 @@ fn lms_substrings_equal(s: &[u32], is_s: &[bool], a: usize, b: usize) -> bool {
     if a == n - 1 || b == n - 1 {
         return false;
     }
+    // An LMS boundary at `p`: S-type preceded by L-type (checked access
+    // doubles as the `p < n` test).
+    let lms_at = |p: usize| p > 0 && is_s.get(p) == Some(&true) && is_s.get(p - 1) == Some(&false);
     let mut i = 0usize;
     loop {
         let (pa, pb) = (a.saturating_add(i), b.saturating_add(i));
-        let a_end = i > 0 && pa < n && is_s[pa] && !is_s[pa - 1];
-        let b_end = i > 0 && pb < n && is_s[pb] && !is_s[pb - 1];
+        let a_end = i > 0 && lms_at(pa);
+        let b_end = i > 0 && lms_at(pb);
         if a_end && b_end {
-            return s[pa] == s[pb];
+            return s.get(pa) == s.get(pb);
         }
         if a_end != b_end {
             return false;
         }
-        if pa >= n || pb >= n || s[pa] != s[pb] {
-            return false;
+        // Running off the end (get = None) or a character mismatch both end
+        // the comparison; equal characters keep walking, so the loop always
+        // advances toward the sentinel and terminates.
+        match (s.get(pa), s.get(pb)) {
+            (Some(x), Some(y)) if x == y => {}
+            _ => return false,
         }
         i += 1;
     }

@@ -481,6 +481,8 @@ impl<'a> ArchiveReader<'a> {
                     // One trace merge per worker when it runs out of chunks.
                     let _trace_scope = trace::thread_scope();
                     loop {
+                        // ORDERING: Relaxed is enough — the counter only hands
+                        // out distinct indices; the mutexes below synchronize.
                         let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
                         if i >= self.directory.len() {
                             break;

@@ -195,6 +195,8 @@ impl PrimacyCompressor {
                     // chunk this worker claims.
                     let mut scratch = CodecScratch::new();
                     loop {
+                        // ORDERING: Relaxed is enough — the counter only hands
+                        // out distinct indices; the scope join publishes data.
                         let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
                         if i >= chunks.len() {
                             break;

@@ -7,7 +7,7 @@
 
 use crate::model::ModelInputs;
 use primacy_codecs::Codec;
-use primacy_core::{PrimacyCompressor, PrimacyConfig};
+use primacy_core::{PrimacyCompressor, PrimacyConfig, PrimacyError, Result};
 use std::time::Instant;
 
 /// Machine-measured rates and ratios for one (data, method) pair.
@@ -39,22 +39,21 @@ pub struct MeasuredRates {
 }
 
 /// Run the PRIMACY pipeline over `bytes` once and extract model inputs.
-pub fn measure_primacy(config: &PrimacyConfig, bytes: &[u8]) -> MeasuredRates {
+///
+/// Errors propagate from the pipeline itself: invalid measurement input
+/// surfaces as the same [`PrimacyError`] the production path would return.
+pub fn measure_primacy(config: &PrimacyConfig, bytes: &[u8]) -> Result<MeasuredRates> {
     let compressor = PrimacyCompressor::new(config.clone());
     let t0 = Instant::now();
-    let (compressed, stats) = compressor
-        .compress_bytes_with_stats(bytes)
-        // lint: allow(panic) -- measurement harness over self-generated input; failure is a harness bug
-        .expect("measurement input must be valid");
+    let (compressed, stats) = compressor.compress_bytes_with_stats(bytes)?;
     let compress_secs = t0.elapsed().as_secs_f64();
 
     let t0 = Instant::now();
-    let (restored, dec_stats) = compressor
-        .decompress_bytes_with_stats(&compressed)
-        // lint: allow(panic) -- measurement harness round-trips its own stream; failure is a harness bug
-        .expect("own stream must decompress");
+    let (restored, dec_stats) = compressor.decompress_bytes_with_stats(&compressed)?;
     let decompress_secs = t0.elapsed().as_secs_f64();
-    assert_eq!(restored.len(), bytes.len());
+    if restored.len() != bytes.len() {
+        return Err(PrimacyError::Format("round trip changed the byte count"));
+    }
 
     let alpha1 = config.hi_bytes as f64 / config.element_size as f64;
     let alpha2 = stats.isobar_compressible_fraction;
@@ -65,7 +64,7 @@ pub fn measure_primacy(config: &PrimacyConfig, bytes: &[u8]) -> MeasuredRates {
     // them from the aggregate accounting: compressed = σho·α1·N +
     // σlo·α2·(1−α1)·N + (1−α2)(1−α1)·N + δ. We attribute the ID-side ratio
     // directly by compressing one chunk's hi section, which is cheap.
-    let (sigma_ho, sigma_lo) = section_ratios(config, bytes);
+    let (sigma_ho, sigma_lo) = section_ratios(config, bytes)?;
 
     let prec_secs = stats.timings.preconditioner().as_secs_f64();
     let codec_secs = stats.timings.codec.as_secs_f64();
@@ -75,7 +74,7 @@ pub fn measure_primacy(config: &PrimacyConfig, bytes: &[u8]) -> MeasuredRates {
     let dec_codec_secs = dec_stats.timings.codec.as_secs_f64().max(1e-9);
     let dec_prec_secs = (decompress_secs - dec_codec_secs).max(1e-9);
     let n = bytes.len().max(1) as f64;
-    MeasuredRates {
+    Ok(MeasuredRates {
         t_prec: rate(n, prec_secs),
         t_comp: rate(codec_touched_bytes(alpha1, alpha2, n), codec_secs),
         t_decomp: rate(codec_touched_bytes(alpha1, alpha2, n), dec_codec_secs),
@@ -87,7 +86,7 @@ pub fn measure_primacy(config: &PrimacyConfig, bytes: &[u8]) -> MeasuredRates {
         ratio: stats.ratio(),
         compress_bps: rate(n, compress_secs),
         decompress_bps: rate(n, decompress_secs),
-    }
+    })
 }
 
 /// Bytes the backend codec actually processes under the ISOBAR partition.
@@ -105,24 +104,21 @@ fn rate(bytes: f64, secs: f64) -> f64 {
 
 /// Compress one chunk's high and low sections separately to estimate σho
 /// and σlo.
-fn section_ratios(config: &PrimacyConfig, bytes: &[u8]) -> (f64, f64) {
+fn section_ratios(config: &PrimacyConfig, bytes: &[u8]) -> Result<(f64, f64)> {
     use primacy_core::{freq::FreqTable, idmap::IdMap, isobar, linearize, split};
     let chunk_len = (config.chunk_elements() * config.element_size).min(bytes.len());
     let chunk = &bytes[..chunk_len - chunk_len % config.element_size];
     if chunk.is_empty() {
-        return (1.0, 1.0);
+        return Ok((1.0, 1.0));
     }
     let codec = config.codec.build();
-    let (mut hi, lo) = split::split_hi_lo(chunk, config.element_size, config.hi_bytes)
-        // lint: allow(panic) -- measurement harness: chunk is truncated to element alignment above
-        .expect("aligned by construction");
+    let (mut hi, lo) = split::split_hi_lo(chunk, config.element_size, config.hi_bytes)?;
     let n = chunk.len() / config.element_size;
     let freq = FreqTable::from_hi_matrix(&hi, config.hi_bytes);
-    // lint: allow(panic) -- measurement harness: the frequency table is built from the same matrix
-    let map = IdMap::from_freq(&freq, config.hi_bytes).expect("non-degenerate domain");
-    map.encode_hi(&mut hi).expect("every sequence is mapped"); // lint: allow(panic) -- measurement harness: map covers the matrix it was built from
+    let map = IdMap::from_freq(&freq, config.hi_bytes)?;
+    map.encode_hi(&mut hi)?;
     let hi_lin = linearize::to_columns(&hi, n, config.hi_bytes);
-    let hi_comp = codec.compress(&hi_lin).expect("compress cannot fail"); // lint: allow(panic) -- measurement harness: in-tree codecs compress infallibly
+    let hi_comp = codec.compress(&hi_lin)?;
     let sigma_ho = (hi_comp.len() + map.serialized_len()) as f64 / hi.len().max(1) as f64;
 
     let lo_cols = config.lo_bytes();
@@ -131,32 +127,33 @@ fn section_ratios(config: &PrimacyConfig, bytes: &[u8]) -> (f64, f64) {
     let sigma_lo = if compressible.is_empty() {
         1.0
     } else {
-        // lint: allow(panic) -- measurement harness: in-tree codecs compress infallibly
-        let lo_comp = codec.compress(&compressible).expect("compress cannot fail");
+        let lo_comp = codec.compress(&compressible)?;
         lo_comp.len() as f64 / compressible.len() as f64
     };
-    (sigma_ho.min(1.5), sigma_lo.min(1.5))
+    Ok((sigma_ho.min(1.5), sigma_lo.min(1.5)))
 }
 
 /// Measure a vanilla whole-buffer codec: returns `(sigma, compress_bps,
 /// decompress_bps)`.
-pub fn measure_vanilla(codec: &dyn Codec, bytes: &[u8]) -> (f64, f64, f64) {
+///
+/// Errors propagate from the codec; a round trip that changes the byte
+/// count reports [`PrimacyError::Format`].
+pub fn measure_vanilla(codec: &dyn Codec, bytes: &[u8]) -> Result<(f64, f64, f64)> {
     let t0 = Instant::now();
-    let compressed = codec.compress(bytes).expect("compress cannot fail"); // lint: allow(panic) -- measurement harness: in-tree codecs compress infallibly
+    let compressed = codec.compress(bytes)?;
     let c_secs = t0.elapsed().as_secs_f64();
     let t0 = Instant::now();
-    let restored = codec
-        .decompress(&compressed)
-        // lint: allow(panic) -- measurement harness round-trips its own stream; failure is a harness bug
-        .expect("own stream decompresses");
+    let restored = codec.decompress(&compressed)?;
     let d_secs = t0.elapsed().as_secs_f64();
-    assert_eq!(restored.len(), bytes.len());
+    if restored.len() != bytes.len() {
+        return Err(PrimacyError::Format("round trip changed the byte count"));
+    }
     let n = bytes.len().max(1) as f64;
-    (
+    Ok((
         compressed.len() as f64 / n,
         rate(n, c_secs),
         rate(n, d_secs),
-    )
+    ))
 }
 
 impl MeasuredRates {
@@ -203,7 +200,7 @@ mod tests {
     fn primacy_measurement_is_plausible() {
         let cfg = PrimacyConfig::default();
         let bytes = sample_bytes(100_000);
-        let m = measure_primacy(&cfg, &bytes);
+        let m = measure_primacy(&cfg, &bytes).unwrap();
         assert!((m.alpha1 - 0.25).abs() < 1e-12);
         assert!((0.0..=1.0).contains(&m.alpha2));
         assert!(
@@ -220,7 +217,7 @@ mod tests {
     fn vanilla_measurement_is_plausible() {
         let codec = CodecKind::Zlib.build();
         let bytes = sample_bytes(50_000);
-        let (sigma, cbps, dbps) = measure_vanilla(codec.as_ref(), &bytes);
+        let (sigma, cbps, dbps) = measure_vanilla(codec.as_ref(), &bytes).unwrap();
         assert!(sigma > 0.5 && sigma <= 1.05, "sigma {sigma}");
         assert!(cbps > 0.0 && dbps > 0.0);
     }
@@ -229,7 +226,7 @@ mod tests {
     fn to_model_inputs_passthrough() {
         let cfg = PrimacyConfig::default();
         let bytes = sample_bytes(20_000);
-        let m = measure_primacy(&cfg, &bytes);
+        let m = measure_primacy(&cfg, &bytes).unwrap();
         let inputs = m.to_model_inputs(Default::default(), 3e6, 4096.0);
         assert_eq!(inputs.alpha1, m.alpha1);
         assert_eq!(inputs.sigma_ho, m.sigma_ho);

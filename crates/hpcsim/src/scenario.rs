@@ -6,7 +6,7 @@ use crate::measure::{measure_primacy, measure_vanilla};
 use crate::model::{self, ClusterParams, ModelInputs};
 use crate::sim::{simulate, Direction, SimConfig};
 use primacy_codecs::CodecKind;
-use primacy_core::PrimacyConfig;
+use primacy_core::{PrimacyConfig, Result};
 
 /// A compression strategy applied at the compute nodes.
 #[derive(Debug, Clone)]
@@ -70,9 +70,12 @@ pub struct EndToEnd {
 
 impl Scenario {
     /// Evaluate one method on a dataset (raw little-endian doubles).
-    pub fn evaluate(&self, method: &CompressionMethod, data: &[u8]) -> EndToEnd {
+    ///
+    /// Measurement failures (the pipeline rejecting the dataset, a codec
+    /// error) propagate as the underlying [`primacy_core::PrimacyError`].
+    pub fn evaluate(&self, method: &CompressionMethod, data: &[u8]) -> Result<EndToEnd> {
         let c = self.chunk_bytes as f64;
-        match method {
+        Ok(match method {
             CompressionMethod::Null => {
                 let inputs = self.null_inputs();
                 let wt = model::base_write(&inputs).tau;
@@ -89,7 +92,7 @@ impl Scenario {
                 }
             }
             CompressionMethod::Primacy(cfg) => {
-                let rates = measure_primacy(cfg, data);
+                let rates = measure_primacy(cfg, data)?;
                 let inputs = rates.to_model_inputs(
                     self.cluster,
                     c,
@@ -121,7 +124,7 @@ impl Scenario {
             }
             CompressionMethod::Vanilla(kind) => {
                 let codec = kind.build();
-                let (sigma, cbps, dbps) = measure_vanilla(codec.as_ref(), data);
+                let (sigma, cbps, dbps) = measure_vanilla(codec.as_ref(), data)?;
                 let inputs = self.null_inputs();
                 let wt = model::vanilla_write(&inputs, sigma, cbps).tau;
                 let rt = model::vanilla_read(&inputs, sigma, dbps).tau;
@@ -144,7 +147,7 @@ impl Scenario {
                     ratio: 1.0 / sigma,
                 }
             }
-        }
+        })
     }
 
     fn null_inputs(&self) -> ModelInputs {
@@ -199,7 +202,9 @@ mod tests {
     #[test]
     fn null_case_theory_matches_sim_roughly() {
         let s = Scenario::default();
-        let e = s.evaluate(&CompressionMethod::Null, &sample_data());
+        let e = s
+            .evaluate(&CompressionMethod::Null, &sample_data())
+            .unwrap();
         let rel =
             (e.write_theoretical_mbps - e.write_empirical_mbps).abs() / e.write_theoretical_mbps;
         assert!(
@@ -215,8 +220,10 @@ mod tests {
     fn primacy_beats_null_on_hard_data() {
         let s = Scenario::default();
         let data = sample_data();
-        let null = s.evaluate(&CompressionMethod::Null, &data);
-        let prim = s.evaluate(&CompressionMethod::Primacy(PrimacyConfig::default()), &data);
+        let null = s.evaluate(&CompressionMethod::Null, &data).unwrap();
+        let prim = s
+            .evaluate(&CompressionMethod::Primacy(PrimacyConfig::default()), &data)
+            .unwrap();
         assert!(prim.ratio > 1.05, "ratio {}", prim.ratio);
         assert!(
             prim.write_empirical_mbps > null.write_empirical_mbps,

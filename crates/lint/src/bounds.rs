@@ -1,0 +1,787 @@
+//! Loop-bound inference: discharging index checks by proof.
+//!
+//! The `index` rule flags every unchecked `v[i]` in untrusted modules, but
+//! a large class of sites is provably in bounds from local structure
+//! alone: `for i in 0..v.len() { v[i] }`, `for i in 0..n` where
+//! `v = vec![x; n]`, or `for (i, _) in v.iter().enumerate()` indexing a
+//! same-length companion vector. This pass recognizes those shapes and
+//! returns a mask of `[` tokens whose index expression is proven safe, so
+//! the rule skips them instead of demanding a suppression.
+//!
+//! The model, per function body:
+//!
+//! - **Length facts**: `let v = vec![x; n]` / `let v = [x; N]` record the
+//!   length of `v` as the symbol `n` or the literal `N`; `let n = v.len()`
+//!   records that scalar `n` equals the length of `v`.
+//! - **Loop bounds**: `for i in 0..B` (also `a..B`, `(..).rev()`, and
+//!   `0..=B` with a literal offset such as `n - 1`) bounds `i` by `B`
+//!   exclusive within the loop body; `for (i, _) in v.iter().enumerate()`
+//!   bounds `i` by `v.len()`.
+//! - **Proofs**: `v[i]` is safe when `i`'s bound is at most the recorded
+//!   length of `v`; `v[i + c]` needs the bound to sit `c` below the
+//!   length (e.g. `for i in 0..n - 1` proves `v[i + 1]`); `v[i - c]`
+//!   additionally needs the loop's literal lower bound to be at least `c`;
+//!   `v[K]` with literal `K` is safe against a literal length fact.
+//! - **Invalidation**: any name that is reassigned, re-`let`, passed as
+//!   `&mut`, or hit by a length-changing method (`push`, `truncate`,
+//!   `resize`, ...) anywhere in the body forfeits all facts — sound but
+//!   conservative, which is the right trade for a prover.
+//!
+//! Anything the pass cannot prove stays a finding; the pass never creates
+//! one.
+
+use crate::lexer::{Tok, Token};
+use crate::parser::{fn_body_spans, matching_close};
+
+/// A symbolic length or loop bound.
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Key {
+    /// A constant literal length/bound.
+    Lit(u64),
+    /// A named scalar binding (`n` in `vec![0; n]`).
+    Sym(String),
+    /// The length of a named container (`v.len()` in a range bound).
+    LenOf(String),
+}
+
+/// One recognized `for` loop and the bound it gives its index variable:
+/// `var < key + offset` inside `body`, with `low` the literal lower bound
+/// when one is known.
+#[derive(Debug)]
+struct LoopBound {
+    var: String,
+    key: Key,
+    offset: i64,
+    low: Option<u64>,
+    body: (usize, usize),
+}
+
+/// All facts recovered from one function body.
+#[derive(Debug, Default)]
+struct Facts {
+    /// Container name -> proven length, from `let` initializers.
+    lens: Vec<(String, Key)>,
+    /// Scalar known to equal a container's length (`let n = v.len()`).
+    len_syms: Vec<(String, String)>,
+    /// Names whose facts are void: reassigned, re-bound, `&mut`-borrowed,
+    /// or mutated by a length-changing method anywhere in the body.
+    dirty: Vec<String>,
+    loops: Vec<LoopBound>,
+}
+
+/// Vec/String methods that can change a container's length.
+const LEN_MUTATORS: [&str; 14] = [
+    "push",
+    "pop",
+    "insert",
+    "remove",
+    "swap_remove",
+    "clear",
+    "truncate",
+    "resize",
+    "resize_with",
+    "extend",
+    "extend_from_slice",
+    "append",
+    "drain",
+    "split_off",
+];
+
+/// Mask over `tokens`: true at every `[` that opens an index expression
+/// proven in bounds. Computed per function body; nested bodies are walked
+/// twice with identical results.
+pub(crate) fn proven_index_mask(tokens: &[Token]) -> Vec<bool> {
+    let mut mask = vec![false; tokens.len()];
+    for (lo, hi) in fn_body_spans(tokens) {
+        let facts = collect_facts(tokens, lo, hi);
+        mark_proven(tokens, lo, hi, &facts, &mut mask);
+    }
+    mask
+}
+
+fn ident_eq(tokens: &[Token], i: usize, word: &str) -> bool {
+    matches!(tokens.get(i), Some(t) if matches!(&t.tok, Tok::Ident(w) if w == word))
+}
+
+fn ident_at(tokens: &[Token], i: usize) -> Option<&str> {
+    match tokens.get(i).map(|t| &t.tok) {
+        Some(Tok::Ident(w)) => Some(w.as_str()),
+        _ => None,
+    }
+}
+
+fn num_at(tokens: &[Token], i: usize) -> Option<u64> {
+    match tokens.get(i).map(|t| &t.tok) {
+        Some(Tok::Num(text)) => parse_literal(text),
+        _ => None,
+    }
+}
+
+/// Parse a numeric literal's value: decimal and hex forms with optional
+/// `_` separators and type suffixes. Floats and exotic radixes return
+/// `None` (they never appear as lengths or bounds worth proving).
+fn parse_literal(text: &str) -> Option<u64> {
+    let cleaned: String = text.chars().filter(|c| *c != '_').collect();
+    let (radix, digits) = match cleaned.strip_prefix("0x").or(cleaned.strip_prefix("0X")) {
+        Some(hex) => (16, hex),
+        None => (10, cleaned.as_str()),
+    };
+    let end = digits
+        .find(|c: char| !c.is_digit(radix))
+        .unwrap_or(digits.len());
+    let (value, suffix) = digits.split_at(end);
+    if value.is_empty() || !matches!(suffix, "" | "u8" | "u16" | "u32" | "u64" | "usize" | "i32") {
+        return None;
+    }
+    u64::from_str_radix(value, radix).ok()
+}
+
+fn mark_dirty(facts: &mut Facts, name: &str) {
+    if !facts.dirty.iter().any(|d| d == name) {
+        facts.dirty.push(name.to_string());
+    }
+}
+
+fn collect_facts(tokens: &[Token], lo: usize, hi: usize) -> Facts {
+    let mut facts = Facts::default();
+    let mut let_counts: Vec<(String, usize)> = Vec::new();
+
+    let mut i = lo;
+    while i <= hi {
+        match &tokens[i].tok {
+            Tok::Ident(w) if w == "let" => {
+                if let Some((name, eq)) = let_single_name(tokens, i, hi) {
+                    match let_counts.iter_mut().find(|(n, _)| *n == name) {
+                        Some((_, c)) => {
+                            *c += 1;
+                            mark_dirty(&mut facts, &name);
+                        }
+                        None => let_counts.push((name.clone(), 1)),
+                    }
+                    record_len_fact(tokens, hi, &name, eq + 1, &mut facts);
+                }
+            }
+            Tok::Ident(w) if w == "for" => {
+                if let Some(l) = parse_loop(tokens, i, hi) {
+                    facts.loops.push(l);
+                }
+            }
+            // `&mut name` forfeits name's facts: the borrow may resize.
+            Tok::Punct('&') if ident_eq(tokens, i + 1, "mut") => {
+                if let Some(name) = ident_at(tokens, i + 2) {
+                    let name = name.to_string();
+                    mark_dirty(&mut facts, &name);
+                }
+            }
+            // `name.push(...)` and friends change the length.
+            Tok::Ident(name) if matches!(tokens.get(i + 1), Some(t) if t.tok == Tok::Punct('.')) => {
+                if let Some(m) = ident_at(tokens, i + 2) {
+                    if LEN_MUTATORS.contains(&m)
+                        && matches!(tokens.get(i + 3), Some(t) if t.tok == Tok::Open('('))
+                    {
+                        let name = name.clone();
+                        mark_dirty(&mut facts, &name);
+                    }
+                }
+            }
+            _ => {}
+        }
+        // Plain or compound reassignment of a simple name voids its facts.
+        if let Tok::Ident(name) = &tokens[i].tok {
+            let prev = i.checked_sub(1).map(|p| &tokens[p].tok);
+            let after_binder = matches!(prev, Some(Tok::Ident(w)) if w == "let" || w == "mut");
+            let field_or_path = matches!(prev, Some(Tok::Punct('.')) | Some(Tok::Punct(':')));
+            if !after_binder && !field_or_path && is_assignment_head(tokens, i + 1) {
+                let name = name.clone();
+                mark_dirty(&mut facts, &name);
+            }
+        }
+        i += 1;
+    }
+    facts
+}
+
+/// Does an assignment operator (`=`, `+=`, `<<=`, ...) start at `at`?
+fn is_assignment_head(tokens: &[Token], at: usize) -> bool {
+    match tokens.get(at).map(|t| &t.tok) {
+        Some(Tok::Punct('=')) => !matches!(
+            tokens.get(at + 1).map(|t| &t.tok),
+            Some(Tok::Punct('=')) | Some(Tok::Punct('>'))
+        ),
+        Some(Tok::Punct('+' | '-' | '*' | '/' | '%' | '&' | '|' | '^')) => {
+            matches!(tokens.get(at + 1), Some(t) if t.tok == Tok::Punct('='))
+        }
+        Some(Tok::Punct(c @ ('<' | '>'))) => {
+            matches!(tokens.get(at + 1), Some(t) if t.tok == Tok::Punct(*c))
+                && matches!(tokens.get(at + 2), Some(t) if t.tok == Tok::Punct('='))
+        }
+        _ => false,
+    }
+}
+
+/// `let [mut] name [: ty] = ...` with a single-identifier pattern: returns
+/// the name and the index of the `=`.
+fn let_single_name(tokens: &[Token], let_idx: usize, hi: usize) -> Option<(String, usize)> {
+    let mut j = let_idx + 1;
+    if ident_eq(tokens, j, "mut") {
+        j += 1;
+    }
+    let name = ident_at(tokens, j)?.to_string();
+    let mut k = j + 1;
+    // Skip a type annotation; give up on tuple/struct patterns.
+    let mut depth = 0usize;
+    while k <= hi {
+        match &tokens[k].tok {
+            Tok::Open(_) => depth += 1,
+            Tok::Close(_) => depth = depth.saturating_sub(1),
+            Tok::Punct(';') if depth == 0 => return None,
+            Tok::Punct('=') if depth == 0 => {
+                if tokens.get(k + 1).map(|t| &t.tok) != Some(&Tok::Punct('=')) {
+                    return Some((name, k));
+                }
+                k += 1;
+            }
+            _ => {}
+        }
+        k += 1;
+    }
+    None
+}
+
+/// Record a length fact from the initializer starting at `rhs`:
+/// `vec![x; L]`, `[x; L]`, or `v.len()`.
+fn record_len_fact(tokens: &[Token], hi: usize, name: &str, rhs: usize, facts: &mut Facts) {
+    // `let n = v.len();`
+    if let Some(v) = ident_at(tokens, rhs) {
+        if matches!(tokens.get(rhs + 1), Some(t) if t.tok == Tok::Punct('.'))
+            && ident_eq(tokens, rhs + 2, "len")
+            && matches!(tokens.get(rhs + 3), Some(t) if t.tok == Tok::Open('('))
+            && matches!(tokens.get(rhs + 4), Some(t) if t.tok == Tok::Close(')'))
+            && matches!(tokens.get(rhs + 5), Some(t) if t.tok == Tok::Punct(';'))
+        {
+            facts.len_syms.push((name.to_string(), v.to_string()));
+            return;
+        }
+    }
+    // `vec![x; L]` / `[x; L]`
+    let open = if ident_eq(tokens, rhs, "vec")
+        && matches!(tokens.get(rhs + 1), Some(t) if t.tok == Tok::Punct('!'))
+        && matches!(tokens.get(rhs + 2), Some(t) if t.tok == Tok::Open('['))
+    {
+        rhs + 2
+    } else if matches!(tokens.get(rhs), Some(t) if t.tok == Tok::Open('[')) {
+        rhs
+    } else {
+        return;
+    };
+    let Some(close) = matching_close(tokens, open, '[') else {
+        return;
+    };
+    if close > hi || !matches!(tokens.get(close + 1), Some(t) if t.tok == Tok::Punct(';')) {
+        return;
+    }
+    // Length expression: after the last `;` at depth 0 inside the brackets.
+    let mut semi = None;
+    let mut depth = 0usize;
+    for (k, t) in tokens.iter().enumerate().take(close).skip(open + 1) {
+        match t.tok {
+            Tok::Open(_) => depth += 1,
+            Tok::Close(_) => depth = depth.saturating_sub(1),
+            Tok::Punct(';') if depth == 0 => semi = Some(k),
+            _ => {}
+        }
+    }
+    let Some(semi) = semi else { return };
+    if let Some(key) = single_token_key(tokens, semi + 1, close - 1) {
+        facts.lens.push((name.to_string(), key));
+    }
+}
+
+/// A one-token bound/length expression: a scalar name or a literal.
+fn single_token_key(tokens: &[Token], from: usize, to: usize) -> Option<Key> {
+    if from != to {
+        return None;
+    }
+    match &tokens[from].tok {
+        Tok::Ident(w) => Some(Key::Sym(w.clone())),
+        Tok::Num(text) => parse_literal(text).map(Key::Lit),
+        _ => None,
+    }
+}
+
+/// Parse one `for` loop header starting at the `for` keyword.
+fn parse_loop(tokens: &[Token], for_idx: usize, hi: usize) -> Option<LoopBound> {
+    // Pattern tokens run to the `in` keyword at depth 0.
+    let mut depth = 0usize;
+    let mut in_idx = None;
+    for (j, t) in tokens.iter().enumerate().take(hi + 1).skip(for_idx + 1) {
+        match &t.tok {
+            Tok::Open(_) => depth += 1,
+            Tok::Close(_) => depth = depth.saturating_sub(1),
+            Tok::Ident(w) if w == "in" && depth == 0 => {
+                in_idx = Some(j);
+                break;
+            }
+            _ => {}
+        }
+    }
+    let in_idx = in_idx?;
+    // Iterator expression runs to the body `{` at depth 0.
+    let mut depth = 0usize;
+    let mut open = None;
+    for (j, t) in tokens.iter().enumerate().take(hi + 1).skip(in_idx + 1) {
+        match &t.tok {
+            Tok::Open('{') if depth == 0 => {
+                open = Some(j);
+                break;
+            }
+            Tok::Open(_) => depth += 1,
+            Tok::Close(_) => depth = depth.saturating_sub(1),
+            _ => {}
+        }
+    }
+    let open = open?;
+    let close = matching_close(tokens, open, '{')?;
+    let body = (open, close.min(hi));
+
+    // Tuple pattern `(i, _)` + `v.iter().enumerate()`: i < v.len().
+    if matches!(tokens.get(for_idx + 1), Some(t) if t.tok == Tok::Open('(')) {
+        let var = ident_at(tokens, for_idx + 2)?.to_string();
+        let v = enumerate_target(tokens, in_idx + 1, open - 1)?;
+        return Some(LoopBound {
+            var,
+            key: Key::LenOf(v),
+            offset: 0,
+            low: Some(0),
+            body,
+        });
+    }
+
+    // Single-identifier pattern + a range bound.
+    let mut p = for_idx + 1;
+    if ident_eq(tokens, p, "mut") {
+        p += 1;
+    }
+    let var = ident_at(tokens, p)?.to_string();
+    if p + 1 != in_idx {
+        return None;
+    }
+    let (key, offset, low) = parse_range(tokens, in_idx + 1, open - 1)?;
+    Some(LoopBound {
+        var,
+        key,
+        offset,
+        low,
+        body,
+    })
+}
+
+/// `v.iter().enumerate()` / `v.iter_mut().enumerate()` over tokens
+/// `[from, to]`: returns `v`.
+fn enumerate_target(tokens: &[Token], from: usize, to: usize) -> Option<String> {
+    let v = ident_at(tokens, from)?.to_string();
+    let mut j = from + 1;
+    let mut saw_enumerate = false;
+    while j + 3 <= to + 1 {
+        if !matches!(tokens.get(j), Some(t) if t.tok == Tok::Punct('.')) {
+            return None;
+        }
+        let m = ident_at(tokens, j + 1)?;
+        if !matches!(m, "iter" | "iter_mut" | "enumerate") {
+            return None;
+        }
+        if !matches!(tokens.get(j + 2), Some(t) if t.tok == Tok::Open('(')) {
+            return None;
+        }
+        if !matches!(tokens.get(j + 3), Some(t) if t.tok == Tok::Close(')')) {
+            return None;
+        }
+        saw_enumerate = m == "enumerate";
+        j += 4;
+    }
+    if saw_enumerate && j == to + 1 {
+        Some(v)
+    } else {
+        None
+    }
+}
+
+/// Parse a range iterator expression over `[from, to]`:
+/// `LO..B`, `LO..=B`, `(..).rev()`, with `B` one of `n`, `v.len()`, a
+/// literal, optionally `± literal`. Returns the exclusive bound as
+/// `(key, offset, low)`.
+fn parse_range(
+    tokens: &[Token],
+    mut from: usize,
+    mut to: usize,
+) -> Option<(Key, i64, Option<u64>)> {
+    // Unwrap `( range )` and `( range ).rev()`.
+    if matches!(tokens.get(from), Some(t) if t.tok == Tok::Open('(')) {
+        let close = matching_close(tokens, from, '(')?;
+        let tail_is_rev = matches!(tokens.get(close + 1), Some(t) if t.tok == Tok::Punct('.'))
+            && ident_eq(tokens, close + 2, "rev")
+            && matches!(tokens.get(close + 3), Some(t) if t.tok == Tok::Open('('))
+            && matches!(tokens.get(close + 4), Some(t) if t.tok == Tok::Close(')'))
+            && close + 4 == to;
+        if close == to || tail_is_rev {
+            from += 1;
+            to = close - 1;
+        }
+    }
+    // Find the `..` at depth 0.
+    let mut depth = 0usize;
+    let mut dots = None;
+    for j in from..to {
+        match tokens[j].tok {
+            Tok::Open(_) => depth += 1,
+            Tok::Close(_) => depth = depth.saturating_sub(1),
+            Tok::Punct('.')
+                if depth == 0
+                    && matches!(tokens.get(j + 1), Some(t) if t.tok == Tok::Punct('.')) =>
+            {
+                dots = Some(j);
+                break;
+            }
+            _ => {}
+        }
+    }
+    let dots = dots?;
+    let low = if dots == from {
+        None
+    } else {
+        num_at(tokens, from).filter(|_| dots == from + 1)
+    };
+    let mut rhs = dots + 2;
+    let mut offset = 0i64;
+    if matches!(tokens.get(rhs), Some(t) if t.tok == Tok::Punct('=')) {
+        offset += 1; // inclusive range
+        rhs += 1;
+    }
+    if rhs > to {
+        return None;
+    }
+    // The bound itself: `n`, `v.len()`, or a literal...
+    let (key, mut after) = if let Some(v) = ident_at(tokens, rhs).map(str::to_string) {
+        if matches!(tokens.get(rhs + 1), Some(t) if t.tok == Tok::Punct('.'))
+            && ident_eq(tokens, rhs + 2, "len")
+            && matches!(tokens.get(rhs + 3), Some(t) if t.tok == Tok::Open('('))
+            && matches!(tokens.get(rhs + 4), Some(t) if t.tok == Tok::Close(')'))
+        {
+            (Key::LenOf(v), rhs + 5)
+        } else {
+            (Key::Sym(v), rhs + 1)
+        }
+    } else if let Some(n) = num_at(tokens, rhs) {
+        (Key::Lit(n), rhs + 1)
+    } else {
+        return None;
+    };
+    // ...optionally followed by `± literal`.
+    if after <= to {
+        let sign = match tokens.get(after).map(|t| &t.tok) {
+            Some(Tok::Punct('-')) => -1i64,
+            Some(Tok::Punct('+')) => 1i64,
+            _ => return None,
+        };
+        let c = num_at(tokens, after + 1)?;
+        if after + 1 != to || c > i64::MAX as u64 {
+            return None;
+        }
+        offset += sign * c as i64;
+        after += 2;
+    }
+    if after != to + 1 {
+        return None;
+    }
+    Some((key, offset, low))
+}
+
+fn is_dirty(facts: &Facts, name: &str) -> bool {
+    facts.dirty.iter().any(|d| d == name)
+}
+
+/// The single recorded length fact for `name`, if exactly one exists and
+/// the name is clean.
+fn len_fact<'a>(facts: &'a Facts, name: &str) -> Option<&'a Key> {
+    if is_dirty(facts, name) {
+        return None;
+    }
+    let mut it = facts.lens.iter().filter(|(n, _)| n == name);
+    match (it.next(), it.next()) {
+        (Some((_, key)), None) => Some(key),
+        _ => None,
+    }
+}
+
+/// Does `var < key + offset` imply `var` is in bounds for container `v`?
+fn bound_covers(facts: &Facts, key: &Key, offset: i64, v: &str) -> bool {
+    if is_dirty(facts, v) {
+        return false;
+    }
+    match key {
+        Key::LenOf(u) => {
+            if is_dirty(facts, u) {
+                return false;
+            }
+            if u == v {
+                return offset <= 0;
+            }
+            // Same-length companions: both containers carry the same fact.
+            match (len_fact(facts, u), len_fact(facts, v)) {
+                (Some(a), Some(b)) => a == b && offset <= 0,
+                _ => false,
+            }
+        }
+        Key::Sym(n) => {
+            if is_dirty(facts, n) || offset > 0 {
+                return false;
+            }
+            len_fact(facts, v) == Some(&Key::Sym(n.clone()))
+                || facts.len_syms.iter().any(|(s, c)| s == n && c == v)
+        }
+        Key::Lit(b) => match len_fact(facts, v) {
+            Some(Key::Lit(m)) => {
+                let bound = *b as i64 + offset;
+                bound >= 0 && (bound as u64) <= *m
+            }
+            _ => false,
+        },
+    }
+}
+
+/// The innermost clean loop bound for `var` covering token index `site`.
+fn loop_for<'a>(facts: &'a Facts, var: &str, site: usize) -> Option<&'a LoopBound> {
+    if is_dirty(facts, var) {
+        return None;
+    }
+    facts
+        .loops
+        .iter()
+        .filter(|l| l.var == var && l.body.0 < site && site <= l.body.1)
+        .min_by_key(|l| l.body.1 - l.body.0)
+}
+
+fn mark_proven(tokens: &[Token], lo: usize, hi: usize, facts: &Facts, mask: &mut [bool]) {
+    for i in lo..=hi.min(tokens.len().saturating_sub(1)) {
+        if tokens[i].tok != Tok::Open('[') {
+            continue;
+        }
+        // Only `ident [` sites are provable: the container must be named.
+        let Some(v) = i.checked_sub(1).and_then(|p| ident_at(tokens, p)) else {
+            continue;
+        };
+        let Some(close) = matching_close(tokens, i, '[') else {
+            continue;
+        };
+        let proven = match close - i {
+            // `v[i]` or `v[K]`
+            2 => match &tokens[i + 1].tok {
+                Tok::Ident(x) => {
+                    loop_for(facts, x, i).is_some_and(|l| bound_covers(facts, &l.key, l.offset, v))
+                }
+                Tok::Num(text) => matches!(
+                    (parse_literal(text), len_fact(facts, v)),
+                    (Some(k), Some(Key::Lit(m))) if k < *m
+                ),
+                _ => false,
+            },
+            // `v[i + c]` / `v[i - c]`
+            4 => {
+                let x = ident_at(tokens, i + 1);
+                let sign = match tokens.get(i + 2).map(|t| &t.tok) {
+                    Some(Tok::Punct('+')) => Some(1i64),
+                    Some(Tok::Punct('-')) => Some(-1i64),
+                    _ => None,
+                };
+                let c = num_at(tokens, i + 3);
+                match (x, sign, c) {
+                    (Some(x), Some(sign), Some(c)) if c <= i64::MAX as u64 => loop_for(facts, x, i)
+                        .is_some_and(|l| {
+                            let shift = if sign > 0 { c as i64 } else { 0 };
+                            let low_ok = sign > 0 || l.low.is_some_and(|lb| lb >= c);
+                            low_ok && bound_covers(facts, &l.key, l.offset + shift, v)
+                        }),
+                    _ => false,
+                }
+            }
+            _ => false,
+        };
+        if proven {
+            mask[i] = true;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    /// Lines of `[` tokens the pass proves safe.
+    fn proven_lines(src: &str) -> Vec<u32> {
+        let tokens = lex(src).tokens;
+        let mask = proven_index_mask(&tokens);
+        tokens
+            .iter()
+            .enumerate()
+            .filter(|(k, _)| mask[*k])
+            .map(|(_, t)| t.line)
+            .collect()
+    }
+
+    #[test]
+    fn loop_over_own_len_is_proven() {
+        let src = "fn f(v: &[u8]) -> u32 {\n\
+                   let mut acc = 0;\n\
+                   for i in 0..v.len() { acc += u32::from(v[i]); }\n\
+                   acc\n}";
+        assert_eq!(proven_lines(src), vec![3]);
+    }
+
+    #[test]
+    fn vec_len_symbol_binds_loop_to_container() {
+        let src = "fn f(n: usize) {\n\
+                   let mut v = vec![0u8; n];\n\
+                   for i in 0..n { v[i] = 1; }\n\
+                   for i in (0..n).rev() { v[i] = 2; }\n}";
+        assert_eq!(proven_lines(src), vec![3, 4]);
+    }
+
+    #[test]
+    fn len_binding_aliases_param_slices() {
+        let src = "fn f(s: &[u8]) -> u8 {\n\
+                   let n = s.len();\n\
+                   let mut last = 0;\n\
+                   for i in 0..n { last = s[i]; }\n\
+                   last\n}";
+        assert_eq!(proven_lines(src), vec![4]);
+    }
+
+    #[test]
+    fn offset_bound_proves_lookahead() {
+        let src = "fn f(s: &[u8]) {\n\
+                   let n = s.len();\n\
+                   let mut v = vec![false; n];\n\
+                   for i in (0..n - 1).rev() {\n\
+                   v[i] = s[i] < s[i + 1];\n\
+                   }\n}";
+        // v[i], s[i], and s[i + 1] are all proven.
+        assert_eq!(proven_lines(src), vec![5, 5, 5]);
+    }
+
+    #[test]
+    fn plain_bound_does_not_prove_lookahead() {
+        let src = "fn f(s: &[u8]) -> u8 {\n\
+                   let mut x = 0;\n\
+                   for i in 0..s.len() { x = s[i + 1]; }\n\
+                   x\n}";
+        assert!(proven_lines(src).is_empty());
+    }
+
+    #[test]
+    fn lower_bound_proves_lookback() {
+        let src = "fn f(s: &[u8]) -> u8 {\n\
+                   let mut x = 0;\n\
+                   for i in 1..s.len() { x = s[i - 1]; }\n\
+                   for i in 0..s.len() { x = s[i - 1]; }\n\
+                   x\n}";
+        assert_eq!(proven_lines(src), vec![3]);
+    }
+
+    #[test]
+    fn inclusive_range_needs_the_extra_slot() {
+        let src = "fn f(n: usize) {\n\
+                   let mut v = vec![0u8; n];\n\
+                   for i in 0..=n { v[i] = 1; }\n\
+                   for i in 0..=n - 1 { v[i] = 2; }\n}";
+        // `0..=n` overruns; `0..=n - 1` is exactly in bounds.
+        assert_eq!(proven_lines(src), vec![4]);
+    }
+
+    #[test]
+    fn enumerate_proves_same_length_companions() {
+        let src = "fn f(count: &[u32]) {\n\
+                   let mut starts = vec![0u32; 258];\n\
+                   let table = [0u8; 258];\n\
+                   let mut x = 0;\n\
+                   for (c, _b) in starts.iter().enumerate() {\n\
+                   starts[c] = 1;\n\
+                   x = table[c];\n\
+                   count[c];\n\
+                   }\n}";
+        // starts (self) and table (equal literal length) are proven; the
+        // `count` param has no length fact.
+        assert_eq!(proven_lines(src), vec![6, 7]);
+    }
+
+    #[test]
+    fn literal_index_into_literal_length_is_proven() {
+        let src = "fn f() -> u8 {\n\
+                   let v = [0u8; 8];\n\
+                   let w = vec![0u8; 8];\n\
+                   v[7];\n\
+                   v[8];\n\
+                   w[0]\n}";
+        assert_eq!(proven_lines(src), vec![4, 6]);
+    }
+
+    #[test]
+    fn mutation_voids_facts() {
+        let src = "fn f(n: usize) {\n\
+                   let mut v = vec![0u8; n];\n\
+                   v.truncate(1);\n\
+                   for i in 0..n { v[i] = 1; }\n}";
+        assert!(proven_lines(src).is_empty());
+    }
+
+    #[test]
+    fn mut_borrow_and_reassignment_void_facts() {
+        let src = "fn f(n: usize, w: Vec<u8>) {\n\
+                   let mut v = vec![0u8; n];\n\
+                   shrink(&mut v);\n\
+                   for i in 0..n { v[i] = 1; }\n\
+                   let mut u = vec![0u8; n];\n\
+                   u = w;\n\
+                   for i in 0..n { u[i] = 1; }\n}";
+        assert!(proven_lines(src).is_empty());
+    }
+
+    #[test]
+    fn reassigned_loop_var_is_not_trusted() {
+        let src = "fn f(s: &[u8]) -> u8 {\n\
+                   let mut x = 0;\n\
+                   for i in 0..s.len() { i += 1; x = s[i]; }\n\
+                   x\n}";
+        assert!(proven_lines(src).is_empty());
+    }
+
+    #[test]
+    fn rebound_length_symbol_is_not_trusted() {
+        let src = "fn f(s: &[u8], t: &[u8]) -> u8 {\n\
+                   let n = s.len();\n\
+                   let n = t.len();\n\
+                   let mut x = 0;\n\
+                   for i in 0..n { x = s[i]; }\n\
+                   x\n}";
+        assert!(proven_lines(src).is_empty());
+    }
+
+    #[test]
+    fn unrelated_or_outer_variables_are_not_proven() {
+        let src = "fn f(s: &[u8], j: usize) -> u8 {\n\
+                   let mut x = 0;\n\
+                   for i in 0..s.len() { x = s[j]; }\n\
+                   s[0];\n\
+                   x\n}";
+        assert!(proven_lines(src).is_empty());
+    }
+
+    #[test]
+    fn range_over_different_container_does_not_cover() {
+        let src = "fn f(a: &[u8], b: &[u8]) -> u8 {\n\
+                   let mut x = 0;\n\
+                   for i in 0..a.len() { x = b[i]; }\n\
+                   x\n}";
+        assert!(proven_lines(src).is_empty());
+    }
+}

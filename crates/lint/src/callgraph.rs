@@ -1,0 +1,322 @@
+//! Whole-workspace call graph over the shallow parser's token streams.
+//!
+//! The graph is name-based: the analyzer has no type information, so a
+//! call site `helper(x)` resolves to *every* function named `helper` in
+//! the workspace. Consumers merge facts across same-name candidates
+//! conservatively (see [`crate::summary`]). Methods (`recv.helper(x)`)
+//! resolve the same way — the receiver is ignored, which matches how the
+//! source list in [`crate::taint::SOURCES`] already treats reader
+//! methods as reserved names.
+//!
+//! Per function the graph records the parameter names, the body token
+//! span, and every call site inside the body with the token span of each
+//! top-level argument — exactly what the summary pass needs to push
+//! taint through a call boundary.
+
+use crate::lexer::{Tok, Token};
+use crate::parser::matching_close;
+
+/// One function definition (with a body) found in a file.
+#[derive(Debug)]
+pub struct FnNode {
+    /// Index of the owning file in the workspace file list.
+    pub file: usize,
+    pub name: String,
+    /// 1-based line of the `fn` keyword.
+    pub line: u32,
+    /// Parameter names in order. Non-trivial patterns (tuples, `self`
+    /// receivers) become `"_"` placeholders that never match taint.
+    pub params: Vec<String>,
+    /// Token indices of the body's `{` and `}` in the owning file.
+    pub body: (usize, usize),
+    /// The signature declares a `->` return type. Unit functions cannot
+    /// taint a return value.
+    pub has_return: bool,
+}
+
+/// One call site inside a function body.
+#[derive(Debug)]
+pub struct CallSite {
+    pub callee: String,
+    /// Token index of the callee name.
+    pub idx: usize,
+    /// 1-based line of the callee name.
+    pub line: u32,
+    /// Inclusive token span of each top-level argument.
+    pub args: Vec<(usize, usize)>,
+    /// `recv.callee(...)` method form (receiver not part of `args`).
+    pub method: bool,
+}
+
+/// The workspace call graph: every function definition, ordered by file.
+#[derive(Debug, Default)]
+pub struct CallGraph {
+    pub fns: Vec<FnNode>,
+}
+
+impl CallGraph {
+    /// Build the graph from per-file token streams (indices into `files`
+    /// become [`FnNode::file`]).
+    pub fn build(files: &[&[Token]]) -> CallGraph {
+        let mut graph = CallGraph::default();
+        for (file, tokens) in files.iter().enumerate() {
+            collect_fns(file, tokens, &mut graph.fns);
+        }
+        graph
+    }
+
+    /// Indices of every function named `name`.
+    pub fn resolve(&self, name: &str) -> Vec<usize> {
+        self.fns
+            .iter()
+            .enumerate()
+            .filter(|(_, f)| f.name == name)
+            .map(|(i, _)| i)
+            .collect()
+    }
+}
+
+fn collect_fns(file: usize, tokens: &[Token], out: &mut Vec<FnNode>) {
+    let mut i = 0usize;
+    while i < tokens.len() {
+        if !matches!(&tokens[i].tok, Tok::Ident(w) if w == "fn") {
+            i += 1;
+            continue;
+        }
+        let Some(Tok::Ident(name)) = tokens.get(i + 1).map(|t| &t.tok) else {
+            i += 1;
+            continue;
+        };
+        let line = tokens[i].line;
+        let name = name.clone();
+        // Skip generics to the parameter list.
+        let mut j = i + 2;
+        if matches!(tokens.get(j), Some(t) if t.tok == Tok::Punct('<')) {
+            let mut depth = 0i32;
+            while let Some(t) = tokens.get(j) {
+                match t.tok {
+                    Tok::Punct('<') => depth += 1,
+                    Tok::Punct('>') => {
+                        depth -= 1;
+                        if depth <= 0 {
+                            j += 1;
+                            break;
+                        }
+                    }
+                    _ => {}
+                }
+                j += 1;
+            }
+        }
+        if !matches!(tokens.get(j), Some(t) if t.tok == Tok::Open('(')) {
+            i += 2;
+            continue;
+        }
+        let Some(params_close) = matching_close(tokens, j, '(') else {
+            i += 2;
+            continue;
+        };
+        let params = parse_params(tokens, j, params_close);
+        // Body `{` before any depth-0 `;` (trait method signatures have
+        // none; a `;` inside a return type like `-> [u8; 4]` is nested).
+        let mut k = params_close + 1;
+        let mut depth = 0usize;
+        let mut body = None;
+        let mut has_return = false;
+        while let Some(t) = tokens.get(k) {
+            match t.tok {
+                Tok::Punct(';') if depth == 0 => break,
+                Tok::Open('{') if depth == 0 => {
+                    body = matching_close(tokens, k, '{').map(|close| (k, close));
+                    break;
+                }
+                Tok::Punct('-') if matches!(tokens.get(k + 1), Some(t) if t.tok == Tok::Punct('>')) =>
+                {
+                    has_return = true;
+                    k += 1;
+                }
+                Tok::Open(_) => depth += 1,
+                Tok::Close(_) => depth = depth.saturating_sub(1),
+                _ => {}
+            }
+            k += 1;
+        }
+        if let Some(body) = body {
+            out.push(FnNode {
+                file,
+                name,
+                line,
+                params,
+                body,
+                has_return,
+            });
+        }
+        i += 2;
+    }
+}
+
+/// Parameter names from the token span between `(` at `open` and `)` at
+/// `close`: one entry per top-level comma, the pattern's identifier (or
+/// `"_"` for receivers and destructuring patterns).
+fn parse_params(tokens: &[Token], open: usize, close: usize) -> Vec<String> {
+    let mut params = Vec::new();
+    let mut start = open + 1;
+    let mut depth = 0usize;
+    for (k, t) in tokens.iter().enumerate().take(close + 1).skip(open + 1) {
+        let at_end = k == close;
+        let splits = at_end || (depth == 0 && t.tok == Tok::Punct(','));
+        match t.tok {
+            Tok::Open(_) => depth += 1,
+            Tok::Close(_) if !at_end => depth = depth.saturating_sub(1),
+            _ => {}
+        }
+        if !splits {
+            continue;
+        }
+        if k > start {
+            params.push(param_name(tokens, start, k - 1));
+        }
+        start = k + 1;
+    }
+    params
+}
+
+fn param_name(tokens: &[Token], from: usize, to: usize) -> String {
+    // Skip leading `&`, lifetimes, and `mut`; the next plain identifier
+    // before the `:` is the name. `self` receivers and destructuring
+    // patterns get the never-matching placeholder.
+    let mut j = from;
+    while j <= to {
+        match &tokens[j].tok {
+            Tok::Punct('&') | Tok::Lifetime => j += 1,
+            Tok::Ident(w) if w == "mut" => j += 1,
+            Tok::Ident(w) if w == "self" => return "_".to_string(),
+            Tok::Ident(w) => {
+                if matches!(tokens.get(j + 1), Some(t) if t.tok == Tok::Punct(':')) {
+                    return w.clone();
+                }
+                return "_".to_string();
+            }
+            _ => return "_".to_string(),
+        }
+    }
+    "_".to_string()
+}
+
+/// Names that look like calls but never are: control-flow keywords and
+/// declaration heads followed by `(`.
+const NON_CALL_KEYWORDS: [&str; 10] = [
+    "fn", "if", "while", "match", "for", "return", "in", "let", "move", "pub",
+];
+
+/// Every call site in the token span `[lo, hi]`: `name(...)` and
+/// `.name(...)` forms, with top-level argument spans split on commas.
+/// Macro invocations (`name!(...)`) do not match — the `!` sits between
+/// the name and the parenthesis.
+pub fn call_sites(tokens: &[Token], lo: usize, hi: usize) -> Vec<CallSite> {
+    let mut out = Vec::new();
+    for i in lo..=hi.min(tokens.len().saturating_sub(1)) {
+        let Tok::Ident(name) = &tokens[i].tok else {
+            continue;
+        };
+        if NON_CALL_KEYWORDS.contains(&name.as_str()) {
+            continue;
+        }
+        if !matches!(tokens.get(i + 1), Some(t) if t.tok == Tok::Open('(')) {
+            continue;
+        }
+        let prev = i.checked_sub(1).map(|p| &tokens[p].tok);
+        if matches!(prev, Some(Tok::Ident(w)) if w == "fn") {
+            continue; // a definition, not a call
+        }
+        let Some(close) = matching_close(tokens, i + 1, '(') else {
+            continue;
+        };
+        out.push(CallSite {
+            callee: name.clone(),
+            idx: i,
+            line: tokens[i].line,
+            args: split_args(tokens, i + 1, close),
+            method: matches!(prev, Some(Tok::Punct('.'))),
+        });
+    }
+    out
+}
+
+/// Split the argument list between `(` at `open` and `)` at `close` into
+/// inclusive per-argument token spans.
+fn split_args(tokens: &[Token], open: usize, close: usize) -> Vec<(usize, usize)> {
+    let mut args = Vec::new();
+    let mut start = open + 1;
+    let mut depth = 0usize;
+    for (k, t) in tokens.iter().enumerate().take(close + 1).skip(open + 1) {
+        let at_end = k == close;
+        let splits = at_end || (depth == 0 && t.tok == Tok::Punct(','));
+        match t.tok {
+            Tok::Open(_) => depth += 1,
+            Tok::Close(_) if !at_end => depth = depth.saturating_sub(1),
+            _ => {}
+        }
+        if splits {
+            if k > start {
+                args.push((start, k - 1));
+            }
+            start = k + 1;
+        }
+    }
+    args
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    #[test]
+    fn functions_params_and_bodies_are_recovered() {
+        let a = lex("fn read_len(input: &[u8], pos: usize) -> usize { input.len() - pos }\n\
+                     pub(crate) fn helper<T: Clone>(n: usize, items: &mut Vec<T>) { items.truncate(n); }");
+        let b = lex("impl Decoder {\n\
+                     fn fill(&mut self, count: usize) { self.buf.reserve(count); }\n\
+                     }\n\
+                     trait Reader { fn peek(&self) -> u8; }");
+        let files = [&a.tokens[..], &b.tokens[..]];
+        let graph = CallGraph::build(&files);
+        let names: Vec<(&str, usize)> = graph
+            .fns
+            .iter()
+            .map(|f| (f.name.as_str(), f.file))
+            .collect();
+        // `peek` has no body and is not a node.
+        assert_eq!(
+            names,
+            vec![("read_len", 0), ("helper", 0), ("fill", 1)],
+            "{names:?}"
+        );
+        assert_eq!(graph.fns[0].params, vec!["input", "pos"]);
+        assert_eq!(graph.fns[1].params, vec!["n", "items"]);
+        assert_eq!(graph.fns[2].params, vec!["_", "count"]);
+        assert_eq!(graph.resolve("helper"), vec![1]);
+        assert!(graph.resolve("peek").is_empty());
+    }
+
+    #[test]
+    fn call_sites_split_arguments_at_top_level_commas() {
+        let lexed = lex("fn f() { helper(a + 1, g(x, y), b); v.resize(n, 0); check!(n, m); }");
+        let tokens = &lexed.tokens;
+        let graph = CallGraph::build(&[&tokens[..]]);
+        let (lo, hi) = graph.fns[0].body;
+        let sites = call_sites(tokens, lo, hi);
+        let names: Vec<(&str, bool, usize)> = sites
+            .iter()
+            .map(|s| (s.callee.as_str(), s.method, s.args.len()))
+            .collect();
+        // The macro `check!` does not match; `g(x, y)` is a nested call
+        // whose comma does not split `helper`'s second argument.
+        assert_eq!(
+            names,
+            vec![("helper", false, 3), ("g", false, 2), ("resize", true, 2)],
+            "{names:?}"
+        );
+    }
+}

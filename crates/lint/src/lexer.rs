@@ -19,8 +19,10 @@ pub enum Tok {
     Lifetime,
     /// String, raw-string, byte-string, byte, or char literal.
     Str,
-    /// Numeric literal, including suffixes (`0xFFu8`, `1.5e-3`).
-    Num,
+    /// Numeric literal, including suffixes (`0xFFu8`, `1.5e-3`). Carries
+    /// the literal text so the bound-inference pass can evaluate constant
+    /// array lengths and range offsets.
+    Num(String),
     /// Opening delimiter: `(`, `[`, or `{`.
     Open(char),
     /// Closing delimiter: `)`, `]`, or `}`.
@@ -296,10 +298,12 @@ pub fn lex(src: &str) -> LexOutput {
                 });
             }
             c if c.is_ascii_digit() => {
+                let start = cur.pos;
                 cur.bump();
                 eat_number(&mut cur, c);
+                let text: String = cur.chars[start..cur.pos].iter().collect();
                 out.tokens.push(Token {
-                    tok: Tok::Num,
+                    tok: Tok::Num(text),
                     line,
                 });
             }
@@ -571,17 +575,29 @@ mod tests {
     fn hex_digits_and_suffixes_do_not_swallow_operators() {
         // `0xE+2` is `0xE + 2`, never a malformed exponent.
         let out = lex("let x = 0xE+2;");
-        let nums = out.tokens.iter().filter(|t| t.tok == Tok::Num).count();
+        let nums = out
+            .tokens
+            .iter()
+            .filter(|t| matches!(t.tok, Tok::Num(_)))
+            .count();
         assert_eq!(nums, 2);
         assert!(out.tokens.iter().any(|t| t.tok == Tok::Punct('+')));
         // A type suffix ending in `e` is not an exponent either.
         let out = lex("let y = 1usize+2;");
-        let nums = out.tokens.iter().filter(|t| t.tok == Tok::Num).count();
+        let nums = out
+            .tokens
+            .iter()
+            .filter(|t| matches!(t.tok, Tok::Num(_)))
+            .count();
         assert_eq!(nums, 2);
         assert!(out.tokens.iter().any(|t| t.tok == Tok::Punct('+')));
         // Real exponents still lex as one number.
         let out = lex("let z = 1.5e-3 + 2E+6;");
-        let nums = out.tokens.iter().filter(|t| t.tok == Tok::Num).count();
+        let nums = out
+            .tokens
+            .iter()
+            .filter(|t| matches!(t.tok, Tok::Num(_)))
+            .count();
         assert_eq!(nums, 2);
     }
 
@@ -589,7 +605,11 @@ mod tests {
     fn numbers_do_not_swallow_ranges() {
         let src = "for i in 0..10 { a[i]; } let f = 1.5e-3; let h = 0xFFu8;";
         let out = lex(src);
-        let nums = out.tokens.iter().filter(|t| t.tok == Tok::Num).count();
+        let nums = out
+            .tokens
+            .iter()
+            .filter(|t| matches!(t.tok, Tok::Num(_)))
+            .count();
         assert_eq!(nums, 4); // 0, 10, 1.5e-3, 0xFFu8
                              // The range dots survive as punctuation.
         let dots = out

@@ -6,15 +6,20 @@
 //! primacy-lint [workspace-root] [--json] [--baseline FILE] [--write-baseline FILE]
 //! ```
 //!
-//! Scans library sources under `crates/*/src` and the root `src/`,
-//! skipping binaries (`src/bin/`, `main.rs`) — the rules target library
-//! code that can end up in another process's address space.
+//! Scans every source under `crates/*/src` and the root `src/`. Library
+//! sources get the full rule set; binary sources (`src/bin/`, `main.rs`)
+//! get the interprocedural taint and unsafe/concurrency rules but are
+//! exempt from the panic-discipline rules — aborting on bad CLI input is
+//! acceptable there, and they never run in another process's address
+//! space. The whole workspace is analyzed together so untrusted lengths
+//! track through helper functions via the call graph.
 //!
 //! - `--json` prints the full diagnostics document instead of the human
 //!   report;
 //! - `--baseline FILE` additionally gates against a checked-in snapshot:
 //!   any `(file, rule)` pair with more findings, more suppressions, or
-//!   more allow directives than the snapshot fails the run;
+//!   more allow directives than the snapshot fails the run, printing a
+//!   per-rule delta table;
 //! - `--write-baseline FILE` regenerates the snapshot from this run.
 //!
 //! Exits 0 when clean (and within baseline), 1 otherwise.
@@ -23,9 +28,9 @@ use std::fs;
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
-use primacy_lint::report::{compare, FileEntry, WorkspaceReport};
-use primacy_lint::rules::{check_file, FileContext, Rule};
-use primacy_lint::{is_untrusted_module, requires_docs};
+use primacy_lint::report::{compare, render_delta_table, FileEntry, WorkspaceReport};
+use primacy_lint::rules::{FileContext, Rule};
+use primacy_lint::{analyze_workspace, is_untrusted_module, requires_docs, SourceFile};
 
 struct Options {
     root: PathBuf,
@@ -80,19 +85,19 @@ fn main() -> ExitCode {
         }
     };
 
-    let mut files = Vec::new();
-    collect_sources(&opts.root, &mut files);
-    if files.is_empty() {
+    let mut paths = Vec::new();
+    collect_sources(&opts.root, &mut paths);
+    if paths.is_empty() {
         eprintln!(
-            "primacy-lint: no library sources found under {}",
+            "primacy-lint: no sources found under {}",
             opts.root.display()
         );
         return ExitCode::FAILURE;
     }
-    files.sort();
+    paths.sort();
 
-    let mut ws = WorkspaceReport::default();
-    for path in &files {
+    let mut sources = Vec::new();
+    for path in &paths {
         let rel = relative_unix(&opts.root, path);
         let src = match fs::read_to_string(path) {
             Ok(s) => s,
@@ -104,10 +109,17 @@ fn main() -> ExitCode {
         let ctx = FileContext {
             untrusted: is_untrusted_module(&rel),
             require_docs: requires_docs(&rel),
+            binary: is_binary_source(&rel),
         };
+        sources.push(SourceFile { rel, src, ctx });
+    }
+
+    let reports = analyze_workspace(&sources);
+    let mut ws = WorkspaceReport::default();
+    for (source, report) in sources.into_iter().zip(reports) {
         ws.files.push(FileEntry {
-            rel,
-            report: check_file(&src, ctx),
+            rel: source.rel,
+            report,
         });
     }
 
@@ -123,7 +135,7 @@ fn main() -> ExitCode {
     if opts.json {
         println!("{}", ws.to_json().to_json());
     } else {
-        print_human(&ws, files.len());
+        print_human(&ws, paths.len());
     }
 
     let mut failed = ws.total_findings() > 0;
@@ -132,13 +144,16 @@ fn main() -> ExitCode {
         match load_baseline(path) {
             Ok(baseline) => {
                 let regressions = compare(&ws.baseline(), &baseline);
-                for r in &regressions {
-                    eprintln!("primacy-lint: baseline regression: {r}");
-                }
-                if !regressions.is_empty() {
-                    failed = true;
-                } else {
+                if regressions.is_empty() {
                     eprintln!("primacy-lint: baseline gate passed ({})", path.display());
+                } else {
+                    eprintln!(
+                        "primacy-lint: baseline regression ({} key(s) above {}):",
+                        regressions.len(),
+                        path.display()
+                    );
+                    eprint!("{}", render_delta_table(&regressions));
+                    failed = true;
                 }
             }
             Err(e) => {
@@ -210,7 +225,13 @@ fn bump(counts: &mut Vec<(&'static str, usize)>, name: &str, by: usize) {
     }
 }
 
-/// Gather every library `.rs` under `crates/*/src` and the root `src/`.
+/// Is this a binary source (relaxed panic rules)? Matches `main.rs`
+/// anywhere and anything under a `bin/` directory.
+fn is_binary_source(rel: &str) -> bool {
+    rel.ends_with("/main.rs") || rel == "main.rs" || rel.split('/').any(|c| c == "bin")
+}
+
+/// Gather every `.rs` under `crates/*/src` and the root `src/`.
 fn collect_sources(root: &Path, out: &mut Vec<PathBuf>) {
     let crates_dir = root.join("crates");
     if let Ok(entries) = fs::read_dir(&crates_dir) {
@@ -234,15 +255,8 @@ fn walk_rs(dir: &Path, out: &mut Vec<PathBuf>) {
     for entry in entries.flatten() {
         let path = entry.path();
         if path.is_dir() {
-            // Binary sources are exempt: aborting on bad CLI input is
-            // acceptable there, and they never run in-process elsewhere.
-            if path.file_name().is_some_and(|n| n == "bin") {
-                continue;
-            }
             walk_rs(&path, out);
-        } else if path.extension().is_some_and(|e| e == "rs")
-            && path.file_name().is_some_and(|n| n != "main.rs")
-        {
+        } else if path.extension().is_some_and(|e| e == "rs") {
             out.push(path);
         }
     }

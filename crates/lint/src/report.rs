@@ -4,9 +4,10 @@
 //! in-tree `primacy_bench::json`, per the zero-dependency policy), and
 //! `--baseline lint-baseline.json` compares the current run against a
 //! checked-in snapshot: the gate fails when any `(file, rule)` pair has
-//! *more* findings or more suppressed findings than the baseline records,
-//! or when a file grows new allow directives. Counts may only burn down;
-//! regenerate the snapshot with `--write-baseline` after removing debt.
+//! *more* findings, suppressed findings, or allow directives than the
+//! baseline records. Counts may only burn down; regenerate the snapshot
+//! with `--write-baseline` after removing debt. On failure the gate
+//! prints a per-rule delta table rather than a raw JSON diff.
 
 use std::collections::BTreeMap;
 
@@ -66,9 +67,9 @@ impl WorkspaceReport {
         Value::Object(doc)
     }
 
-    /// The baseline snapshot: per-`(file, rule)` finding and suppression
-    /// counts plus per-file directive counts. This is what gets checked
-    /// in as `lint-baseline.json` and diffed by [`compare`].
+    /// The baseline snapshot: per-`(file, rule)` finding, suppression,
+    /// and allow-directive counts. This is what gets checked in as
+    /// `lint-baseline.json` and diffed by [`compare`].
     pub fn baseline(&self) -> Value {
         let mut findings: BTreeMap<String, Value> = BTreeMap::new();
         let mut suppressions: BTreeMap<String, Value> = BTreeMap::new();
@@ -80,8 +81,8 @@ impl WorkspaceReport {
             for (rule, n) in &entry.report.suppressed {
                 bump(&mut suppressions, format!("{} {rule}", entry.rel), *n);
             }
-            if entry.report.allow_count > 0 {
-                bump(&mut directives, entry.rel.clone(), entry.report.allow_count);
+            for (rule, n) in &entry.report.allows_by_rule {
+                bump(&mut directives, format!("{} {rule}", entry.rel), *n);
             }
         }
         Value::object([
@@ -97,17 +98,33 @@ fn bump(map: &mut BTreeMap<String, Value>, key: String, by: usize) {
     map.insert(key, Value::from(prev + by));
 }
 
-/// Compare a current snapshot against the checked-in baseline. Returns a
-/// human-readable line per regression; empty means the gate passes.
-/// Improvements (counts below baseline) are not regressions — they mean
-/// the baseline can be regenerated tighter.
-pub fn compare(current: &Value, baseline: &Value) -> Vec<String> {
+/// One `(section, key)` count that grew past the baseline.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Regression {
+    /// `findings`, `suppressions`, or `directives`.
+    pub section: &'static str,
+    /// The baseline key: `<file> <rule>`.
+    pub key: String,
+    /// Count in the current run.
+    pub now: usize,
+    /// Count recorded in the baseline.
+    pub was: usize,
+}
+
+impl Regression {
+    /// The rule name embedded in the key (its last space-separated
+    /// token), for per-rule aggregation.
+    pub fn rule(&self) -> &str {
+        self.key.rsplit(' ').next().unwrap_or(&self.key)
+    }
+}
+
+/// Compare a current snapshot against the checked-in baseline. Empty
+/// means the gate passes. Improvements (counts below baseline) are not
+/// regressions — they mean the baseline can be regenerated tighter.
+pub fn compare(current: &Value, baseline: &Value) -> Vec<Regression> {
     let mut regressions = Vec::new();
-    for (section, what) in [
-        ("findings", "finding(s)"),
-        ("suppressions", "suppressed finding(s)"),
-        ("directives", "allow directive(s)"),
-    ] {
+    for section in ["findings", "suppressions", "directives"] {
         let cur = section_map(current, section);
         let base = section_map(baseline, section);
         let empty = BTreeMap::new();
@@ -117,11 +134,59 @@ pub fn compare(current: &Value, baseline: &Value) -> Vec<String> {
             let now = v.as_f64().unwrap_or(0.0) as usize;
             let was = base_counts.get(key).and_then(Value::as_f64).unwrap_or(0.0) as usize;
             if now > was {
-                regressions.push(format!("{key}: {now} {what} (baseline {was})"));
+                regressions.push(Regression {
+                    section,
+                    key: key.clone(),
+                    now,
+                    was,
+                });
             }
         }
     }
     regressions
+}
+
+/// Render regressions as a per-rule delta table followed by the
+/// offending keys — what the baseline gate prints on failure instead of
+/// a raw JSON diff.
+pub fn render_delta_table(regressions: &[Regression]) -> String {
+    // Aggregate by (section, rule).
+    let mut rows: Vec<(&'static str, String, usize, usize)> = Vec::new();
+    for r in regressions {
+        let rule = r.rule().to_string();
+        match rows
+            .iter_mut()
+            .find(|(s, rl, _, _)| *s == r.section && *rl == rule)
+        {
+            Some((_, _, now, was)) => {
+                *now += r.now;
+                *was += r.was;
+            }
+            None => rows.push((r.section, rule, r.now, r.was)),
+        }
+    }
+    let mut out = String::new();
+    out.push_str(&format!(
+        "  {:<13} {:<22} {:>8} {:>8} {:>7}\n",
+        "section", "rule", "baseline", "now", "delta"
+    ));
+    for (section, rule, now, was) in &rows {
+        out.push_str(&format!(
+            "  {:<13} {:<22} {:>8} {:>8} {:>+7}\n",
+            section,
+            rule,
+            was,
+            now,
+            *now as i64 - *was as i64
+        ));
+    }
+    for r in regressions {
+        out.push_str(&format!(
+            "    {} [{}]: {} (baseline {})\n",
+            r.key, r.section, r.now, r.was
+        ));
+    }
+    out
 }
 
 fn section_map<'a>(doc: &'a Value, section: &str) -> Option<&'a BTreeMap<String, Value>> {
@@ -156,6 +221,7 @@ mod tests {
                         ],
                         suppressed: vec![("index", 2)],
                         allow_count: 2,
+                        allows_by_rule: vec![("index", 2)],
                     },
                 },
                 FileEntry {
@@ -188,7 +254,7 @@ mod tests {
         assert_eq!(
             b.get("directives")
                 .unwrap()
-                .get("crates/a/src/lib.rs")
+                .get("crates/a/src/lib.rs index")
                 .unwrap()
                 .as_f64(),
             Some(2.0)
@@ -212,9 +278,16 @@ mod tests {
         });
         worse.files[1].report.suppressed = vec![("taint", 1)];
         worse.files[1].report.allow_count = 1;
+        worse.files[1].report.allows_by_rule = vec![("taint", 1)];
         let regressions = compare(&worse.baseline(), &base);
         assert_eq!(regressions.len(), 3, "{regressions:?}");
-        assert!(regressions[0].contains("crates/b/src/lib.rs taint"));
+        assert_eq!(regressions[0].section, "findings");
+        assert_eq!(regressions[0].key, "crates/b/src/lib.rs taint");
+        assert_eq!((regressions[0].now, regressions[0].was), (1, 0));
+        assert_eq!(regressions[0].rule(), "taint");
+        let table = render_delta_table(&regressions);
+        assert!(table.contains("taint"), "{table}");
+        assert!(table.contains("delta"), "{table}");
     }
 
     #[test]
@@ -224,6 +297,7 @@ mod tests {
         better.files[0].report.findings.pop();
         better.files[0].report.suppressed = vec![("index", 1)];
         better.files[0].report.allow_count = 1;
+        better.files[0].report.allows_by_rule = vec![("index", 1)];
         assert!(compare(&better.baseline(), &base).is_empty());
     }
 

@@ -8,18 +8,32 @@
 //!   they express invariants, not error handling.
 //! - `index` — no unchecked slice indexing (`buf[i]`, `&buf[a..b]`) in
 //!   designated untrusted-input modules (decode paths fed by external
-//!   bytes). Only enforced when the caller marks the file untrusted.
+//!   bytes). Only enforced when the caller marks the file untrusted, and
+//!   only at sites the loop-bound prover ([`crate::bounds`]) cannot
+//!   discharge.
 //! - `decode-result` — every `pub fn` whose name is `open` or starts with
 //!   `read_`/`decode`/`decompress`/`inflate` must return a `Result`.
 //! - `taint` — untrusted-length data flow (see [`crate::taint`]): a value
-//!   from a designated untrusted-read primitive must pass a sanitizer
-//!   before it reaches arithmetic, an allocation site, or a slice index.
+//!   from a designated untrusted-read primitive — or from a *derived
+//!   source*, a helper whose return the interprocedural fixed point
+//!   ([`crate::summary`]) proved tainted — must pass a sanitizer before
+//!   it reaches arithmetic, an allocation site, or a slice index.
 //! - `overflow` — unchecked `+ * <<` arithmetic anywhere in the
 //!   untrusted-module list (literal operands exempt).
 //! - `safety-comment` — every `unsafe` keyword needs a `// SAFETY:`
 //!   comment on the same line or directly above.
 //! - `pub-doc` — `pub` items in the designated API crates need doc
 //!   comments.
+//! - `unsafe-boundary` — `#[target_feature]` files need a runtime
+//!   feature-detection guard; arch-gated fns need a same-name
+//!   `#[cfg(not(target_arch ...))]` scalar fallback.
+//! - `concurrency-discipline` — `Ordering::Relaxed` needs an
+//!   `// ORDERING:` justification, `.lock().unwrap()` propagates poison,
+//!   and `&mut` captures in scoped-spawn closures are races.
+//!
+//! Binary sources ([`FileContext::binary`]) relax the panic-family rules
+//! (`panic`, `decode-result`, `index`, `overflow`, `pub-doc`); the
+//! unsafety rules stay on everywhere.
 //!
 //! Escape hatches, counted and reported:
 //! - `// lint: allow(<rule>) -- <justification>` on the flagged line or
@@ -52,6 +66,12 @@ pub enum Rule {
     SafetyComment,
     /// Undocumented `pub` item in an API crate.
     PubDoc,
+    /// `target_feature` intrinsics without a runtime detection guard, or
+    /// a `cfg(target_arch)`-gated fn without a scalar fallback.
+    UnsafeBoundary,
+    /// Relaxed atomics without justification, lock-then-panic, or shared
+    /// mutable captures in scoped threads.
+    Concurrency,
 }
 
 impl Rule {
@@ -66,6 +86,8 @@ impl Rule {
             Rule::Overflow => "overflow",
             Rule::SafetyComment => "safety-comment",
             Rule::PubDoc => "pub-doc",
+            Rule::UnsafeBoundary => "unsafe-boundary",
+            Rule::Concurrency => "concurrency-discipline",
         }
     }
 
@@ -78,12 +100,14 @@ impl Rule {
             "overflow" => Some(Rule::Overflow),
             "safety-comment" => Some(Rule::SafetyComment),
             "pub-doc" => Some(Rule::PubDoc),
+            "unsafe-boundary" => Some(Rule::UnsafeBoundary),
+            "concurrency-discipline" => Some(Rule::Concurrency),
             _ => None,
         }
     }
 
     /// Every rule name, for reporting.
-    pub const ALL_NAMES: [&'static str; 8] = [
+    pub const ALL_NAMES: [&'static str; 10] = [
         "panic",
         "index",
         "decode-result",
@@ -92,6 +116,8 @@ impl Rule {
         "overflow",
         "safety-comment",
         "pub-doc",
+        "unsafe-boundary",
+        "concurrency-discipline",
     ];
 }
 
@@ -115,6 +141,10 @@ pub struct FileReport {
     pub suppressed: Vec<(&'static str, usize)>,
     /// Total well-formed allow directives seen in the file.
     pub allow_count: usize,
+    /// Well-formed allow directives per rule name (sums to `allow_count`);
+    /// the baseline keys directives by `(file, rule)` so counts survive
+    /// refactors that move rules between files.
+    pub allows_by_rule: Vec<(&'static str, usize)>,
 }
 
 #[derive(Debug)]
@@ -132,6 +162,12 @@ pub struct FileContext {
     pub untrusted: bool,
     /// The file belongs to a published-API crate: enables `pub-doc`.
     pub require_docs: bool,
+    /// The file is a binary/CLI entry point: library-hygiene rules
+    /// (`panic`, `index`, `overflow`, `decode-result`, `pub-doc`) are
+    /// off — a CLI may unwrap and index freely — while the data-flow and
+    /// unsafety rules (`taint`, `safety-comment`, `unsafe-boundary`,
+    /// `concurrency-discipline`) stay on.
+    pub binary: bool,
 }
 
 /// Check one source file. `untrusted` enables the `index` and `overflow`
@@ -143,31 +179,57 @@ pub fn check_source(src: &str, untrusted: bool) -> FileReport {
         FileContext {
             untrusted,
             require_docs: false,
+            binary: false,
         },
     )
 }
 
 /// Check one source file with full per-file configuration.
 pub fn check_file(src: &str, ctx: FileContext) -> FileReport {
+    check_file_with(src, ctx, &[], Vec::new())
+}
+
+/// [`check_file`] with interprocedural context: `extra_sources` extends
+/// the taint source list with derived source names proved by the summary
+/// pass, and `extra` carries precomputed cross-function findings (they
+/// are reconciled against allow directives like any local finding).
+pub fn check_file_with(
+    src: &str,
+    ctx: FileContext,
+    extra_sources: &[String],
+    mut extra: Vec<Finding>,
+) -> FileReport {
     let lexed = lex(src);
     let tokens = &lexed.tokens;
     let test_mask = test_region_mask(tokens);
 
     let mut raw: Vec<Finding> = Vec::new();
-    scan_panics(tokens, &test_mask, &mut raw);
-    if ctx.untrusted {
-        scan_indexing(tokens, &test_mask, &mut raw);
+    if !ctx.binary {
+        scan_panics(tokens, &test_mask, &mut raw);
+        scan_decode_signatures(tokens, &test_mask, &mut raw);
+    }
+    if ctx.untrusted && !ctx.binary {
+        let proven = crate::bounds::proven_index_mask(tokens);
+        scan_indexing(tokens, &test_mask, &proven, &mut raw);
         taint::scan_overflow(tokens, &test_mask, &mut raw);
     }
-    scan_decode_signatures(tokens, &test_mask, &mut raw);
-    taint::scan_taint(tokens, &test_mask, &mut raw);
+    taint::scan_taint_with(tokens, &test_mask, extra_sources, &mut raw);
     scan_safety_comments(tokens, &lexed.comments, &test_mask, &mut raw);
+    scan_unsafe_boundary(tokens, &test_mask, &mut raw);
+    scan_concurrency(tokens, &lexed.comments, &test_mask, &mut raw);
     if ctx.require_docs {
         scan_pub_docs(tokens, &lexed.comments, &mut raw);
     }
+    raw.append(&mut extra);
 
     let (allows, mut bad) = parse_directives(&lexed.comments);
     reconcile(raw, &allows, &mut bad)
+}
+
+/// Public wrapper over the test-region mask for workspace-level passes
+/// that flag call sites outside this module.
+pub fn test_region_mask_for(tokens: &[Token]) -> Vec<bool> {
+    test_region_mask(tokens)
 }
 
 /// Mark every token that lives inside `#[cfg(test)]`-gated items or
@@ -310,9 +372,9 @@ const NON_INDEX_KEYWORDS: [&str; 16] = [
     "move", "let", "const", "static",
 ];
 
-fn scan_indexing(tokens: &[Token], test_mask: &[bool], out: &mut Vec<Finding>) {
+fn scan_indexing(tokens: &[Token], test_mask: &[bool], proven: &[bool], out: &mut Vec<Finding>) {
     for (i, t) in tokens.iter().enumerate() {
-        if test_mask.get(i).copied().unwrap_or(false) {
+        if test_mask.get(i).copied().unwrap_or(false) || proven.get(i).copied().unwrap_or(false) {
             continue;
         }
         if t.tok != Tok::Open('[') {
@@ -455,6 +517,301 @@ fn scan_safety_comments(
     }
 }
 
+/// The `unsafe-boundary` rule: SIMD/intrinsic code must keep its escape
+/// hatches paired with guards. Two checks, both aimed at `checksum.rs`
+/// and any future kernel code:
+///
+/// - a file using `#[target_feature(...)]` must also contain a runtime
+///   feature-detection call (any identifier containing
+///   `feature_detected`) — compiling for a feature is not the same as
+///   checking the CPU has it;
+/// - every `#[cfg(target_arch = ...)]`-gated *function* needs a same-name
+///   fn under `#[cfg(not(target_arch ...))]` — the named scalar fallback.
+///   Arch-gated `mod`s are exempt: gating a whole intrinsics module is
+///   the idiom, and its call sites are the paired fns this check covers.
+///
+/// The `// SAFETY:` comment requirement on the `unsafe` blocks themselves
+/// is the existing `safety-comment` rule; together the three checks form
+/// the full boundary contract.
+fn scan_unsafe_boundary(tokens: &[Token], test_mask: &[bool], out: &mut Vec<Finding>) {
+    let has_detection = tokens
+        .iter()
+        .any(|t| matches!(&t.tok, Tok::Ident(w) if w.contains("feature_detected")));
+    let mut gated: Vec<(String, u32)> = Vec::new();
+    let mut fallbacks: Vec<String> = Vec::new();
+
+    let mut i = 0usize;
+    while i < tokens.len() {
+        if !is_attr_start(tokens, i) {
+            i += 1;
+            continue;
+        }
+        let in_test = test_mask.get(i).copied().unwrap_or(false);
+        // Walk the attribute run attached to the next item.
+        let mut arch_polarity: Option<bool> = None;
+        let mut target_feature_line: Option<u32> = None;
+        while is_attr_start(tokens, i) {
+            let Some(end) = matching_close(tokens, i + 1, '[') else {
+                return;
+            };
+            let body = &tokens[i + 2..end];
+            match body.first().map(|t| &t.tok) {
+                Some(Tok::Ident(w)) if w == "target_feature" => {
+                    target_feature_line = Some(tokens[i].line);
+                }
+                Some(Tok::Ident(w)) if w == "cfg" => {
+                    if let Some(pol) = cfg_arch_polarity(body) {
+                        arch_polarity = Some(pol);
+                    }
+                }
+                _ => {}
+            }
+            i = end + 1;
+        }
+        if in_test {
+            continue;
+        }
+        if let (Some(line), false) = (target_feature_line, has_detection) {
+            out.push(Finding {
+                line,
+                rule: Rule::UnsafeBoundary,
+                message: "`#[target_feature]` in a file with no runtime feature-detection guard"
+                    .to_string(),
+            });
+        }
+        if let Some(pol) = arch_polarity {
+            if let Some(name) = attached_fn_name(tokens, i) {
+                if pol {
+                    gated.push((name, tokens.get(i).map_or(0, |t| t.line)));
+                } else {
+                    fallbacks.push(name);
+                }
+            }
+        }
+    }
+    for (name, line) in gated {
+        if !fallbacks.contains(&name) {
+            out.push(Finding {
+                line,
+                rule: Rule::UnsafeBoundary,
+                message: format!(
+                    "arch-gated fn `{name}` has no `#[cfg(not(target_arch ...))]` scalar fallback"
+                ),
+            });
+        }
+    }
+}
+
+/// Does this `cfg(...)` attribute body mention `target_arch`, and with
+/// what polarity? `Some(true)` = outside any `not(...)` (the gated side),
+/// `Some(false)` = only inside `not(...)` (the fallback side), `None` =
+/// no mention.
+fn cfg_arch_polarity(body: &[Token]) -> Option<bool> {
+    let mut not_depth = 0usize;
+    let mut paren_not_levels: Vec<bool> = Vec::new();
+    let mut last_ident: Option<&str> = None;
+    let mut inside = false;
+    for t in body {
+        match &t.tok {
+            Tok::Ident(name) => {
+                if name == "target_arch" {
+                    if not_depth == 0 {
+                        return Some(true);
+                    }
+                    inside = true;
+                }
+                last_ident = Some(name);
+            }
+            Tok::Open('(') => {
+                let is_not = last_ident == Some("not");
+                paren_not_levels.push(is_not);
+                if is_not {
+                    not_depth += 1;
+                }
+                last_ident = None;
+            }
+            Tok::Close(')') => {
+                if paren_not_levels.pop() == Some(true) {
+                    not_depth = not_depth.saturating_sub(1);
+                }
+                last_ident = None;
+            }
+            _ => last_ident = None,
+        }
+    }
+    if inside {
+        Some(false)
+    } else {
+        None
+    }
+}
+
+/// If the item starting at `i` (just past its attributes) is a fn,
+/// return its name. Modifier keywords and restricted visibility are
+/// skipped; any other item kind (notably `mod`) returns `None`.
+fn attached_fn_name(tokens: &[Token], mut i: usize) -> Option<String> {
+    loop {
+        match tokens.get(i).map(|t| &t.tok) {
+            Some(Tok::Ident(w)) if w == "fn" => {
+                return match tokens.get(i + 1).map(|t| &t.tok) {
+                    Some(Tok::Ident(name)) => Some(name.clone()),
+                    _ => None,
+                };
+            }
+            Some(Tok::Ident(w))
+                if matches!(w.as_str(), "pub" | "const" | "unsafe" | "async" | "extern") =>
+            {
+                i += 1;
+            }
+            Some(Tok::Open('(')) => {
+                // `pub(crate)` restriction.
+                i = matching_close(tokens, i, '(')? + 1;
+            }
+            Some(Tok::Str) => i += 1, // `extern "C"`
+            _ => return None,
+        }
+    }
+}
+
+/// The `concurrency-discipline` rule, covering the three sharp edges of
+/// the scoped-thread pipeline code:
+///
+/// - `Ordering::Relaxed` outside tests needs an `// ORDERING:` comment on
+///   the same line or within the two lines above, stating why relaxed
+///   ordering is sufficient. Acquire/Release/SeqCst are self-describing
+///   and exempt.
+/// - `.lock().unwrap()` / `.lock().expect(...)` panics on poison and
+///   poisons every later consumer; recover with
+///   `unwrap_or_else(|e| e.into_inner())` instead.
+/// - inside a `scope(...)` block, a `&mut name` capture in a `.spawn(...)`
+///   closure is flagged unless `name` is `let`-bound inside that closure
+///   — a shared mutable capture across workers is a race (or a compile
+///   error waiting to move).
+fn scan_concurrency(
+    tokens: &[Token],
+    comments: &[LineComment],
+    test_mask: &[bool],
+    out: &mut Vec<Finding>,
+) {
+    for (i, t) in tokens.iter().enumerate() {
+        if test_mask.get(i).copied().unwrap_or(false) {
+            continue;
+        }
+        match &t.tok {
+            // `Ordering :: Relaxed`
+            Tok::Ident(w) if w == "Ordering" => {
+                let tail = matches!(tokens.get(i + 1), Some(t) if t.tok == Tok::Punct(':'))
+                    && matches!(tokens.get(i + 2), Some(t) if t.tok == Tok::Punct(':'))
+                    && matches!(tokens.get(i + 3), Some(t) if matches!(&t.tok, Tok::Ident(w) if w == "Relaxed"));
+                if !tail {
+                    continue;
+                }
+                let line = tokens[i + 3].line;
+                let justified = comments.iter().any(|c| {
+                    c.text.trim_start().starts_with("ORDERING:")
+                        && c.line <= line
+                        && line - c.line <= 2
+                });
+                if !justified {
+                    out.push(Finding {
+                        line,
+                        rule: Rule::Concurrency,
+                        message: "`Ordering::Relaxed` without an `// ORDERING:` justification"
+                            .to_string(),
+                    });
+                }
+            }
+            // `.lock().unwrap()` / `.lock().expect(...)`
+            Tok::Ident(w) if w == "lock" => {
+                let prev = i.checked_sub(1).map(|p| &tokens[p].tok);
+                let shape = matches!(prev, Some(Tok::Punct('.')))
+                    && matches!(tokens.get(i + 1), Some(t) if t.tok == Tok::Open('('))
+                    && matches!(tokens.get(i + 2), Some(t) if t.tok == Tok::Close(')'))
+                    && matches!(tokens.get(i + 3), Some(t) if t.tok == Tok::Punct('.'));
+                if !shape {
+                    continue;
+                }
+                if let Some(Tok::Ident(m)) = tokens.get(i + 4).map(|t| &t.tok) {
+                    if (m == "unwrap" || m == "expect")
+                        && matches!(tokens.get(i + 5), Some(t) if t.tok == Tok::Open('('))
+                    {
+                        out.push(Finding {
+                            line: tokens[i + 4].line,
+                            rule: Rule::Concurrency,
+                            message: format!(
+                                "`.lock().{m}()` panics on poison; use \
+                                 `unwrap_or_else(|e| e.into_inner())`"
+                            ),
+                        });
+                    }
+                }
+            }
+            // `scope(...)` — look inside for `.spawn(...)` closures.
+            Tok::Ident(w) if w == "scope" => {
+                if !matches!(tokens.get(i + 1), Some(t) if t.tok == Tok::Open('(')) {
+                    continue;
+                }
+                let Some(close) = matching_close(tokens, i + 1, '(') else {
+                    continue;
+                };
+                scan_spawn_captures(tokens, i + 2, close, out);
+            }
+            _ => {}
+        }
+    }
+}
+
+/// Flag `&mut name` inside `.spawn(...)` argument spans when `name` is
+/// not `let`-bound within that same span.
+fn scan_spawn_captures(tokens: &[Token], lo: usize, hi: usize, out: &mut Vec<Finding>) {
+    for i in lo..hi {
+        let spawn = matches!(&tokens[i].tok, Tok::Ident(w) if w == "spawn")
+            && i > 0
+            && tokens[i - 1].tok == Tok::Punct('.')
+            && matches!(tokens.get(i + 1), Some(t) if t.tok == Tok::Open('('));
+        if !spawn {
+            continue;
+        }
+        let Some(close) = matching_close(tokens, i + 1, '(') else {
+            continue;
+        };
+        // Names the closure itself declares.
+        let mut local: Vec<&str> = Vec::new();
+        for k in i + 2..close {
+            if matches!(&tokens[k].tok, Tok::Ident(w) if w == "let") {
+                let mut j = k + 1;
+                if matches!(tokens.get(j), Some(t) if matches!(&t.tok, Tok::Ident(w) if w == "mut"))
+                {
+                    j += 1;
+                }
+                if let Some(Tok::Ident(name)) = tokens.get(j).map(|t| &t.tok) {
+                    local.push(name);
+                }
+            }
+        }
+        for k in i + 2..close.saturating_sub(1) {
+            if tokens[k].tok != Tok::Punct('&') {
+                continue;
+            }
+            if !matches!(&tokens[k + 1].tok, Tok::Ident(w) if w == "mut") {
+                continue;
+            }
+            if let Some(Tok::Ident(name)) = tokens.get(k + 2).map(|t| &t.tok) {
+                if !local.contains(&name.as_str()) {
+                    out.push(Finding {
+                        line: tokens[k].line,
+                        rule: Rule::Concurrency,
+                        message: format!(
+                            "`&mut {name}` captured in a scoped-thread closure \
+                             without a closure-local binding"
+                        ),
+                    });
+                }
+            }
+        }
+    }
+}
+
 /// Item kinds the `pub-doc` rule covers. `use` re-exports and `impl`
 /// blocks themselves are exempt (the items inside an impl are checked).
 fn pub_doc_applies(kind: ItemKind) -> bool {
@@ -570,8 +927,19 @@ fn parse_allow(s: &str) -> Option<(Rule, bool)> {
 /// Apply allow directives to raw findings; malformed directives join the
 /// surviving findings.
 fn reconcile(raw: Vec<Finding>, allows: &[Allow], bad: &mut Vec<Finding>) -> FileReport {
+    let mut allows_by_rule: Vec<(&'static str, usize)> = Vec::new();
+    for a in allows {
+        match allows_by_rule
+            .iter_mut()
+            .find(|(name, _)| *name == a.rule.name())
+        {
+            Some((_, n)) => *n += 1,
+            None => allows_by_rule.push((a.rule.name(), 1)),
+        }
+    }
     let mut report = FileReport {
         allow_count: allows.len(),
+        allows_by_rule,
         ..FileReport::default()
     };
     let mut suppressed: Vec<(&'static str, usize)> = Vec::new();
@@ -846,6 +1214,7 @@ mod tests {
             FileContext {
                 untrusted: false,
                 require_docs: true,
+                binary: false,
             },
         )
     }
@@ -893,5 +1262,108 @@ mod tests {
         let r = doc_report(src);
         assert!(r.findings.is_empty(), "{:?}", r.findings);
         assert_eq!(r.allow_count, 2);
+    }
+    #[test]
+    fn target_feature_without_detection_fires() {
+        let src = "mod simd {\n\
+                   #[target_feature(enable = \"avx2\")]\n\
+                   unsafe fn fold() {}\n\
+                   }";
+        let r = check_source(src, false);
+        assert_eq!(lines_of(&r, Rule::UnsafeBoundary), vec![2]);
+    }
+
+    #[test]
+    fn target_feature_with_detection_is_clean() {
+        let src = "fn entry() -> bool { is_x86_feature_detected!(\"avx2\") }\n\
+                   mod simd {\n\
+                   // SAFETY: caller checked avx2.\n\
+                   #[target_feature(enable = \"avx2\")]\n\
+                   unsafe fn fold() {}\n\
+                   }";
+        let r = check_source(src, false);
+        assert!(lines_of(&r, Rule::UnsafeBoundary).is_empty());
+    }
+
+    #[test]
+    fn arch_gated_fn_without_fallback_fires() {
+        let src = "#[cfg(target_arch = \"x86_64\")]\n\
+                   fn fold_simd(x: u32) -> u32 { x }";
+        let r = check_source(src, false);
+        assert_eq!(lines_of(&r, Rule::UnsafeBoundary), vec![2]);
+    }
+
+    #[test]
+    fn arch_gated_fn_with_named_fallback_is_clean() {
+        let src = "#[cfg(target_arch = \"x86_64\")]\n\
+                   fn fold_simd(x: u32) -> u32 { x }\n\
+                   #[cfg(not(target_arch = \"x86_64\"))]\n\
+                   fn fold_simd(x: u32) -> u32 { x + 1 }";
+        let r = check_source(src, false);
+        assert!(lines_of(&r, Rule::UnsafeBoundary).is_empty());
+    }
+
+    #[test]
+    fn arch_gated_mod_is_exempt() {
+        let src = "#[cfg(target_arch = \"x86_64\")]\n\
+                   mod avx2 {\n\
+                   fn inner() {}\n\
+                   }";
+        let r = check_source(src, false);
+        assert!(lines_of(&r, Rule::UnsafeBoundary).is_empty());
+    }
+
+    #[test]
+    fn relaxed_ordering_needs_justification() {
+        let src = "fn bump(c: &AtomicUsize) -> usize {\n\
+                   c.fetch_add(1, Ordering::Relaxed)\n}";
+        let r = check_source(src, false);
+        assert_eq!(lines_of(&r, Rule::Concurrency), vec![2]);
+    }
+
+    #[test]
+    fn justified_relaxed_and_stronger_orderings_are_clean() {
+        let src = "fn bump(c: &AtomicUsize) -> usize {\n\
+                   // ORDERING: a monotonic ticket counter; no data is published.\n\
+                   c.fetch_add(1, Ordering::Relaxed)\n}\n\
+                   fn publish(f: &AtomicBool) {\n\
+                   f.store(true, Ordering::Release);\n}";
+        let r = check_source(src, false);
+        assert!(lines_of(&r, Rule::Concurrency).is_empty());
+    }
+
+    #[test]
+    fn lock_then_panic_fires_and_poison_recovery_is_clean() {
+        let src = "fn f(m: &Mutex<u32>) -> u32 {\n\
+                   let a = *m.lock().unwrap();\n\
+                   let b = *m.lock().expect(\"poisoned\");\n\
+                   let c = *m.lock().unwrap_or_else(|e| e.into_inner());\n\
+                   a + b + c\n}";
+        let r = check_source(src, false);
+        assert_eq!(lines_of(&r, Rule::Concurrency), vec![2, 3]);
+    }
+
+    #[test]
+    fn spawn_shared_mut_capture_fires_but_locals_are_clean() {
+        let src = "fn run(jobs: &[Job], tallies: &mut [u32]) {\n\
+                   std::thread::scope(|scope| {\n\
+                   scope.spawn(|| {\n\
+                   let mut scratch = Scratch::new();\n\
+                   work(&mut scratch, &mut tallies[0]);\n\
+                   });\n\
+                   });\n}";
+        let r = check_source(src, false);
+        // `scratch` is closure-local; `tallies` is captured.
+        assert_eq!(lines_of(&r, Rule::Concurrency), vec![5]);
+    }
+
+    #[test]
+    fn test_code_is_exempt_from_concurrency_rules() {
+        let src = "#[cfg(test)]\n\
+                   mod tests {\n\
+                   fn f(c: &AtomicUsize) -> usize { c.load(Ordering::Relaxed) }\n\
+                   }";
+        let r = check_source(src, false);
+        assert!(lines_of(&r, Rule::Concurrency).is_empty());
     }
 }

@@ -241,7 +241,7 @@ fn left_operand(tokens: &[Token], lo: usize, op_idx: usize) -> Operand {
                 }
                 j -= 1;
             }
-            Tok::Num | Tok::Str | Tok::Lifetime => j -= 1,
+            Tok::Num(_) | Tok::Str | Tok::Lifetime => j -= 1,
             Tok::Punct('.') | Tok::Punct('?') | Tok::Punct(':') => j -= 1,
             _ => break,
         }
@@ -283,7 +283,7 @@ fn right_operand(tokens: &[Token], hi: usize, start: usize) -> Operand {
                 }
                 j += 1;
             }
-            Tok::Num | Tok::Str | Tok::Lifetime => j += 1,
+            Tok::Num(_) | Tok::Str | Tok::Lifetime => j += 1,
             Tok::Punct('.') | Tok::Punct('?') | Tok::Punct(':') => j += 1,
             _ => break,
         }
@@ -296,7 +296,7 @@ fn right_operand(tokens: &[Token], hi: usize, start: usize) -> Operand {
 fn ends_expression(tokens: &[Token], i: usize) -> bool {
     match tokens.get(i).map(|t| &t.tok) {
         Some(Tok::Ident(w)) => !is_stop_keyword(w) && w != "as",
-        Some(Tok::Num) | Some(Tok::Str) => true,
+        Some(Tok::Num(_)) | Some(Tok::Str) => true,
         // `}` is a statement boundary, not an operand: `*p = 0;` after a
         // block close is a deref assignment, not multiplication.
         Some(Tok::Close(')')) | Some(Tok::Close(']')) => true,
@@ -340,8 +340,8 @@ pub(crate) fn binary_ops(tokens: &[Token], lo: usize, hi: usize) -> Vec<OpSite> 
                 } else {
                     k + 1
                 };
-                let literal = matches!(tokens.get(k - 1).map(|t| &t.tok), Some(Tok::Num))
-                    || matches!(tokens.get(rhs_start).map(|t| &t.tok), Some(Tok::Num));
+                let literal = matches!(tokens.get(k - 1).map(|t| &t.tok), Some(Tok::Num(_)))
+                    || matches!(tokens.get(rhs_start).map(|t| &t.tok), Some(Tok::Num(_)));
                 out.push(OpSite {
                     idx: k,
                     op: if p == '+' { BinOp::Add } else { BinOp::Mul },
@@ -356,8 +356,8 @@ pub(crate) fn binary_ops(tokens: &[Token], lo: usize, hi: usize) -> Vec<OpSite> 
                 } else {
                     k + 1
                 };
-                let literal = matches!(tokens.get(k - 1).map(|t| &t.tok), Some(Tok::Num))
-                    || matches!(tokens.get(rhs_start).map(|t| &t.tok), Some(Tok::Num));
+                let literal = matches!(tokens.get(k - 1).map(|t| &t.tok), Some(Tok::Num(_)))
+                    || matches!(tokens.get(rhs_start).map(|t| &t.tok), Some(Tok::Num(_)));
                 out.push(OpSite {
                     idx: k,
                     op: BinOp::Sub,
@@ -372,8 +372,8 @@ pub(crate) fn binary_ops(tokens: &[Token], lo: usize, hi: usize) -> Vec<OpSite> 
                 } else {
                     k + 2
                 };
-                let literal = matches!(tokens.get(k - 1).map(|t| &t.tok), Some(Tok::Num))
-                    || matches!(tokens.get(rhs_start).map(|t| &t.tok), Some(Tok::Num));
+                let literal = matches!(tokens.get(k - 1).map(|t| &t.tok), Some(Tok::Num(_)))
+                    || matches!(tokens.get(rhs_start).map(|t| &t.tok), Some(Tok::Num(_)));
                 out.push(OpSite {
                     idx: k,
                     op: BinOp::Shl,
@@ -402,9 +402,16 @@ struct Engine<'a> {
     lo: usize,
     hi: usize,
     events: Vec<Event>,
+    /// Extra source names beyond [`SOURCES`]: helper functions whose
+    /// return value the interprocedural summary pass proved tainted.
+    extra: &'a [String],
 }
 
 impl<'a> Engine<'a> {
+    fn is_source_name(&self, name: &str) -> bool {
+        SOURCES.contains(&name) || self.extra.iter().any(|s| s == name)
+    }
+
     fn tainted_at(&self, name: &str, idx: usize) -> bool {
         self.events
             .iter()
@@ -413,11 +420,12 @@ impl<'a> Engine<'a> {
             .is_some_and(|e| e.tainted)
     }
 
-    /// Does `span` mention a source call (`name(` with `name` in SOURCES)?
+    /// Does `span` mention a source call (`name(` with `name` in SOURCES
+    /// or the interprocedurally derived source set)?
     fn span_has_source(&self, from: usize, to: usize) -> bool {
         (from..=to.min(self.hi.saturating_sub(1))).any(|k| {
             matches!(&self.tokens[k].tok, Tok::Ident(w)
-                if SOURCES.contains(&w.as_str())
+                if self.is_source_name(w)
                     && matches!(self.tokens.get(k + 1), Some(t) if t.tok == Tok::Open('(')))
         })
     }
@@ -436,7 +444,11 @@ impl<'a> Engine<'a> {
         if op.sanitized {
             return false;
         }
-        self.span_has_source(from, to) || op.idents.iter().any(|(k, w)| self.tainted_at(w, *k))
+        self.span_has_source(from, to)
+            || op
+                .idents
+                .iter()
+                .any(|(k, w)| self.tainted_at(w, *k) && !length_projection(self.tokens, *k))
     }
 
     /// Collect binding/assignment/guard events in statement order.
@@ -579,14 +591,27 @@ impl<'a> Engine<'a> {
         if !rejects {
             return;
         }
-        // Guarded names: `name >` / `name >=` inside the condition.
+        // An exactness guard compares a `checked_*` projection of a name
+        // against a real length: `if n.checked_mul(k) != Some(buf.len())
+        // { return Err(...) }` pins `n` to the materialized data, so the
+        // rejecting branch validates it as tightly as a range check.
+        let condition_mentions_len =
+            (if_idx + 1..open).any(|j| matches!(&self.tokens[j].tok, Tok::Ident(w) if w == "len"));
+        // Guarded names: `name >` / `name >=`, or `name.checked_*`
+        // compared against a length, inside the condition.
         for j in if_idx + 1..open {
             let Tok::Ident(name) = &self.tokens[j].tok else {
                 continue;
             };
-            if self.tokens.get(j + 1).map(|t| &t.tok) == Some(&Tok::Punct('>'))
-                && self.tokens.get(j + 2).map(|t| &t.tok) != Some(&Tok::Punct('>'))
-            {
+            let range_guard = self.tokens.get(j + 1).map(|t| &t.tok) == Some(&Tok::Punct('>'))
+                && self.tokens.get(j + 2).map(|t| &t.tok) != Some(&Tok::Punct('>'));
+            let exactness_guard = condition_mentions_len
+                && self.tokens.get(j + 1).map(|t| &t.tok) == Some(&Tok::Punct('.'))
+                && matches!(
+                    self.tokens.get(j + 2).map(|t| &t.tok),
+                    Some(Tok::Ident(w)) if w.starts_with("checked_")
+                );
+            if range_guard || exactness_guard {
                 self.events.push(Event {
                     idx: close,
                     name: name.clone(),
@@ -630,7 +655,7 @@ fn assignment_rhs(tokens: &[Token], at: usize) -> Option<(usize, bool)> {
 
 /// End of the statement starting at `from`: the `;` at delimiter depth 0,
 /// or `hi` if none (expression tail).
-fn statement_end(tokens: &[Token], from: usize, hi: usize) -> usize {
+pub(crate) fn statement_end(tokens: &[Token], from: usize, hi: usize) -> usize {
     let mut depth = 0usize;
     for (j, t) in tokens.iter().enumerate().take(hi).skip(from) {
         match t.tok {
@@ -643,8 +668,69 @@ fn statement_end(tokens: &[Token], from: usize, hi: usize) -> usize {
     hi
 }
 
+/// Intraprocedural taint facts for one function body, reusable by the
+/// interprocedural summary pass: build with [`body_taint`], then query
+/// expression spans (call arguments, return expressions).
+pub(crate) struct BodyTaint<'a> {
+    engine: Engine<'a>,
+}
+
+/// Run the taint engine over one function body span `[lo, hi)`.
+/// `extra_sources` extends [`SOURCES`] with derived source names;
+/// `pre_tainted` seeds parameter names as tainted at entry (used to
+/// compute per-parameter summaries).
+pub(crate) fn body_taint<'a>(
+    tokens: &'a [Token],
+    lo: usize,
+    hi: usize,
+    extra_sources: &'a [String],
+    pre_tainted: &[String],
+) -> BodyTaint<'a> {
+    let mut engine = Engine {
+        tokens,
+        lo,
+        hi,
+        events: Vec::new(),
+        extra: extra_sources,
+    };
+    for name in pre_tainted {
+        engine.events.push(Event {
+            idx: lo,
+            name: name.clone(),
+            tainted: true,
+        });
+    }
+    engine.collect_events();
+    BodyTaint { engine }
+}
+
+impl BodyTaint<'_> {
+    /// Is the expression span `[from, to]` tainted at that point?
+    pub(crate) fn span_tainted(&self, from: usize, to: usize) -> bool {
+        self.engine.span_taint(from, to)
+    }
+
+    /// Does any allocation sink in the body take a tainted size?
+    pub(crate) fn allocates_tainted(&self) -> bool {
+        let mut out = Vec::new();
+        scan_alloc_sinks(&self.engine, &[], &mut out);
+        !out.is_empty()
+    }
+}
+
 /// Run the taint pass over every function body; append findings.
+#[cfg(test)]
 pub(crate) fn scan_taint(tokens: &[Token], test_mask: &[bool], out: &mut Vec<Finding>) {
+    scan_taint_with(tokens, test_mask, &[], out);
+}
+
+/// [`scan_taint`] with interprocedurally derived extra source names.
+pub(crate) fn scan_taint_with(
+    tokens: &[Token],
+    test_mask: &[bool],
+    extra_sources: &[String],
+    out: &mut Vec<Finding>,
+) {
     let assert_mask = assert_arg_mask(tokens);
     let mut found: Vec<(u32, String)> = Vec::new();
     for (lo, hi) in fn_body_spans(tokens) {
@@ -653,6 +739,7 @@ pub(crate) fn scan_taint(tokens: &[Token], test_mask: &[bool], out: &mut Vec<Fin
             lo,
             hi: hi + 1,
             events: Vec::new(),
+            extra: extra_sources,
         };
         engine.collect_events();
         scan_arith_sinks(&engine, test_mask, &assert_mask, &mut found);
@@ -678,8 +765,21 @@ fn first_tainted(engine: &Engine<'_>, op: &Operand) -> Option<String> {
     }
     op.idents
         .iter()
-        .find(|(k, w)| engine.tainted_at(w, *k))
+        .find(|(k, w)| engine.tainted_at(w, *k) && !length_projection(engine.tokens, *k))
         .map(|(_, w)| w.clone())
+}
+
+/// Is the identifier at `k` only consumed as a length projection
+/// (`x.len()` / `x.is_empty()`)? The length of already-materialized data
+/// is ground truth, not an attacker claim, so the projection stays clean
+/// even when `x` itself carries taint.
+fn length_projection(tokens: &[Token], k: usize) -> bool {
+    matches!(tokens.get(k + 1).map(|t| &t.tok), Some(Tok::Punct('.')))
+        && matches!(
+            tokens.get(k + 2).map(|t| &t.tok),
+            Some(Tok::Ident(w)) if w == "len" || w == "is_empty"
+        )
+        && matches!(tokens.get(k + 3).map(|t| &t.tok), Some(Tok::Open('(')))
 }
 
 fn scan_arith_sinks(
@@ -737,10 +837,27 @@ fn scan_alloc_sinks(engine: &Engine<'_>, test_mask: &[bool], out: &mut Vec<(u32,
         if open_idx + 1 > close.saturating_sub(1) {
             continue; // empty argument list
         }
+        // In `vec![elem; n]` only `n` sizes the allocation: scan from
+        // past the depth-0 `;`, not the element expression.
+        let mut arg_start = open_idx + 1;
+        if open_char == '[' {
+            let mut depth = 0usize;
+            for (k, t) in tokens.iter().enumerate().take(close).skip(open_idx + 1) {
+                match t.tok {
+                    Tok::Open(_) => depth += 1,
+                    Tok::Close(_) => depth = depth.saturating_sub(1),
+                    Tok::Punct(';') if depth == 0 => arg_start = k + 1,
+                    _ => {}
+                }
+            }
+            if arg_start > close - 1 {
+                continue;
+            }
+        }
         let mut op = Operand::default();
-        push_span_idents(tokens, open_idx + 1, close - 1, &mut op);
+        push_span_idents(tokens, arg_start, close - 1, &mut op);
         let op = finish_operand(op);
-        if op.span_has_source_call(tokens) {
+        if op.span_has_source_call(engine) {
             out.push((
                 tokens[i].line,
                 format!("untrusted value sizes allocation via `{name}`"),
@@ -758,10 +875,10 @@ fn scan_alloc_sinks(engine: &Engine<'_>, test_mask: &[bool], out: &mut Vec<(u32,
 
 impl Operand {
     /// Does the flattened operand include a direct source call?
-    fn span_has_source_call(&self, tokens: &[Token]) -> bool {
+    fn span_has_source_call(&self, engine: &Engine<'_>) -> bool {
         self.idents.iter().any(|(k, w)| {
-            SOURCES.contains(&w.as_str())
-                && matches!(tokens.get(k + 1), Some(t) if t.tok == Tok::Open('('))
+            engine.is_source_name(w)
+                && matches!(engine.tokens.get(k + 1), Some(t) if t.tok == Tok::Open('('))
         })
     }
 }
@@ -890,6 +1007,48 @@ mod tests {
         let src = "fn f(r: &mut Reader) -> usize {\n\
                    let n = (r.varint() as usize).min(other);\n\
                    n * es\n}";
+        assert_eq!(taint_findings(src).len(), 1);
+    }
+
+    #[test]
+    fn length_of_tainted_buffer_is_ground_truth() {
+        // `buf` is tainted (source call in the initializer), but `.len()`
+        // of materialized data is a real byte count, not a claim: sizing
+        // an allocation or arithmetic with it is clean.
+        let src = "fn f(r: &mut Reader) -> Result<Vec<u8>> {\n\
+                   let buf = r.varint_block()?;\n\
+                   let out = vec![0u8; buf.len()];\n\
+                   let pairs = buf.len() * 2;\n\
+                   Ok(out)\n}";
+        let lexed = lex(src);
+        let mask = vec![false; lexed.tokens.len()];
+        let mut out = Vec::new();
+        let extra = ["varint_block".to_string()];
+        scan_taint_with(&lexed.tokens, &mask, &extra, &mut out);
+        assert!(out.is_empty(), "{out:?}");
+    }
+
+    #[test]
+    fn exactness_guard_validates_checked_projection() {
+        let src = "fn f(r: &mut Reader, data: &[u8]) -> Result<Vec<u8>> {\n\
+                   let n = r.varint()? as usize;\n\
+                   if n.checked_mul(4) != Some(data.len()) {\n\
+                   return Err(PrimacyError::Truncated);\n\
+                   }\n\
+                   Ok(vec![0u8; n * 4])\n}";
+        assert!(taint_findings(src).is_empty());
+    }
+
+    #[test]
+    fn checked_overflow_test_alone_does_not_validate() {
+        // Rejecting only on overflow proves nothing about magnitude: the
+        // guard must compare against a materialized length to clean `n`.
+        let src = "fn f(r: &mut Reader) -> Result<Vec<u8>> {\n\
+                   let n = r.varint()? as usize;\n\
+                   if n.checked_mul(4).is_none() {\n\
+                   return Err(PrimacyError::Truncated);\n\
+                   }\n\
+                   Ok(Vec::with_capacity(n))\n}";
         assert_eq!(taint_findings(src).len(), 1);
     }
 

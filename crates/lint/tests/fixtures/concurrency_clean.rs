@@ -1,0 +1,18 @@
+//! Clean fixture for `concurrency-discipline`: a justified relaxed load,
+//! poison recovery on the mutex, and a closure-local accumulator instead
+//! of a shared `&mut` capture.
+
+pub fn drain(flag: &AtomicBool, total: &Mutex<u64>) {
+    // ORDERING: a monotonic on/off flag; the mutex below synchronizes.
+    let live = flag.load(Ordering::Relaxed);
+    let mut sum = total.lock().unwrap_or_else(|e| e.into_inner());
+    std::thread::scope(|s| {
+        s.spawn(|| {
+            let mut local = 0u64;
+            if live {
+                local += 1;
+            }
+            *sum += local;
+        });
+    });
+}

@@ -1,0 +1,11 @@
+//! Firing fixture for `concurrency-discipline`: an unjustified relaxed
+//! load, a poison-propagating lock, and shared `&mut` captures inside a
+//! scoped-thread spawn.
+
+pub fn drain(flag: &AtomicBool, total: &Mutex<u64>, chunks: &mut [u8]) {
+    let live = flag.load(Ordering::Relaxed);
+    let mut sum = total.lock().unwrap();
+    std::thread::scope(|s| {
+        s.spawn(|| consume(&mut chunks, live, &mut sum));
+    });
+}

@@ -1,0 +1,28 @@
+//! Clean fixture for `unsafe-boundary`: the feature-gated kernel is
+//! guarded by runtime detection and the arch-gated fn has a same-name
+//! scalar fallback under `#[cfg(not(target_arch ...))]`.
+
+pub fn sum(xs: &[u8]) -> u64 {
+    if is_x86_feature_detected!("avx2") {
+        // SAFETY: the branch above verified the CPU supports AVX2.
+        unsafe { sum_wide(xs) }
+    } else {
+        fold_block(xs)
+    }
+}
+
+#[target_feature(enable = "avx2")]
+// SAFETY: callers check CPU support before dispatching here.
+unsafe fn sum_wide(xs: &[u8]) -> u64 {
+    xs.iter().map(|&b| u64::from(b)).sum()
+}
+
+#[cfg(target_arch = "x86_64")]
+fn fold_block(xs: &[u8]) -> u64 {
+    xs.len() as u64
+}
+
+#[cfg(not(target_arch = "x86_64"))]
+fn fold_block(xs: &[u8]) -> u64 {
+    xs.iter().map(|&b| u64::from(b)).sum()
+}

@@ -1,0 +1,14 @@
+//! Firing fixture for `unsafe-boundary`: a `#[target_feature]` fn in a
+//! file with no runtime feature-detection guard, plus an arch-gated fn
+//! with no named scalar fallback.
+
+#[target_feature(enable = "avx2")]
+// SAFETY: fixture — callers check CPU support before dispatching here.
+unsafe fn sum_wide(xs: &[u8]) -> u64 {
+    xs.iter().map(|&b| u64::from(b)).sum()
+}
+
+#[cfg(target_arch = "x86_64")]
+fn fold_block(xs: &[u8]) -> u64 {
+    xs.len() as u64
+}

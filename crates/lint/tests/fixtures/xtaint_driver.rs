@@ -1,0 +1,14 @@
+//! Cross-function taint fixture, consumer side. The length returned by
+//! `header_len` crossed two helper hops from a varint read, so passing it
+//! to `table_for` (whose parameter sizes an allocation) must fire; the
+//! `.min(MAX_FRAME)`-capped copy must not.
+
+pub fn load(r: &mut Reader) -> Vec<u32> {
+    let n = header_len(r);
+    table_for(n)
+}
+
+pub fn load_capped(r: &mut Reader) -> Vec<u32> {
+    let n = header_len(r).min(MAX_FRAME);
+    table_for(n)
+}

@@ -1,0 +1,17 @@
+//! Cross-function taint fixture, producer side. `frame_len` wraps a
+//! primitive varint read (hop one); `header_len` wraps the wrapper (hop
+//! two); `table_for` sizes an allocation from its parameter. Nothing
+//! fires here — the tainted call sites live in `xtaint_driver.rs`.
+
+pub fn frame_len(r: &mut Reader) -> usize {
+    r.read_varint() as usize
+}
+
+pub fn header_len(r: &mut Reader) -> usize {
+    let n = frame_len(r);
+    n
+}
+
+pub fn table_for(n: usize) -> Vec<u32> {
+    Vec::with_capacity(n)
+}

@@ -98,7 +98,11 @@ fn numeric_edges_do_not_swallow_operators() {
         ("for i in 0..10 {}", 2), // range dots survive
     ] {
         let out = lex(src);
-        let nums = out.tokens.iter().filter(|t| t.tok == Tok::Num).count();
+        let nums = out
+            .tokens
+            .iter()
+            .filter(|t| matches!(t.tok, Tok::Num(_)))
+            .count();
         assert_eq!(nums, want_nums, "{src}");
     }
 }

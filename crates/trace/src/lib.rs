@@ -109,6 +109,8 @@ pub fn installed() -> &'static dyn TraceSink {
 /// disabled-path cost of every record function.
 #[inline]
 pub fn enabled() -> bool {
+    // ORDERING: a monotonic on/off flag read on the hot path; the sink
+    // pointer it gates is published by `OnceLock`, which synchronizes.
     ENABLED.load(Ordering::Relaxed)
 }
 

@@ -21,9 +21,10 @@ fn main() {
     // Measure this machine's rates once, on a representative dataset.
     let data = DatasetId::FlashVelx.generate_bytes(1 << 19);
     let cfg = PrimacyConfig::default();
-    let rates = measure_primacy(&cfg, &data);
+    let rates = measure_primacy(&cfg, &data).expect("measurement failed");
     let zlib = CodecKind::Zlib.build();
-    let (z_sigma, z_cbps, _z_dbps) = measure_vanilla(zlib.as_ref(), &data);
+    let (z_sigma, z_cbps, _z_dbps) =
+        measure_vanilla(zlib.as_ref(), &data).expect("measurement failed");
 
     println!("measured on this machine (flash_velx stand-in):");
     println!(

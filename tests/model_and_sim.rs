@@ -11,7 +11,7 @@ use primacy_suite::hpcsim::{measure_primacy, CompressionMethod, Scenario};
 #[test]
 fn measured_rates_feed_a_consistent_model() {
     let data = DatasetId::FlashVelx.generate_bytes(1 << 16);
-    let rates = measure_primacy(&PrimacyConfig::default(), &data);
+    let rates = measure_primacy(&PrimacyConfig::default(), &data).unwrap();
     let inputs = rates.to_model_inputs(Default::default(), 3.0 * 1024.0 * 1024.0, 2048.0);
 
     let base_w = base_write(&inputs);
@@ -36,7 +36,7 @@ fn measured_rates_feed_a_consistent_model() {
 fn model_and_simulation_agree_for_the_null_case() {
     let scenario = Scenario::default();
     let data = DatasetId::ObsTemp.generate_bytes(1 << 14);
-    let e = scenario.evaluate(&CompressionMethod::Null, &data);
+    let e = scenario.evaluate(&CompressionMethod::Null, &data).unwrap();
     let dev_w =
         (e.write_theoretical_mbps - e.write_empirical_mbps).abs() / e.write_theoretical_mbps;
     let dev_r = (e.read_theoretical_mbps - e.read_empirical_mbps).abs() / e.read_theoretical_mbps;
@@ -48,7 +48,9 @@ fn model_and_simulation_agree_for_the_null_case() {
 fn model_and_simulation_agree_for_primacy() {
     let scenario = Scenario::default();
     let data = DatasetId::NumComet.generate_bytes(1 << 16);
-    let e = scenario.evaluate(&CompressionMethod::Primacy(PrimacyConfig::default()), &data);
+    let e = scenario
+        .evaluate(&CompressionMethod::Primacy(PrimacyConfig::default()), &data)
+        .unwrap();
     let dev = (e.write_theoretical_mbps - e.write_empirical_mbps).abs() / e.write_theoretical_mbps;
     assert!(dev < 0.35, "model/sim deviation {dev}");
 }
@@ -89,9 +91,13 @@ fn vanilla_bwt_loses_when_the_disk_is_not_glacial() {
     let mut scenario = Scenario::default();
     scenario.cluster.mu_write = 60e6;
     let data = DatasetId::NumPlasma.generate_bytes(1 << 15);
-    let null = scenario.evaluate(&CompressionMethod::Null, &data);
-    let bwt = scenario.evaluate(&CompressionMethod::Vanilla(CodecKind::Bwt), &data);
-    let prim = scenario.evaluate(&CompressionMethod::Primacy(PrimacyConfig::default()), &data);
+    let null = scenario.evaluate(&CompressionMethod::Null, &data).unwrap();
+    let bwt = scenario
+        .evaluate(&CompressionMethod::Vanilla(CodecKind::Bwt), &data)
+        .unwrap();
+    let prim = scenario
+        .evaluate(&CompressionMethod::Primacy(PrimacyConfig::default()), &data)
+        .unwrap();
     assert!(
         bwt.write_empirical_mbps < null.write_empirical_mbps,
         "bwt {} should lose to null {}",

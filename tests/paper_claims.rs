@@ -146,9 +146,13 @@ fn end_to_end_write_gain_shape() {
     // between (small gain or small loss); everything positive throughput.
     let scenario = Scenario::default();
     let data = DatasetId::NumComet.generate_bytes(N);
-    let null = scenario.evaluate(&CompressionMethod::Null, &data);
-    let prim = scenario.evaluate(&CompressionMethod::Primacy(PrimacyConfig::default()), &data);
-    let zlib = scenario.evaluate(&CompressionMethod::Vanilla(CodecKind::Zlib), &data);
+    let null = scenario.evaluate(&CompressionMethod::Null, &data).unwrap();
+    let prim = scenario
+        .evaluate(&CompressionMethod::Primacy(PrimacyConfig::default()), &data)
+        .unwrap();
+    let zlib = scenario
+        .evaluate(&CompressionMethod::Vanilla(CodecKind::Zlib), &data)
+        .unwrap();
     assert!(prim.write_empirical_mbps > null.write_empirical_mbps * 1.05);
     assert!(prim.write_empirical_mbps > zlib.write_empirical_mbps);
     // Reads: vanilla decompression must not beat PRIMACY's. This one leans
