@@ -7,7 +7,7 @@
 # `.github/workflows/ci.yml` runs this script one stage per job; run it
 # locally with no argument to get the full gate before pushing.
 #
-# Usage: ./ci.sh [lint|build-test|conformance|bench|all]
+# Usage: ./ci.sh [lint|build-test|conformance|bench|serve|all]
 set -euo pipefail
 cd "$(dirname "$0")"
 
@@ -86,19 +86,41 @@ bench() {
         cargo run --release --offline -p primacy-bench --bin throughput -- --smoke
 }
 
+serve() {
+    # Serving smoke gate: an in-process `primacy-serve` instance under
+    # `primacy-loadgen --smoke` — 100 concurrent connections of mixed
+    # compress/decompress traffic plus slow-loris and malformed companions.
+    # The gate fails on any dropped, corrupted, or error response and on any
+    # caught panic; latency percentiles and sustained MB/s land in
+    # results/BENCH_serve.json for artifact upload. Budget: the smoke run
+    # itself must finish inside 60s even on a 1-core runner (measured ~2s).
+    run cargo build --release --offline -p primacy-serve
+    local serve_t0=$SECONDS
+    run env PRIMACY_BENCH_JSON=results/BENCH_serve.json \
+        ./target/release/primacy-loadgen --smoke
+    local serve_dt=$((SECONDS - serve_t0))
+    echo "==> primacy-loadgen --smoke runtime: ${serve_dt}s (budget: <60s)"
+    if ((serve_dt >= 60)); then
+        echo "==> primacy-loadgen --smoke blew its 60s runtime budget (${serve_dt}s)" >&2
+        exit 1
+    fi
+}
+
 case "$stage" in
 lint) lint ;;
 build-test) build_test ;;
 conformance) conformance ;;
 bench) bench ;;
+serve) serve ;;
 all)
     lint
     build_test
     conformance
     bench
+    serve
     ;;
 *)
-    echo "usage: $0 [lint|build-test|conformance|bench|all]" >&2
+    echo "usage: $0 [lint|build-test|conformance|bench|serve|all]" >&2
     exit 2
     ;;
 esac

@@ -14,8 +14,8 @@ use primacy_bench::json::Value;
 use primacy_codecs::CodecKind;
 use primacy_core::analysis;
 use primacy_core::{
-    ArchiveReader, ArchiveWriter, ElementReader, IndexPolicy, Linearization, PrimacyCompressor,
-    PrimacyConfig, STAGES,
+    resolve_threads, ArchiveReader, ArchiveWriter, ElementReader, IndexPolicy, Linearization,
+    PrimacyCompressor, PrimacyConfig, STAGES,
 };
 use primacy_datagen::DatasetId;
 use primacy_trace as trace;
@@ -47,18 +47,6 @@ fn parse_flag<T: std::str::FromStr>(args: &[String], flag: &str) -> Option<T> {
         .position(|a| a == flag)
         .and_then(|i| args.get(i + 1))
         .and_then(|v| v.parse().ok())
-}
-
-/// Resolve a `--threads` request: 0 means auto-detect from the machine
-/// (`std::thread::available_parallelism`), anything else is taken verbatim.
-fn resolve_threads(requested: usize) -> usize {
-    if requested == 0 {
-        std::thread::available_parallelism()
-            .map(std::num::NonZeroUsize::get)
-            .unwrap_or(1)
-    } else {
-        requested
-    }
 }
 
 /// The `--trace` sink: one process-wide collector the pipeline's per-thread

@@ -97,6 +97,25 @@ impl IsobarConfig {
     }
 }
 
+/// Resolve a user-facing thread-count knob: `0` means auto-detect from
+/// [`std::thread::available_parallelism`], any other value is taken as-is.
+///
+/// The result is always ≥ 1 — on machines or cgroups where parallelism
+/// cannot be detected the fallback is one thread, never zero, so every
+/// consumer (CLI `--threads`, pipeline workers, the serve worker pool) can
+/// size pools and bounded queues without a zero-width deadlock. This is
+/// the single shared definition; entry points must not re-derive it.
+pub fn resolve_threads(requested: usize) -> usize {
+    if requested == 0 {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    } else {
+        requested
+    }
+    .max(1)
+}
+
 /// Full pipeline configuration.
 #[derive(Debug, Clone, PartialEq)]
 pub struct PrimacyConfig {
@@ -268,6 +287,13 @@ mod tests {
         let mut c = PrimacyConfig::default();
         c.isobar.entropy_threshold_bits = 9.0;
         assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn resolve_threads_never_returns_zero() {
+        assert!(resolve_threads(0) >= 1, "auto-detect floors at one");
+        assert_eq!(resolve_threads(1), 1);
+        assert_eq!(resolve_threads(7), 7);
     }
 
     #[test]

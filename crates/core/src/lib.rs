@@ -66,7 +66,9 @@ pub mod stats;
 pub mod stream;
 
 pub use archive::{ArchiveReader, ArchiveWriter};
-pub use config::{IndexPolicy, IsobarClassifier, IsobarConfig, Linearization, PrimacyConfig};
+pub use config::{
+    resolve_threads, IndexPolicy, IsobarClassifier, IsobarConfig, Linearization, PrimacyConfig,
+};
 pub use error::{PrimacyError, Result};
 pub use pipeline::PrimacyCompressor;
 pub use stats::{CompressionStats, StageTimings, STAGES};

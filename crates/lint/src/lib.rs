@@ -42,7 +42,7 @@ pub mod taint;
 /// contents decode *untrusted* external bytes: the `index` rule is
 /// enforced there in addition to the workspace-wide rules. Entries ending
 /// in `/` match whole directories.
-pub const UNTRUSTED_MODULES: [&str; 7] = [
+pub const UNTRUSTED_MODULES: [&str; 8] = [
     "crates/codecs/src/deflate/decode.rs",
     "crates/codecs/src/lzr/",
     "crates/codecs/src/bwt/",
@@ -50,6 +50,7 @@ pub const UNTRUSTED_MODULES: [&str; 7] = [
     "crates/core/src/format.rs",
     "crates/core/src/archive.rs",
     "crates/core/src/stream.rs",
+    "crates/serve/src/protocol.rs",
 ];
 
 /// Is the file at `rel_path` (workspace-relative, `/`-separated) inside a
@@ -146,9 +147,12 @@ mod tests {
         assert!(is_untrusted_module("crates/codecs/src/lzr/mod.rs"));
         assert!(is_untrusted_module("crates/codecs/src/fpz/range.rs"));
         assert!(is_untrusted_module("crates/core/src/archive.rs"));
+        // The serve wire decoder is an attacker-facing surface.
+        assert!(is_untrusted_module("crates/serve/src/protocol.rs"));
         assert!(!is_untrusted_module("crates/codecs/src/deflate/encode.rs"));
         assert!(!is_untrusted_module("crates/codecs/src/checksum.rs"));
         assert!(!is_untrusted_module("crates/core/src/pipeline.rs"));
+        assert!(!is_untrusted_module("crates/serve/src/server.rs"));
     }
 
     #[test]

@@ -1,0 +1,44 @@
+//! `primacy-serve`: a multi-tenant TCP compression service over the
+//! PRIMACY codecs.
+//!
+//! The crate turns the library pipeline into a network service with the
+//! operational properties ROADMAP.md's "production-scale" north star asks
+//! for:
+//!
+//! * a **length-prefixed binary protocol** ([`protocol`]) whose decoder is
+//!   a designated untrusted-input surface — checked reads only, every
+//!   attacker-controlled length capped before allocation;
+//! * a **bounded worker pool** ([`server`]) with one codec scratch per
+//!   worker, explicit [`protocol::Status::Busy`] backpressure instead of
+//!   unbounded buffering, per-request queue deadlines, and graceful
+//!   shutdown that drains every admitted request;
+//! * **per-tenant accounting** ([`metrics`]) plus `serve.*` trace counters
+//!   and latency histograms via `primacy-trace`;
+//! * a blocking **client** ([`client`]) used by the integration tests and
+//!   the `primacy-loadgen` load generator.
+//!
+//! Quick start (see README for the binaries):
+//!
+//! ```
+//! use primacy_serve::{Server, ServeConfig, ServeClient, ServeCodec, client::expect_ok};
+//!
+//! let server = Server::start(ServeConfig::default()).unwrap();
+//! let mut client = ServeClient::connect(server.local_addr()).unwrap();
+//! let data = vec![42u8; 4096];
+//! let resp = client.compress(ServeCodec::Zlib, 1, 7, data.clone()).unwrap();
+//! let compressed = expect_ok(resp).unwrap();
+//! let resp = client.decompress(ServeCodec::Zlib, 2, 7, compressed).unwrap();
+//! assert_eq!(expect_ok(resp).unwrap(), data);
+//! server.shutdown();
+//! ```
+
+pub mod client;
+pub mod metrics;
+pub mod protocol;
+pub mod queue;
+pub mod server;
+
+pub use client::{ClientError, ServeClient};
+pub use metrics::{Metrics, MetricsSnapshot, TenantCounters};
+pub use protocol::{Op, ProtoError, Request, Response, ServeCodec, Status};
+pub use server::{ServeConfig, Server};

@@ -1,0 +1,654 @@
+//! The multi-tenant compression server.
+//!
+//! Thread architecture (DESIGN.md "Serving"):
+//!
+//! * one **acceptor** thread owns the listener and spawns a connection
+//!   thread per client;
+//! * one **connection** thread per client reads frames, answers protocol
+//!   errors and `Ping` inline, and admits real work into the bounded job
+//!   queue — when the queue is full the client gets an immediate
+//!   [`Status::Busy`] instead of unbounded buffering;
+//! * a fixed pool of **worker** threads, each owning one
+//!   [`CodecScratch`] (so steady-state deflate encode stays
+//!   allocation-free, the property PR 5 built) plus one instance of every
+//!   codec, pops jobs, enforces the per-request queue deadline, runs the
+//!   codec under `catch_unwind`, and writes the response back through the
+//!   connection's serialized write handle.
+//!
+//! Graceful shutdown ([`Server::shutdown`]) drains: the queue closes (new
+//! work is answered [`Status::ShuttingDown`]), workers finish every job
+//! already admitted — no admitted request ever loses its response — and
+//! only then are lingering connections cut.
+
+use std::collections::HashMap;
+use std::io::Write as _;
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::panic::AssertUnwindSafe;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use primacy_codecs::{Codec, CodecKind, CodecScratch};
+use primacy_core::config::resolve_threads;
+use primacy_core::{PrimacyCompressor, PrimacyConfig, PrimacyError};
+use primacy_trace as trace;
+
+use crate::metrics::{bump, Metrics, MetricsSnapshot};
+use crate::protocol::{
+    self, max_response_body, FrameError, Op, ProtoError, Request, Response, ServeCodec, Status,
+    DEFAULT_MAX_FRAME,
+};
+use crate::queue::{Bounded, PushError};
+
+/// Server configuration. `Default` is tuned for tests and small
+/// deployments; the `primacy-serve` binary exposes every field.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Bind address, e.g. `"127.0.0.1:0"` (port 0 picks a free port).
+    pub addr: String,
+    /// Worker threads; `0` auto-detects via
+    /// [`primacy_core::config::resolve_threads`] (1-core machines get 1).
+    pub workers: usize,
+    /// Bounded job-queue depth; pushes beyond it answer [`Status::Busy`].
+    pub queue_depth: usize,
+    /// Queue-wait deadline: a request still queued after this long is
+    /// cancelled with [`Status::Timeout`] instead of burning a worker.
+    pub request_timeout: Duration,
+    /// Per-read socket timeout — the slow-loris guard. A client that
+    /// dribbles a frame slower than this is disconnected.
+    pub read_timeout: Duration,
+    /// Per-write socket timeout — a stalled reader cannot wedge a worker.
+    pub write_timeout: Duration,
+    /// Cap on a request frame body (header + payload).
+    pub max_frame_bytes: usize,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            addr: "127.0.0.1:0".to_string(),
+            workers: 0,
+            queue_depth: 64,
+            request_timeout: Duration::from_secs(5),
+            read_timeout: Duration::from_secs(10),
+            write_timeout: Duration::from_secs(10),
+            max_frame_bytes: DEFAULT_MAX_FRAME,
+        }
+    }
+}
+
+fn lock_recover<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// Write half of one client connection, shared between the connection
+/// thread (inline error/ping replies) and whichever worker answers each
+/// queued request. The mutex serializes whole frames so pipelined
+/// responses never interleave.
+struct Conn {
+    id: u64,
+    writer: Mutex<TcpStream>,
+}
+
+impl Conn {
+    /// Encode and write one response frame. Returns whether the write
+    /// succeeded; failures are tallied, not propagated — the client is
+    /// simply gone.
+    fn send(&self, metrics: &Metrics, resp: &Response) -> bool {
+        let frame = match resp.encode_frame() {
+            Ok(f) => f,
+            Err(_) => {
+                bump(&metrics.send_failures, 1);
+                return false;
+            }
+        };
+        let mut w = lock_recover(&self.writer);
+        match w.write_all(&frame) {
+            Ok(()) => true,
+            Err(_) => {
+                bump(&metrics.send_failures, 1);
+                false
+            }
+        }
+    }
+}
+
+/// One admitted unit of work.
+struct Job {
+    request: Request,
+    conn: Arc<Conn>,
+    enqueued: Instant,
+    deadline: Instant,
+}
+
+struct Shared {
+    config: ServeConfig,
+    queue: Bounded<Job>,
+    metrics: Metrics,
+    draining: AtomicBool,
+    conns: Mutex<HashMap<u64, Arc<Conn>>>,
+    next_conn_id: AtomicU64,
+}
+
+/// A running compression server. Construct with [`Server::start`]; stop
+/// with [`Server::shutdown`] (dropping the handle also shuts down).
+pub struct Server {
+    shared: Arc<Shared>,
+    local_addr: SocketAddr,
+    acceptor: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+    conn_handles: Arc<Mutex<Vec<JoinHandle<()>>>>,
+}
+
+impl Server {
+    /// Bind and start accepting. Worker threads and the acceptor are
+    /// running when this returns.
+    pub fn start(config: ServeConfig) -> std::io::Result<Server> {
+        let listener = TcpListener::bind(&config.addr)?;
+        let local_addr = listener.local_addr()?;
+        let worker_count = resolve_threads(config.workers);
+        let shared = Arc::new(Shared {
+            queue: Bounded::new(config.queue_depth),
+            metrics: Metrics::new(),
+            draining: AtomicBool::new(false),
+            conns: Mutex::new(HashMap::new()),
+            next_conn_id: AtomicU64::new(1),
+            config,
+        });
+
+        let mut workers = Vec::with_capacity(worker_count);
+        for _ in 0..worker_count {
+            let shared = Arc::clone(&shared);
+            workers.push(std::thread::spawn(move || worker_loop(&shared)));
+        }
+
+        let conn_handles = Arc::new(Mutex::new(Vec::new()));
+        let acceptor = {
+            let shared = Arc::clone(&shared);
+            let conn_handles = Arc::clone(&conn_handles);
+            std::thread::spawn(move || acceptor_loop(&listener, &shared, &conn_handles))
+        };
+
+        Ok(Server {
+            shared,
+            local_addr,
+            acceptor: Some(acceptor),
+            workers,
+            conn_handles,
+        })
+    }
+
+    /// The bound address (resolves port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// Point-in-time metrics.
+    pub fn metrics(&self) -> MetricsSnapshot {
+        self.shared.metrics.snapshot()
+    }
+
+    /// Graceful shutdown: stop accepting, close the queue, let workers
+    /// drain every admitted job (every admitted request gets its
+    /// response), then cut remaining connections and join every thread.
+    pub fn shutdown(mut self) -> MetricsSnapshot {
+        self.shutdown_impl()
+    }
+
+    fn shutdown_impl(&mut self) -> MetricsSnapshot {
+        // Idempotent: a second call (e.g. Drop after shutdown) finds the
+        // acceptor handle already taken and every collection empty.
+        self.shared.draining.store(true, Ordering::Release);
+        self.shared.queue.close();
+        if let Some(acceptor) = self.acceptor.take() {
+            // Unblock the blocking accept with a throwaway connection; the
+            // acceptor observes `draining` and exits.
+            let _ = TcpStream::connect(self.local_addr);
+            let _ = acceptor.join();
+        }
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+        // Every queued job is now answered. Cut connections still open
+        // (idle keep-alives, mid-read clients) and join their threads.
+        {
+            let conns = lock_recover(&self.shared.conns);
+            for conn in conns.values() {
+                let writer = lock_recover(&conn.writer);
+                let _ = writer.shutdown(Shutdown::Both);
+            }
+        }
+        let handles: Vec<JoinHandle<()>> = lock_recover(&self.conn_handles).drain(..).collect();
+        for h in handles {
+            let _ = h.join();
+        }
+        self.shared.metrics.snapshot()
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        let _ = self.shutdown_impl();
+    }
+}
+
+fn acceptor_loop(
+    listener: &TcpListener,
+    shared: &Arc<Shared>,
+    conn_handles: &Arc<Mutex<Vec<JoinHandle<()>>>>,
+) {
+    loop {
+        let stream = match listener.accept() {
+            Ok((stream, _peer)) => stream,
+            Err(_) => {
+                if shared.draining.load(Ordering::Acquire) {
+                    return;
+                }
+                continue;
+            }
+        };
+        if shared.draining.load(Ordering::Acquire) {
+            // The wakeup connection from shutdown (or a late client); the
+            // dropped stream closes it immediately.
+            return;
+        }
+        bump(&shared.metrics.accepted_conns, 1);
+        trace::counter("serve.conn", 1);
+        let _ = stream.set_read_timeout(Some(shared.config.read_timeout));
+        let _ = stream.set_write_timeout(Some(shared.config.write_timeout));
+        let _ = stream.set_nodelay(true);
+
+        // ORDERING: a ticket counter handing out unique connection ids; no
+        // data is published through it.
+        let conn_id = shared.next_conn_id.fetch_add(1, Ordering::Relaxed);
+        let writer = match stream.try_clone() {
+            Ok(clone) => clone,
+            Err(_) => continue,
+        };
+        let conn = Arc::new(Conn {
+            id: conn_id,
+            writer: Mutex::new(writer),
+        });
+        lock_recover(&shared.conns).insert(conn_id, Arc::clone(&conn));
+
+        let handle = {
+            let shared = Arc::clone(shared);
+            std::thread::spawn(move || connection_entry(&shared, stream, &conn))
+        };
+        let mut handles = lock_recover(conn_handles);
+        // Reap finished connection threads so a long-lived server does not
+        // accumulate one stale handle per past connection.
+        handles.retain(|h| !h.is_finished());
+        handles.push(handle);
+    }
+}
+
+/// Connection-thread entry point: runs the read loop under `catch_unwind`
+/// so a bug in request handling can never take the process down, then
+/// unregisters the connection.
+fn connection_entry(shared: &Arc<Shared>, stream: TcpStream, conn: &Arc<Conn>) {
+    let outcome = std::panic::catch_unwind(AssertUnwindSafe(|| {
+        handle_connection(shared, stream, conn);
+    }));
+    if outcome.is_err() {
+        bump(&shared.metrics.conn_panics, 1);
+    }
+    lock_recover(&shared.conns).remove(&conn.id);
+    bump(&shared.metrics.closed_conns, 1);
+    // Merge this thread's trace records (connection counters) promptly.
+    trace::flush_thread();
+}
+
+/// A response frame carrying an error status and a short diagnostic.
+fn error_response(status: Status, req: Option<&Request>, detail: &str) -> Response {
+    Response {
+        status,
+        op_echo: req.map(|r| r.op.to_byte()).unwrap_or(0),
+        codec_echo: req.map(|r| r.codec.to_byte()).unwrap_or(0),
+        request_id: req.map(|r| r.request_id).unwrap_or(0),
+        tenant: req.map(|r| r.tenant).unwrap_or(0),
+        payload: detail.as_bytes().to_vec(),
+    }
+}
+
+fn handle_connection(shared: &Arc<Shared>, mut stream: TcpStream, conn: &Arc<Conn>) {
+    loop {
+        match protocol::read_frame(&mut stream, shared.config.max_frame_bytes) {
+            Ok(None) => return, // clean close at a frame boundary
+            Ok(Some(body)) => match Request::decode(&body) {
+                Ok(request) => {
+                    if !dispatch(shared, conn, request) {
+                        return;
+                    }
+                }
+                Err(e) => {
+                    // The frame was complete, so framing is intact — answer
+                    // the typed error, then close: a peer that cannot form
+                    // a header will not form the next frame either.
+                    bump(&shared.metrics.proto_errors, 1);
+                    trace::counter("serve.proto_error", 1);
+                    conn.send(
+                        &shared.metrics,
+                        &error_response(Status::BadRequest, None, &e.to_string()),
+                    );
+                    return;
+                }
+            },
+            Err(FrameError::Proto(e)) => {
+                // Framing itself is broken (forged length, truncation):
+                // answer once, then close — nothing after this byte
+                // position can be trusted.
+                bump(&shared.metrics.proto_errors, 1);
+                trace::counter("serve.proto_error", 1);
+                let status = match e {
+                    ProtoError::FrameTooLarge { .. } => Status::TooLarge,
+                    _ => Status::BadRequest,
+                };
+                conn.send(
+                    &shared.metrics,
+                    &error_response(status, None, &e.to_string()),
+                );
+                return;
+            }
+            Err(FrameError::Io(e)) => {
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                ) {
+                    // Read timeout: the slow-loris guard fired.
+                    bump(&shared.metrics.slow_closes, 1);
+                    trace::counter("serve.slow_close", 1);
+                }
+                return;
+            }
+        }
+    }
+}
+
+/// Route one decoded request. Returns whether the connection should stay
+/// open.
+fn dispatch(shared: &Arc<Shared>, conn: &Arc<Conn>, request: Request) -> bool {
+    trace::counter("serve.request", 1);
+    if request.op == Op::Ping {
+        // Health checks bypass the queue: answer inline, echoing the
+        // payload so clients can verify liveness end to end.
+        let resp = Response {
+            status: Status::Ok,
+            op_echo: request.op.to_byte(),
+            codec_echo: request.codec.to_byte(),
+            request_id: request.request_id,
+            tenant: request.tenant,
+            payload: request.payload,
+        };
+        return conn.send(&shared.metrics, &resp);
+    }
+
+    shared
+        .metrics
+        .tenant_request(request.tenant, request.payload.len() as u64);
+    trace::counter("serve.bytes_in", request.payload.len() as u64);
+
+    let now = Instant::now();
+    let deadline = now
+        .checked_add(shared.config.request_timeout)
+        .unwrap_or(now);
+    let job = Job {
+        request,
+        conn: Arc::clone(conn),
+        enqueued: now,
+        deadline,
+    };
+    match shared.queue.try_push(job) {
+        Ok(depth) => {
+            trace::observe("serve.queue_depth", depth as u64);
+            true
+        }
+        Err(PushError::Full(job)) => {
+            bump(&shared.metrics.busy, 1);
+            trace::counter("serve.busy", 1);
+            shared.metrics.tenant_done(job.request.tenant, false, 0);
+            job.conn.send(
+                &shared.metrics,
+                &error_response(Status::Busy, Some(&job.request), "queue full"),
+            )
+        }
+        Err(PushError::Closed(job)) => {
+            bump(&shared.metrics.shedding, 1);
+            trace::counter("serve.shed", 1);
+            shared.metrics.tenant_done(job.request.tenant, false, 0);
+            job.conn.send(
+                &shared.metrics,
+                &error_response(Status::ShuttingDown, Some(&job.request), "draining"),
+            )
+        }
+    }
+}
+
+/// Map a codec selector to the worker's codec instance.
+fn codec_for(codecs: &[Box<dyn Codec>], selector: ServeCodec) -> Option<&dyn Codec> {
+    let index = match selector {
+        ServeCodec::Zlib => 0usize,
+        ServeCodec::Lzr => 1,
+        ServeCodec::Bwt => 2,
+        ServeCodec::Fpc => 3,
+        ServeCodec::Fpz => 4,
+        ServeCodec::Primacy => return None,
+    };
+    codecs.get(index).map(AsRef::as_ref)
+}
+
+fn map_primacy_error(e: &PrimacyError) -> Status {
+    match e {
+        PrimacyError::InvalidInput(_) | PrimacyError::InvalidConfig(_) => Status::BadRequest,
+        _ => Status::CodecFailed,
+    }
+}
+
+/// Run one request's codec work. Pure with respect to the server: all
+/// I/O and accounting stay with the caller.
+fn execute(
+    request: &Request,
+    scratch: &mut CodecScratch,
+    codecs: &[Box<dyn Codec>],
+    compressor: &PrimacyCompressor,
+) -> Result<Vec<u8>, (Status, String)> {
+    match (request.op, request.codec) {
+        (Op::Ping, _) => Ok(request.payload.clone()),
+        (Op::Compress, ServeCodec::Primacy) => compressor
+            .compress_bytes(&request.payload)
+            .map_err(|e| (map_primacy_error(&e), e.to_string())),
+        (Op::Decompress, ServeCodec::Primacy) => compressor
+            .decompress_bytes(&request.payload)
+            .map_err(|e| (map_primacy_error(&e), e.to_string())),
+        (op, selector) => {
+            let Some(codec) = codec_for(codecs, selector) else {
+                return Err((Status::Internal, "codec table hole".to_string()));
+            };
+            let result = match op {
+                Op::Compress => codec.compress_with(&request.payload, scratch),
+                _ => codec.decompress(&request.payload),
+            };
+            result.map_err(|e| (Status::CodecFailed, e.to_string()))
+        }
+    }
+}
+
+fn worker_loop(shared: &Arc<Shared>) {
+    // One trace scope per worker lifetime: aggregates merge on exit.
+    let _trace_scope = trace::thread_scope();
+    // One scratch per worker — the allocation-reuse contract from PR 5 —
+    // plus one instance of every codec, built once.
+    let mut scratch = CodecScratch::new();
+    let codecs: Vec<Box<dyn Codec>> = CodecKind::ALL.iter().map(|k| k.build()).collect();
+    let compressor = PrimacyCompressor::new(PrimacyConfig::default());
+    let response_cap = max_response_body(shared.config.max_frame_bytes);
+
+    while let Some(job) = shared.queue.pop() {
+        let waited = job.enqueued.elapsed();
+        trace::observe(
+            "serve.queue_wait_us",
+            u64::try_from(waited.as_micros()).unwrap_or(u64::MAX),
+        );
+        let tenant = job.request.tenant;
+        if Instant::now() >= job.deadline {
+            // Cancelled while queued: answer without doing the work.
+            bump(&shared.metrics.timeouts, 1);
+            trace::counter("serve.timeout", 1);
+            shared.metrics.tenant_done(tenant, false, 0);
+            job.conn.send(
+                &shared.metrics,
+                &error_response(Status::Timeout, Some(&job.request), "queue deadline"),
+            );
+            continue;
+        }
+
+        let started = Instant::now();
+        let outcome = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            execute(&job.request, &mut scratch, &codecs, &compressor)
+        }));
+        let outcome = match outcome {
+            Ok(result) => result,
+            Err(_) => {
+                bump(&shared.metrics.worker_panics, 1);
+                // Scratch state after an unwind is suspect; start fresh.
+                scratch = CodecScratch::new();
+                Err((Status::Internal, "worker panicked".to_string()))
+            }
+        };
+        trace::observe(
+            "serve.latency_us",
+            u64::try_from(started.elapsed().as_micros()).unwrap_or(u64::MAX),
+        );
+
+        match outcome {
+            Ok(bytes) if bytes.len() > response_cap => {
+                trace::counter("serve.err", 1);
+                shared.metrics.tenant_done(tenant, false, 0);
+                job.conn.send(
+                    &shared.metrics,
+                    &error_response(
+                        Status::TooLarge,
+                        Some(&job.request),
+                        "result exceeds the response cap",
+                    ),
+                );
+            }
+            Ok(bytes) => {
+                trace::counter("serve.ok", 1);
+                trace::counter("serve.bytes_out", bytes.len() as u64);
+                shared.metrics.tenant_done(tenant, true, bytes.len() as u64);
+                job.conn.send(
+                    &shared.metrics,
+                    &Response {
+                        status: Status::Ok,
+                        op_echo: job.request.op.to_byte(),
+                        codec_echo: job.request.codec.to_byte(),
+                        request_id: job.request.request_id,
+                        tenant,
+                        payload: bytes,
+                    },
+                );
+            }
+            Err((status, detail)) => {
+                trace::counter("serve.err", 1);
+                shared.metrics.tenant_done(tenant, false, 0);
+                job.conn.send(
+                    &shared.metrics,
+                    &error_response(status, Some(&job.request), &detail),
+                );
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn config_default_is_sane() {
+        let cfg = ServeConfig::default();
+        assert_eq!(cfg.workers, 0, "default auto-detects");
+        assert!(cfg.queue_depth >= 1);
+        assert_eq!(cfg.max_frame_bytes, DEFAULT_MAX_FRAME);
+    }
+
+    #[test]
+    fn error_response_echoes_request_fields() {
+        let req = Request {
+            op: Op::Compress,
+            codec: ServeCodec::Fpz,
+            request_id: 123,
+            tenant: 9,
+            payload: vec![1, 2, 3],
+        };
+        let resp = error_response(Status::Busy, Some(&req), "queue full");
+        assert_eq!(resp.status, Status::Busy);
+        assert_eq!(resp.request_id, 123);
+        assert_eq!(resp.tenant, 9);
+        assert_eq!(resp.op_echo, Op::Compress.to_byte());
+        assert_eq!(resp.payload, b"queue full");
+        // Without a parsed request everything echoes as zero.
+        let resp = error_response(Status::BadRequest, None, "bad magic");
+        assert_eq!(resp.request_id, 0);
+        assert_eq!(resp.tenant, 0);
+    }
+
+    #[test]
+    fn execute_covers_every_selector_roundtrip() {
+        let mut scratch = CodecScratch::new();
+        let codecs: Vec<Box<dyn Codec>> = CodecKind::ALL.iter().map(|k| k.build()).collect();
+        let compressor = PrimacyCompressor::new(PrimacyConfig::default());
+        // 8-byte aligned payload so Primacy accepts it too.
+        let payload: Vec<u8> = (0..256u32).flat_map(|i| (i as f64).to_le_bytes()).collect();
+        for selector in ServeCodec::ALL {
+            let compress = Request {
+                op: Op::Compress,
+                codec: selector,
+                request_id: 1,
+                tenant: 1,
+                payload: payload.clone(),
+            };
+            let compressed =
+                execute(&compress, &mut scratch, &codecs, &compressor).expect("compress");
+            let decompress = Request {
+                op: Op::Decompress,
+                codec: selector,
+                request_id: 2,
+                tenant: 1,
+                payload: compressed,
+            };
+            let back =
+                execute(&decompress, &mut scratch, &codecs, &compressor).expect("decompress");
+            assert_eq!(back, payload, "selector {selector}");
+        }
+    }
+
+    #[test]
+    fn execute_maps_errors_to_statuses() {
+        let mut scratch = CodecScratch::new();
+        let codecs: Vec<Box<dyn Codec>> = CodecKind::ALL.iter().map(|k| k.build()).collect();
+        let compressor = PrimacyCompressor::new(PrimacyConfig::default());
+        // Unaligned payload into the PRIMACY pipeline: a client error.
+        let req = Request {
+            op: Op::Compress,
+            codec: ServeCodec::Primacy,
+            request_id: 1,
+            tenant: 1,
+            payload: vec![0u8; 13],
+        };
+        let (status, _) = execute(&req, &mut scratch, &codecs, &compressor).unwrap_err();
+        assert_eq!(status, Status::BadRequest);
+        // Garbage into a decompressor: a codec failure.
+        let req = Request {
+            op: Op::Decompress,
+            codec: ServeCodec::Zlib,
+            request_id: 1,
+            tenant: 1,
+            payload: vec![0xAA; 64],
+        };
+        let (status, _) = execute(&req, &mut scratch, &codecs, &compressor).unwrap_err();
+        assert_eq!(status, Status::CodecFailed);
+    }
+}

@@ -10,8 +10,10 @@
 //!   scientific datasets.
 //! * [`hpcsim`] — the paper's analytical I/O performance model and the
 //!   staging-cluster simulator.
+//! * [`serve`] — the multi-tenant TCP compression service and its client.
 
 pub use primacy_codecs as codecs;
 pub use primacy_core as core;
 pub use primacy_datagen as datagen;
 pub use primacy_hpcsim as hpcsim;
+pub use primacy_serve as serve;

@@ -230,6 +230,178 @@ fn legacy_vectors_still_decode() {
     );
 }
 
+// ---------------------------------------------------------------------------
+// Serve wire-format vectors (ISSUE 8 satellite)
+//
+// The `primacy-serve` frame layout is pinned the same way as the container:
+// a deterministic sequence of request frames (every opcode and codec
+// selector, edge-case ids, varying payload sizes) and response frames
+// (every status byte) is byte-compared against `tests/golden/serve_*.hex`.
+// Rotation follows the same PRIMACY_REGEN_GOLDEN workflow, with one
+// difference of policy: the wire protocol is versioned (`protocol::VERSION`),
+// so an intentional layout change must bump the version byte *and*
+// regenerate, never silently alter the meaning of version 1.
+// ---------------------------------------------------------------------------
+
+use primacy_suite::serve::protocol::{split_frame, Op, Request, Response, ServeCodec, Status};
+
+/// Deterministic payload for serve vectors: the first `len` bytes of a
+/// seeded dataset.
+fn serve_payload(len: usize) -> Vec<u8> {
+    let mut bytes = DatasetId::GtsPhiL.generate_bytes(len.div_ceil(8).max(1));
+    bytes.truncate(len);
+    bytes
+}
+
+/// Every opcode and codec selector, plus id edge cases and payload sizes
+/// 0 / 8 / 100 bytes.
+fn serve_request_fixture() -> Vec<Request> {
+    let mut requests = Vec::new();
+    for (i, codec) in ServeCodec::ALL.into_iter().enumerate() {
+        requests.push(Request {
+            op: Op::Compress,
+            codec,
+            request_id: i as u64,
+            tenant: 1000 + i as u64,
+            payload: serve_payload(8 * i),
+        });
+    }
+    requests.push(Request {
+        op: Op::Decompress,
+        codec: ServeCodec::Zlib,
+        request_id: u64::MAX,
+        tenant: u64::MAX,
+        payload: serve_payload(100),
+    });
+    requests.push(Request {
+        op: Op::Ping,
+        codec: ServeCodec::Primacy,
+        request_id: 0,
+        tenant: 0,
+        payload: Vec::new(),
+    });
+    requests
+}
+
+/// Every status byte with representative echoes and payloads.
+fn serve_response_fixture() -> Vec<Response> {
+    let statuses = [
+        Status::Ok,
+        Status::Busy,
+        Status::Timeout,
+        Status::BadRequest,
+        Status::CodecFailed,
+        Status::TooLarge,
+        Status::ShuttingDown,
+        Status::Internal,
+    ];
+    statuses
+        .into_iter()
+        .enumerate()
+        .map(|(i, status)| Response {
+            status,
+            op_echo: Op::Compress.to_byte(),
+            codec_echo: ServeCodec::ALL[i % ServeCodec::ALL.len()].to_byte(),
+            request_id: 0x0102_0304_0506_0708 ^ i as u64,
+            tenant: 40 + i as u64,
+            payload: if status == Status::Ok {
+                serve_payload(64)
+            } else {
+                format!("{status}").into_bytes()
+            },
+        })
+        .collect()
+}
+
+fn render_serve_golden(kind: &str, count: usize, bytes: &[u8]) -> String {
+    format!(
+        "# PRIMACY golden vector — do not edit by hand.\n\
+         # container: serve wire protocol v1 ({kind} frames)\n\
+         # frames:    {count} length-prefixed frames, concatenated\n\
+         # regen:     PRIMACY_REGEN_GOLDEN=1 cargo test --test golden_format\n\
+         {}",
+        to_hex(bytes)
+    )
+}
+
+/// Pin `produced` against `tests/golden/serve_{kind}.hex` and hand the
+/// committed bytes back for the decode direction.
+fn check_serve_vector(kind: &str, count: usize, produced: &[u8]) -> Vec<u8> {
+    let path = golden_dir().join(format!("serve_{kind}.hex"));
+    if std::env::var_os("PRIMACY_REGEN_GOLDEN").is_some() {
+        std::fs::create_dir_all(golden_dir()).expect("create tests/golden");
+        std::fs::write(&path, render_serve_golden(kind, count, produced))
+            .expect("write golden vector");
+    }
+    let text = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("missing golden vector {}: {e}", path.display()));
+    let golden = from_hex(&text);
+    assert_eq!(
+        produced,
+        golden.as_slice(),
+        "serve {kind}: encoder output drifted from the golden vector \
+         ({} bytes produced vs {} committed). The wire protocol is versioned: \
+         an intentional change must bump protocol::VERSION and regenerate \
+         with PRIMACY_REGEN_GOLDEN=1.",
+        produced.len(),
+        golden.len(),
+    );
+    golden
+}
+
+/// Split a concatenated frame sequence into bodies; the whole buffer must
+/// be consumed exactly.
+fn split_all(mut bytes: &[u8]) -> Vec<&[u8]> {
+    let mut bodies = Vec::new();
+    while !bytes.is_empty() {
+        let (body, consumed) = split_frame(bytes, usize::MAX / 2)
+            .expect("golden frames parse")
+            .expect("golden frames are complete");
+        bodies.push(body);
+        bytes = &bytes[consumed..];
+    }
+    bodies
+}
+
+#[test]
+fn serve_request_frames_are_byte_exact() {
+    let requests = serve_request_fixture();
+    let produced: Vec<u8> = requests
+        .iter()
+        .flat_map(|r| r.encode_frame().expect("fixture encodes"))
+        .collect();
+    let golden = check_serve_vector("request", requests.len(), &produced);
+
+    // Decode direction: the committed frames parse back to the fixture.
+    let bodies = split_all(&golden);
+    assert_eq!(bodies.len(), requests.len());
+    for (body, expected) in bodies.iter().zip(&requests) {
+        assert_eq!(
+            &Request::decode(body).expect("golden request decodes"),
+            expected
+        );
+    }
+}
+
+#[test]
+fn serve_response_frames_are_byte_exact() {
+    let responses = serve_response_fixture();
+    let produced: Vec<u8> = responses
+        .iter()
+        .flat_map(|r| r.encode_frame().expect("fixture encodes"))
+        .collect();
+    let golden = check_serve_vector("response", responses.len(), &produced);
+
+    let bodies = split_all(&golden);
+    assert_eq!(bodies.len(), responses.len());
+    for (body, expected) in bodies.iter().zip(&responses) {
+        assert_eq!(
+            &Response::decode(body).expect("golden response decodes"),
+            expected
+        );
+    }
+}
+
 #[test]
 fn golden_inputs_are_deterministic() {
     // The vectors are only as stable as the generator: two independent calls

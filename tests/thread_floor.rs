@@ -1,0 +1,98 @@
+//! Thread-count floor audit (ISSUE 8 satellite 4): every entry point that
+//! derives a worker count from `available_parallelism` must behave on a
+//! 1-core machine (this CI container *is* one) and must accept an explicit
+//! `threads = 1` without deadlocking a bounded queue.
+//!
+//! The shared definition is `primacy_core::resolve_threads`; the CLI's
+//! `--threads 0`, the pipeline's parallel paths, and the serve worker pool
+//! all route through it (or apply the same `.max(1)` floor locally).
+
+use primacy_suite::core::{
+    resolve_threads, ArchiveReader, ArchiveWriter, PrimacyCompressor, PrimacyConfig,
+};
+use primacy_suite::datagen::DatasetId;
+use primacy_suite::serve::protocol::{Op, Request, ServeCodec, Status};
+use primacy_suite::serve::{ServeClient, ServeConfig, Server};
+use std::time::Duration;
+
+#[test]
+fn resolver_floors_at_one_thread() {
+    // 0 = auto-detect. Whatever the machine reports — including the Err
+    // path on exotic cgroup configs — the answer is at least 1.
+    assert!(resolve_threads(0) >= 1);
+    assert_eq!(resolve_threads(1), 1);
+    assert_eq!(resolve_threads(7), 7);
+}
+
+#[test]
+fn pipeline_accepts_one_thread_and_zero_is_auto() {
+    let input = DatasetId::ALL[4].generate_bytes(3000);
+    let c = PrimacyCompressor::new(PrimacyConfig {
+        chunk_bytes: 4096,
+        ..Default::default()
+    });
+    let serial = c.compress_bytes(&input).unwrap();
+    // threads=1 must complete (no zero-width worker pool) and match serial.
+    let one = c.compress_bytes_parallel(&input, 1).unwrap();
+    assert_eq!(one, serial);
+    // threads=0 historically meant "caller forgot to resolve"; the pipeline
+    // floors it rather than deadlocking.
+    let zero = c.compress_bytes_parallel(&input, 0).unwrap();
+    assert_eq!(zero, serial);
+    assert_eq!(c.decompress_bytes(&one).unwrap(), input);
+}
+
+#[test]
+fn archive_reader_accepts_one_thread_and_zero() {
+    let input = DatasetId::ALL[4].generate_bytes(3000);
+    let mut w = ArchiveWriter::new(
+        Vec::new(),
+        PrimacyConfig {
+            chunk_bytes: 4096,
+            ..Default::default()
+        },
+    )
+    .unwrap();
+    w.append(&input).unwrap();
+    let archive = w.finish().unwrap();
+    let r = ArchiveReader::open(&archive).unwrap();
+    let serial = r.read_all_parallel(1).unwrap();
+    assert_eq!(serial, input);
+    assert_eq!(r.read_all_parallel(0).unwrap(), input);
+}
+
+#[test]
+fn serve_worker_pool_with_one_worker_drains_a_bounded_queue() {
+    // The regression this satellite pins: one worker + a bounded queue must
+    // make progress (a zero-worker pool would leave admitted jobs stuck
+    // forever, and graceful shutdown would hang on the drain join).
+    for workers in [0usize, 1] {
+        let server = Server::start(ServeConfig {
+            workers,
+            queue_depth: 2,
+            request_timeout: Duration::from_secs(30),
+            ..ServeConfig::default()
+        })
+        .unwrap();
+        let mut client = ServeClient::connect(server.local_addr()).unwrap();
+        client.set_timeouts(Some(Duration::from_secs(30))).unwrap();
+        let data = DatasetId::ALL[4].generate_bytes(512);
+        // More sequential requests than the queue is deep: every one must
+        // eventually succeed (closed loop, so Busy cannot even occur).
+        for i in 0..6u64 {
+            let resp = client
+                .request(&Request {
+                    op: Op::Compress,
+                    codec: ServeCodec::Lzr,
+                    request_id: i,
+                    tenant: 1,
+                    payload: data.clone(),
+                })
+                .unwrap();
+            assert_eq!(resp.status, Status::Ok, "workers={workers}, req {i}");
+        }
+        let snap = server.shutdown();
+        assert_eq!(snap.total_ok(), 6, "workers={workers}");
+        assert_eq!(snap.total_panics(), 0);
+    }
+}
