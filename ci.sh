@@ -7,7 +7,7 @@
 # `.github/workflows/ci.yml` runs this script one stage per job; run it
 # locally with no argument to get the full gate before pushing.
 #
-# Usage: ./ci.sh [lint|build-test|conformance|bench|serve|all]
+# Usage: ./ci.sh [lint|build-test|conformance|bench|archive-io|serve|all]
 set -euo pipefail
 cd "$(dirname "$0")"
 
@@ -86,6 +86,28 @@ bench() {
         cargo run --release --offline -p primacy-bench --bin throughput -- --smoke
 }
 
+archive_io() {
+    # Overlapped-archive smoke gate: writes the two acceptance corpora
+    # through both writers and asserts (a) overlapped archives are
+    # byte-identical to bulk-synchronous ones at every thread count, (b) the
+    # overlap counters are live, and (c) behind the modeled staging link the
+    # overlapped writer beats bulk by ≥ 1.05× (the full-size ≥ 1.3× claim
+    # lives in EXPERIMENTS.md / results/BENCH_archive_io.json, regenerated
+    # with a plain `archive_io` run). Absolute MB/s stays report-only here.
+    # Budget: must finish inside 60s even on a 1-core runner (measured ~3s
+    # plus compile).
+    run cargo build --release --offline -p primacy-bench
+    local aio_t0=$SECONDS
+    run env PRIMACY_BENCH_JSON=results/BENCH_archive_io_smoke.json \
+        ./target/release/archive_io --smoke
+    local aio_dt=$((SECONDS - aio_t0))
+    echo "==> archive_io --smoke runtime: ${aio_dt}s (budget: <60s)"
+    if ((aio_dt >= 60)); then
+        echo "==> archive_io --smoke blew its 60s runtime budget (${aio_dt}s)" >&2
+        exit 1
+    fi
+}
+
 serve() {
     # Serving smoke gate: an in-process `primacy-serve` instance under
     # `primacy-loadgen --smoke` — 100 concurrent connections of mixed
@@ -111,16 +133,18 @@ lint) lint ;;
 build-test) build_test ;;
 conformance) conformance ;;
 bench) bench ;;
+archive-io) archive_io ;;
 serve) serve ;;
 all)
     lint
     build_test
     conformance
     bench
+    archive_io
     serve
     ;;
 *)
-    echo "usage: $0 [lint|build-test|conformance|bench|serve|all]" >&2
+    echo "usage: $0 [lint|build-test|conformance|bench|archive-io|serve|all]" >&2
     exit 2
     ;;
 esac

@@ -32,10 +32,10 @@ fn usage() -> ExitCode {
          primacy stats <input>\n  \
          primacy gen <dataset> <output> [--elems N]\n  \
          primacy bench <input>\n  \
-         primacy archive <input> <output.prma> [compress flags]\n  \
+         primacy archive <input> <output.prma> [compress flags] [--overlap] [--trace]\n  \
          primacy extract <input.prma> <output> [--start N --count N]\n  \
          primacy info <input.prma>\n  \
-         primacy verify <input.prim|input.prma>\n  \
+         primacy verify <input.prim|input.prma> [--trace]\n  \
          primacy cat <input.prma>\n  \
          primacy list"
     );
@@ -295,18 +295,36 @@ fn run() -> Result<(), String> {
                     cfg.element_size
                 ));
             }
+            let overlap = args.iter().any(|a| a == "--overlap");
+            let threads = resolve_threads(parse_flag::<usize>(&args, "--threads").unwrap_or(0));
+            let tracing = setup_trace(&args)?;
             let t0 = Instant::now();
-            let mut w = ArchiveWriter::new(Vec::new(), cfg).map_err(|e| e.to_string())?;
+            let mut w = if overlap {
+                ArchiveWriter::with_overlap(Vec::new(), cfg, threads)
+            } else {
+                ArchiveWriter::new(Vec::new(), cfg)
+            }
+            .map_err(|e| e.to_string())?;
             w.append(&data).map_err(|e| e.to_string())?;
             let archive = w.finish().map_err(|e| e.to_string())?;
-            let secs = t0.elapsed().as_secs_f64();
+            let wall = t0.elapsed();
+            if tracing {
+                report_trace(wall);
+            }
+            let secs = wall.as_secs_f64();
             std::fs::write(output, &archive).map_err(|e| format!("write {output}: {e}"))?;
             println!(
-                "{} -> {} bytes (CR {:.3}) in {:.2}s; seekable archive with chunk directory",
+                "{} -> {} bytes (CR {:.3}) in {:.2}s ({:.1} MB/s, {}); seekable archive with chunk directory",
                 data.len(),
                 archive.len(),
                 data.len() as f64 / archive.len() as f64,
-                secs
+                secs,
+                data.len() as f64 / 1e6 / secs.max(1e-9),
+                if overlap {
+                    format!("overlapped, {threads} compress threads")
+                } else {
+                    "bulk-synchronous".to_string()
+                }
             );
             Ok(())
         }
@@ -367,11 +385,12 @@ fn run() -> Result<(), String> {
         "verify" => {
             let input = args.get(1).ok_or("missing input path")?;
             let data = std::fs::read(input).map_err(|e| format!("read {input}: {e}"))?;
+            let tracing = setup_trace(&args)?;
             let t0 = Instant::now();
             let (bytes, kind) = if data.len() >= 4 && &data[..4] == b"PRMA" {
                 let r = ArchiveReader::open(&data).map_err(|e| e.to_string())?;
                 (
-                    r.read_all_parallel(4).map_err(|e| e.to_string())?.len(),
+                    r.read_all_pipelined(4).map_err(|e| e.to_string())?.len(),
                     "archive",
                 )
             } else {
@@ -381,6 +400,9 @@ fn run() -> Result<(), String> {
                     "stream",
                 )
             };
+            if tracing {
+                report_trace(t0.elapsed());
+            }
             println!(
                 "{input}: OK ({kind}); {} compressed bytes -> {} plaintext bytes, all checksums verified in {:.2}s",
                 data.len(),

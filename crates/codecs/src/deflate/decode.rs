@@ -30,7 +30,7 @@ use super::{
 };
 use crate::bitio::{reverse_bits, BitReader};
 use crate::error::{CodecError, Result};
-use crate::huffman::{canonical_codes, validate_prefix_code, Decoder};
+use crate::huffman::{canonical_codes_into, validate_prefix_code, Decoder};
 
 /// Primary-table index width for the literal/length alphabet. 11 bits keeps
 /// the table at 8 KiB and lets two literals of ≤ 11 total code bits merge
@@ -116,10 +116,16 @@ impl Table {
 
     /// Compile the literal/length table for `lengths`, then merge adjacent
     /// short literals into [`K_LIT2`] entries.
-    fn build_litlen(&mut self, lengths: &[u8], group_len: &mut Vec<u8>) -> Result<()> {
+    fn build_litlen(
+        &mut self,
+        lengths: &[u8],
+        group_len: &mut Vec<u8>,
+        codes: &mut Vec<u32>,
+    ) -> Result<()> {
         self.bits = fill_table(
             &mut self.entries,
             group_len,
+            codes,
             lengths,
             LITLEN_TABLE_BITS,
             litlen_entry,
@@ -157,10 +163,16 @@ impl Table {
     }
 
     /// Compile the distance table for `lengths`.
-    fn build_dist(&mut self, lengths: &[u8], group_len: &mut Vec<u8>) -> Result<()> {
+    fn build_dist(
+        &mut self,
+        lengths: &[u8],
+        group_len: &mut Vec<u8>,
+        codes: &mut Vec<u32>,
+    ) -> Result<()> {
         self.bits = fill_table(
             &mut self.entries,
             group_len,
+            codes,
             lengths,
             DIST_TABLE_BITS,
             dist_entry,
@@ -199,11 +211,13 @@ fn dist_entry(sym: u16, len: u32) -> u32 {
 /// Compile `lengths` into `entries`: validate the code, step-fill the
 /// primary table for codes that fit, then allocate and fill one subtable per
 /// over-long prefix (sized to the longest code sharing that prefix).
-/// `group_len` is caller-owned scratch for the per-prefix depth pass.
+/// `group_len` and `codes` are caller-owned scratch (per-prefix depths and
+/// canonical codes), so warm calls never touch the allocator.
 /// Returns the primary width actually used.
 fn fill_table(
     entries: &mut Vec<u32>,
     group_len: &mut Vec<u8>,
+    codes: &mut Vec<u32>,
     lengths: &[u8],
     max_table_bits: u32,
     sym_entry: impl Fn(u16, u32) -> u32,
@@ -213,11 +227,11 @@ fn fill_table(
     let size = 1usize << table_bits;
     entries.clear();
     entries.resize(size, K_INVALID);
-    let codes = canonical_codes(lengths);
+    canonical_codes_into(lengths, codes);
 
     // Short codes: every index whose low `len` bits equal the reversed code
     // decodes this symbol, so fill at stride 2^len.
-    for ((sym, &len), &code) in lengths.iter().enumerate().zip(&codes) {
+    for ((sym, &len), &code) in lengths.iter().enumerate().zip(codes.iter()) {
         let len = u32::from(len);
         if len == 0 || len > table_bits {
             continue;
@@ -233,7 +247,7 @@ fn fill_table(
         // Pass 1: deepest code per primary prefix.
         group_len.clear();
         group_len.resize(size, 0);
-        for ((_, &len), &code) in lengths.iter().enumerate().zip(&codes) {
+        for ((_, &len), &code) in lengths.iter().enumerate().zip(codes.iter()) {
             let len32 = u32::from(len);
             if len32 <= table_bits {
                 continue;
@@ -260,7 +274,7 @@ fn fill_table(
         }
         // Pass 3: step-fill each long code inside its subtable, consuming
         // the full code length at lookup time.
-        for ((sym, &len), &code) in lengths.iter().enumerate().zip(&codes) {
+        for ((sym, &len), &code) in lengths.iter().enumerate().zip(codes.iter()) {
             let len32 = u32::from(len);
             if len32 <= table_bits {
                 continue;
@@ -287,13 +301,24 @@ fn fill_table(
 
 /// Reusable per-stream decode state: the two compiled tables plus the
 /// header-parsing buffers, so a multi-block stream re-derives its dynamic
-/// tables without re-allocating them.
+/// tables without re-allocating them. Callers decoding many streams (the
+/// pipeline's per-chunk hot path) keep one instance per thread and pass it
+/// to [`inflate_with`], so steady-state decode allocates nothing here.
 #[derive(Debug, Default)]
-struct InflateScratch {
+pub struct InflateScratch {
     lit: Table,
     dist: Table,
     lengths: Vec<u8>,
     group_len: Vec<u8>,
+    codes: Vec<u32>,
+    cl_dec: Decoder,
+}
+
+impl InflateScratch {
+    /// An empty scratch; table and length buffers grow on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
 }
 
 /// Decompress a raw DEFLATE stream into a fresh buffer.
@@ -305,8 +330,14 @@ pub fn inflate(input: &[u8]) -> Result<Vec<u8>> {
 
 /// Decompress a raw DEFLATE stream, appending to `out`.
 pub fn inflate_into(input: &[u8], out: &mut Vec<u8>) -> Result<()> {
+    inflate_with(input, &mut InflateScratch::default(), out)
+}
+
+/// [`inflate_into`] with caller-owned decode state: identical output, but
+/// the Huffman tables and header buffers in `scratch` are reused, so a warm
+/// call performs no allocations beyond growing `out`.
+pub fn inflate_with(input: &[u8], scratch: &mut InflateScratch, out: &mut Vec<u8>) -> Result<()> {
     let mut r = BitReader::new(input);
-    let mut scratch = InflateScratch::default();
     loop {
         let bfinal = r.read_bits(1)?;
         let btype = r.read_bits(2)?;
@@ -322,7 +353,7 @@ pub fn inflate_into(input: &[u8], out: &mut Vec<u8>) -> Result<()> {
             }
             0b10 => {
                 primacy_trace::counter("inflate.blocks_dynamic", 1);
-                read_dynamic_tables(&mut r, &mut scratch)?;
+                read_dynamic_tables(&mut r, scratch)?;
                 inflate_block(&mut r, &scratch.lit, &scratch.dist, out)?;
             }
             _ => return Err(CodecError::Corrupt("reserved block type 11")),
@@ -348,10 +379,19 @@ fn fixed_tables() -> Result<(&'static Table, &'static Table)> {
     static TABLES: OnceLock<Result<(Table, Table)>> = OnceLock::new();
     let tables = TABLES.get_or_init(|| {
         let mut group_len = Vec::new();
+        let mut codes = Vec::new();
         let mut lit = Table::default();
-        lit.build_litlen(&super::encode::fixed_litlen_lengths(), &mut group_len)?;
+        lit.build_litlen(
+            &super::encode::fixed_litlen_lengths(),
+            &mut group_len,
+            &mut codes,
+        )?;
         let mut dist = Table::default();
-        dist.build_dist(&super::encode::fixed_dist_lengths(), &mut group_len)?;
+        dist.build_dist(
+            &super::encode::fixed_dist_lengths(),
+            &mut group_len,
+            &mut codes,
+        )?;
         Ok((lit, dist))
     });
     match tables {
@@ -376,10 +416,19 @@ fn read_dynamic_tables(r: &mut BitReader<'_>, scratch: &mut InflateScratch) -> R
             *slot = r.read_bits(3)? as u8;
         }
     }
-    let cl_dec = Decoder::from_lengths(&cl_lengths)?;
+    // Disjoint field borrows: the code-length decoder, the length buffer,
+    // and both table builders all live in the same scratch.
+    let InflateScratch {
+        lit,
+        dist,
+        lengths,
+        group_len,
+        codes,
+        cl_dec,
+    } = scratch;
+    cl_dec.rebuild(&cl_lengths, codes)?;
 
     let total = hlit.saturating_add(hdist); // <= 316 after the guards above
-    let lengths = &mut scratch.lengths;
     lengths.clear();
     lengths.reserve(total);
     while lengths.len() < total {
@@ -416,12 +465,8 @@ fn read_dynamic_tables(r: &mut BitReader<'_>, scratch: &mut InflateScratch) -> R
     let (lit_lengths, dist_lengths) = lengths
         .split_at_checked(hlit)
         .ok_or(CodecError::Corrupt("code-length table underfilled"))?;
-    scratch
-        .lit
-        .build_litlen(lit_lengths, &mut scratch.group_len)?;
-    scratch
-        .dist
-        .build_dist(dist_lengths, &mut scratch.group_len)?;
+    lit.build_litlen(lit_lengths, group_len, codes)?;
+    dist.build_dist(dist_lengths, group_len, codes)?;
     Ok(())
 }
 
@@ -641,6 +686,7 @@ fn copy_match(out: &mut Vec<u8>, dist: usize, len: usize) {
 mod tests {
     use super::super::{deflate, Level};
     use super::*;
+    use crate::huffman::canonical_codes;
 
     #[test]
     fn rejects_reserved_block_type() {
@@ -833,7 +879,9 @@ mod tests {
         );
         let codes = canonical_codes(&lengths);
         let mut table = Table::default();
-        table.build_litlen(&lengths, &mut Vec::new()).unwrap();
+        table
+            .build_litlen(&lengths, &mut Vec::new(), &mut Vec::new())
+            .unwrap();
         for (sym, &len) in lengths.iter().enumerate() {
             if len == 0 {
                 continue;
@@ -879,7 +927,9 @@ mod tests {
         let lengths = skewed_lengths(30);
         let codes = canonical_codes(&lengths);
         let mut table = Table::default();
-        table.build_dist(&lengths, &mut Vec::new()).unwrap();
+        table
+            .build_dist(&lengths, &mut Vec::new(), &mut Vec::new())
+            .unwrap();
         for (sym, &len) in lengths.iter().enumerate() {
             if len == 0 {
                 continue;
@@ -910,7 +960,9 @@ mod tests {
         lengths[1] = 3;
         lengths[2] = 3;
         let mut table = Table::default();
-        table.build_litlen(&lengths, &mut Vec::new()).unwrap();
+        table
+            .build_litlen(&lengths, &mut Vec::new(), &mut Vec::new())
+            .unwrap();
         assert_eq!(table.bits, 3);
         // The all-zeros index decodes literal 0 twice.
         let e = table.lookup(0);
@@ -937,10 +989,12 @@ mod tests {
         let dist_lengths = skewed_lengths(30);
         let codes = canonical_codes(&lengths);
         let mut table = Table::default();
-        table.build_litlen(&lengths, &mut Vec::new()).unwrap();
+        table
+            .build_litlen(&lengths, &mut Vec::new(), &mut Vec::new())
+            .unwrap();
         let mut dist_table = Table::default();
         dist_table
-            .build_dist(&dist_lengths, &mut Vec::new())
+            .build_dist(&dist_lengths, &mut Vec::new(), &mut Vec::new())
             .unwrap();
         // Emit every literal once, then EOB, and inflate it back.
         let mut w = BitWriter::new();
@@ -987,7 +1041,9 @@ mod tests {
         let mut lengths = vec![0u8; 30];
         lengths[0] = 1;
         let mut table = Table::default();
-        table.build_dist(&lengths, &mut Vec::new()).unwrap();
+        table
+            .build_dist(&lengths, &mut Vec::new(), &mut Vec::new())
+            .unwrap();
         assert_eq!(entry_kind(table.lookup(0)), K_DIST);
         assert_eq!(entry_kind(table.lookup(1)), K_INVALID);
     }

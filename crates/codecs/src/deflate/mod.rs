@@ -18,6 +18,7 @@ mod gzip;
 pub mod lz77;
 mod zlib;
 
+pub use decode::InflateScratch;
 pub use gzip::Gzip;
 pub use lz77::EncoderScratch;
 pub use zlib::Zlib;

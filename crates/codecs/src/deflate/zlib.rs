@@ -56,6 +56,20 @@ impl Zlib {
 
     /// Decompress a zlib stream, verifying header and Adler-32 trailer.
     pub fn decompress_bytes(&self, input: &[u8]) -> Result<Vec<u8>> {
+        let mut out = Vec::with_capacity(input.len().saturating_mul(3));
+        self.decompress_bytes_into(input, &mut decode::InflateScratch::new(), &mut out)?;
+        Ok(out)
+    }
+
+    /// Decompress a zlib stream into `out` (cleared first, capacity kept),
+    /// reusing `scratch` for the inflater's Huffman tables. A warm call on a
+    /// sufficiently-large `out` performs no allocations.
+    pub fn decompress_bytes_into(
+        &self,
+        input: &[u8],
+        scratch: &mut decode::InflateScratch,
+        out: &mut Vec<u8>,
+    ) -> Result<()> {
         if input.len() < 6 {
             return Err(CodecError::Truncated);
         }
@@ -74,18 +88,19 @@ impl Zlib {
             return Err(CodecError::Corrupt("preset dictionaries not supported"));
         }
         let body = &input[2..input.len() - 4];
-        let out = decode::inflate(body)?;
+        out.clear();
+        decode::inflate_with(body, scratch, out)?;
         let stored = u32::from_be_bytes(
             crate::read_array(input, input.len() - 4).ok_or(CodecError::Truncated)?,
         );
-        let actual = adler32(&out);
+        let actual = adler32(out);
         if stored != actual {
             return Err(CodecError::ChecksumMismatch {
                 expected: stored,
                 actual,
             });
         }
-        Ok(out)
+        Ok(())
     }
 }
 
@@ -108,6 +123,15 @@ impl Codec for Zlib {
 
     fn decompress(&self, input: &[u8]) -> Result<Vec<u8>> {
         self.decompress_bytes(input)
+    }
+
+    fn decompress_into(
+        &self,
+        input: &[u8],
+        scratch: &mut CodecScratch,
+        out: &mut Vec<u8>,
+    ) -> Result<()> {
+        self.decompress_bytes_into(input, &mut scratch.inflate, out)
     }
 }
 

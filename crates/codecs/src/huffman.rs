@@ -194,6 +194,41 @@ pub fn canonical_codes(lengths: &[u8]) -> Vec<u32> {
     codes
 }
 
+/// [`canonical_codes`] into a caller-owned buffer, for lengths already
+/// validated to RFC 1951's 15-bit cap: the count arrays live on the stack,
+/// so a warm `codes` buffer makes the call allocation-free. This is the
+/// per-chunk decode hot path's twin of [`canonical_codes`]; callers must run
+/// [`validate_prefix_code`] (or otherwise bound lengths to ≤ 15) first.
+pub(crate) fn canonical_codes_into(lengths: &[u8], codes: &mut Vec<u32>) {
+    let max_len = usize::from(lengths.iter().copied().max().unwrap_or(0));
+    debug_assert!(max_len <= 15, "lengths must be validated to <= 15 bits");
+    let mut bl_count = [0u32; 16];
+    for &l in lengths {
+        if let Some(c) = bl_count.get_mut(usize::from(l)) {
+            if l > 0 {
+                *c += 1;
+            }
+        }
+    }
+    let mut next_code = [0u32; 17];
+    let mut code = 0u32;
+    for bits in 1..=max_len.min(15) {
+        code = (code + bl_count[bits - 1]) << 1;
+        next_code[bits] = code;
+    }
+    codes.clear();
+    codes.resize(lengths.len(), 0);
+    for (slot, &l) in codes.iter_mut().zip(lengths) {
+        if l == 0 {
+            continue;
+        }
+        if let Some(next) = next_code.get_mut(usize::from(l)) {
+            *slot = *next;
+            *next += 1;
+        }
+    }
+}
+
 /// An encoder-side Huffman table: per-symbol code (already bit-reversed for
 /// LSB-first emission) and length.
 #[derive(Debug, Clone)]
@@ -245,31 +280,56 @@ pub struct Decoder {
     pub max_len: u32,
 }
 
+impl Default for Decoder {
+    /// An empty decoder with no table. It must be [`Decoder::rebuild`]-ed
+    /// before [`Decoder::decode`] is called; this exists only so scratch
+    /// structs can hold a reusable decoder slot.
+    fn default() -> Self {
+        Self {
+            table: Vec::new(),
+            max_len: 0,
+        }
+    }
+}
+
 impl Decoder {
     /// Build a decoder from canonical code lengths. Fails unless the lengths
     /// pass [`validate_prefix_code`] (complete prefix code, or the RFC 1951
     /// §3.2.7 degenerate single-symbol exception).
     pub fn from_lengths(lengths: &[u8]) -> Result<Self> {
+        let mut dec = Self::default();
+        let mut codes = Vec::new();
+        dec.rebuild(lengths, &mut codes)?;
+        Ok(dec)
+    }
+
+    /// Rebuild this decoder in place from canonical code lengths, reusing the
+    /// lookup table and the caller's `codes` buffer so a warm decoder makes
+    /// the rebuild allocation-free. Same validation as
+    /// [`Decoder::from_lengths`].
+    pub fn rebuild(&mut self, lengths: &[u8], codes: &mut Vec<u32>) -> Result<()> {
         let max_len = validate_prefix_code(lengths)?;
-        let canonical = canonical_codes(lengths);
+        canonical_codes_into(lengths, codes);
         let size = 1usize << max_len;
-        let mut table = vec![(u16::MAX, 0u8); size];
+        self.table.clear();
+        self.table.resize(size, (u16::MAX, 0u8));
         for (sym, &len) in lengths.iter().enumerate() {
             if len == 0 {
                 continue;
             }
             let len32 = u32::from(len);
-            let rev = reverse_bits(canonical[sym], len32) as usize;
+            let rev = reverse_bits(codes[sym], len32) as usize;
             // Every index whose low `len` bits equal the reversed code maps
             // to this symbol.
             let step = 1usize << len32;
             let mut idx = rev;
             while idx < size {
-                table[idx] = (sym as u16, len);
+                self.table[idx] = (sym as u16, len);
                 idx += step;
             }
         }
-        Ok(Self { table, max_len })
+        self.max_len = max_len;
+        Ok(())
     }
 
     /// Decode one symbol from `reader`.

@@ -79,6 +79,35 @@ pub trait Codec: Send + Sync {
 
     /// Reverse [`Codec::compress`].
     fn decompress(&self, input: &[u8]) -> Result<Vec<u8>>;
+
+    /// Decompress `input`, reusing per-call working memory from `scratch`
+    /// and writing the plaintext into `out` (cleared first, capacity kept).
+    ///
+    /// The decode-side mirror of [`Codec::compress_with`]: output bytes are
+    /// identical to [`Codec::decompress`], only allocation behavior differs.
+    /// Codecs with reusable decode state (deflate-family Huffman tables)
+    /// override this so a warm call allocates nothing beyond growing `out`;
+    /// the default defers to `decompress` and copies.
+    fn decompress_into(
+        &self,
+        input: &[u8],
+        scratch: &mut CodecScratch,
+        out: &mut Vec<u8>,
+    ) -> Result<()> {
+        let _ = scratch;
+        out.clear();
+        out.extend_from_slice(&self.decompress(input)?);
+        Ok(())
+    }
+
+    /// Decompress into a fresh buffer while still reusing `scratch` state.
+    /// Callers that must hand ownership of the plaintext onward (the serve
+    /// response path) use this to keep the table-reuse half of the win.
+    fn decompress_with(&self, input: &[u8], scratch: &mut CodecScratch) -> Result<Vec<u8>> {
+        let mut out = Vec::new();
+        self.decompress_into(input, scratch, &mut out)?;
+        Ok(out)
+    }
 }
 
 /// Reusable per-thread working memory for [`Codec::compress_with`].
@@ -92,6 +121,9 @@ pub trait Codec: Send + Sync {
 pub struct CodecScratch {
     /// LZ77 match-finder state for deflate-family codecs (zlib, gzip).
     pub deflate: deflate::EncoderScratch,
+    /// Inflate-side decode state (Huffman tables, header buffers) for
+    /// deflate-family codecs, reused by [`Codec::decompress_into`].
+    pub inflate: deflate::InflateScratch,
 }
 
 impl CodecScratch {

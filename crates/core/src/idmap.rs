@@ -164,6 +164,68 @@ impl IdMap {
         Self::from_ranked(ranked, hi_bytes)
     }
 
+    /// A placeholder map with no sequences, suitable only as a target for
+    /// [`IdMap::reload`]. Consistent (every lookup reports absent) but tiny:
+    /// the full-size `id_for_seq` table is grown on first reload.
+    pub(crate) fn placeholder() -> Self {
+        Self {
+            seq_for_id: Vec::new(),
+            id_for_seq: vec![ABSENT; 1 << 8],
+            hi_bytes: 1,
+        }
+    }
+
+    /// [`IdMap::deserialize`] into `self`, reusing its tables: clearing costs
+    /// O(previous k) — the previous `seq_for_id` says exactly which
+    /// `id_for_seq` slots are live — so a warm reload touches no memory
+    /// proportional to the 65 536-entry domain and performs no allocations.
+    ///
+    /// On error `self` is restored to a consistent empty state, never left
+    /// half-loaded.
+    pub fn reload(&mut self, bytes: &[u8], k: usize, hi_bytes: usize) -> Result<()> {
+        if bytes.len() != k * hi_bytes {
+            return Err(PrimacyError::Format("index size mismatch"));
+        }
+        let domain = 1usize << (8 * hi_bytes);
+        if k >= ABSENT as usize && hi_bytes == 2 {
+            return Err(PrimacyError::InvalidInput(
+                "chunk uses the full byte-sequence domain; ID mapping degenerate",
+            ));
+        }
+        for &seq in &self.seq_for_id {
+            if let Some(slot) = self.id_for_seq.get_mut(seq as usize) {
+                *slot = ABSENT;
+            }
+        }
+        self.seq_for_id.clear();
+        self.id_for_seq.resize(domain, ABSENT);
+        self.hi_bytes = hi_bytes;
+        for i in 0..k {
+            let seq = match hi_bytes {
+                1 => u16::from(bytes[i]),
+                _ => u16::from_be_bytes([bytes[i * 2], bytes[i * 2 + 1]]),
+            };
+            let dup = {
+                let slot = &mut self.id_for_seq[seq as usize];
+                let dup = *slot != ABSENT;
+                *slot = i as u16;
+                dup
+            };
+            if dup {
+                // Roll back what this call loaded so the invariant
+                // (id_for_seq[s] set ⇔ s ∈ seq_for_id) still holds.
+                self.id_for_seq[seq as usize] = ABSENT;
+                for &s in &self.seq_for_id {
+                    self.id_for_seq[s as usize] = ABSENT;
+                }
+                self.seq_for_id.clear();
+                return Err(PrimacyError::Format("duplicate sequence in index"));
+            }
+            self.seq_for_id.push(seq);
+        }
+        Ok(())
+    }
+
     /// Size of the serialized index in bytes.
     pub fn serialized_len(&self) -> usize {
         self.seq_for_id.len() * self.hi_bytes
@@ -285,5 +347,38 @@ mod tests {
         assert!(m.is_empty());
         let mut empty: Vec<u8> = vec![];
         m.encode_hi(&mut empty).unwrap();
+    }
+
+    #[test]
+    fn reload_matches_deserialize_across_widths() {
+        let mut scratch = IdMap::placeholder();
+        // Successive reloads with different k, contents, and widths must land
+        // on exactly the same map deserialize would build from scratch.
+        let cases: [(&[u8], usize, usize); 4] = [
+            (&[0x3F, 0xF0, 0x40, 0x00, 0xC0, 0x00], 3, 2),
+            (&[0x40, 0x00, 0x3F, 0xF0], 2, 2),
+            (&[10, 200, 30], 3, 1),
+            (&[], 0, 2),
+        ];
+        for (bytes, k, hi_bytes) in cases {
+            scratch.reload(bytes, k, hi_bytes).unwrap();
+            assert_eq!(scratch, IdMap::deserialize(bytes, k, hi_bytes).unwrap());
+        }
+    }
+
+    #[test]
+    fn reload_error_leaves_consistent_empty_map() {
+        let mut scratch = IdMap::placeholder();
+        scratch.reload(&[0x3F, 0xF0, 0x40, 0x00], 2, 2).unwrap();
+        // Duplicate sequence: must fail and roll back to an empty map whose
+        // lookups all report absent (no stale IDs from the failed load or
+        // the previous one).
+        assert!(scratch.reload(&[0, 1, 0, 1], 2, 2).is_err());
+        assert!(scratch.is_empty());
+        assert_eq!(scratch.id_of(0x3FF0), None);
+        assert_eq!(scratch.id_of(0x0001), None);
+        // And the scratch is still reusable afterwards.
+        scratch.reload(&[0xAB, 0xCD], 1, 2).unwrap();
+        assert_eq!(scratch.id_of(0xABCD), Some(0));
     }
 }

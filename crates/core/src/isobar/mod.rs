@@ -135,16 +135,37 @@ pub fn unpartition(
     cols: usize,
     mask: u16,
 ) -> Vec<u8> {
-    let mut out = vec![0u8; rows * cols];
-    // Source slice per column, in column order.
-    let mut src: Vec<&[u8]> = Vec::with_capacity(cols);
+    let mut out = Vec::new();
+    unpartition_into(compressible, incompressible, rows, cols, mask, &mut out);
+    out
+}
+
+/// [`unpartition`] into a caller-owned buffer (cleared first, capacity kept):
+/// a warm call on a sufficiently-large `out` performs no allocations.
+pub fn unpartition_into(
+    compressible: &[u8],
+    incompressible: &[u8],
+    rows: usize,
+    cols: usize,
+    mask: u16,
+    out: &mut Vec<u8>,
+) {
+    assert!(
+        cols <= 16,
+        "lo matrix has more columns than any element holds"
+    );
+    out.clear();
+    out.resize(rows * cols, 0);
+    // Source slice per column, in column order. `cols` is bounded by the
+    // element size (≤ 16), so a fixed array avoids a per-call allocation.
+    let mut src: [&[u8]; 16] = [&[]; 16];
     let (mut ci, mut ii) = (0usize, 0usize);
-    for c in 0..cols {
+    for (c, slot) in src.iter_mut().enumerate().take(cols) {
         if mask & (1 << c) != 0 {
-            src.push(&compressible[ci..ci + rows]);
+            *slot = &compressible[ci..ci + rows];
             ci += rows;
         } else {
-            src.push(&incompressible[ii..ii + rows]);
+            *slot = &incompressible[ii..ii + rows];
             ii += rows;
         }
     }
@@ -156,7 +177,7 @@ pub fn unpartition(
     while start < rows {
         let end = (start + BLOCK).min(rows);
         let out_block = &mut out[start * cols..end * cols];
-        for (c, col) in src.iter().enumerate() {
+        for (c, col) in src.iter().enumerate().take(cols) {
             for (slot, &b) in out_block
                 .iter_mut()
                 .skip(c)
@@ -168,7 +189,6 @@ pub fn unpartition(
         }
         start = end;
     }
-    out
 }
 
 #[cfg(test)]

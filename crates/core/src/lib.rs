@@ -70,7 +70,7 @@ pub use config::{
     resolve_threads, IndexPolicy, IsobarClassifier, IsobarConfig, Linearization, PrimacyConfig,
 };
 pub use error::{PrimacyError, Result};
-pub use pipeline::PrimacyCompressor;
+pub use pipeline::{DecodeScratch, PrimacyCompressor};
 pub use stats::{CompressionStats, StageTimings, STAGES};
 pub use stream::ElementReader;
 

@@ -44,11 +44,22 @@ pub fn to_columns(data: &[u8], rows: usize, cols: usize) -> Vec<u8> {
 
 /// Inverse of [`to_columns`].
 pub fn to_rows(data: &[u8], rows: usize, cols: usize) -> Vec<u8> {
+    let mut out = Vec::new();
+    to_rows_into(data, rows, cols, &mut out);
+    out
+}
+
+/// [`to_rows`] into a caller-owned buffer (cleared first, capacity kept): a
+/// warm call on a sufficiently-large `out` performs no allocations, which the
+/// archive's steady-state decode path relies on.
+pub fn to_rows_into(data: &[u8], rows: usize, cols: usize, out: &mut Vec<u8>) {
     assert_eq!(data.len(), rows * cols, "matrix shape mismatch");
+    out.clear();
     if cols <= 1 {
-        return data.to_vec();
+        out.extend_from_slice(data);
+        return;
     }
-    let mut out = vec![0u8; data.len()];
+    out.resize(data.len(), 0);
     if cols == 2 {
         // Hot shape: re-interleave the two column halves in one pass.
         let (c0, c1) = data.split_at(rows);
@@ -56,7 +67,7 @@ pub fn to_rows(data: &[u8], rows: usize, cols: usize) -> Vec<u8> {
             pair[0] = x;
             pair[1] = y;
         }
-        return out;
+        return;
     }
     for r0 in (0..rows).step_by(TILE_ROWS) {
         let r1 = (r0 + TILE_ROWS).min(rows);
@@ -67,7 +78,6 @@ pub fn to_rows(data: &[u8], rows: usize, cols: usize) -> Vec<u8> {
             }
         }
     }
-    out
 }
 
 /// Extract a single byte-column from a row-major matrix.

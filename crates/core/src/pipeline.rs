@@ -6,8 +6,8 @@ use crate::format::{self, Header, Reader};
 use crate::freq::FreqTable;
 use crate::idmap::IdMap;
 use crate::isobar;
-use crate::linearize::{to_columns, to_rows};
-use crate::split::{join_hi_lo, split_hi_lo};
+use crate::linearize::{to_columns, to_rows, to_rows_into};
+use crate::split::{join_hi_lo, join_hi_lo_into, split_hi_lo};
 use crate::stats::{
     CompressionStats, StageTimings, STAGE_DEFLATE, STAGE_FREQ, STAGE_IDMAP, STAGE_ISOBAR,
     STAGE_LINEARIZE, STAGE_SPLIT,
@@ -432,23 +432,153 @@ pub(crate) struct ChunkInfo {
     pub(crate) timings: StageTimings,
 }
 
-/// Decode one chunk section from `reader`. `prev_map` supplies the index
-/// when the chunk reuses its predecessor's; returns the decoded bytes and
-/// the index in effect (to thread into the next chunk).
-///
-/// Crate-visible so the seekable archive format can decode individual
-/// chunks without walking the whole stream.
-pub(crate) fn decompress_chunk(
+/// Reusable working memory for the allocation-free chunk decode path
+/// ([`decompress_chunk_into`]). Holds the backend codec's decode state plus
+/// every intermediate matrix the inverse pipeline materializes; a warm
+/// scratch makes steady-state decodes allocation-free (the counting-allocator
+/// test in `crates/core/tests/read_alloc_count.rs` enforces this).
+pub struct DecodeScratch {
+    /// Backend codec decode state (deflate Huffman tables etc.).
+    pub(crate) codec: CodecScratch,
+    /// Reloaded per chunk in O(k) without touching the full domain table.
+    pub(crate) map: IdMap,
+    /// Decompressed hi matrix in stream (possibly column) order.
+    pub(crate) hi_lin: Vec<u8>,
+    /// Row-major hi matrix.
+    pub(crate) hi: Vec<u8>,
+    /// Decompressed compressible lo columns.
+    pub(crate) compressible: Vec<u8>,
+    /// Re-interleaved row-major lo matrix.
+    pub(crate) lo: Vec<u8>,
+}
+
+impl DecodeScratch {
+    /// An empty scratch; buffers are allocated lazily on first use.
+    pub fn new() -> Self {
+        Self {
+            codec: CodecScratch::new(),
+            map: IdMap::placeholder(),
+            hi_lin: Vec::new(),
+            hi: Vec::new(),
+            compressible: Vec::new(),
+            lo: Vec::new(),
+        }
+    }
+}
+
+impl Default for DecodeScratch {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// [`decompress_chunk`] into a caller-owned buffer, reusing all intermediate
+/// storage from `scratch`. Requires a self-contained chunk (the archive
+/// always writes own-index chunks); a chunk that reuses its predecessor's
+/// index fails with the same error the streaming path reports when the
+/// predecessor is missing.
+pub(crate) fn decompress_chunk_into(
     reader: &mut Reader<'_>,
     header: &Header,
     codec: &dyn Codec,
-    prev_map: Option<IdMap>,
-) -> Result<(Vec<u8>, IdMap)> {
-    let mut timings = StageTimings::default();
-    decompress_chunk_timed(reader, header, codec, prev_map, &mut timings)
+    scratch: &mut DecodeScratch,
+    timings: &mut StageTimings,
+    out: &mut Vec<u8>,
+) -> Result<()> {
+    let lo_cols = header.element_size - header.hi_bytes;
+    let n = reader.varint()? as usize;
+    if n == 0 {
+        return Err(PrimacyError::Format("empty chunk section"));
+    }
+    let flags = reader.byte()?;
+    if flags & format::FLAG_OWN_INDEX == 0 {
+        return Err(PrimacyError::Format("chunk reuses a missing index"));
+    }
+    let k = reader.varint()? as usize;
+    if k > 1 << (8 * header.hi_bytes) {
+        return Err(PrimacyError::Format("index larger than sequence domain"));
+    }
+    // k <= 65536 and hi_bytes <= 2, so this product cannot overflow.
+    let bytes = reader.bytes(k * header.hi_bytes)?;
+    scratch.map.reload(bytes, k, header.hi_bytes)?;
+    let hi_len = reader.varint()? as usize;
+    let hi_comp = reader.bytes(hi_len)?;
+    let mask = reader.u16_le()?;
+    if usize::from(mask.count_ones() as u16) > lo_cols || (mask >> lo_cols) != 0 {
+        return Err(PrimacyError::Format("isobar mask wider than matrix"));
+    }
+    let lo_len = reader.varint()? as usize;
+    let lo_comp = reader.bytes(lo_len)?;
+    // Exact after the mask-width guard above; saturation documents the bound.
+    let incompressible_cols = lo_cols.saturating_sub(mask.count_ones() as usize);
+    // `n` comes straight from an attacker-controllable varint; every product
+    // involving it must be checked or an over-claim wraps into a panic.
+    let raw_len = n
+        .checked_mul(incompressible_cols)
+        .ok_or(PrimacyError::Truncated)?;
+    let incompressible = reader.bytes(raw_len)?;
+
+    // Reverse the hi pipeline.
+    let t = Instant::now();
+    codec.decompress_into(hi_comp, &mut scratch.codec, &mut scratch.hi_lin)?;
+    stage(&mut timings.codec, STAGE_DEFLATE, t);
+    if n.checked_mul(header.hi_bytes) != Some(scratch.hi_lin.len()) {
+        return Err(PrimacyError::Format("hi section has wrong size"));
+    }
+    let t = Instant::now();
+    match header.linearization {
+        Linearization::Row => {
+            scratch.hi.clear();
+            scratch.hi.extend_from_slice(&scratch.hi_lin);
+        }
+        Linearization::Column => to_rows_into(&scratch.hi_lin, n, header.hi_bytes, &mut scratch.hi),
+    }
+    stage(&mut timings.linearization, STAGE_LINEARIZE, t);
+    let t = Instant::now();
+    scratch.map.decode_hi(&mut scratch.hi)?;
+    stage(&mut timings.id_mapping, STAGE_IDMAP, t);
+
+    // Reverse the lo pipeline.
+    let t = Instant::now();
+    if lo_len == 0 {
+        scratch.compressible.clear();
+    } else {
+        codec.decompress_into(lo_comp, &mut scratch.codec, &mut scratch.compressible)?;
+    }
+    stage(&mut timings.codec, STAGE_DEFLATE, t);
+    if n.checked_mul(mask.count_ones() as usize) != Some(scratch.compressible.len()) {
+        return Err(PrimacyError::Format("lo section has wrong size"));
+    }
+    let t = Instant::now();
+    isobar::unpartition_into(
+        &scratch.compressible,
+        incompressible,
+        n,
+        lo_cols,
+        mask,
+        &mut scratch.lo,
+    );
+    stage(&mut timings.isobar, STAGE_ISOBAR, t);
+
+    let t = Instant::now();
+    join_hi_lo_into(
+        &scratch.hi,
+        &scratch.lo,
+        header.element_size,
+        header.hi_bytes,
+        out,
+    )?;
+    stage(&mut timings.split, STAGE_SPLIT, t);
+    trace::counter("chunk.decompress", 1);
+    trace::counter("decompress.bytes_out", out.len() as u64);
+    Ok(())
 }
 
-/// [`decompress_chunk`] with per-stage wall-clock accounting.
+/// Decode one chunk section from `reader` with per-stage wall-clock
+/// accounting. `prev_map` supplies the index when the chunk reuses its
+/// predecessor's; returns the decoded bytes and the index in effect (to
+/// thread into the next chunk). The seekable archive decodes its
+/// (always self-contained) chunks through [`decompress_chunk_into`] instead.
 pub(crate) fn decompress_chunk_timed(
     reader: &mut Reader<'_>,
     header: &Header,

@@ -82,6 +82,20 @@ pub fn split_hi_lo(
 
 /// Inverse of [`split_hi_lo`]: reassemble little-endian element bytes.
 pub fn join_hi_lo(hi: &[u8], lo: &[u8], element_size: usize, hi_bytes: usize) -> Result<Vec<u8>> {
+    let mut out = Vec::new();
+    join_hi_lo_into(hi, lo, element_size, hi_bytes, &mut out)?;
+    Ok(out)
+}
+
+/// [`join_hi_lo`] into a caller-owned buffer (cleared first, capacity kept):
+/// a warm call on a sufficiently-large `out` performs no allocations.
+pub fn join_hi_lo_into(
+    hi: &[u8],
+    lo: &[u8],
+    element_size: usize,
+    hi_bytes: usize,
+    out: &mut Vec<u8>,
+) -> Result<()> {
     let lo_bytes = element_size - hi_bytes;
     if !hi.len().is_multiple_of(hi_bytes) || !lo.len().is_multiple_of(lo_bytes) {
         return Err(PrimacyError::Format("hi/lo matrices have ragged rows"));
@@ -90,7 +104,8 @@ pub fn join_hi_lo(hi: &[u8], lo: &[u8], element_size: usize, hi_bytes: usize) ->
     if lo.len() / lo_bytes != n {
         return Err(PrimacyError::Format("hi/lo matrices disagree on row count"));
     }
-    let mut out = vec![0u8; n * element_size];
+    out.clear();
+    out.resize(n * element_size, 0);
     if element_size == 8 && hi_bytes == 2 {
         // Hot path for f64, mirroring the split fast path: a u16 load for the
         // hi pair, one overlapping u64 load that grabs the six lo bytes (plus
@@ -110,7 +125,7 @@ pub fn join_hi_lo(hi: &[u8], lo: &[u8], element_size: usize, hi_bytes: usize) ->
             be[2..8].copy_from_slice(&lo[i * 6..i * 6 + 6]);
             out[i * 8..i * 8 + 8].copy_from_slice(&u64::from_be_bytes(be).to_le_bytes());
         }
-        return Ok(out);
+        return Ok(());
     }
     if element_size == 4 && hi_bytes == 1 {
         // Hot path for f32: assemble the big-endian element in a register.
@@ -124,7 +139,7 @@ pub fn join_hi_lo(hi: &[u8], lo: &[u8], element_size: usize, hi_bytes: usize) ->
             be[1..4].copy_from_slice(l);
             elem.copy_from_slice(&u32::from_be_bytes(be).to_le_bytes());
         }
-        return Ok(out);
+        return Ok(());
     }
     for ((elem, h), l) in out
         .chunks_exact_mut(element_size)
@@ -138,7 +153,7 @@ pub fn join_hi_lo(hi: &[u8], lo: &[u8], element_size: usize, hi_bytes: usize) ->
             elem[element_size - 1 - hi_bytes - k] = b;
         }
     }
-    Ok(out)
+    Ok(())
 }
 
 /// Read the high-order byte-sequence of row `i` as an integer key

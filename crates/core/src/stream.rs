@@ -23,6 +23,9 @@ pub struct ElementReader<'a> {
     buffer: Vec<u8>,
     /// Read offset within `buffer`.
     offset: usize,
+    /// Decode working memory reused across chunks, so steady-state refills
+    /// perform no allocations.
+    scratch: crate::pipeline::DecodeScratch,
 }
 
 impl<'a> ElementReader<'a> {
@@ -33,6 +36,7 @@ impl<'a> ElementReader<'a> {
             next_chunk: 0,
             buffer: Vec::new(),
             offset: 0,
+            scratch: crate::pipeline::DecodeScratch::new(),
         }
     }
 
@@ -56,7 +60,8 @@ impl<'a> ElementReader<'a> {
         if self.next_chunk >= self.archive.chunk_count() {
             return Ok(false);
         }
-        self.buffer = self.archive.read_chunk(self.next_chunk)?;
+        self.archive
+            .read_chunk_with(self.next_chunk, &mut self.scratch, &mut self.buffer)?;
         self.offset = 0;
         self.next_chunk += 1;
         Ok(true)

@@ -1,0 +1,109 @@
+//! Steady-state allocation gate for the archive decode hot path (ISSUE 10):
+//! once a `DecodeScratch` has been warmed over the archive's chunks,
+//! `ArchiveReader::read_chunk_with` must perform **zero** heap allocations —
+//! the codec scratch, the ID map, every intermediate matrix, and the output
+//! buffer are all reused.
+//!
+//! Verified with a counting global allocator. This file contains exactly one
+//! test so no sibling test thread can allocate inside the measured window
+//! (integration-test binaries run tests as in-process threads).
+
+use primacy_core::{ArchiveReader, ArchiveWriter, DecodeScratch, PrimacyConfig};
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+static ALLOC_CALLS: AtomicUsize = AtomicUsize::new(0);
+
+struct CountingAllocator;
+
+// SAFETY: delegates every operation unchanged to the `System` allocator; the
+// only addition is a relaxed counter bump, which has no effect on the
+// allocator contract.
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        // ORDERING: Relaxed — a monotone event counter; no memory is
+        // published through it.
+        ALLOC_CALLS.fetch_add(1, Ordering::Relaxed);
+        // SAFETY: forwarded verbatim; caller upholds the GlobalAlloc contract.
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        // ORDERING: Relaxed — same monotone counter as `alloc`.
+        ALLOC_CALLS.fetch_add(1, Ordering::Relaxed);
+        // SAFETY: forwarded verbatim; caller upholds the GlobalAlloc contract.
+        unsafe { System.alloc_zeroed(layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        // ORDERING: Relaxed — same monotone counter as `alloc`.
+        ALLOC_CALLS.fetch_add(1, Ordering::Relaxed);
+        // SAFETY: forwarded verbatim; caller upholds the GlobalAlloc contract.
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        // SAFETY: forwarded verbatim; caller upholds the GlobalAlloc contract.
+        unsafe { System.dealloc(ptr, layout) }
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAllocator = CountingAllocator;
+
+fn allocs() -> usize {
+    ALLOC_CALLS.load(Ordering::Relaxed)
+}
+
+/// Doubles with mixed structure: a smooth component (few exponent sequences,
+/// heavy ID-mapping) plus a noisy component (exercises the ISOBAR raw path),
+/// varying per chunk so every chunk carries a distinct index.
+fn sample(n: usize) -> Vec<u8> {
+    let mut x = 7u64;
+    (0..n)
+        .flat_map(|i| {
+            x = x.wrapping_mul(6_364_136_223_846_793_005).wrapping_add(1);
+            let noise = (x >> 40) as f64 / 1e7;
+            ((i as f64 * 0.013).sin() * (1.0 + (i / 500) as f64) + noise).to_le_bytes()
+        })
+        .collect()
+}
+
+#[test]
+fn steady_state_read_chunk_with_allocates_nothing() {
+    let cfg = PrimacyConfig {
+        chunk_bytes: 8192, // 1024 doubles per chunk, several chunks
+        ..PrimacyConfig::default()
+    };
+    let bytes = sample(5000); // 4 full chunks + ragged tail
+    let mut w = ArchiveWriter::new(Vec::new(), cfg).expect("open writer");
+    w.append(&bytes).expect("append");
+    let archive = w.finish().expect("finish");
+    let r = ArchiveReader::open(&archive).expect("open");
+    assert!(r.chunk_count() >= 4, "need several chunks to be meaningful");
+
+    let mut scratch = DecodeScratch::new();
+    let mut out = Vec::new();
+    // Warm pass: grows the codec scratch, the ID map (to the largest index
+    // across chunks), every intermediate matrix, and `out`.
+    let mut plain = Vec::new();
+    for i in 0..r.chunk_count() {
+        r.read_chunk_with(i, &mut scratch, &mut out)
+            .expect("warm read");
+        plain.extend_from_slice(&out);
+    }
+    assert_eq!(plain, bytes, "warm pass roundtrip failed");
+
+    // Steady state: a second full pass must never touch the allocator.
+    let before = allocs();
+    for i in 0..r.chunk_count() {
+        r.read_chunk_with(i, &mut scratch, &mut out)
+            .expect("warm read");
+    }
+    let delta = allocs() - before;
+    assert_eq!(
+        delta, 0,
+        "read_chunk_with hit the allocator {delta} time(s) in steady state"
+    );
+    assert!(!out.is_empty(), "measured reads really decoded data");
+}

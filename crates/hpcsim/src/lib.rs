@@ -33,7 +33,10 @@ pub mod sweep;
 pub mod welton;
 
 pub use checkpoint::CheckpointPlan;
-pub use measure::{measure_primacy, measure_vanilla, MeasuredRates};
+pub use measure::{
+    measure_primacy, measure_vanilla, predict_archive_write, Calibration, MeasuredRates,
+    WritePrediction,
+};
 pub use model::{ClusterParams, ModelInputs, ModelOutputs};
 pub use scenario::{CompressionMethod, Scenario};
 pub use sim::{SimConfig, SimResult};

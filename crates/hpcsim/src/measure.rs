@@ -156,6 +156,148 @@ pub fn measure_vanilla(codec: &dyn Codec, bytes: &[u8]) -> Result<(f64, f64, f64
     ))
 }
 
+/// Per-stage throughputs loaded from a persisted benchmark report
+/// (`results/BENCH_throughput.json`), so the model runs on *this machine's*
+/// measured rates rather than re-measuring (or worse, guessing Jaguar's).
+///
+/// The report is flat: `{"experiment": ..., "records": [{"key": "...",
+/// "value": N}, ...]}`. The loader is a minimal scanner keyed to that
+/// machine-written shape — keys are plain path strings with no escapes —
+/// which keeps this crate free of a JSON dependency it otherwise never needs.
+#[derive(Debug, Clone, Default)]
+pub struct Calibration {
+    records: Vec<(String, f64)>,
+}
+
+impl Calibration {
+    /// Parse a benchmark report document.
+    pub fn from_json(text: &str) -> Result<Self> {
+        let records = scan_records(text)?;
+        if records.is_empty() {
+            return Err(PrimacyError::Format("calibration report has no records"));
+        }
+        Ok(Self { records })
+    }
+
+    /// Load and parse a report file (e.g. `results/BENCH_throughput.json`).
+    pub fn from_path(path: &std::path::Path) -> Result<Self> {
+        let text = std::fs::read_to_string(path)
+            .map_err(|_| PrimacyError::Format("calibration report is unreadable"))?;
+        Self::from_json(&text)
+    }
+
+    /// Look up one record by its full key.
+    pub fn get(&self, key: &str) -> Option<f64> {
+        self.records.iter().find(|(k, _)| k == key).map(|&(_, v)| v)
+    }
+
+    /// Whole-pipeline compression throughput for `corpus`, bytes/s.
+    pub fn compress_bps(&self, corpus: &str) -> Option<f64> {
+        self.get(&format!("throughput/{corpus}/primacy/compress_mbps"))
+            .map(|mbps| mbps * 1e6)
+    }
+
+    /// Whole-pipeline decompression throughput for `corpus`, bytes/s.
+    /// (Named after [`MeasuredRates::t_decomp`]'s vocabulary: this is a
+    /// calibration lookup, not a decode entry point.)
+    pub fn decomp_bps(&self, corpus: &str) -> Option<f64> {
+        self.get(&format!("throughput/{corpus}/primacy/decompress_mbps"))
+            .map(|mbps| mbps * 1e6)
+    }
+
+    /// Whole-pipeline compression ratio (original/compressed) for `corpus`.
+    pub fn ratio(&self, corpus: &str) -> Option<f64> {
+        self.get(&format!("throughput/{corpus}/primacy/ratio"))
+    }
+
+    /// All record keys, for discovery and diagnostics.
+    pub fn keys(&self) -> impl Iterator<Item = &str> {
+        self.records.iter().map(|(k, _)| k.as_str())
+    }
+}
+
+/// Extract every `"key": "...", "value": N` pair from a bench report.
+fn scan_records(text: &str) -> Result<Vec<(String, f64)>> {
+    let mut out = Vec::new();
+    let mut rest = text;
+    while let Some(pos) = rest.find("\"key\"") {
+        rest = &rest[pos + 5..];
+        let open = rest.find('"').ok_or(PrimacyError::Format(
+            "calibration record key is not a string",
+        ))?;
+        rest = &rest[open + 1..];
+        let close = rest.find('"').ok_or(PrimacyError::Format(
+            "calibration record key is unterminated",
+        ))?;
+        let key = &rest[..close];
+        rest = &rest[close + 1..];
+        let vpos = rest
+            .find("\"value\"")
+            .ok_or(PrimacyError::Format("calibration record has no value"))?;
+        rest = &rest[vpos + 7..];
+        let colon = rest
+            .find(':')
+            .ok_or(PrimacyError::Format("calibration value has no separator"))?;
+        rest = rest[colon + 1..].trim_start();
+        let end = rest
+            .find(|c: char| c == ',' || c == '}' || c.is_whitespace())
+            .unwrap_or(rest.len());
+        let value: f64 = rest[..end]
+            .parse()
+            .map_err(|_| PrimacyError::Format("calibration value is not a number"))?;
+        if !value.is_finite() {
+            return Err(PrimacyError::Format("calibration value is not finite"));
+        }
+        out.push((key.to_string(), value));
+        rest = &rest[end..];
+    }
+    Ok(out)
+}
+
+/// Predicted wall-clock for one archive write, bulk-synchronous vs
+/// overlapped, from calibrated stage rates.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WritePrediction {
+    /// Sequential baseline: compression and sink writes pay serially.
+    pub bulk_secs: f64,
+    /// Double-buffered pipeline: the shorter stage hides behind the longer.
+    pub overlapped_secs: f64,
+    /// `bulk_secs / overlapped_secs`.
+    pub speedup: f64,
+}
+
+/// Model one archive write through the double-buffered [`ArchiveWriter`]
+/// pipeline.
+///
+/// Bulk-synchronous cost is the serial sum `N/Tc + (N/ratio)/Tw`. The
+/// overlapped writer compresses on `threads` workers while a dedicated
+/// writer thread drains sections, so steady state costs the *maximum* of the
+/// two stage times, plus a one-chunk pipeline fill before the writer has
+/// anything to flush. Rates come from [`Calibration`] (measured) or
+/// [`measure_primacy`] (re-measured); either way they are this machine's.
+///
+/// [`ArchiveWriter`]: primacy_core::ArchiveWriter
+pub fn predict_archive_write(
+    input_bytes: f64,
+    ratio: f64,
+    compress_bps: f64,
+    write_bps: f64,
+    threads: usize,
+    chunk_bytes: f64,
+) -> WritePrediction {
+    let compressed = input_bytes / ratio.max(1e-9);
+    let compress_secs = input_bytes / compress_bps.max(1e-9);
+    let write_secs = compressed / write_bps.max(1e-9);
+    let bulk_secs = compress_secs + write_secs;
+    let fill_secs = chunk_bytes.min(input_bytes) / compress_bps.max(1e-9);
+    let overlapped_secs = (compress_secs / threads.max(1) as f64).max(write_secs) + fill_secs;
+    WritePrediction {
+        bulk_secs,
+        overlapped_secs,
+        speedup: bulk_secs / overlapped_secs.max(1e-12),
+    }
+}
+
 impl MeasuredRates {
     /// Assemble full model inputs from these rates plus cluster parameters.
     pub fn to_model_inputs(
@@ -220,6 +362,42 @@ mod tests {
         let (sigma, cbps, dbps) = measure_vanilla(codec.as_ref(), &bytes).unwrap();
         assert!(sigma > 0.5 && sigma <= 1.05, "sigma {sigma}");
         assert!(cbps > 0.0 && dbps > 0.0);
+    }
+
+    #[test]
+    fn calibration_parses_bench_report_shape() {
+        let doc = r#"{"experiment":"throughput","records":[
+            {"key":"throughput/random/primacy/compress_mbps","value":150.75},
+            {"key":"throughput/random/primacy/decompress_mbps","value":900.5},
+            {"key":"throughput/random/primacy/ratio","value":1.002}]}"#;
+        let cal = Calibration::from_json(doc).unwrap();
+        assert_eq!(cal.compress_bps("random"), Some(150.75e6));
+        assert_eq!(cal.decomp_bps("random"), Some(900.5e6));
+        assert_eq!(cal.ratio("random"), Some(1.002));
+        assert_eq!(cal.get("throughput/none/primacy/ratio"), None);
+        assert_eq!(cal.keys().count(), 3);
+    }
+
+    #[test]
+    fn calibration_rejects_malformed_reports() {
+        assert!(Calibration::from_json("{}").is_err());
+        assert!(Calibration::from_json(r#"{"records":[{"key":"a"}]}"#).is_err());
+        assert!(Calibration::from_json(r#"{"key":"a","value":"x"}"#).is_err());
+    }
+
+    #[test]
+    fn overlap_prediction_hides_shorter_stage() {
+        // 1 GB at 100 MB/s compress, 2:1 ratio, 500 MB/s sink: compression
+        // dominates, so overlap approaches the compression time alone.
+        let p = predict_archive_write(1e9, 2.0, 100e6, 500e6, 1, 3e6);
+        assert!(p.bulk_secs > p.overlapped_secs);
+        assert!((p.bulk_secs - 11.0).abs() < 1e-6);
+        assert!(p.overlapped_secs < 10.1 && p.overlapped_secs >= 10.0);
+        assert!(p.speedup > 1.0);
+        // More compress workers shift the bottleneck to the sink.
+        let p4 = predict_archive_write(1e9, 2.0, 100e6, 500e6, 4, 3e6);
+        assert!(p4.overlapped_secs < p.overlapped_secs);
+        assert!(p4.overlapped_secs >= 2.5); // write_secs = 1.0, compress/4 = 2.5
     }
 
     #[test]

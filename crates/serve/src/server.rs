@@ -467,7 +467,7 @@ fn execute(
             };
             let result = match op {
                 Op::Compress => codec.compress_with(&request.payload, scratch),
-                _ => codec.decompress(&request.payload),
+                _ => codec.decompress_with(&request.payload, scratch),
             };
             result.map_err(|e| (Status::CodecFailed, e.to_string()))
         }
